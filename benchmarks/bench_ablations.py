@@ -1,0 +1,174 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Threshold selection**: persistence-k-means thresholds vs. fixed
+   quantiles — does the data-driven rule find the planted events with fewer
+   feature points?
+2. **Restricted vs. naive Monte Carlo**: how anti-conservative is the naive
+   test on autocorrelated urban functions (the §6.3 claim that standard MC
+   misclassifies)?
+3. **Level-set query strategy**: output-sensitive merge-tree traversal vs.
+   brute-force vectorized masks across feature densities.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.features import (
+    FeatureExtractor,
+    query_superlevel,
+    superlevel_mask,
+)
+from repro.core.merge_tree import compute_join_tree
+from repro.core.relationship import evaluate_features
+from repro.core.scalar_function import ScalarFunction
+from repro.core.significance import significance_test
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+
+
+def _event_series(seed=0, n=24 * 120):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = 30 + 8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.0, n)
+    events = rng.choice(n - 6, 20, replace=False)
+    for e in events[:10]:
+        values[e : e + 4] += 40
+    for e in events[10:]:
+        values[e : e + 4] -= 25
+    return ScalarFunction.time_series("abl.v", values), events
+
+
+class QuantileExtractor(FeatureExtractor):
+    """Ablation: fixed-quantile thresholds instead of persistence k-means."""
+
+    def __init__(self, q: float = 0.05):
+        super().__init__(seasonal=False)
+        self.q = q
+
+    def extract(self, function):
+        lo, hi = np.quantile(function.values, [self.q, 1 - self.q])
+        fs = self.extract_with_thresholds(function, float(hi), float(lo))
+        out = super().extract(function)
+        out.salient = fs
+        return out
+
+
+def test_ablation_threshold_selection(benchmark):
+    sf, events = _event_series()
+    kmeans_features = FeatureExtractor().extract(sf).salient
+
+    def hit_rate(fs):
+        hits = sum(
+            1 for e in events if fs.union()[e : e + 4, 0].any()
+        )
+        return hits / len(events)
+
+    print("\nAblation — threshold selection (20 planted events)")
+    print(
+        f"  persistence k-means (no parameter): "
+        f"{kmeans_features.n_features():5d} feature points, "
+        f"event recall {hit_rate(kmeans_features):.0%}"
+    )
+    quantile_counts = []
+    for q in (0.01, 0.02, 0.05, 0.10):
+        qf = QuantileExtractor(q=q).extract(sf).salient
+        quantile_counts.append(qf.n_features())
+        print(
+            f"  fixed quantile q={q:<5g}:           {qf.n_features():5d} "
+            f"feature points, event recall {hit_rate(qf):.0%}"
+        )
+
+    assert hit_rate(kmeans_features) >= 0.9, "data-driven rule must find events"
+    # The quantile rule's output is dictated by its free parameter — a 10x
+    # budget swing across reasonable q — whereas the persistence rule has no
+    # parameter at all: the paper's §3.3 motivation.
+    assert max(quantile_counts) / max(min(quantile_counts), 1) > 5
+
+    benchmark.pedantic(
+        lambda: FeatureExtractor().extract(sf), iterations=1, rounds=3
+    )
+
+
+def test_ablation_restricted_vs_naive_mc(benchmark):
+    """False-positive rates on independent, block-autocorrelated features."""
+    n = 2000
+    graph = DomainGraph(1, n)
+
+    def blocky(seed):
+        rng = np.random.default_rng(seed)
+        pos = np.zeros((n, 1), dtype=bool)
+        neg = np.zeros((n, 1), dtype=bool)
+        for s in rng.choice(n - 16, 12, replace=False):
+            pos[s : s + 16, 0] = True
+        for s in rng.choice(n - 16, 12, replace=False):
+            neg[s : s + 16, 0] = True
+        neg &= ~pos
+        from repro.core.features import FeatureSet
+
+        return FeatureSet(pos, neg)
+
+    naive_fp = 0
+    restricted_fp = 0
+    n_pairs = 12
+    for seed in range(n_pairs):
+        fs1 = blocky(seed * 2)
+        fs2 = blocky(seed * 2 + 1)
+        if not evaluate_features(fs1, fs2).is_related:
+            continue
+        if significance_test(fs1, fs2, graph, 99, method="naive", seed=seed).is_significant():
+            naive_fp += 1
+        if significance_test(fs1, fs2, graph, 99, seed=seed).is_significant():
+            restricted_fp += 1
+
+    print("\nAblation — restricted vs. naive Monte Carlo")
+    print(f"  independent block-feature pairs tested: {n_pairs}")
+    print(f"  naive test false positives:      {naive_fp}")
+    print(f"  restricted test false positives: {restricted_fp}")
+    assert restricted_fp <= naive_fp, (
+        "the restricted test must not be more anti-conservative than naive"
+    )
+
+    fs1 = blocky(0)
+    fs2 = blocky(1)
+    benchmark.pedantic(
+        lambda: significance_test(fs1, fs2, graph, 99, seed=0),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def test_ablation_query_strategies(benchmark):
+    """Merge-tree traversal vs. brute-force masks across feature densities."""
+    rng = np.random.default_rng(0)
+    n = 60_000
+    values = rng.normal(0, 1, n)
+    sf = ScalarFunction.time_series("abl.q", values)
+    join = compute_join_tree(sf.graph, sf.flat_values(), sf.vertex_order(True))
+
+    print("\nAblation — level-set query strategies (60k vertices)")
+    print(f"{'threshold':>10s} {'|features|':>11s} {'tree (s)':>9s} {'mask (s)':>9s}")
+    for quantile in (0.999, 0.99, 0.9):
+        theta = float(np.quantile(values, quantile))
+        start = time.perf_counter()
+        via_tree = query_superlevel(sf, theta, join)
+        tree_s = time.perf_counter() - start
+        start = time.perf_counter()
+        via_mask = superlevel_mask(sf, theta)
+        mask_s = time.perf_counter() - start
+        assert np.array_equal(via_tree, via_mask)
+        print(
+            f"{quantile:>10.3f} {int(via_mask.sum()):>11,d} "
+            f"{tree_s:>9.4f} {mask_s:>9.4f}"
+        )
+    print(
+        "  -> the traversal is output-sensitive (cost grows with |features|);"
+        "\n     the vectorized mask is flat O(N) — NumPy's constant factor"
+        "\n     wins on dense outputs, the index wins asymptotically."
+    )
+
+    theta = float(np.quantile(values, 0.999))
+    benchmark.pedantic(
+        lambda: query_superlevel(sf, theta, join), iterations=1, rounds=3
+    )

@@ -1,0 +1,75 @@
+"""Figure 10: speedup of the three framework components vs. cluster size.
+
+The paper measures map-reduce speedups on AWS clusters of growing size and
+observes: near-linear scaling for scalar-function computation, lower speedup
+for feature identification and relationship evaluation due to straggler
+reducers handling the highest-resolution functions.
+
+We reproduce the measurement protocol with the simulated cluster (see
+DESIGN.md §1.3): every task's wall time is measured in a real single-process
+run of the three jobs, then replayed through a Hadoop-style greedy scheduler
+for each cluster size; the speedup is T1 / Tn.  Stragglers emerge naturally
+from the heterogeneous per-task times.
+"""
+
+import pytest
+
+from repro.mapreduce.cluster import speedup_curve, straggler_ratio
+from repro.mapreduce.pipeline import PolygamyPipeline
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+
+NODE_COUNTS = [1, 2, 4, 8, 16, 20]
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(urban_small):
+    pipeline = PolygamyPipeline(urban_small.city, chunks_per_dataset=8)
+    return pipeline.run(
+        urban_small.datasets,
+        n_permutations=60,
+        temporal=(TemporalResolution.DAY, TemporalResolution.WEEK),
+        seed=0,
+    )
+
+
+def test_fig10_speedup_curves(pipeline_run, benchmark):
+    curves = {
+        "scalar functions": speedup_curve(pipeline_run.scalar_stats, NODE_COUNTS),
+        "feature identification": speedup_curve(
+            pipeline_run.feature_stats, NODE_COUNTS
+        ),
+        "relationships": speedup_curve(
+            pipeline_run.relationship_stats, NODE_COUNTS
+        ),
+    }
+    print("\nFigure 10 — speedup vs. number of nodes (simulated cluster)")
+    print(f"{'component':>24s} " + " ".join(f"n={n:<5d}" for n in NODE_COUNTS))
+    for name, curve in curves.items():
+        print(
+            f"{name:>24s} "
+            + " ".join(f"{curve[n]:<7.2f}" for n in NODE_COUNTS)
+        )
+    print(
+        "straggler ratios: "
+        f"scalar={straggler_ratio(pipeline_run.scalar_stats.map_task_seconds):.1f}, "
+        "features="
+        f"{straggler_ratio(pipeline_run.feature_stats.reduce_task_seconds):.1f}, "
+        "relationships="
+        f"{straggler_ratio(pipeline_run.relationship_stats.reduce_task_seconds):.1f}"
+    )
+
+    for curve in curves.values():
+        # Monotone non-decreasing speedup in cluster size.
+        values = [curve[n] for n in NODE_COUNTS]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert abs(curve[1] - 1.0) < 1e-9
+    # The paper's key observation: the event-driven phases scale worse than
+    # scalar-function computation because straggler reducers dominate.
+    assert curves["scalar functions"][20] >= curves["relationships"][20] - 1e-9
+
+    benchmark.pedantic(
+        lambda: speedup_curve(pipeline_run.feature_stats, NODE_COUNTS),
+        iterations=5,
+        rounds=3,
+    )

@@ -1,0 +1,76 @@
+"""Figure 11: relationship pruning at the (week, city) resolution.
+
+The paper counts, as data sets are added, how many of the combinatorially
+possible relationships the framework actually reports: significance testing
+prunes ~98.6% for NYC Urban and ~98.9% for NYC Open; clause filters
+(|tau| >= 0.6 / 0.8) prune further.  We print the same series.  Our corpora
+are smaller, so the asserted bound is a conservative >=80% pruning.
+"""
+
+from repro.core.clause import Clause
+from repro.core.corpus import Corpus
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import nyc_open_collection
+from repro.temporal.resolution import TemporalResolution
+
+WEEK_CITY = dict(
+    spatial=(SpatialResolution.CITY,), temporal=(TemporalResolution.WEEK,)
+)
+
+
+def _pruning_series(collection, ks, n_permutations=150):
+    rows = []
+    for k in ks:
+        corpus = Corpus(collection.datasets[:k], collection.city)
+        index = corpus.build_index(**WEEK_CITY)
+        base = index.query(n_permutations=n_permutations, seed=0)
+        strict6 = [r for r in base.results if abs(r.score) >= 0.6]
+        strict8 = [r for r in base.results if abs(r.score) >= 0.8]
+        rows.append(
+            (k, base.n_evaluated, base.n_significant, len(strict6), len(strict8))
+        )
+    return rows
+
+
+def _print(label, rows):
+    print(f"\nFigure 11{label} — pruning at (week, city)")
+    print(
+        f"{'#data sets':>10s} {'possible':>9s} {'significant':>12s} "
+        f"{'tau>=0.6':>9s} {'tau>=0.8':>9s} {'pruned':>8s}"
+    )
+    for k, possible, sig, s6, s8 in rows:
+        pruned = 100.0 * (1 - sig / possible) if possible else 0.0
+        print(
+            f"{k:>10d} {possible:>9,d} {sig:>12,d} {s6:>9,d} {s8:>9,d} "
+            f"{pruned:>7.1f}%"
+        )
+
+
+def test_fig11a_nyc_urban_pruning(benchmark, urban_small):
+    rows = _pruning_series(urban_small, ks=(3, 6, 9))
+    _print("(a) — NYC Urban", rows)
+    k, possible, significant, s6, s8 = rows[-1]
+    assert possible > 0
+    assert significant / possible < 0.2, "at least 80% of candidates pruned"
+    assert s8 <= s6 <= significant
+
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    index = corpus.build_index(**WEEK_CITY)
+    benchmark.pedantic(
+        lambda: index.query(n_permutations=150, seed=0), iterations=1, rounds=3
+    )
+
+
+def test_fig11b_nyc_open_pruning(benchmark):
+    coll = nyc_open_collection(n_datasets=24, seed=11, n_days=180)
+    rows = _pruning_series(coll, ks=(8, 16, 24))
+    _print("(b) — NYC Open", rows)
+    k, possible, significant, s6, s8 = rows[-1]
+    assert possible > 100, "the open corpus must offer many possible pairs"
+    assert significant / possible < 0.2
+
+    corpus = Corpus(coll.datasets, coll.city)
+    index = corpus.build_index(**WEEK_CITY)
+    benchmark.pedantic(
+        lambda: index.query(n_permutations=150, seed=0), iterations=1, rounds=3
+    )

@@ -1,0 +1,91 @@
+"""Figure 7: merge-tree index creation and feature-query time vs. input size.
+
+The paper plots indexing (join + split tree) and feature-query times against
+the number of edges of the domain graph for the taxi density function at the
+city (1-D) and neighborhood (3-D) resolutions, observing near-linear growth.
+We sweep the same two domain shapes over growing sizes and print the series;
+the largest neighborhood case is the timed benchmark.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.features import query_sublevel, query_superlevel
+from repro.core.merge_tree import compute_join_tree, compute_split_tree
+from repro.core.scalar_function import ScalarFunction
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.adjacency import grid_adjacency
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+
+
+def make_function(n_regions: int, n_steps: int, seed: int = 0) -> ScalarFunction:
+    rng = np.random.default_rng(seed)
+    if n_regions == 1:
+        pairs = None
+    else:
+        side = int(np.sqrt(n_regions))
+        pairs = grid_adjacency(side, side)
+    graph = DomainGraph(n_regions, n_steps, pairs)
+    diurnal = 1 + 0.5 * np.sin(2 * np.pi * np.arange(n_steps) / 24)
+    values = rng.poisson(20 * diurnal[:, None], (n_steps, n_regions)).astype(float)
+    spatial = (
+        SpatialResolution.CITY if n_regions == 1 else SpatialResolution.NEIGHBORHOOD
+    )
+    return ScalarFunction("bench.density", values, graph, spatial,
+                          TemporalResolution.HOUR)
+
+
+def index_and_query(function: ScalarFunction) -> tuple[float, float]:
+    """(indexing seconds, querying seconds) for one function."""
+    start = time.perf_counter()
+    flat = function.flat_values()
+    join = compute_join_tree(function.graph, flat, function.vertex_order(True))
+    split = compute_split_tree(function.graph, flat, function.vertex_order(False))
+    index_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    q1, q3 = np.percentile(flat, [25, 75])
+    query_superlevel(function, q3, join)
+    query_sublevel(function, q1, split)
+    query_seconds = time.perf_counter() - start
+    return index_seconds, query_seconds
+
+
+def _print_series(label, rows):
+    print(f"\nFigure 7{label}")
+    print(f"{'edges':>10s} {'index (s)':>10s} {'query (s)':>10s}")
+    for edges, idx, qry in rows:
+        print(f"{edges:>10,d} {idx:>10.4f} {qry:>10.4f}")
+
+
+def test_fig7a_city_resolution_scaling(benchmark):
+    rows = []
+    for n_steps in (2_000, 8_000, 32_000):
+        fn = make_function(1, n_steps)
+        idx, qry = index_and_query(fn)
+        rows.append((fn.graph.n_edges, idx, qry))
+    _print_series("(a) — city (1-D time series)", rows)
+
+    # Near-linear scaling: 16x edges should cost well under 64x time.
+    assert rows[-1][1] / max(rows[0][1], 1e-9) < 16 * 4
+    benchmark.pedantic(
+        lambda: index_and_query(make_function(1, 32_000)), iterations=1, rounds=2
+    )
+
+
+def test_fig7b_neighborhood_resolution_scaling(benchmark):
+    rows = []
+    for side, n_steps in ((4, 500), (8, 1_000), (8, 4_000)):
+        fn = make_function(side * side, n_steps)
+        idx, qry = index_and_query(fn)
+        rows.append((fn.graph.n_edges, idx, qry))
+    _print_series("(b) — neighborhood (3-D)", rows)
+
+    edges_ratio = rows[-1][0] / rows[0][0]
+    time_ratio = rows[-1][1] / max(rows[0][1], 1e-9)
+    assert time_ratio < edges_ratio * 4, "indexing must stay near-linear"
+    benchmark.pedantic(
+        lambda: index_and_query(make_function(64, 4_000)), iterations=1, rounds=2
+    )

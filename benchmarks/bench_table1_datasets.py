@@ -1,0 +1,58 @@
+"""Table 1: properties of the data sets in the NYC Urban collection.
+
+Prints the replica of Table 1 — name, in-memory size, record count, time
+range, number of scalar functions, native spatial and temporal resolution,
+description — and benchmarks collection generation.  Absolute sizes are
+smaller than the paper's multi-year production dumps by design; the *shape*
+(taxi and Twitter dominating volume, weather dominating attribute count) is
+preserved.
+"""
+
+import numpy as np
+
+from repro.synth import nyc_urban_collection
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024:
+            return f"{n:.0f} {unit}"
+        n /= 1024
+    return f"{n:.1f} TB"
+
+
+def test_table1_dataset_properties(urban_year, benchmark):
+    benchmark.pedantic(
+        lambda: nyc_urban_collection(seed=7, n_days=30, scale=0.5),
+        iterations=1,
+        rounds=3,
+    )
+
+    print("\nTable 1 — NYC Urban collection (synthetic replica, 1 year)")
+    header = (
+        f"{'Data Set':16s} {'Size':>9s} {'# Records':>10s} "
+        f"{'# Scalar Fns':>12s} {'Spatial':>12s} {'Temporal':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for ds in urban_year.datasets:
+        print(
+            f"{ds.name:16s} {_fmt_bytes(ds.nbytes()):>9s} {ds.n_records:>10,d} "
+            f"{ds.schema.n_scalar_functions:>12d} "
+            f"{ds.schema.spatial_resolution.name:>12s} "
+            f"{ds.schema.temporal_resolution.name:>9s}"
+        )
+
+    by_name = {ds.name: ds for ds in urban_year.datasets}
+    # Shape assertions mirroring Table 1's structure.
+    assert by_name["taxi"].n_records == max(
+        d.n_records for d in urban_year.datasets if d.name != "twitter"
+    ), "taxi should dominate record volume among non-Twitter sets"
+    assert by_name["weather"].schema.n_scalar_functions == max(
+        d.schema.n_scalar_functions for d in urban_year.datasets
+    ), "weather should dominate attribute count"
+    assert by_name["gas_prices"].n_records == min(
+        d.n_records for d in urban_year.datasets
+    ), "gas prices is the smallest data set"
+    records = np.array([d.n_records for d in urban_year.datasets])
+    assert records.max() / records.min() > 100, "volumes span orders of magnitude"

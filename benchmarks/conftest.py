@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §2 for the index and EXPERIMENTS.md for the
+paper-vs-measured record).  Benchmarks print their rows/series, so run with
+``pytest benchmarks/ --benchmark-only -s`` to see the reproduced output.
+"""
+
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import nyc_urban_collection
+from repro.temporal.resolution import TemporalResolution
+
+
+@pytest.fixture(scope="session")
+def urban_year():
+    """One simulated city-year of the NYC Urban replica (all nine data sets)."""
+    return nyc_urban_collection(seed=7, n_days=365, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def urban_year_index(urban_year):
+    """City-resolution hourly/daily index over the year (the workhorse)."""
+    corpus = Corpus(urban_year.datasets, urban_year.city)
+    return corpus.build_index(
+        spatial=(SpatialResolution.CITY,),
+        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
+    )
+
+
+@pytest.fixture(scope="session")
+def urban_small():
+    """A smaller collection for performance sweeps (120 days, 0.5x volume)."""
+    return nyc_urban_collection(seed=13, n_days=120, scale=0.5)

@@ -1,0 +1,110 @@
+"""Bring your own data: CSV round-trip and a relationship query (§5.1-§5.3).
+
+Shows the full external-data workflow: write two spatio-temporal data sets to
+CSV, read them back with their schemas (the paper's metadata record), build a
+corpus over a custom city model, and query for relationships — no synthetic
+generators involved in the modelling path.
+
+Run:  python examples/custom_data.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Clause,
+    Corpus,
+    Dataset,
+    DatasetSchema,
+    SpatialResolution,
+    TemporalResolution,
+)
+from repro.data import read_csv, write_csv
+from repro.spatial.city import CityModel
+
+
+def build_city() -> CityModel:
+    """A small custom city: 4x4 neighborhoods, 3x3 zips, 10km extent."""
+    return CityModel.synthetic(
+        name="exampleville", nbhd_grid=(4, 4), zip_grid=(3, 3),
+        extent=(0.0, 0.0, 10.0, 10.0),
+    )
+
+
+def build_sensor_data(
+    rng: np.random.Generator, n_days: int
+) -> tuple[Dataset, np.ndarray]:
+    """Hourly city-wide air-quality readings with pollution episodes."""
+    n = n_days * 24
+    t = np.arange(n)
+    aqi = 40 + 8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 2, n)
+    episodes = rng.choice(n - 8, 10, replace=False)
+    for e in episodes:
+        aqi[e : e + 6] += 60  # pollution episode
+    schema = DatasetSchema(
+        "air_quality", SpatialResolution.CITY, TemporalResolution.HOUR,
+        numeric_attributes=("aqi",),
+        description="Hourly air-quality index",
+    )
+    ds = Dataset(schema, timestamps=t.astype(np.int64) * 3600, numerics={"aqi": aqi})
+    return ds, episodes
+
+
+def build_er_data(rng, n_days, city, episodes) -> Dataset:
+    """GPS-stamped emergency-room visits that spike during pollution."""
+    n_hours = n_days * 24
+    rate = np.full(n_hours, 6.0)
+    rate += 3 * np.sin(2 * np.pi * np.arange(n_hours) / 24)
+    for e in episodes:
+        rate[e : e + 6] *= 3.0  # respiratory admissions spike
+    counts = rng.poisson(np.clip(rate, 0.1, None))
+    hour_idx = np.repeat(np.arange(n_hours), counts)
+    n = hour_idx.size
+    schema = DatasetSchema(
+        "er_visits", SpatialResolution.GPS, TemporalResolution.SECOND,
+        description="Emergency-room visits (GPS-located)",
+    )
+    return Dataset(
+        schema,
+        timestamps=hour_idx.astype(np.int64) * 3600 + rng.integers(0, 3600, n),
+        x=rng.uniform(0, 10, n),
+        y=rng.uniform(0, 10, n),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    city = build_city()
+    air, episodes = build_sensor_data(rng, n_days=60)
+    er = build_er_data(rng, 60, city, episodes)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Round-trip through CSV, exactly as external data would arrive.
+        air_path = Path(tmp) / "air_quality.csv"
+        er_path = Path(tmp) / "er_visits.csv"
+        write_csv(air, air_path)
+        write_csv(er, er_path)
+        print(f"Wrote {air_path.name} ({air.n_records} rows) and "
+              f"{er_path.name} ({er.n_records} rows)")
+        air = read_csv(air_path, air.schema)
+        er = read_csv(er_path, er.schema)
+
+    print("Indexing the two data sets...")
+    corpus = Corpus([air, er], city)
+    index = corpus.build_index(temporal=(TemporalResolution.HOUR,))
+
+    print("Querying for relationships (alpha = 5%)...")
+    result = index.query(clause=Clause(min_score=0.3), n_permutations=300, seed=2)
+    for rel in result.results:
+        print("  ", rel.describe())
+    if result.results:
+        print(
+            "\n  -> ER visits and air quality are related exactly at the\n"
+            "     pollution episodes: a hypothesis generated from raw CSVs."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Multi-resolution relationships: snow vs. Citi Bike (paper §6.3).
+
+The paper's example of why relationships must be evaluated at *multiple*
+resolutions: snow accumulation closes bike stations, but the effect only
+shows after snow piles up — invisible at an hourly time step, clear at a
+daily one.  This example evaluates the same function pair at both
+resolutions and prints the contrast.
+
+Run:  python examples/multi_resolution.py
+"""
+
+from repro import Corpus, SpatialResolution, TemporalResolution
+from repro.core.relationship import evaluate_features
+from repro.synth import nyc_urban_collection
+
+
+def measures_at(index, temporal, f1_id, f2_id):
+    key = (SpatialResolution.CITY, temporal)
+    bike = {f.function_id: f for f in index.dataset_index("citibike").functions[key]}
+    weather = {f.function_id: f for f in index.dataset_index("weather").functions[key]}
+    f1 = bike[f1_id]
+    f2 = weather[f2_id]
+    fs1, fs2 = f1.feature_set("salient"), f2.feature_set("salient")
+    n = min(fs1.shape[0], fs2.shape[0])
+    return evaluate_features(fs1.slice_steps(0, n), fs2.slice_steps(0, n))
+
+
+def main() -> None:
+    print("Simulating a snowy city-year (citibike + weather)...")
+    # A winter-heavy window: the simulation's cold season gets snow events.
+    coll = nyc_urban_collection(seed=23, n_days=365, scale=1.0,
+                                subset=("citibike", "weather"))
+    corpus = Corpus(coll.datasets, coll.city)
+    index = corpus.build_index(
+        spatial=(SpatialResolution.CITY,),
+        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
+    )
+
+    print("\nActive bike stations vs. snow accumulation (unique station_id):")
+    for temporal in (TemporalResolution.HOUR, TemporalResolution.DAY):
+        m = measures_at(
+            index, temporal, "citibike.unique.station_id", "weather.avg.snow_depth"
+        )
+        print(
+            f"  ({temporal.value:>4s}, city): tau = {m.score:+.2f}, "
+            f"rho = {m.strength:.2f}, |Sigma| = {m.n_related}"
+        )
+    print(
+        "  -> the paper's point: accumulation effects only materialize at\n"
+        "     the coarser resolution (their example: tau ~ 0 hourly,\n"
+        "     tau = -0.88 daily)."
+    )
+
+    print("\nBike trip duration vs. snowfall:")
+    for temporal in (TemporalResolution.HOUR, TemporalResolution.DAY):
+        m = measures_at(
+            index, temporal, "citibike.avg.trip_duration", "weather.avg.snow"
+        )
+        print(
+            f"  ({temporal.value:>4s}, city): tau = {m.score:+.2f}, "
+            f"rho = {m.strength:.2f}, |Sigma| = {m.n_related}"
+        )
+    print("  -> trips get longer in the snow (paper: tau = +0.61 at hourly).")
+
+
+if __name__ == "__main__":
+    main()

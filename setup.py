@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (the default ``pip install -e .`` path) cannot build
+the editable wheel.  This shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` on older pips) fall back to ``setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

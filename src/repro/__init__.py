@@ -1,0 +1,74 @@
+"""Data Polygamy: topology-based relationship mining for urban data sets.
+
+A from-scratch reproduction of *Data Polygamy: The Many-Many Relationships
+among Urban Spatio-Temporal Data Sets* (Chirigati, Doraiswamy, Damoulas,
+Freire — SIGMOD 2016).
+
+Quickstart::
+
+    from repro import Corpus, Clause
+    from repro.synth import nyc_urban_collection
+
+    coll = nyc_urban_collection(seed=7)
+    index = Corpus(coll.datasets, coll.city).build_index()
+    result = index.query(["taxi"], clause=Clause(min_score=0.6))
+    for rel in result.top(5):
+        print(rel.describe())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .core import (
+    Clause,
+    Corpus,
+    CorpusIndex,
+    FeatureExtractor,
+    FeatureSet,
+    FunctionFeatures,
+    QueryResult,
+    RelationReport,
+    RelationshipMeasures,
+    RelationshipResult,
+    ScalarFunction,
+    SignificanceResult,
+    compute_join_tree,
+    compute_split_tree,
+    evaluate_features,
+    relation,
+    significance_test,
+)
+from .data import Dataset, DatasetSchema, FunctionSpec, aggregate
+from .spatial import SpatialResolution
+from .spatial.city import CityModel
+from .temporal import TemporalResolution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clause",
+    "Corpus",
+    "CorpusIndex",
+    "FeatureExtractor",
+    "FeatureSet",
+    "FunctionFeatures",
+    "QueryResult",
+    "RelationReport",
+    "RelationshipMeasures",
+    "RelationshipResult",
+    "ScalarFunction",
+    "SignificanceResult",
+    "compute_join_tree",
+    "compute_split_tree",
+    "evaluate_features",
+    "relation",
+    "significance_test",
+    "Dataset",
+    "DatasetSchema",
+    "FunctionSpec",
+    "aggregate",
+    "SpatialResolution",
+    "CityModel",
+    "TemporalResolution",
+    "__version__",
+]

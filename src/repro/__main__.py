@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the zero-to-discovery path:
+
+* ``simulate`` — generate the synthetic NYC Urban replica and write it to a
+  catalog directory (CSV files + JSON metadata, §5.1's input contract).
+* ``query`` — load a catalog, build the Data Polygamy index, run a
+  relationship query and print the significant relationships.
+* ``demo`` — simulate, index and query in one go (small scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.clause import Clause
+from .core.corpus import Corpus
+from .data.catalog import load_catalog, save_catalog
+from .synth import nyc_urban_collection
+from .temporal.resolution import TemporalResolution
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    subset = tuple(args.datasets.split(",")) if args.datasets else None
+    coll = nyc_urban_collection(
+        seed=args.seed, n_days=args.days, scale=args.scale, subset=subset
+    )
+    path = save_catalog(args.out, coll.datasets, coll.city)
+    total = sum(ds.n_records for ds in coll.datasets)
+    print(f"wrote {len(coll.datasets)} data sets ({total:,} records) to {path.parent}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    datasets, city = load_catalog(args.data)
+    print(f"loaded {len(datasets)} data sets from {args.data}")
+    corpus = Corpus(datasets, city)
+    temporal = None
+    if args.temporal:
+        temporal = tuple(
+            TemporalResolution(t.strip()) for t in args.temporal.split(",")
+        )
+    index = corpus.build_index(temporal=temporal)
+    print(
+        f"indexed {index.stats.n_scalar_functions} scalar functions "
+        f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s"
+    )
+    clause = Clause(min_score=args.min_score, min_strength=args.min_strength)
+    d1 = args.find.split(",") if args.find else None
+    result = index.query(
+        d1, clause=clause, n_permutations=args.permutations, seed=args.seed
+    )
+    print(
+        f"evaluated {result.n_evaluated} relationships, "
+        f"{result.n_significant} significant "
+        f"({result.evaluations_per_minute:,.0f} evaluations/minute)\n"
+    )
+    for rel in result.top(args.top):
+        print(" ", rel.describe())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    print("Simulating 90 days of taxi + weather data...")
+    coll = nyc_urban_collection(
+        seed=args.seed, n_days=90, scale=0.5, subset=("taxi", "weather")
+    )
+    index = Corpus(coll.datasets, coll.city).build_index(
+        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY)
+    )
+    result = index.query(n_permutations=200, seed=args.seed)
+    print(f"{result.n_significant} significant relationships; strongest:")
+    for rel in result.top(6):
+        print(" ", rel.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data Polygamy: relationship mining for urban data sets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic catalog")
+    sim.add_argument("--out", required=True, help="output catalog directory")
+    sim.add_argument("--days", type=int, default=120)
+    sim.add_argument("--scale", type=float, default=0.5)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument(
+        "--datasets", default="",
+        help="comma-separated subset of data sets (default: all nine)",
+    )
+    sim.set_defaults(func=_cmd_simulate)
+
+    qry = sub.add_parser("query", help="index a catalog and run a query")
+    qry.add_argument("--data", required=True, help="catalog directory")
+    qry.add_argument("--find", default="", help="comma-separated D1 data sets")
+    qry.add_argument("--min-score", type=float, default=0.0)
+    qry.add_argument("--min-strength", type=float, default=0.0)
+    qry.add_argument("--permutations", type=int, default=1000)
+    qry.add_argument("--temporal", default="", help="e.g. 'day,week'")
+    qry.add_argument("--top", type=int, default=15)
+    qry.add_argument("--seed", type=int, default=0)
+    qry.set_defaults(func=_cmd_query)
+
+    demo = sub.add_parser("demo", help="end-to-end demo on synthetic data")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

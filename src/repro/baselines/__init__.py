@@ -1,0 +1,12 @@
+"""Standard-technique baselines of §6.4 / Appendix D: PCC, MI, DTW."""
+
+from .dtw import dtw_distance, dtw_score
+from .mutual_information import mutual_information_score
+from .pearson import pearson_score
+
+__all__ = [
+    "pearson_score",
+    "mutual_information_score",
+    "dtw_distance",
+    "dtw_score",
+]

@@ -1,0 +1,70 @@
+"""Dynamic time warping baseline with the paper's normalization (Appendix D).
+
+DTW computes a minimum-cost monotone alignment between two series with the
+classic O(n·m) dynamic program [Sakoe & Chiba].  Raw DTW distances are not
+comparable across series pairs, so the paper normalizes:
+
+    β_DTW(X, Y) = 1 − DTW(X, Y) / (DTW(X, 0) + DTW(0, Y)),
+
+with X and Y Z-normalized and ``0`` the constant zero line.  The score is in
+[0, 1]: 1 for identical series, 0 for maximally dissimilar ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats.descriptive import z_normalize
+from ..utils.errors import DataError
+
+
+def dtw_distance(
+    x: np.ndarray, y: np.ndarray, window: int | None = None
+) -> float:
+    """DTW distance with absolute-difference local cost.
+
+    ``window`` optionally applies a Sakoe–Chiba band of that half-width,
+    reducing cost to O(n · window).
+    """
+    xv = np.asarray(x, dtype=np.float64).ravel()
+    yv = np.asarray(y, dtype=np.float64).ravel()
+    n, m = xv.size, yv.size
+    if n == 0 or m == 0:
+        raise DataError("DTW of an empty series is undefined")
+    if window is not None and window < abs(n - m):
+        raise DataError("Sakoe-Chiba window too small to align series ends")
+
+    inf = np.inf
+    prev = np.full(m + 1, inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = np.full(m + 1, inf)
+        if window is None:
+            lo, hi = 1, m
+        else:
+            lo = max(1, i - window)
+            hi = min(m, i + window)
+        xi = xv[i - 1]
+        for j in range(lo, hi + 1):
+            cost = abs(xi - yv[j - 1])
+            cur[j] = cost + min(prev[j], cur[j - 1], prev[j - 1])
+        prev = cur
+    return float(prev[m])
+
+
+def dtw_score(x: np.ndarray, y: np.ndarray, window: int | None = None) -> float:
+    """β_DTW of two series (Z-normalized, zero-line normalization).
+
+    Series of different lengths are allowed (DTW aligns them); both are
+    Z-normalized first as the paper prescribes.
+    """
+    xn = z_normalize(np.asarray(x, dtype=np.float64).ravel())
+    yn = z_normalize(np.asarray(y, dtype=np.float64).ravel())
+    zero_x = np.zeros_like(xn)
+    zero_y = np.zeros_like(yn)
+    denom = dtw_distance(xn, zero_x, window) + dtw_distance(zero_y, yn, window)
+    if denom == 0.0:
+        # Both series are constant: identical after Z-normalization.
+        return 1.0
+    score = 1.0 - dtw_distance(xn, yn, window) / denom
+    return float(np.clip(score, 0.0, 1.0))

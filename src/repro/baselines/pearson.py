@@ -1,0 +1,32 @@
+"""Pearson correlation coefficient baseline (Appendix D).
+
+``β_PCC(X, Y) = cov(X, Y) / (σ_X σ_Y)`` — linear correlation between two
+aligned series, in [−1, 1].  Operates globally over the whole series, which
+is exactly why it misses the paper's conditional relationships (§6.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import DataError
+
+
+def pearson_score(x: np.ndarray, y: np.ndarray) -> float:
+    """β_PCC of two aligned 1-D series.
+
+    Constant series have undefined correlation; we return 0.0 (no linear
+    relationship) rather than NaN so corpus-wide sweeps stay total.
+    """
+    xv = np.asarray(x, dtype=np.float64).ravel()
+    yv = np.asarray(y, dtype=np.float64).ravel()
+    if xv.shape != yv.shape:
+        raise DataError("series must be aligned")
+    if xv.size < 2:
+        raise DataError("pearson_score needs at least 2 points")
+    sx = xv.std()
+    sy = yv.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    cov = ((xv - xv.mean()) * (yv - yv.mean())).mean()
+    return float(cov / (sx * sy))

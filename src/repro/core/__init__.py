@@ -1,0 +1,88 @@
+"""Core of the Data Polygamy framework: topology-based relationship mining."""
+
+from .clause import FEATURE_TYPES, Clause
+from .corpus import Corpus, CorpusIndex, IndexStats, QueryResult
+from .features import (
+    FeatureExtractor,
+    FeatureSet,
+    FunctionFeatures,
+    query_sublevel,
+    query_superlevel,
+    sublevel_mask,
+    superlevel_mask,
+)
+from .gradients import GradientFeatureExtractor, gradient_magnitude
+from .merge_tree import (
+    MergeTree,
+    PersistencePair,
+    compute_join_tree,
+    compute_split_tree,
+)
+from .operator import (
+    DatasetIndex,
+    IndexedFunction,
+    RelationReport,
+    RelationshipResult,
+    relation,
+)
+from .relationship import RelationshipMeasures, evaluate_features, score_from_masks
+from .scalar_function import ScalarFunction
+from .significance import (
+    DEFAULT_ALPHA,
+    DEFAULT_PERMUTATIONS,
+    SignificanceResult,
+    adjacency_preservation,
+    rotation_scores_all,
+    significance_test,
+    toroidal_map,
+)
+from .thresholds import (
+    MIN_EXTREMA_FOR_EXTREME,
+    SalientThresholds,
+    extreme_thresholds,
+    salient_cluster,
+    salient_thresholds,
+)
+
+__all__ = [
+    "Clause",
+    "FEATURE_TYPES",
+    "Corpus",
+    "CorpusIndex",
+    "IndexStats",
+    "QueryResult",
+    "FeatureExtractor",
+    "FeatureSet",
+    "FunctionFeatures",
+    "query_sublevel",
+    "query_superlevel",
+    "sublevel_mask",
+    "superlevel_mask",
+    "GradientFeatureExtractor",
+    "gradient_magnitude",
+    "MergeTree",
+    "PersistencePair",
+    "compute_join_tree",
+    "compute_split_tree",
+    "DatasetIndex",
+    "IndexedFunction",
+    "RelationReport",
+    "RelationshipResult",
+    "relation",
+    "RelationshipMeasures",
+    "evaluate_features",
+    "score_from_masks",
+    "ScalarFunction",
+    "DEFAULT_ALPHA",
+    "DEFAULT_PERMUTATIONS",
+    "SignificanceResult",
+    "adjacency_preservation",
+    "rotation_scores_all",
+    "significance_test",
+    "toroidal_map",
+    "MIN_EXTREMA_FOR_EXTREME",
+    "SalientThresholds",
+    "extreme_thresholds",
+    "salient_cluster",
+    "salient_thresholds",
+]

@@ -1,0 +1,82 @@
+"""Query clauses: optional filters of the relationship query (§5.3).
+
+A clause restricts which relationships a query returns (minimum |τ|, minimum
+ρ, feature channels, resolutions) and may pin user-supplied feature
+thresholds for specific functions.  Clause filters are applied *before* the
+Monte Carlo significance test, which lets the query evaluator skip the
+expensive test for pairs the clause already rejects (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from ..utils.errors import QueryError
+from .relationship import RelationshipMeasures
+from .significance import DEFAULT_ALPHA
+
+FEATURE_TYPES = ("salient", "extreme")
+
+
+@dataclass(frozen=True)
+class Clause:
+    """Filter conditions for a relationship query.
+
+    Attributes
+    ----------
+    min_score:
+        Keep only relationships with ``|τ| >= min_score``.
+    min_strength:
+        Keep only relationships with ``ρ >= min_strength``.
+    feature_types:
+        Which feature channels to evaluate (default: both salient and
+        extreme).
+    spatial, temporal:
+        Optional whitelists of resolutions to evaluate at.
+    alpha:
+        Significance level for Definition 14 (default 5%).
+    thresholds:
+        Optional user-supplied feature thresholds per function id:
+        ``{function_id: (theta_pos, theta_neg)}``.  When present, features
+        for that function are recomputed from these thresholds instead of
+        the precomputed data-driven ones (§5.3).
+    """
+
+    min_score: float = 0.0
+    min_strength: float = 0.0
+    feature_types: tuple[str, ...] = FEATURE_TYPES
+    spatial: tuple[SpatialResolution, ...] | None = None
+    temporal: tuple[TemporalResolution, ...] | None = None
+    alpha: float = DEFAULT_ALPHA
+    thresholds: dict[str, tuple[float | None, float | None]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_score <= 1.0:
+            raise QueryError("min_score must be within [0, 1]")
+        if not 0.0 <= self.min_strength <= 1.0:
+            raise QueryError("min_strength must be within [0, 1]")
+        if not 0.0 < self.alpha <= 1.0:
+            raise QueryError("alpha must be within (0, 1]")
+        unknown = set(self.feature_types) - set(FEATURE_TYPES)
+        if unknown:
+            raise QueryError(f"unknown feature types: {sorted(unknown)}")
+
+    def admits_resolution(
+        self, spatial: SpatialResolution, temporal: TemporalResolution
+    ) -> bool:
+        """True iff the clause allows evaluating at this resolution pair."""
+        if self.spatial is not None and spatial not in self.spatial:
+            return False
+        if self.temporal is not None and temporal not in self.temporal:
+            return False
+        return True
+
+    def admits_measures(self, measures: RelationshipMeasures) -> bool:
+        """True iff (τ, ρ) pass the clause's minimums."""
+        if abs(measures.score) < self.min_score:
+            return False
+        return measures.strength >= self.min_strength

@@ -1,0 +1,267 @@
+"""Corpus indexing and relationship queries (§5.2, §5.3).
+
+A :class:`Corpus` holds a collection of data sets over one city.  Indexing
+materializes every viable scalar function of every data set at every
+evaluation resolution (Fig. 6), builds the merge-tree-driven features
+(salient + extreme), and records the phase timings the performance
+experiments report.  A :class:`CorpusIndex` then answers relationship
+queries: *find relationships between D1 and D2 satisfying clause*.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..data.aggregation import FunctionSpec, aggregate, default_specs
+from ..data.dataset import Dataset
+from ..spatial.city import CityModel
+from ..spatial.resolution import SpatialResolution, viable_spatial_resolutions
+from ..temporal.resolution import TemporalResolution, viable_temporal_resolutions
+from ..utils.errors import DataError, QueryError
+from ..utils.rng import RngLike
+from .clause import Clause
+from .features import FeatureExtractor
+from .operator import (
+    DatasetIndex,
+    IndexedFunction,
+    RelationReport,
+    RelationshipResult,
+    relation,
+)
+from .scalar_function import ScalarFunction
+
+
+@dataclass
+class IndexStats:
+    """Bookkeeping of one indexing run (feeds Figs. 8 and §5.4).
+
+    ``n_scalar_functions`` counts function-resolution materializations (the
+    paper's 'computations'); byte counters account for the §5.4 space
+    overhead comparison.
+    """
+
+    scalar_seconds: float = 0.0
+    feature_seconds: float = 0.0
+    n_scalar_functions: int = 0
+    n_feature_sets: int = 0
+    raw_bytes: int = 0
+    function_bytes: int = 0
+    feature_bytes: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a relationship query over a corpus.
+
+    ``results`` contains the statistically significant relationships of all
+    evaluated data set pairs; the counters aggregate the per-pair reports.
+    """
+
+    results: list[RelationshipResult] = field(default_factory=list)
+    reports: list[RelationReport] = field(default_factory=list)
+    n_evaluated: int = 0
+    n_candidates: int = 0
+    n_significant: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def evaluations_per_minute(self) -> float:
+        """Relationship-evaluation throughput (Fig. 9's metric)."""
+        if self.elapsed_seconds == 0.0:
+            return 0.0
+        return self.n_evaluated / self.elapsed_seconds * 60.0
+
+    def top(self, n: int = 10, by: str = "score") -> list[RelationshipResult]:
+        """The ``n`` strongest relationships by |score| or strength."""
+        if by == "score":
+            key = lambda r: abs(r.score)  # noqa: E731 - tiny sort key
+        elif by == "strength":
+            key = lambda r: r.strength  # noqa: E731
+        else:
+            raise QueryError(f"unknown sort key {by!r}")
+        return sorted(self.results, key=key, reverse=True)[:n]
+
+    def between(self, dataset1: str, dataset2: str) -> list[RelationshipResult]:
+        """Relationships of one unordered data set pair."""
+        names = {dataset1, dataset2}
+        return [r for r in self.results if {r.dataset1, r.dataset2} == names]
+
+
+class Corpus:
+    """A collection of data sets over one city, ready for indexing."""
+
+    def __init__(
+        self,
+        datasets: list[Dataset],
+        city: CityModel,
+        extractor: FeatureExtractor | None = None,
+        fill: str = "global_mean",
+    ) -> None:
+        names = [d.name for d in datasets]
+        if len(set(names)) != len(names):
+            raise DataError("data set names within a corpus must be unique")
+        if not datasets:
+            raise DataError("a corpus needs at least one data set")
+        self.datasets = {d.name: d for d in datasets}
+        self.city = city
+        self.extractor = extractor or FeatureExtractor()
+        self.fill = fill
+
+    def build_index(
+        self,
+        spatial: tuple[SpatialResolution, ...] | None = None,
+        temporal: tuple[TemporalResolution, ...] | None = None,
+        specs: dict[str, list[FunctionSpec]] | None = None,
+    ) -> "CorpusIndex":
+        """Materialize scalar functions and features for every data set.
+
+        Parameters
+        ----------
+        spatial, temporal:
+            Optional whitelists restricting the evaluation resolutions (used
+            by benchmarks to bound cost).  Defaults to every viable
+            resolution of each data set.
+        specs:
+            Optional per-data-set function specs (defaults to all of §5.1's
+            count + attribute functions).
+        """
+        index = CorpusIndex(city=self.city, corpus=self)
+        for dataset in self.datasets.values():
+            ds_index = DatasetIndex(dataset=dataset.name)
+            index.stats.raw_bytes += dataset.nbytes()
+            ds_specs = (specs or {}).get(dataset.name) or default_specs(dataset)
+            for s_res in self._spatial_for(dataset, spatial):
+                for t_res in self._temporal_for(dataset, temporal):
+                    self._index_one(index, ds_index, dataset, ds_specs, s_res, t_res)
+            index.datasets[dataset.name] = ds_index
+        return index
+
+    # -- internals -----------------------------------------------------------
+
+    def _spatial_for(
+        self, dataset: Dataset, whitelist: tuple[SpatialResolution, ...] | None
+    ) -> list[SpatialResolution]:
+        viable = viable_spatial_resolutions(dataset.schema.spatial_resolution)
+        available = set(self.city.available_resolutions())
+        out = [r for r in viable if r in available]
+        if whitelist is not None:
+            out = [r for r in out if r in whitelist]
+        return out
+
+    def _temporal_for(
+        self, dataset: Dataset, whitelist: tuple[TemporalResolution, ...] | None
+    ) -> list[TemporalResolution]:
+        viable = viable_temporal_resolutions(dataset.schema.temporal_resolution)
+        if whitelist is not None:
+            viable = tuple(r for r in viable if r in whitelist)
+        return list(viable)
+
+    def _index_one(
+        self,
+        index: "CorpusIndex",
+        ds_index: DatasetIndex,
+        dataset: Dataset,
+        specs: list[FunctionSpec],
+        s_res: SpatialResolution,
+        t_res: TemporalResolution,
+    ) -> None:
+        regions = (
+            None
+            if s_res is SpatialResolution.CITY
+            else self.city.region_set(s_res)
+        )
+        start = time.perf_counter()
+        aggregated = aggregate(
+            dataset, s_res, t_res, regions=regions, specs=specs, fill=self.fill
+        )
+        index.stats.scalar_seconds += time.perf_counter() - start
+        index.stats.n_scalar_functions += len(aggregated)
+
+        pairs = self.city.spatial_pairs(s_res)
+        indexed: list[IndexedFunction] = []
+        start = time.perf_counter()
+        for agg in aggregated:
+            function = ScalarFunction.from_aggregated(agg, spatial_pairs=pairs)
+            features = self.extractor.extract(function)
+            index.stats.function_bytes += function.nbytes()
+            index.stats.feature_bytes += features.nbytes()
+            indexed.append(IndexedFunction(function=function, features=features))
+        index.stats.feature_seconds += time.perf_counter() - start
+        index.stats.n_feature_sets += len(indexed)
+        ds_index.functions[(s_res, t_res)] = indexed
+
+
+@dataclass
+class CorpusIndex:
+    """The indexed corpus: per-data-set function/feature stores + stats."""
+
+    city: CityModel
+    corpus: Corpus
+    datasets: dict[str, DatasetIndex] = field(default_factory=dict)
+    stats: IndexStats = field(default_factory=IndexStats)
+
+    def dataset_index(self, name: str) -> DatasetIndex:
+        """The index of one data set (QueryError if unknown)."""
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise QueryError(f"data set {name!r} is not indexed") from None
+
+    def query(
+        self,
+        datasets1: list[str] | None = None,
+        datasets2: list[str] | None = None,
+        clause: Clause | None = None,
+        n_permutations: int = 1000,
+        alternative: str = "two-sided",
+        seed: RngLike = 0,
+    ) -> QueryResult:
+        """Find relationships between D1 and D2 satisfying ``clause`` (§5.3).
+
+        ``datasets1`` defaults to every indexed data set; ``datasets2``
+        defaults to the full corpus (the paper's ``D2 = ∅`` convention).
+        Every unordered pair (Di, Dj) with Di ≠ Dj is evaluated once.
+        """
+        if clause is None:
+            clause = Clause()
+        d1 = datasets1 or list(self.datasets)
+        d2 = datasets2 or list(self.datasets)
+        for name in itertools.chain(d1, d2):
+            if name not in self.datasets:
+                raise QueryError(f"data set {name!r} is not indexed")
+
+        # Pairs are canonicalized alphabetically so per-pair RNG seeds (and
+        # hence p-values) do not depend on the order data sets were listed.
+        pairs: list[tuple[str, str]] = []
+        seen: set[tuple[str, str]] = set()
+        for a in d1:
+            for b in d2:
+                if a == b:
+                    continue
+                key = (a, b) if a <= b else (b, a)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pairs.append(key)
+
+        result = QueryResult()
+        start = time.perf_counter()
+        for a, b in pairs:
+            report = relation(
+                self.datasets[a],
+                self.datasets[b],
+                clause=clause,
+                n_permutations=n_permutations,
+                alternative=alternative,
+                seed=seed,
+                extractor=self.corpus.extractor,
+            )
+            result.reports.append(report)
+            result.results.extend(report.results)
+            result.n_evaluated += report.n_evaluated
+            result.n_candidates += report.n_candidates
+            result.n_significant += report.n_significant
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

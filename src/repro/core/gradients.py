@@ -1,0 +1,76 @@
+"""Gradient-based features (paper §8, *Types of Features*).
+
+The single-threshold level-set features of §3 can miss *relative* anomalies:
+a sudden surge of taxi trips in a normally calm area never crosses the global
+threshold.  The paper proposes using the gradient of the function over space
+and time instead — high-gradient regions are sudden increases or decreases
+regardless of absolute level.
+
+:func:`gradient_magnitude` turns a scalar function into its PL gradient-
+magnitude function on the same domain graph: the value at a vertex is the
+maximum absolute difference to any neighbour (the discrete Lipschitz
+constant at the vertex).  Because the result is just another scalar function,
+the entire pipeline — merge trees, persistence thresholds, feature masks,
+relationship scoring — applies unchanged; :class:`GradientFeatureExtractor`
+packages that composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .features import FeatureExtractor, FunctionFeatures
+from .scalar_function import ScalarFunction
+
+
+def gradient_magnitude(function: ScalarFunction) -> ScalarFunction:
+    """The discrete gradient-magnitude function of ``function``.
+
+    For vertex v with neighbours N(v):
+    ``g(v) = max_{u in N(v)} |f(u) - f(v)|``.
+    High values mark sudden spatio-temporal change — the §8 alternative
+    feature definition.
+    """
+    values = function.values
+    n_steps, n_regions = values.shape
+    grad = np.zeros_like(values)
+
+    # Temporal differences (both directions, vectorized).
+    if n_steps > 1:
+        diff = np.abs(np.diff(values, axis=0))
+        grad[:-1] = np.maximum(grad[:-1], diff)
+        grad[1:] = np.maximum(grad[1:], diff)
+
+    # Spatial differences along every adjacency pair.
+    for i, j in function.graph.spatial_pairs:
+        diff = np.abs(values[:, i] - values[:, j])
+        grad[:, i] = np.maximum(grad[:, i], diff)
+        grad[:, j] = np.maximum(grad[:, j], diff)
+
+    return ScalarFunction(
+        function_id=f"{function.function_id}.gradient",
+        values=grad,
+        graph=function.graph,
+        spatial=function.spatial,
+        temporal=function.temporal,
+        dataset=function.dataset,
+    )
+
+
+class GradientFeatureExtractor(FeatureExtractor):
+    """Feature extraction on the gradient-magnitude function (§8).
+
+    Produces :class:`FunctionFeatures` whose *positive* salient channel marks
+    high-gradient spatio-temporal points (sudden changes).  The negative
+    channel is dropped: a low gradient means the function is smooth there,
+    which is normal behaviour, not a feature (§8 defines gradient features
+    through *high* values only).
+    """
+
+    def extract(self, function: ScalarFunction) -> FunctionFeatures:
+        features = super().extract(gradient_magnitude(function))
+        features.function_id = f"{function.function_id}.gradient"
+        features.salient.negative[:] = False
+        features.extreme.negative[:] = False
+        features.extreme_theta_neg = None
+        return features

@@ -1,0 +1,225 @@
+"""Merge trees (join/split) with persistence pairing (§3.1, Appendix B.2).
+
+The join tree tracks connected components of super-level sets under a
+descending sweep of the function value; the split tree does the same for
+sub-level sets under an ascending sweep.  Both are computed with a single
+union-find sweep in ``O(N log N + N α(N))`` time.
+
+Persistence pairing happens during the sweep (Procedure ComputeJoinTree,
+line 16): when two components merge at a saddle, the *younger* component —
+the one whose creating extremum is less extreme — dies, and its creator is
+paired with the saddle.  This is the standard elder rule; the paper's
+pseudo-code as printed orders the creators the other way around, but its own
+running example (Fig. 4: the component created last, at the lower maximum
+v6, dies at v5) follows the elder rule, which we therefore implement.
+
+Simulated perturbation: all comparisons use the strict total order
+``(value, vertex_id)`` so degenerate (equal-valued) inputs behave like Morse
+functions.  Degenerate saddles where more than two components meet are merged
+in one step, pairing every non-elder creator with the saddle — equivalent to
+splitting the saddle into simple saddles (§B.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.domain_graph import DomainGraph
+from ..graph.union_find import UnionFind
+from ..utils.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class PersistencePair:
+    """A creator extremum paired with the saddle that destroys its component.
+
+    ``destroyer`` is ``-1`` for the essential pair (the component that
+    survives the whole sweep; its persistence spans the global range).
+    """
+
+    creator: int
+    destroyer: int
+    persistence: float
+
+
+@dataclass
+class MergeTree:
+    """A join or split tree plus the persistence pairing of its extrema.
+
+    Attributes
+    ----------
+    kind:
+        ``"join"`` (tracks super-level sets; leaves are maxima) or
+        ``"split"`` (tracks sub-level sets; leaves are minima).
+    extrema:
+        Vertex ids of the leaf extrema, in sweep order (most extreme first).
+    pairs:
+        One :class:`PersistencePair` per extremum, aligned with ``extrema``.
+    edges:
+        Tree edges ``(child_vertex, parent_vertex)`` discovered at merges;
+        together with the leaf-to-saddle chains these form the merge tree of
+        Fig. 4(a).
+    root:
+        The last vertex of the sweep (global minimum for join trees, global
+        maximum for split trees).
+    values:
+        Reference to the vertex-indexed function values.
+    """
+
+    kind: str
+    extrema: np.ndarray
+    pairs: list[PersistencePair]
+    edges: list[tuple[int, int]]
+    root: int
+    values: np.ndarray
+
+    @property
+    def n_extrema(self) -> int:
+        """Number of leaf extrema (= number of persistence pairs)."""
+        return int(self.extrema.size)
+
+    def persistence_values(self) -> np.ndarray:
+        """Persistence of each extremum, aligned with :attr:`extrema`."""
+        return np.array([p.persistence for p in self.pairs], dtype=np.float64)
+
+    def extremum_values(self) -> np.ndarray:
+        """Function value at each extremum, aligned with :attr:`extrema`."""
+        return self.values[self.extrema]
+
+    def persistence_of(self, vertex: int) -> float:
+        """Persistence of the extremum at ``vertex``."""
+        for pair in self.pairs:
+            if pair.creator == vertex:
+                return pair.persistence
+        raise TopologyError(f"vertex {vertex} is not a leaf extremum of this tree")
+
+
+def compute_join_tree(
+    graph: DomainGraph, flat_values: np.ndarray, order: np.ndarray | None = None
+) -> MergeTree:
+    """Join tree of a PL function on ``graph`` (descending sweep).
+
+    Parameters
+    ----------
+    graph:
+        The domain graph.
+    flat_values:
+        Vertex-indexed function values.
+    order:
+        Optional precomputed descending vertex order (perturbed); computed
+        from ``flat_values`` when omitted.
+    """
+    if order is None:
+        ids = np.arange(flat_values.size)
+        order = np.lexsort((-ids, -flat_values))
+    return _sweep(graph, flat_values, order, kind="join")
+
+
+def compute_split_tree(
+    graph: DomainGraph, flat_values: np.ndarray, order: np.ndarray | None = None
+) -> MergeTree:
+    """Split tree of a PL function on ``graph`` (ascending sweep)."""
+    if order is None:
+        ids = np.arange(flat_values.size)
+        order = np.lexsort((ids, flat_values))
+    return _sweep(graph, flat_values, order, kind="split")
+
+
+def _sweep(
+    graph: DomainGraph, flat_values: np.ndarray, order: np.ndarray, kind: str
+) -> MergeTree:
+    """Union-find sweep shared by join ("descending") and split ("ascending").
+
+    ``order`` lists vertices from most to least extreme for the sweep
+    direction.  ``pos[v]`` is the sweep rank of ``v``; a neighbour with a
+    smaller rank has already been processed and belongs to some component.
+    """
+    n = flat_values.size
+    if n == 0:
+        raise TopologyError("cannot compute a merge tree of an empty function")
+    if order.shape != (n,):
+        raise TopologyError("vertex order length mismatch")
+    values = np.asarray(flat_values, dtype=np.float64)
+
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n)
+
+    uf = UnionFind(n)
+    # Per-component metadata keyed by the union-find representative.
+    creator: dict[int, int] = {}
+    head: dict[int, int] = {}
+
+    extrema: list[int] = []
+    pairs: list[PersistencePair] = []
+    edges: list[tuple[int, int]] = []
+
+    for v in order.tolist():
+        rank_v = pos[v]
+        roots: list[int] = []
+        seen: set[int] = set()
+        for u in graph.neighbors(v):
+            if pos[u] < rank_v:
+                r = uf.find(int(u))
+                if r not in seen:
+                    seen.add(r)
+                    roots.append(r)
+        if not roots:
+            # v creates a new component: it is a leaf extremum.
+            extrema.append(v)
+            creator[v] = v
+            head[v] = v
+            continue
+        if len(roots) == 1:
+            # Regular vertex: extend the component; its head only moves at
+            # saddles, so the metadata is just re-keyed to the new root.
+            r = roots[0]
+            c, h = creator.pop(r), head.pop(r)
+            new_root = uf.union(r, v)
+            creator[new_root] = c
+            head[new_root] = h
+            continue
+        # v is a destroyer: len(roots) components merge here (2 for Morse
+        # inputs, possibly more for degenerate PL saddles).
+        infos = [(creator.pop(r), head.pop(r), r) for r in roots]
+        # The elder component is the one whose creator is most extreme,
+        # i.e. has the smallest sweep rank.
+        infos.sort(key=lambda info: pos[info[0]])
+        elder_creator = infos[0][0]
+        for c, h, _ in infos:
+            edges.append((h, v))
+        for c, _, _ in infos[1:]:
+            pairs.append(
+                PersistencePair(
+                    creator=c,
+                    destroyer=v,
+                    persistence=abs(float(values[c]) - float(values[v])),
+                )
+            )
+        new_root = roots[0]
+        for r in roots[1:]:
+            new_root = uf.union(new_root, r)
+        new_root = uf.union(new_root, v)
+        creator[new_root] = elder_creator
+        head[new_root] = v
+
+    # Essential pairs: one per surviving component (one for connected graphs).
+    last = int(order[-1])
+    for root, c in creator.items():
+        span = abs(float(values[c]) - float(values[last]))
+        pairs.append(PersistencePair(creator=c, destroyer=-1, persistence=span))
+        if head[root] != last:
+            edges.append((head[root], last))
+
+    # Align pairs with the extrema order.
+    by_creator = {p.creator: p for p in pairs}
+    aligned = [by_creator[e] for e in extrema]
+    return MergeTree(
+        kind=kind,
+        extrema=np.array(extrema, dtype=np.int64),
+        pairs=aligned,
+        edges=edges,
+        root=int(last),
+        values=values,
+    )

@@ -1,0 +1,285 @@
+"""The relationship operator ``relation(D1, D2)`` (§4, §5.3).
+
+Given two indexed data sets, the operator evaluates every pair of their
+scalar functions at every common spatio-temporal resolution (finest first),
+for both the salient and the extreme feature channels, and returns the
+statistically significant relationships with their score and strength.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from ..graph.domain_graph import DomainGraph
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from ..utils.errors import DataError
+from ..utils.rng import RngLike, ensure_rng
+from .clause import Clause
+from .features import FeatureExtractor, FeatureSet, FunctionFeatures
+from .relationship import evaluate_features
+from .scalar_function import ScalarFunction
+from .significance import significance_test
+
+
+@dataclass
+class IndexedFunction:
+    """A scalar function with its precomputed features (one resolution)."""
+
+    function: ScalarFunction
+    features: FunctionFeatures
+
+    @property
+    def function_id(self) -> str:
+        """The function's stable identifier."""
+        return self.function.function_id
+
+    def feature_set(self, feature_type: str) -> FeatureSet:
+        """The salient or extreme channel."""
+        if feature_type == "salient":
+            return self.features.salient
+        if feature_type == "extreme":
+            return self.features.extreme
+        raise DataError(f"unknown feature type {feature_type!r}")
+
+
+@dataclass
+class DatasetIndex:
+    """All indexed functions of one data set, keyed by resolution pair."""
+
+    dataset: str
+    functions: dict[
+        tuple[SpatialResolution, TemporalResolution], list[IndexedFunction]
+    ] = field(default_factory=dict)
+
+    def resolutions(
+        self,
+    ) -> list[tuple[SpatialResolution, TemporalResolution]]:
+        """Materialized resolution pairs, finest first (spatial, temporal)."""
+        return sorted(self.functions, key=lambda k: (k[0].rank, k[1].rank))
+
+    @property
+    def n_functions(self) -> int:
+        """Scalar-function count at the native-most resolution."""
+        if not self.functions:
+            return 0
+        return max(len(v) for v in self.functions.values())
+
+
+@dataclass(frozen=True)
+class RelationshipResult:
+    """One statistically significant relationship (a row of the §6.3 tables)."""
+
+    dataset1: str
+    dataset2: str
+    function1: str
+    function2: str
+    spatial: SpatialResolution
+    temporal: TemporalResolution
+    feature_type: str
+    score: float
+    strength: float
+    p_value: float
+    n_related: int
+    precision: float
+    recall: float
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.function1} ~ {self.function2} "
+            f"[{self.temporal.value}, {self.spatial.value}; {self.feature_type}] "
+            f"tau={self.score:+.2f} rho={self.strength:.2f} p={self.p_value:.3f}"
+        )
+
+
+@dataclass
+class RelationReport:
+    """Outcome of one ``relation(D1, D2)`` evaluation.
+
+    ``results`` holds the significant relationships.  The counters feed the
+    pruning experiment (Fig. 11): ``n_evaluated`` counts every (function
+    pair, resolution, feature type) combination considered, ``n_candidates``
+    those that were feature-related and passed the clause, and
+    ``n_significant`` those that survived the Monte Carlo test.
+    """
+
+    dataset1: str
+    dataset2: str
+    results: list[RelationshipResult] = field(default_factory=list)
+    n_evaluated: int = 0
+    n_candidates: int = 0
+    n_significant: int = 0
+
+    def extend(self, other: "RelationReport") -> None:
+        """Merge counters/results of another report (used by queries)."""
+        self.results.extend(other.results)
+        self.n_evaluated += other.n_evaluated
+        self.n_candidates += other.n_candidates
+        self.n_significant += other.n_significant
+
+
+def _pair_seed(base: int, *tokens: str) -> int:
+    """Deterministic per-pair RNG seed, independent of iteration order."""
+    digest = zlib.crc32("|".join(tokens).encode())
+    return (base * 1_000_003 + digest) % (2**63 - 1)
+
+
+def _overlap_slices(
+    f1: ScalarFunction, f2: ScalarFunction
+) -> tuple[slice, slice] | None:
+    """Aligned time-slices of the two functions' overlapping step labels."""
+    l1 = f1.graph.step_labels
+    l2 = f2.graph.step_labels
+    first = max(int(l1[0]), int(l2[0]))
+    last = min(int(l1[-1]), int(l2[-1]))
+    if last < first:
+        return None
+    s1 = slice(first - int(l1[0]), last - int(l1[0]) + 1)
+    s2 = slice(first - int(l2[0]), last - int(l2[0]) + 1)
+    return s1, s2
+
+
+def relation(
+    index1: DatasetIndex,
+    index2: DatasetIndex,
+    clause: Clause | None = None,
+    n_permutations: int = 1000,
+    alternative: str = "two-sided",
+    seed: RngLike = 0,
+    extractor: FeatureExtractor | None = None,
+) -> RelationReport:
+    """Evaluate all relationships between two indexed data sets.
+
+    Parameters
+    ----------
+    index1, index2:
+        Dataset indexes produced by :class:`~repro.core.corpus.Corpus`.
+    clause:
+        Optional filters (defaults to no filtering, α = 5%).
+    n_permutations:
+        Monte Carlo randomizations per significance test.
+    alternative:
+        Tail of the test (see :func:`significance_test`).
+    seed:
+        Base seed; per-pair seeds are derived deterministically from it.
+    extractor:
+        Only needed when the clause pins custom thresholds (to recompute
+        features for those functions).
+    """
+    if clause is None:
+        clause = Clause()
+    if index1.dataset == index2.dataset:
+        raise DataError("relation() requires two distinct data sets")
+    rng = ensure_rng(seed)
+    base_seed = int(rng.integers(2**62))
+
+    report = RelationReport(dataset1=index1.dataset, dataset2=index2.dataset)
+    common = [
+        key for key in index1.resolutions() if key in set(index2.resolutions())
+    ]
+    for key in common:
+        spatial, temporal = key
+        if not clause.admits_resolution(spatial, temporal):
+            continue
+        for fn1 in index1.functions[key]:
+            for fn2 in index2.functions[key]:
+                _evaluate_pair(
+                    fn1,
+                    fn2,
+                    spatial,
+                    temporal,
+                    clause,
+                    n_permutations,
+                    alternative,
+                    base_seed,
+                    extractor,
+                    report,
+                )
+    report.n_significant = len(report.results)
+    return report
+
+
+def _evaluate_pair(
+    fn1: IndexedFunction,
+    fn2: IndexedFunction,
+    spatial: SpatialResolution,
+    temporal: TemporalResolution,
+    clause: Clause,
+    n_permutations: int,
+    alternative: str,
+    base_seed: int,
+    extractor: FeatureExtractor | None,
+    report: RelationReport,
+) -> None:
+    slices = _overlap_slices(fn1.function, fn2.function)
+    if slices is None:
+        return
+    s1, s2 = slices
+    graph = DomainGraph(
+        n_regions=fn1.function.n_regions,
+        n_steps=s1.stop - s1.start,
+        spatial_pairs=fn1.function.graph.spatial_pairs,
+        step_labels=fn1.function.graph.step_labels[s1],
+    )
+    for feature_type in clause.feature_types:
+        report.n_evaluated += 1
+        fs1 = _resolve_features(fn1, feature_type, clause, extractor)
+        fs2 = _resolve_features(fn2, feature_type, clause, extractor)
+        fs1 = fs1.slice_steps(s1.start, s1.stop)
+        fs2 = fs2.slice_steps(s2.start, s2.stop)
+        measures = evaluate_features(fs1, fs2)
+        if not measures.is_related or not clause.admits_measures(measures):
+            continue
+        report.n_candidates += 1
+        sig = significance_test(
+            fs1,
+            fs2,
+            graph,
+            n_permutations=n_permutations,
+            alternative=alternative,
+            seed=_pair_seed(
+                base_seed,
+                fn1.function_id,
+                fn2.function_id,
+                spatial.value,
+                temporal.value,
+                feature_type,
+            ),
+        )
+        if not sig.is_significant(clause.alpha):
+            continue
+        report.results.append(
+            RelationshipResult(
+                dataset1=report.dataset1,
+                dataset2=report.dataset2,
+                function1=fn1.function_id,
+                function2=fn2.function_id,
+                spatial=spatial,
+                temporal=temporal,
+                feature_type=feature_type,
+                score=measures.score,
+                strength=measures.strength,
+                p_value=sig.p_value,
+                n_related=measures.n_related,
+                precision=measures.precision,
+                recall=measures.recall,
+            )
+        )
+
+
+def _resolve_features(
+    fn: IndexedFunction,
+    feature_type: str,
+    clause: Clause,
+    extractor: FeatureExtractor | None,
+) -> FeatureSet:
+    """Precomputed features, or clause-supplied-threshold features (§5.3)."""
+    custom = clause.thresholds.get(fn.function_id)
+    if custom is None:
+        return fn.feature_set(feature_type)
+    if extractor is None:
+        extractor = FeatureExtractor()
+    theta_pos, theta_neg = custom
+    return extractor.extract_with_thresholds(fn.function, theta_pos, theta_neg)

@@ -1,0 +1,90 @@
+"""Relationship score τ and strength ρ between two feature sets (§2.2, §2.3).
+
+Two functions are *feature-related* at a spatio-temporal point x iff x is a
+feature of both (x ∈ Σ = Σ₁ ∩ Σ₂).  A related point is *positively* related
+when the feature signs agree (both positive or both negative) and
+*negatively* related when they disagree.  The score is
+
+    τ = (#p − #n) / |Σ|  ∈ [−1, 1],
+
+and the strength ρ is the F1 score of treating Σ₁ as a predictor of Σ₂
+(precision = |Σ|/|Σ₁|, recall = |Σ|/|Σ₂|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.fscore import f1_from_counts
+from ..utils.errors import DataError
+from .features import FeatureSet
+
+
+@dataclass(frozen=True)
+class RelationshipMeasures:
+    """All quantities derived from one pair of feature sets.
+
+    ``score`` is 0 when the functions share no feature point (|Σ| = 0); such
+    pairs are reported as unrelated by the operator rather than undefined.
+    """
+
+    score: float
+    strength: float
+    n_related: int
+    n_positive: int
+    n_negative: int
+    n_features_1: int
+    n_features_2: int
+    precision: float
+    recall: float
+
+    @property
+    def is_related(self) -> bool:
+        """True iff the functions share at least one feature point."""
+        return self.n_related > 0
+
+
+def score_from_masks(
+    pos1: np.ndarray,
+    neg1: np.ndarray,
+    pos2: np.ndarray,
+    neg2: np.ndarray,
+) -> RelationshipMeasures:
+    """Compute (τ, ρ, counts) from four aligned boolean feature masks.
+
+    Each point contributes at most once to #p (Definition 10 is a
+    disjunction) and at most once to #n (Definition 11), so τ is always in
+    [−1, 1] even in the degenerate case where a point is simultaneously a
+    positive and a negative feature of the same function.
+    """
+    if pos1.shape != pos2.shape:
+        raise DataError(
+            f"feature masks must align, got {pos1.shape} vs {pos2.shape}"
+        )
+    union1 = pos1 | neg1
+    union2 = pos2 | neg2
+    n1 = int(np.count_nonzero(union1))
+    n2 = int(np.count_nonzero(union2))
+    n_related = int(np.count_nonzero(union1 & union2))
+    n_pos = int(np.count_nonzero((pos1 & pos2) | (neg1 & neg2)))
+    n_neg = int(np.count_nonzero((pos1 & neg2) | (neg1 & pos2)))
+    score = (n_pos - n_neg) / n_related if n_related else 0.0
+    f1 = f1_from_counts(n_related, n1, n2)
+    return RelationshipMeasures(
+        score=score,
+        strength=f1.f1,
+        n_related=n_related,
+        n_positive=n_pos,
+        n_negative=n_neg,
+        n_features_1=n1,
+        n_features_2=n2,
+        precision=f1.precision,
+        recall=f1.recall,
+    )
+
+
+def evaluate_features(fs1: FeatureSet, fs2: FeatureSet) -> RelationshipMeasures:
+    """Relationship measures between two functions' feature sets."""
+    return score_from_masks(fs1.positive, fs1.negative, fs2.positive, fs2.negative)

@@ -1,0 +1,40 @@
+"""Data substrate: schemas, columnar data sets, CSV I/O, aggregation."""
+
+from .aggregation import (
+    AGGREGATORS,
+    AggregatedFunction,
+    FunctionSpec,
+    aggregate,
+    default_specs,
+    fill_interpolate,
+)
+from .catalog import (
+    city_from_dict,
+    city_to_dict,
+    load_catalog,
+    save_catalog,
+    schema_from_dict,
+    schema_to_dict,
+)
+from .csv_io import read_csv, write_csv
+from .dataset import Dataset
+from .schema import DatasetSchema
+
+__all__ = [
+    "Dataset",
+    "DatasetSchema",
+    "read_csv",
+    "write_csv",
+    "save_catalog",
+    "load_catalog",
+    "schema_to_dict",
+    "schema_from_dict",
+    "city_to_dict",
+    "city_from_dict",
+    "AGGREGATORS",
+    "AggregatedFunction",
+    "FunctionSpec",
+    "aggregate",
+    "default_specs",
+    "fill_interpolate",
+]

@@ -1,0 +1,390 @@
+"""Scalar-function computation: from raw tuples to value matrices (§5.1).
+
+For a data set ``D`` and a target (spatial, temporal) resolution this module
+computes the paper's three function types over the spatio-temporal grid:
+
+* **density** — number of tuples per spatio-temporal point,
+* **unique** — number of distinct identifiers per point (one per key column),
+* **attribute** — aggregate (mean by default) of a numerical column per point.
+
+The output is a dense ``(n_steps, n_regions)`` matrix per function plus the
+tuple-count matrix used both for coarsening (count-weighted means) and for
+missing-data handling.  This module corresponds to the *Scalar Function
+Computation* map-reduce job of §5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..spatial.regions import RegionSet
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from ..utils.errors import DataError, ResolutionError
+from .dataset import Dataset
+
+#: Supported attribute-function aggregators (§8 lists mean/sum/median/min/max).
+AGGREGATORS = ("mean", "sum", "min", "max", "median")
+
+#: Supported missing-cell fill policies for attribute functions.
+FILL_POLICIES = ("global_mean", "zero", "interpolate", "none")
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Identity of one scalar function: (data set, attribute) pair + type.
+
+    ``kind`` is one of:
+
+    * ``"density"`` — tuple count per spatio-temporal point;
+    * ``"unique"`` — distinct identifiers of key column ``attribute``;
+    * ``"attribute"`` — ``aggregator`` of numeric column ``attribute``;
+    * ``"category"`` — count of tuples whose key column ``attribute`` equals
+      ``category`` (the §8 treatment of non-numerical attributes: one count
+      function per categorical value).
+    """
+
+    dataset: str
+    kind: str
+    attribute: str | None = None
+    aggregator: str = "mean"
+    category: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("density", "unique", "attribute", "category"):
+            raise DataError(f"unknown function kind {self.kind!r}")
+        if self.kind != "density" and not self.attribute:
+            raise DataError(f"{self.kind} functions need an attribute name")
+        if self.kind == "attribute" and self.aggregator not in AGGREGATORS:
+            raise DataError(f"unknown aggregator {self.aggregator!r}")
+        if self.kind == "category" and self.category is None:
+            raise DataError("category functions need a category value")
+
+    @property
+    def function_id(self) -> str:
+        """Stable human-readable identifier, e.g. ``taxi.avg.fare``."""
+        if self.kind == "density":
+            return f"{self.dataset}.density"
+        if self.kind == "unique":
+            return f"{self.dataset}.unique.{self.attribute}"
+        if self.kind == "category":
+            return f"{self.dataset}.count.{self.attribute}={self.category}"
+        prefix = "avg" if self.aggregator == "mean" else self.aggregator
+        return f"{self.dataset}.{prefix}.{self.attribute}"
+
+
+@dataclass
+class AggregatedFunction:
+    """A scalar function materialized at one spatio-temporal resolution.
+
+    Attributes
+    ----------
+    spec:
+        Which (data set, attribute, type) this function represents.
+    spatial, temporal:
+        The resolution of the matrix.
+    values:
+        ``(n_steps, n_regions)`` float64 function values.
+    counts:
+        ``(n_steps, n_regions)`` int64 number of tuples behind each cell.
+    step_labels:
+        ``(n_steps,)`` temporal bucket indices (consecutive).
+    observed:
+        ``(n_steps, n_regions)`` bool; False where the value was filled in
+        because no tuple (or no non-NaN tuple) covered the cell.
+    """
+
+    spec: FunctionSpec
+    spatial: SpatialResolution
+    temporal: TemporalResolution
+    values: np.ndarray
+    counts: np.ndarray
+    step_labels: np.ndarray
+    observed: np.ndarray
+
+    @property
+    def n_steps(self) -> int:
+        """Number of time steps."""
+        return int(self.values.shape[0])
+
+    @property
+    def n_regions(self) -> int:
+        """Number of spatial regions."""
+        return int(self.values.shape[1])
+
+
+def default_specs(dataset: Dataset, aggregator: str = "mean") -> list[FunctionSpec]:
+    """All scalar functions the paper derives from a data set (§5.1)."""
+    specs = [FunctionSpec(dataset.name, "density")]
+    specs.extend(
+        FunctionSpec(dataset.name, "unique", key) for key in dataset.schema.key_attributes
+    )
+    specs.extend(
+        FunctionSpec(dataset.name, "attribute", attr, aggregator)
+        for attr in dataset.schema.numeric_attributes
+    )
+    return specs
+
+
+def aggregate(
+    dataset: Dataset,
+    spatial: SpatialResolution,
+    temporal: TemporalResolution,
+    regions: RegionSet | None = None,
+    step_range: tuple[int, int] | None = None,
+    specs: list[FunctionSpec] | None = None,
+    fill: str = "global_mean",
+) -> list[AggregatedFunction]:
+    """Compute scalar functions of ``dataset`` at a target resolution.
+
+    Parameters
+    ----------
+    dataset:
+        Source tuples.
+    spatial, temporal:
+        Target resolution; must be reachable from the data set's native
+        resolution in the Fig. 6 DAG.
+    regions:
+        The region partition for the target spatial resolution.  Not needed
+        for CITY (a single implicit region).
+    step_range:
+        Inclusive ``(first_bucket, last_bucket)`` range of temporal bucket
+        indices.  Defaults to the data's own extent; pass a shared range when
+        aligning several data sets of one corpus.
+    specs:
+        Which functions to compute; defaults to :func:`default_specs`.
+    fill:
+        Missing-cell policy for attribute functions: ``"global_mean"``
+        (default — neutral value that creates no artificial features),
+        ``"zero"``, ``"interpolate"`` (time-linear per region) or ``"none"``
+        (leave NaN; the caller must handle it).
+
+    Returns
+    -------
+    list[AggregatedFunction]
+        One matrix per requested spec, all sharing the same grid.
+    """
+    if fill not in FILL_POLICIES:
+        raise DataError(f"unknown fill policy {fill!r}")
+    native_s = dataset.schema.spatial_resolution
+    native_t = dataset.schema.temporal_resolution
+    if not native_s.convertible_to(spatial):
+        raise ResolutionError(
+            f"{dataset.name}: cannot convert {native_s.name} -> {spatial.name}"
+        )
+    if not native_t.convertible_to(temporal):
+        raise ResolutionError(
+            f"{dataset.name}: cannot convert {native_t.name} -> {temporal.name}"
+        )
+    if dataset.n_records == 0:
+        raise DataError(f"{dataset.name}: cannot aggregate an empty data set")
+
+    region_idx, n_regions = _assign_regions(dataset, spatial, regions)
+    buckets = temporal.bucket(dataset.timestamps)
+    if step_range is None:
+        step_range = (int(buckets.min()), int(buckets.max()))
+    first, last = step_range
+    if last < first:
+        raise DataError("step_range must satisfy first <= last")
+    n_steps = last - first + 1
+
+    keep = (region_idx >= 0) & (buckets >= first) & (buckets <= last)
+    region_idx = region_idx[keep]
+    steps = (buckets[keep] - first).astype(np.int64)
+    cells = steps * n_regions + region_idx
+    n_cells = n_steps * n_regions
+
+    counts = np.bincount(cells, minlength=n_cells).astype(np.int64)
+    counts_matrix = counts.reshape(n_steps, n_regions)
+    step_labels = np.arange(first, last + 1, dtype=np.int64)
+
+    if specs is None:
+        specs = default_specs(dataset)
+    results: list[AggregatedFunction] = []
+    for spec in specs:
+        if spec.dataset != dataset.name:
+            raise DataError(
+                f"spec {spec.function_id} does not belong to data set {dataset.name}"
+            )
+        if spec.kind == "density":
+            values = counts_matrix.astype(np.float64)
+            observed = np.ones_like(values, dtype=bool)
+        elif spec.kind == "unique":
+            values = _unique_matrix(dataset, spec, keep, cells, n_cells)
+            values = values.reshape(n_steps, n_regions)
+            observed = np.ones_like(values, dtype=bool)
+        elif spec.kind == "category":
+            values = _category_matrix(dataset, spec, keep, cells, n_cells)
+            values = values.reshape(n_steps, n_regions)
+            observed = np.ones_like(values, dtype=bool)
+        else:
+            flat_fill = "none" if fill == "interpolate" else fill
+            values, observed = _attribute_matrix(
+                dataset, spec, keep, cells, n_cells, flat_fill
+            )
+            values = values.reshape(n_steps, n_regions)
+            observed = observed.reshape(n_steps, n_regions)
+            if fill == "interpolate" and spec.aggregator != "sum":
+                values = fill_interpolate(values, observed)
+        results.append(
+            AggregatedFunction(
+                spec=spec,
+                spatial=spatial,
+                temporal=temporal,
+                values=values,
+                counts=counts_matrix,
+                step_labels=step_labels,
+                observed=observed,
+            )
+        )
+    return results
+
+
+def _assign_regions(
+    dataset: Dataset, spatial: SpatialResolution, regions: RegionSet | None
+) -> tuple[np.ndarray, int]:
+    """Region index per record at the target resolution (-1 = drop)."""
+    n = dataset.n_records
+    if spatial is SpatialResolution.CITY:
+        return np.zeros(n, dtype=np.int64), 1
+    if regions is None:
+        raise DataError(
+            f"{dataset.name}: a RegionSet is required for {spatial.name} aggregation"
+        )
+    native = dataset.schema.spatial_resolution
+    if native is SpatialResolution.GPS:
+        return regions.locate(dataset.x, dataset.y), len(regions)
+    if native is spatial:
+        return regions.indices_of(dataset.regions), len(regions)
+    raise ResolutionError(
+        f"{dataset.name}: cannot place {native.name} records into {spatial.name} regions"
+    )
+
+
+def _unique_matrix(
+    dataset: Dataset,
+    spec: FunctionSpec,
+    keep: np.ndarray,
+    cells: np.ndarray,
+    n_cells: int,
+) -> np.ndarray:
+    """Distinct-identifier counts per cell for one key column."""
+    column = dataset.keys[spec.attribute][keep]
+    _, codes = np.unique(column, return_inverse=True)
+    n_codes = max(int(codes.max()) + 1, 1) if codes.size else 1
+    pair = cells * n_codes + codes
+    unique_pairs = np.unique(pair)
+    owning_cell = unique_pairs // n_codes
+    return np.bincount(owning_cell, minlength=n_cells).astype(np.float64)
+
+
+def _category_matrix(
+    dataset: Dataset,
+    spec: FunctionSpec,
+    keep: np.ndarray,
+    cells: np.ndarray,
+    n_cells: int,
+) -> np.ndarray:
+    """Count of tuples matching one categorical value per cell (§8)."""
+    if spec.attribute not in dataset.keys:
+        raise DataError(
+            f"{dataset.name}: category functions need a key column, "
+            f"got {spec.attribute!r}"
+        )
+    column = dataset.keys[spec.attribute][keep]
+    match = column.astype(str) == str(spec.category)
+    return np.bincount(cells[match], minlength=n_cells).astype(np.float64)
+
+
+def _attribute_matrix(
+    dataset: Dataset,
+    spec: FunctionSpec,
+    keep: np.ndarray,
+    cells: np.ndarray,
+    n_cells: int,
+    fill: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregated attribute values per cell, plus the observed mask."""
+    column = dataset.numerics[spec.attribute][keep]
+    valid = ~np.isnan(column)
+    vcells = cells[valid]
+    vvals = column[valid]
+    valid_counts = np.bincount(vcells, minlength=n_cells).astype(np.int64)
+    observed = valid_counts > 0
+
+    agg = spec.aggregator
+    if agg in ("mean", "sum"):
+        sums = np.zeros(n_cells, dtype=np.float64)
+        np.add.at(sums, vcells, vvals)
+        if agg == "sum":
+            values = sums
+        else:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                values = np.where(observed, sums / valid_counts, np.nan)
+    elif agg == "min":
+        values = np.full(n_cells, np.inf)
+        np.minimum.at(values, vcells, vvals)
+        values = np.where(observed, values, np.nan)
+    elif agg == "max":
+        values = np.full(n_cells, -np.inf)
+        np.maximum.at(values, vcells, vvals)
+        values = np.where(observed, values, np.nan)
+    else:  # median
+        values = np.full(n_cells, np.nan)
+        order = np.argsort(vcells, kind="stable")
+        sorted_cells = vcells[order]
+        sorted_vals = vvals[order]
+        boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [sorted_cells.size]))
+        for s, e in zip(starts, ends):
+            if e > s:
+                values[sorted_cells[s]] = np.median(sorted_vals[s:e])
+
+    if agg == "sum":
+        # A cell with no tuples contributes zero activity, like density.
+        values = np.where(observed, values, 0.0)
+        return values, np.ones_like(observed)
+
+    values = _fill_missing(values, observed, fill)
+    return values, observed
+
+
+def _fill_missing(values: np.ndarray, observed: np.ndarray, fill: str) -> np.ndarray:
+    """Replace NaN cells of an attribute function according to ``fill``."""
+    if fill == "none" or observed.all():
+        return values
+    if not observed.any():
+        raise DataError("attribute function has no observed values at all")
+    if fill == "zero":
+        return np.where(observed, values, 0.0)
+    mean = values[observed].mean()
+    return np.where(observed, values, mean)
+
+
+def fill_interpolate(values: np.ndarray, observed: np.ndarray) -> np.ndarray:
+    """Time-linear interpolation of missing cells, independently per region.
+
+    ``values``/``observed`` are ``(n_steps, n_regions)`` matrices.  Leading and
+    trailing gaps take the nearest observed value; regions with no observed
+    value at all take the global mean of observed cells.
+    """
+    if observed.all():
+        return values
+    if not observed.any():
+        raise DataError("attribute function has no observed values at all")
+    out = values.copy()
+    n_steps, n_regions = values.shape
+    t = np.arange(n_steps, dtype=np.float64)
+    global_mean = values[observed].mean()
+    for r in range(n_regions):
+        obs = observed[:, r]
+        if not obs.any():
+            out[:, r] = global_mean
+            continue
+        if obs.all():
+            continue
+        out[:, r] = np.interp(t, t[obs], values[obs, r])
+    return out

@@ -1,0 +1,139 @@
+"""Data-set catalogs: persist whole collections as CSV + JSON metadata.
+
+The paper's pipeline reads raw CSV dumps plus a metadata record per data set
+(which columns are spatial/temporal/key/numeric and the native resolutions).
+A *catalog directory* is this repository's realization of that contract::
+
+    my_city/
+      catalog.json        # schemas + city model
+      taxi.csv            # one CSV per data set
+      weather.csv
+      ...
+
+:func:`save_catalog` writes a collection; :func:`load_catalog` reads it back
+ready for :class:`repro.core.Corpus`.  The city model (region polygons and
+adjacency per resolution) is embedded in the JSON so the catalog is fully
+self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..spatial.city import CityModel
+from ..spatial.geometry import Polygon
+from ..spatial.regions import RegionSet
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from ..utils.errors import DataError
+from .csv_io import read_csv, write_csv
+from .dataset import Dataset
+from .schema import DatasetSchema
+
+CATALOG_FILE = "catalog.json"
+CATALOG_VERSION = 1
+
+
+def schema_to_dict(schema: DatasetSchema) -> dict:
+    """JSON-serializable form of a schema."""
+    return {
+        "name": schema.name,
+        "spatial_resolution": schema.spatial_resolution.value,
+        "temporal_resolution": schema.temporal_resolution.value,
+        "key_attributes": list(schema.key_attributes),
+        "numeric_attributes": list(schema.numeric_attributes),
+        "description": schema.description,
+    }
+
+
+def schema_from_dict(data: dict) -> DatasetSchema:
+    """Inverse of :func:`schema_to_dict`."""
+    try:
+        return DatasetSchema(
+            name=data["name"],
+            spatial_resolution=SpatialResolution(data["spatial_resolution"]),
+            temporal_resolution=TemporalResolution(data["temporal_resolution"]),
+            key_attributes=tuple(data.get("key_attributes", ())),
+            numeric_attributes=tuple(data.get("numeric_attributes", ())),
+            description=data.get("description", ""),
+        )
+    except (KeyError, ValueError) as exc:
+        raise DataError(f"malformed schema record: {exc}") from exc
+
+
+def city_to_dict(city: CityModel) -> dict:
+    """JSON-serializable form of a city model (polygons + adjacency)."""
+    layers = {}
+    for resolution, regions in city.regions.items():
+        layers[resolution.value] = {
+            "region_ids": regions.region_ids,
+            "polygons": [
+                np.column_stack((p.xs, p.ys)).tolist() for p in regions.polygons
+            ],
+            "adjacency": city.adjacency.get(
+                resolution, np.zeros((0, 2), np.int64)
+            ).tolist(),
+        }
+    return {"name": city.name, "layers": layers}
+
+
+def city_from_dict(data: dict) -> CityModel:
+    """Inverse of :func:`city_to_dict`."""
+    regions: dict[SpatialResolution, RegionSet] = {}
+    adjacency: dict[SpatialResolution, np.ndarray] = {}
+    try:
+        for res_name, layer in data["layers"].items():
+            resolution = SpatialResolution(res_name)
+            polygons = [Polygon(vertices) for vertices in layer["polygons"]]
+            regions[resolution] = RegionSet(
+                resolution.value, list(layer["region_ids"]), polygons
+            )
+            adjacency[resolution] = np.asarray(
+                layer.get("adjacency", []), dtype=np.int64
+            ).reshape(-1, 2)
+        return CityModel(name=data["name"], regions=regions, adjacency=adjacency)
+    except (KeyError, ValueError) as exc:
+        raise DataError(f"malformed city record: {exc}") from exc
+
+
+def save_catalog(
+    directory: str | Path, datasets: list[Dataset], city: CityModel
+) -> Path:
+    """Write a collection to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "version": CATALOG_VERSION,
+        "city": city_to_dict(city),
+        "datasets": [],
+    }
+    for dataset in datasets:
+        filename = f"{dataset.name}.csv"
+        write_csv(dataset, directory / filename)
+        record = schema_to_dict(dataset.schema)
+        record["file"] = filename
+        manifest["datasets"].append(record)
+    with open(directory / CATALOG_FILE, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return directory / CATALOG_FILE
+
+
+def load_catalog(directory: str | Path) -> tuple[list[Dataset], CityModel]:
+    """Read a collection written by :func:`save_catalog`."""
+    directory = Path(directory)
+    path = directory / CATALOG_FILE
+    if not path.exists():
+        raise DataError(f"{directory}: no {CATALOG_FILE} found")
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != CATALOG_VERSION:
+        raise DataError(f"unsupported catalog version {manifest.get('version')!r}")
+    city = city_from_dict(manifest["city"])
+    datasets = []
+    for record in manifest["datasets"]:
+        schema = schema_from_dict(record)
+        datasets.append(read_csv(directory / record["file"], schema))
+    return datasets, city

@@ -1,0 +1,105 @@
+"""CSV round-trip for data sets.
+
+The paper's pipeline ingests raw CSV dumps plus a metadata record describing
+which columns are spatial, temporal, key and numeric.  This module provides
+the same contract: :func:`write_csv` emits a plain CSV with deterministic
+column order, and :func:`read_csv` reconstructs a :class:`Dataset` given its
+:class:`DatasetSchema` (the metadata).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..spatial.resolution import SpatialResolution
+from ..utils.errors import DataError
+from .dataset import Dataset
+from .schema import DatasetSchema
+
+
+def _columns(dataset: Dataset) -> list[tuple[str, np.ndarray]]:
+    cols: list[tuple[str, np.ndarray]] = [("timestamp", dataset.timestamps)]
+    if dataset.x is not None:
+        cols.append(("x", dataset.x))
+        cols.append(("y", dataset.y))
+    if dataset.regions is not None:
+        cols.append(("region", dataset.regions))
+    for name in dataset.schema.key_attributes:
+        cols.append((name, dataset.keys[name]))
+    for name in dataset.schema.numeric_attributes:
+        cols.append((name, dataset.numerics[name]))
+    return cols
+
+
+def write_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` as a header-first CSV file."""
+    cols = _columns(dataset)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([name for name, _ in cols])
+        arrays = [col for _, col in cols]
+        for row in zip(*arrays):
+            writer.writerow(
+                ["" if isinstance(v, float) and np.isnan(v) else v for v in row]
+            )
+
+
+def read_csv(path: str | Path, schema: DatasetSchema) -> Dataset:
+    """Read a CSV written by :func:`write_csv` back into a :class:`Dataset`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty CSV file") from None
+        rows = list(reader)
+
+    index = {name: i for i, name in enumerate(header)}
+    if "timestamp" not in index:
+        raise DataError(f"{path}: missing 'timestamp' column")
+
+    def column(name: str) -> list[str]:
+        pos = index[name]
+        return [row[pos] for row in rows]
+
+    timestamps = np.array([int(v) for v in column("timestamp")], dtype=np.int64)
+    x = y = regions = None
+    native = schema.spatial_resolution
+    if native is SpatialResolution.GPS:
+        for coord in ("x", "y"):
+            if coord not in index:
+                raise DataError(f"{path}: GPS schema needs column {coord!r}")
+        x = np.array([float(v) for v in column("x")], dtype=np.float64)
+        y = np.array([float(v) for v in column("y")], dtype=np.float64)
+    elif native in (SpatialResolution.ZIP, SpatialResolution.NEIGHBORHOOD):
+        if "region" not in index:
+            raise DataError(f"{path}: region-level schema needs column 'region'")
+        regions = np.array(column("region"))
+
+    keys: dict[str, np.ndarray] = {}
+    for name in schema.key_attributes:
+        if name not in index:
+            raise DataError(f"{path}: missing key column {name!r}")
+        keys[name] = np.array(column(name))
+
+    numerics: dict[str, np.ndarray] = {}
+    for name in schema.numeric_attributes:
+        if name not in index:
+            raise DataError(f"{path}: missing numeric column {name!r}")
+        numerics[name] = np.array(
+            [float(v) if v != "" else np.nan for v in column(name)],
+            dtype=np.float64,
+        )
+
+    return Dataset(
+        schema,
+        timestamps=timestamps,
+        x=x,
+        y=y,
+        regions=regions,
+        keys=keys,
+        numerics=numerics,
+    )

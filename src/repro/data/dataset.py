@@ -1,0 +1,148 @@
+"""Columnar in-memory data sets.
+
+A :class:`Dataset` stores records column-wise in NumPy arrays: one timestamp
+column (epoch seconds), an optional spatial column (GPS coordinate pair or
+region-id strings, depending on the schema's native spatial resolution), zero
+or more identifier columns and zero or more numerical columns.  All columns
+are aligned by record index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spatial.resolution import SpatialResolution
+from ..utils.errors import DataError, SchemaError
+from .schema import DatasetSchema
+
+
+class Dataset:
+    """A spatio-temporal data set: a schema plus aligned column arrays.
+
+    Parameters
+    ----------
+    schema:
+        The data set's schema (roles + native resolutions).
+    timestamps:
+        ``(n,)`` epoch seconds, int64.
+    x, y:
+        GPS coordinates, required iff the native spatial resolution is GPS.
+    regions:
+        Region-id strings, required iff the native spatial resolution is
+        ZIP or NEIGHBORHOOD.
+    keys:
+        Mapping of key-attribute name to an ``(n,)`` identifier column.
+    numerics:
+        Mapping of numeric-attribute name to an ``(n,)`` float column
+        (NaN = missing).
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        timestamps: np.ndarray,
+        x: np.ndarray | None = None,
+        y: np.ndarray | None = None,
+        regions: np.ndarray | None = None,
+        keys: dict[str, np.ndarray] | None = None,
+        numerics: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.timestamps = np.asarray(timestamps, dtype=np.int64)
+        if self.timestamps.ndim != 1:
+            raise DataError("timestamps must be a 1-D array")
+        n = self.timestamps.size
+
+        native = schema.spatial_resolution
+        if native is SpatialResolution.GPS:
+            if x is None or y is None:
+                raise DataError(f"{schema.name}: GPS data sets need x and y columns")
+            self.x = np.asarray(x, dtype=np.float64)
+            self.y = np.asarray(y, dtype=np.float64)
+            if self.x.shape != (n,) or self.y.shape != (n,):
+                raise DataError(f"{schema.name}: coordinate columns misaligned")
+            self.regions = None
+        elif native in (SpatialResolution.ZIP, SpatialResolution.NEIGHBORHOOD):
+            if regions is None:
+                raise DataError(
+                    f"{schema.name}: region-level data sets need a regions column"
+                )
+            self.regions = np.asarray(regions)
+            if self.regions.shape != (n,):
+                raise DataError(f"{schema.name}: regions column misaligned")
+            self.x = self.y = None
+        else:  # CITY: no spatial column
+            if x is not None or y is not None or regions is not None:
+                raise DataError(
+                    f"{schema.name}: city-resolution data sets take no spatial column"
+                )
+            self.x = self.y = None
+            self.regions = None
+
+        self.keys = {}
+        for name in schema.key_attributes:
+            if keys is None or name not in keys:
+                raise SchemaError(f"{schema.name}: missing key column {name!r}")
+            col = np.asarray(keys[name])
+            if col.shape != (n,):
+                raise DataError(f"{schema.name}: key column {name!r} misaligned")
+            self.keys[name] = col
+
+        self.numerics = {}
+        for name in schema.numeric_attributes:
+            if numerics is None or name not in numerics:
+                raise SchemaError(f"{schema.name}: missing numeric column {name!r}")
+            col = np.asarray(numerics[name], dtype=np.float64)
+            if col.shape != (n,):
+                raise DataError(f"{schema.name}: numeric column {name!r} misaligned")
+            self.numerics[name] = col
+
+        extra_keys = set(keys or ()) - set(schema.key_attributes)
+        extra_numerics = set(numerics or ()) - set(schema.numeric_attributes)
+        if extra_keys or extra_numerics:
+            raise SchemaError(
+                f"{schema.name}: columns not declared in schema: "
+                f"{sorted(extra_keys | extra_numerics)}"
+            )
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Data set name (from the schema)."""
+        return self.schema.name
+
+    @property
+    def n_records(self) -> int:
+        """Number of records."""
+        return int(self.timestamps.size)
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def time_range(self) -> tuple[int, int]:
+        """``(min, max)`` timestamp in epoch seconds."""
+        if self.n_records == 0:
+            raise DataError(f"{self.name}: empty data set has no time range")
+        return int(self.timestamps.min()), int(self.timestamps.max())
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size of all columns, in bytes."""
+        total = self.timestamps.nbytes
+        for col in (self.x, self.y):
+            if col is not None:
+                total += col.nbytes
+        if self.regions is not None:
+            total += self.regions.nbytes
+        for col in self.keys.values():
+            total += col.nbytes
+        for col in self.numerics.values():
+            total += col.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.name!r}, records={self.n_records}, "
+            f"spatial={self.schema.spatial_resolution.name}, "
+            f"temporal={self.schema.temporal_resolution.name})"
+        )

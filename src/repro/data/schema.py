@@ -1,0 +1,68 @@
+"""Data set schemas: attribute roles and native resolutions (§5.1).
+
+A data set ``D`` has attributes ``{K, S, T, A1 ... Ak}``: an optional unique
+identifier ``K`` (possibly several), spatial and temporal attributes ``S`` and
+``T``, and numerical attributes ``Ai``.  The schema records which column plays
+which role plus the *native* spatio-temporal resolution the data arrives at;
+the framework aggregates from there to every viable evaluation resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from ..utils.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """Schema of a spatio-temporal data set.
+
+    Attributes
+    ----------
+    name:
+        Data set name, unique within a corpus.
+    spatial_resolution:
+        Native spatial resolution.  ``GPS`` means records carry (x, y)
+        coordinates; ``ZIP``/``NEIGHBORHOOD`` mean records carry region ids;
+        ``CITY`` means records are city-wide (no spatial column).
+    temporal_resolution:
+        Native temporal resolution of the timestamp column.
+    key_attributes:
+        Identifier columns (each yields one *unique* count function).
+    numeric_attributes:
+        Numerical columns (each yields one *attribute* function).
+    description:
+        Free-text description (Table 1's last column).
+    """
+
+    name: str
+    spatial_resolution: SpatialResolution
+    temporal_resolution: TemporalResolution
+    key_attributes: tuple[str, ...] = ()
+    numeric_attributes: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("data set name must be non-empty")
+        names = list(self.key_attributes) + list(self.numeric_attributes)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {self.name!r}")
+        reserved = {"timestamp", "x", "y", "region"}
+        clash = reserved.intersection(names)
+        if clash:
+            raise SchemaError(
+                f"attribute names {sorted(clash)} clash with reserved columns"
+            )
+
+    @property
+    def n_scalar_functions(self) -> int:
+        """Scalar functions derived from this data set (§5.1).
+
+        One density function, one unique function per key attribute, and one
+        attribute function per numerical attribute.
+        """
+        return 1 + len(self.key_attributes) + len(self.numeric_attributes)

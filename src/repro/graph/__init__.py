@@ -1,0 +1,6 @@
+"""Graph substrate: union-find and the spatio-temporal domain graph."""
+
+from .domain_graph import DomainGraph
+from .union_find import UnionFind
+
+__all__ = ["DomainGraph", "UnionFind"]

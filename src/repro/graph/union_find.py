@@ -1,0 +1,60 @@
+"""Array-based union-find (disjoint-set) with path compression.
+
+The merge-tree sweep (§3.1, Appendix B.2) performs O(N) union/find operations
+over the vertices of the domain graph; with path compression and union by
+rank the total cost is O(N α(N)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import DataError
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0 .. n-1``."""
+
+    __slots__ = ("_parent", "_rank", "_count")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise DataError("UnionFind size must be >= 0")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._rank = np.zeros(n, dtype=np.int8)
+        self._count = n
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (with compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def __len__(self) -> int:
+        return int(self._parent.size)

@@ -1,0 +1,27 @@
+"""Map-reduce substrate: local engine, simulated cluster, framework jobs."""
+
+from .cluster import greedy_makespan, job_makespan, speedup_curve, straggler_ratio
+from .engine import LocalEngine
+from .job import JobStats, MapReduceJob
+from .pipeline import (
+    FeatureIdentificationJob,
+    PipelineRun,
+    PolygamyPipeline,
+    RelationshipJob,
+    ScalarFunctionJob,
+)
+
+__all__ = [
+    "LocalEngine",
+    "JobStats",
+    "MapReduceJob",
+    "greedy_makespan",
+    "job_makespan",
+    "speedup_curve",
+    "straggler_ratio",
+    "PolygamyPipeline",
+    "PipelineRun",
+    "ScalarFunctionJob",
+    "FeatureIdentificationJob",
+    "RelationshipJob",
+]

@@ -1,0 +1,85 @@
+"""Simulated-cluster scheduling: makespans and speedups (Fig. 10).
+
+The paper's scalability experiment measures the speedup of each framework
+component on clusters of growing size, observing sub-linear scaling for
+feature identification and relationship evaluation because *straggler
+reducers* (tasks over high-resolution functions) dominate the makespan.
+
+We reproduce exactly that quantity without physical nodes: every task's wall
+time is measured during a real single-process run, then replayed through a
+Hadoop-like greedy scheduler (each task goes to the earliest-free node, in
+submission order).  The speedup on n nodes is the single-node sequential time
+divided by the scheduled makespan — stragglers emerge naturally from the
+heterogeneous task times.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..utils.errors import MapReduceError
+from .job import JobStats
+
+
+def greedy_makespan(task_seconds: list[float], n_nodes: int) -> float:
+    """Makespan of scheduling tasks onto ``n_nodes`` earliest-free-first.
+
+    Tasks are assigned in submission order, mirroring Hadoop's slot
+    assignment; no preemption.
+    """
+    if n_nodes < 1:
+        raise MapReduceError("cluster needs at least one node")
+    if not task_seconds:
+        return 0.0
+    if any(t < 0 for t in task_seconds):
+        raise MapReduceError("task durations must be non-negative")
+    loads = [0.0] * min(n_nodes, len(task_seconds))
+    heap = [(0.0, i) for i in range(len(loads))]
+    heapq.heapify(heap)
+    for t in task_seconds:
+        load, node = heapq.heappop(heap)
+        heapq.heappush(heap, (load + t, node))
+    return max(load for load, _ in heap)
+
+
+def job_makespan(stats: JobStats, n_nodes: int) -> float:
+    """Scheduled makespan of one job: map wave, then shuffle, then reduce wave.
+
+    The map phase must finish before reducers start (a synchronization
+    barrier, as in Hadoop), so the makespans add.  Shuffle time is treated as
+    sequential coordination overhead.
+    """
+    return (
+        greedy_makespan(stats.map_task_seconds, n_nodes)
+        + stats.shuffle_seconds
+        + greedy_makespan(stats.reduce_task_seconds, n_nodes)
+    )
+
+
+def speedup_curve(stats: JobStats, node_counts: list[int]) -> dict[int, float]:
+    """Speedup (T1 / Tn) of one job for each cluster size.
+
+    T1 is the scheduled makespan on a single node (= sequential time plus
+    shuffle), Tn the makespan on n nodes.
+    """
+    t1 = job_makespan(stats, 1)
+    curve: dict[int, float] = {}
+    for n in node_counts:
+        tn = job_makespan(stats, n)
+        curve[n] = t1 / tn if tn > 0 else float("nan")
+    return curve
+
+
+def straggler_ratio(task_seconds: list[float]) -> float:
+    """Max task time over mean task time — the straggler severity metric.
+
+    Values near 1 mean homogeneous tasks (near-linear scaling); large values
+    explain the sub-linear curves of Fig. 10.
+    """
+    if not task_seconds:
+        return 1.0
+    arr = np.asarray(task_seconds, dtype=np.float64)
+    mean = arr.mean()
+    return float(arr.max() / mean) if mean > 0 else 1.0

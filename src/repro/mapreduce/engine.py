@@ -1,0 +1,117 @@
+"""Local map-reduce engine (the Hadoop substitute of §5.4 / Appendix C).
+
+Executes :class:`~repro.mapreduce.job.MapReduceJob` instances in process.
+Two executors are provided:
+
+* ``"serial"`` — tasks run one after another (deterministic; per-task wall
+  times are recorded so the simulated-cluster scheduler can replay them).
+* ``"thread"`` — map and reduce tasks run on a thread pool.  The framework's
+  heavy lifting happens inside NumPy (which releases the GIL), so threads
+  give real overlap without pickling overheads.
+
+The shuffle groups intermediate pairs by key with a plain dictionary —
+the in-process analogue of Hadoop's sort/partition phase.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from collections.abc import Hashable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ..utils.errors import MapReduceError
+from .job import JobStats, MapReduceJob
+
+_EXECUTORS = ("serial", "thread")
+
+
+class LocalEngine:
+    """Runs map-reduce jobs in process.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread-pool width for the ``"thread"`` executor (ignored by
+        ``"serial"``).
+    executor:
+        ``"serial"`` (default) or ``"thread"``.
+    """
+
+    def __init__(self, n_workers: int = 1, executor: str = "serial") -> None:
+        if executor not in _EXECUTORS:
+            raise MapReduceError(f"unknown executor {executor!r}")
+        if n_workers < 1:
+            raise MapReduceError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.executor = executor
+
+    def run(
+        self, job: MapReduceJob, inputs: Iterable[tuple[Any, Any]]
+    ) -> tuple[list[tuple[Any, Any]], JobStats]:
+        """Execute ``job`` over ``inputs``; returns (outputs, stats)."""
+        stats = JobStats()
+
+        # -- map phase -------------------------------------------------------
+        input_list = list(inputs)
+        if self.executor == "thread" and self.n_workers > 1:
+            map_results = self._run_tasks(
+                [(job.map, key, value) for key, value in input_list],
+                stats.map_task_seconds,
+            )
+        else:
+            map_results = []
+            for key, value in input_list:
+                start = time.perf_counter()
+                emitted = list(job.map(key, value))
+                stats.map_task_seconds.append(time.perf_counter() - start)
+                map_results.append(emitted)
+
+        # -- shuffle -----------------------------------------------------------
+        start = time.perf_counter()
+        groups: dict[Hashable, list[Any]] = defaultdict(list)
+        for emitted in map_results:
+            for k, v in emitted:
+                groups[k].append(v)
+        stats.shuffle_seconds = time.perf_counter() - start
+
+        # -- reduce phase ------------------------------------------------------
+        items = list(groups.items())
+        if self.executor == "thread" and self.n_workers > 1:
+            reduce_results = self._run_tasks(
+                [(job.reduce, k, vs) for k, vs in items],
+                stats.reduce_task_seconds,
+            )
+        else:
+            reduce_results = []
+            for k, vs in items:
+                start = time.perf_counter()
+                emitted = list(job.reduce(k, vs))
+                stats.reduce_task_seconds.append(time.perf_counter() - start)
+                reduce_results.append(emitted)
+
+        outputs = [pair for emitted in reduce_results for pair in emitted]
+        stats.n_outputs = len(outputs)
+        return outputs, stats
+
+    def _run_tasks(
+        self,
+        tasks: list[tuple[Any, Any, Any]],
+        timings: list[float],
+    ) -> list[list[tuple[Any, Any]]]:
+        """Run (fn, a, b) tasks on the thread pool, recording per-task times."""
+
+        def timed_call(task: tuple[Any, Any, Any]) -> tuple[list, float]:
+            fn, a, b = task
+            start = time.perf_counter()
+            out = list(fn(a, b))
+            return out, time.perf_counter() - start
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            results = list(pool.map(timed_call, tasks))
+        outputs = []
+        for out, seconds in results:
+            outputs.append(out)
+            timings.append(seconds)
+        return outputs

@@ -1,0 +1,46 @@
+"""Map-reduce job abstraction (Appendix C).
+
+A job transforms an iterable of ``(key, value)`` input pairs through a map
+phase, a shuffle (grouping intermediate pairs by key), and a reduce phase.
+Jobs are plain Python classes implementing :class:`MapReduceJob`; the engine
+(:mod:`repro.mapreduce.engine`) decides how tasks are executed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MapReduceJob(ABC):
+    """One map-reduce job: ``map`` then shuffle then ``reduce``."""
+
+    @abstractmethod
+    def map(self, key: Any, value: Any) -> Iterable[tuple[Hashable, Any]]:
+        """Emit intermediate ``(key, value)`` pairs for one input pair."""
+
+    @abstractmethod
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[tuple[Any, Any]]:
+        """Emit output pairs for one intermediate key and its value group."""
+
+
+@dataclass
+class JobStats:
+    """Per-phase accounting of one job run.
+
+    ``map_task_seconds`` and ``reduce_task_seconds`` record the wall time of
+    each individual task; the simulated-cluster scheduler replays them onto
+    n virtual nodes to estimate distributed makespans (Fig. 10).
+    """
+
+    map_task_seconds: list[float] = field(default_factory=list)
+    reduce_task_seconds: list[float] = field(default_factory=list)
+    shuffle_seconds: float = 0.0
+    n_outputs: int = 0
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Sum of all task times (the single-node sequential cost)."""
+        return sum(self.map_task_seconds) + sum(self.reduce_task_seconds)

@@ -1,0 +1,452 @@
+"""The three framework jobs on the map-reduce engine (§5.4, Appendix C).
+
+1. **Scalar Function Computation** — map tasks process record chunks of one
+   data set and emit partial aggregates per (data set, resolution); reducers
+   merge partials into the final value matrices.  (Partial aggregation in the
+   mapper is the combiner pattern; the paper's record-level description has
+   the same semantics with one emitted pair per tuple.)
+2. **Feature Identification** — map tasks split functions by resolution;
+   reducers build the merge-tree index and extract salient + extreme
+   features for one function each.
+3. **Relationship Computation** — map tasks enumerate (data set pair,
+   resolution) combinations for a query; reducers evaluate all function
+   pairs of one combination, including the restricted Monte Carlo tests.
+
+Task wall times are recorded per job, so the Fig. 10 speedup experiment can
+replay them through :func:`repro.mapreduce.cluster.speedup_curve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.clause import Clause
+from ..core.features import FeatureExtractor
+from ..core.operator import DatasetIndex, IndexedFunction, RelationReport, relation
+from ..core.scalar_function import ScalarFunction
+from ..data.aggregation import FunctionSpec, aggregate, default_specs
+from ..data.dataset import Dataset
+from ..spatial.city import CityModel
+from ..spatial.resolution import SpatialResolution, viable_spatial_resolutions
+from ..temporal.resolution import TemporalResolution, viable_temporal_resolutions
+from ..utils.errors import MapReduceError
+from .engine import LocalEngine
+from .job import JobStats, MapReduceJob
+
+
+def _chunk_dataset(dataset: Dataset, n_chunks: int) -> list[Dataset]:
+    """Split a data set into record chunks (the map-task inputs of job 1)."""
+    n = dataset.n_records
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    chunks = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi <= lo:
+            continue
+        sel = slice(int(lo), int(hi))
+        chunks.append(
+            Dataset(
+                dataset.schema,
+                timestamps=dataset.timestamps[sel],
+                x=None if dataset.x is None else dataset.x[sel],
+                y=None if dataset.y is None else dataset.y[sel],
+                regions=None if dataset.regions is None else dataset.regions[sel],
+                keys={k: v[sel] for k, v in dataset.keys.items()},
+                numerics={k: v[sel] for k, v in dataset.numerics.items()},
+            )
+        )
+    return chunks
+
+
+class ScalarFunctionJob(MapReduceJob):
+    """Job 1: record chunks -> aggregated scalar functions per resolution.
+
+    Inputs: ``((dataset_name, s_res, t_res), (chunk, regions, specs,
+    step_range))``.  The mapper aggregates its chunk (partial matrices);
+    the reducer sums partials.  Unique functions cannot be summed, so the
+    mapper also emits the deduplicated (cell, identifier-hash) pairs and the
+    reducer re-deduplicates globally.
+    """
+
+    def __init__(self, fill: str = "global_mean") -> None:
+        self.fill = fill
+
+    def map(self, key: Any, value: Any):
+        chunk, regions, specs, step_range = value
+        dataset_name, s_res, t_res = key
+        partial: dict[str, Any] = {"n": chunk.n_records}
+        # Density and attribute functions aggregate additively: compute
+        # sums/counts on the chunk.  Unique functions need global dedup.
+        aggs = aggregate(
+            chunk, s_res, t_res,
+            regions=regions, step_range=step_range,
+            specs=[FunctionSpec(dataset_name, "density")],
+            fill="zero",
+        )
+        partial["counts"] = aggs[0].counts
+        sums: dict[str, np.ndarray] = {}
+        valid: dict[str, np.ndarray] = {}
+        for spec in specs:
+            if spec.kind != "attribute":
+                continue
+            column = chunk.numerics[spec.attribute]
+            cell_sum, cell_valid = _partial_attribute(
+                chunk, column, s_res, t_res, regions, step_range
+            )
+            sums[spec.attribute] = cell_sum
+            valid[spec.attribute] = cell_valid
+        partial["sums"] = sums
+        partial["valid"] = valid
+        uniques: dict[str, np.ndarray] = {}
+        for spec in specs:
+            if spec.kind != "unique":
+                continue
+            uniques[spec.attribute] = _partial_unique_pairs(
+                chunk, spec.attribute, s_res, t_res, regions, step_range
+            )
+        partial["uniques"] = uniques
+        yield key, partial
+
+    def reduce(self, key: Any, values: list[Any]):
+        dataset_name, s_res, t_res = key
+        counts = sum(v["counts"] for v in values if "counts" in v)
+        merged: dict[str, Any] = {
+            "counts": counts,
+            "sums": _sum_dicts([v["sums"] for v in values]),
+            "valid": _sum_dicts([v["valid"] for v in values]),
+            "uniques": _merge_unique_dicts([v["uniques"] for v in values]),
+        }
+        yield key, merged
+
+
+def _partial_attribute(
+    chunk: Dataset,
+    column: np.ndarray,
+    s_res: SpatialResolution,
+    t_res: TemporalResolution,
+    regions,
+    step_range: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell (sum, non-NaN count) of one numeric column for one chunk."""
+    from ..data.aggregation import _assign_regions  # shared cell assignment
+
+    region_idx, n_regions = _assign_regions(chunk, s_res, regions)
+    buckets = t_res.bucket(chunk.timestamps)
+    first, last = step_range
+    n_steps = last - first + 1
+    keep = (region_idx >= 0) & (buckets >= first) & (buckets <= last)
+    keep &= ~np.isnan(column)
+    cells = (buckets[keep] - first) * n_regions + region_idx[keep]
+    n_cells = n_steps * n_regions
+    sums = np.zeros(n_cells)
+    np.add.at(sums, cells, column[keep])
+    valid = np.bincount(cells, minlength=n_cells).astype(np.int64)
+    return sums.reshape(n_steps, n_regions), valid.reshape(n_steps, n_regions)
+
+
+def _partial_unique_pairs(
+    chunk: Dataset,
+    attribute: str,
+    s_res: SpatialResolution,
+    t_res: TemporalResolution,
+    regions,
+    step_range: tuple[int, int],
+) -> np.ndarray:
+    """Deduplicated (cell, identifier-hash) code pairs for one chunk."""
+    from ..data.aggregation import _assign_regions
+
+    region_idx, n_regions = _assign_regions(chunk, s_res, regions)
+    buckets = t_res.bucket(chunk.timestamps)
+    first, last = step_range
+    keep = (region_idx >= 0) & (buckets >= first) & (buckets <= last)
+    cells = (buckets[keep] - first) * n_regions + region_idx[keep]
+    ids = chunk.keys[attribute][keep]
+    hashes = np.array([hash(str(v)) & 0x7FFFFFFF for v in ids], dtype=np.int64)
+    pairs = cells.astype(np.int64) * (2**31) + hashes
+    return np.unique(pairs)
+
+
+def _sum_dicts(dicts: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    for d in dicts:
+        for name, arr in d.items():
+            out[name] = arr if name not in out else out[name] + arr
+    return out
+
+
+def _merge_unique_dicts(dicts: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    out: dict[str, list[np.ndarray]] = {}
+    for d in dicts:
+        for name, arr in d.items():
+            out.setdefault(name, []).append(arr)
+    return {name: np.unique(np.concatenate(arrs)) for name, arrs in out.items()}
+
+
+class FeatureIdentificationJob(MapReduceJob):
+    """Job 2: one reducer per scalar function builds its merge-tree features."""
+
+    def __init__(self, extractor: FeatureExtractor | None = None) -> None:
+        self.extractor = extractor or FeatureExtractor()
+
+    def map(self, key: Any, value: Any):
+        # The map phase splits functions by spatio-temporal resolution: the
+        # shuffle key routes each function to its own reducer.
+        function: ScalarFunction = value
+        yield (key, function.function_id), function
+
+    def reduce(self, key: Any, values: list[Any]):
+        if len(values) != 1:
+            raise MapReduceError(f"function key {key} shuffled {len(values)} values")
+        function = values[0]
+        features = self.extractor.extract(function)
+        yield key, IndexedFunction(function=function, features=features)
+
+
+class RelationshipJob(MapReduceJob):
+    """Job 3: one reducer per (data set pair) evaluates all its relationships."""
+
+    def __init__(
+        self,
+        clause: Clause | None = None,
+        n_permutations: int = 1000,
+        alternative: str = "two-sided",
+        seed: int = 0,
+    ) -> None:
+        self.clause = clause or Clause()
+        self.n_permutations = n_permutations
+        self.alternative = alternative
+        self.seed = seed
+
+    def map(self, key: Any, value: Any):
+        # key: (name1, name2); value: (DatasetIndex, DatasetIndex).
+        yield key, value
+
+    def reduce(self, key: Any, values: list[Any]):
+        index1, index2 = values[0]
+        report = relation(
+            index1,
+            index2,
+            clause=self.clause,
+            n_permutations=self.n_permutations,
+            alternative=self.alternative,
+            seed=self.seed,
+        )
+        yield key, report
+
+
+@dataclass
+class PipelineRun:
+    """Everything a full pipeline execution produced."""
+
+    indexes: dict[str, DatasetIndex] = field(default_factory=dict)
+    reports: list[RelationReport] = field(default_factory=list)
+    scalar_stats: JobStats = field(default_factory=JobStats)
+    feature_stats: JobStats = field(default_factory=JobStats)
+    relationship_stats: JobStats = field(default_factory=JobStats)
+
+
+class PolygamyPipeline:
+    """End-to-end map-reduce execution of the Data Polygamy framework.
+
+    This is the §5.4 deployment path; it produces the same indexes and
+    reports as :class:`repro.core.Corpus` (which is the direct, in-process
+    path) while recording per-task timings for the scalability experiments.
+    """
+
+    def __init__(
+        self,
+        city: CityModel,
+        engine: LocalEngine | None = None,
+        extractor: FeatureExtractor | None = None,
+        chunks_per_dataset: int = 4,
+        fill: str = "global_mean",
+    ) -> None:
+        self.city = city
+        self.engine = engine or LocalEngine()
+        self.extractor = extractor or FeatureExtractor()
+        self.chunks_per_dataset = chunks_per_dataset
+        self.fill = fill
+
+    # -- job 1 ----------------------------------------------------------------
+
+    def run_scalar_functions(
+        self,
+        datasets: list[Dataset],
+        spatial: tuple[SpatialResolution, ...] | None = None,
+        temporal: tuple[TemporalResolution, ...] | None = None,
+    ) -> tuple[dict[tuple, list[ScalarFunction]], JobStats]:
+        """Job 1 for a collection: returns functions per (dataset, res) key."""
+        inputs = []
+        meta: dict[tuple, tuple] = {}
+        for dataset in datasets:
+            specs = default_specs(dataset)
+            s_list = [
+                r
+                for r in viable_spatial_resolutions(dataset.schema.spatial_resolution)
+                if r in self.city.available_resolutions()
+                and (spatial is None or r in spatial)
+            ]
+            t_list = [
+                r
+                for r in viable_temporal_resolutions(dataset.schema.temporal_resolution)
+                if temporal is None or r in temporal
+            ]
+            chunks = _chunk_dataset(dataset, self.chunks_per_dataset)
+            for s_res in s_list:
+                regions = (
+                    None
+                    if s_res is SpatialResolution.CITY
+                    else self.city.region_set(s_res)
+                )
+                for t_res in t_list:
+                    buckets = t_res.bucket(dataset.timestamps)
+                    step_range = (int(buckets.min()), int(buckets.max()))
+                    key = (dataset.name, s_res, t_res)
+                    meta[key] = (dataset, specs, step_range)
+                    for chunk in chunks:
+                        inputs.append((key, (chunk, regions, specs, step_range)))
+        outputs, stats = self.engine.run(ScalarFunctionJob(self.fill), inputs)
+
+        functions: dict[tuple, list[ScalarFunction]] = {}
+        for key, merged in outputs:
+            dataset, specs, step_range = meta[key]
+            _, s_res, t_res = key
+            functions[key] = _materialize_functions(
+                dataset,
+                specs,
+                s_res,
+                t_res,
+                step_range,
+                merged,
+                self.fill,
+                spatial_pairs=self.city.spatial_pairs(s_res),
+            )
+        return functions, stats
+
+    # -- job 2 ----------------------------------------------------------------
+
+    def run_feature_identification(
+        self, functions: dict[tuple, list[ScalarFunction]]
+    ) -> tuple[dict[str, DatasetIndex], JobStats]:
+        """Job 2: extract features for every function; build dataset indexes."""
+        inputs = []
+        for key, fns in functions.items():
+            for fn in fns:
+                inputs.append((key, fn))
+        job = FeatureIdentificationJob(self.extractor)
+        outputs, stats = self.engine.run(job, inputs)
+
+        indexes: dict[str, DatasetIndex] = {}
+        for (key, _fid), indexed in outputs:
+            dataset_name, s_res, t_res = key
+            ds_index = indexes.setdefault(dataset_name, DatasetIndex(dataset_name))
+            ds_index.functions.setdefault((s_res, t_res), []).append(indexed)
+        return indexes, stats
+
+    # -- job 3 ----------------------------------------------------------------
+
+    def run_relationships(
+        self,
+        indexes: dict[str, DatasetIndex],
+        clause: Clause | None = None,
+        n_permutations: int = 1000,
+        seed: int = 0,
+    ) -> tuple[list[RelationReport], JobStats]:
+        """Job 3: evaluate every unordered data set pair."""
+        names = sorted(indexes)
+        inputs = []
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                inputs.append(((a, b), (indexes[a], indexes[b])))
+        job = RelationshipJob(clause, n_permutations=n_permutations, seed=seed)
+        outputs, stats = self.engine.run(job, inputs)
+        return [report for _, report in outputs], stats
+
+    # -- end to end -------------------------------------------------------------
+
+    def run(
+        self,
+        datasets: list[Dataset],
+        clause: Clause | None = None,
+        n_permutations: int = 1000,
+        spatial: tuple[SpatialResolution, ...] | None = None,
+        temporal: tuple[TemporalResolution, ...] | None = None,
+        seed: int = 0,
+    ) -> PipelineRun:
+        """All three jobs back to back."""
+        run = PipelineRun()
+        functions, run.scalar_stats = self.run_scalar_functions(
+            datasets, spatial=spatial, temporal=temporal
+        )
+        run.indexes, run.feature_stats = self.run_feature_identification(functions)
+        run.reports, run.relationship_stats = self.run_relationships(
+            run.indexes, clause=clause, n_permutations=n_permutations, seed=seed
+        )
+        return run
+
+
+def _materialize_functions(
+    dataset: Dataset,
+    specs: list[FunctionSpec],
+    s_res: SpatialResolution,
+    t_res: TemporalResolution,
+    step_range: tuple[int, int],
+    merged: dict[str, Any],
+    fill: str,
+    spatial_pairs: np.ndarray | None = None,
+) -> list[ScalarFunction]:
+    """Turn reduced partial aggregates into ScalarFunction instances."""
+    from ..data.aggregation import fill_interpolate
+    from ..graph.domain_graph import DomainGraph
+
+    counts = merged["counts"]
+    n_steps, n_regions = counts.shape
+    first, last = step_range
+    step_labels = np.arange(first, last + 1, dtype=np.int64)
+    out: list[ScalarFunction] = []
+
+    def build(function_id: str, values: np.ndarray) -> ScalarFunction:
+        graph = DomainGraph(
+            n_regions=n_regions,
+            n_steps=n_steps,
+            spatial_pairs=spatial_pairs,
+            step_labels=step_labels,
+        )
+        return ScalarFunction(
+            function_id, values, graph, s_res, t_res, dataset=dataset.name
+        )
+
+    for spec in specs:
+        if spec.kind == "density":
+            out.append(build(spec.function_id, counts.astype(np.float64)))
+        elif spec.kind == "unique":
+            pairs = merged["uniques"][spec.attribute]
+            cells = (pairs // (2**31)).astype(np.int64)
+            values = np.bincount(cells, minlength=n_steps * n_regions)
+            out.append(
+                build(
+                    spec.function_id,
+                    values.reshape(n_steps, n_regions).astype(np.float64),
+                )
+            )
+        else:
+            sums = merged["sums"][spec.attribute]
+            valid = merged["valid"][spec.attribute]
+            observed = valid > 0
+            with np.errstate(invalid="ignore", divide="ignore"):
+                values = np.where(observed, sums / np.maximum(valid, 1), np.nan)
+            if fill == "interpolate":
+                values = fill_interpolate(values, observed)
+            elif fill == "zero":
+                values = np.where(observed, values, 0.0)
+            else:
+                if not observed.any():
+                    raise MapReduceError(
+                        f"{spec.function_id}: no observed values to aggregate"
+                    )
+                values = np.where(observed, values, values[observed].mean())
+            out.append(build(spec.function_id, values))
+    return out

@@ -1,0 +1,32 @@
+"""Spatial substrate: geometry, region partitions, adjacency, resolutions."""
+
+from .adjacency import (
+    adjacency_from_rectangles,
+    adjacency_from_shared_edges,
+    grid_adjacency,
+    neighbors_from_pairs,
+)
+from .geometry import BoundingBox, Polygon
+from .regions import RegionSet, city_partition, grid_partition
+from .resolution import (
+    EVALUATION_SPATIAL,
+    SpatialResolution,
+    common_spatial_resolutions,
+    viable_spatial_resolutions,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Polygon",
+    "RegionSet",
+    "city_partition",
+    "grid_partition",
+    "adjacency_from_shared_edges",
+    "adjacency_from_rectangles",
+    "grid_adjacency",
+    "neighbors_from_pairs",
+    "SpatialResolution",
+    "EVALUATION_SPATIAL",
+    "common_spatial_resolutions",
+    "viable_spatial_resolutions",
+]

@@ -1,0 +1,105 @@
+"""Region adjacency graphs.
+
+The spatial edges ``E_S`` of the domain graph (§3.1) connect *adjacent*
+regions of a partition.  Two strategies are provided:
+
+* :func:`adjacency_from_shared_edges` — exact: two polygons are adjacent iff
+  they share a full boundary segment (vertex-identical).  Correct for
+  partitions whose polygons share complete edges (our grid layers).
+* :func:`adjacency_from_rectangles` — for axis-aligned rectangular partitions:
+  adjacency iff the rectangles touch along a boundary interval of positive
+  length.  Handles T-junctions where polygons share only part of an edge.
+
+Both return a sorted ``(m, 2)`` int64 array of region-index pairs ``i < j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import DataError
+from .regions import RegionSet
+
+_ROUND_DECIMALS = 9
+
+
+def _edge_key(a: tuple[float, float], b: tuple[float, float]) -> tuple:
+    pa = (round(a[0], _ROUND_DECIMALS), round(a[1], _ROUND_DECIMALS))
+    pb = (round(b[0], _ROUND_DECIMALS), round(b[1], _ROUND_DECIMALS))
+    return (pa, pb) if pa <= pb else (pb, pa)
+
+
+def adjacency_from_shared_edges(regions: RegionSet) -> np.ndarray:
+    """Adjacency pairs of regions that share an identical boundary segment."""
+    owners: dict[tuple, list[int]] = {}
+    for idx, poly in enumerate(regions.polygons):
+        for a, b in poly.edges():
+            owners.setdefault(_edge_key(a, b), []).append(idx)
+    pairs: set[tuple[int, int]] = set()
+    for members in owners.values():
+        uniq = sorted(set(members))
+        for i in range(len(uniq)):
+            for j in range(i + 1, len(uniq)):
+                pairs.add((uniq[i], uniq[j]))
+    return _as_pair_array(pairs)
+
+
+def adjacency_from_rectangles(regions: RegionSet, eps: float = 1e-9) -> np.ndarray:
+    """Adjacency for axis-aligned rectangular regions via boundary contact.
+
+    Two rectangles are adjacent iff they touch along a shared vertical or
+    horizontal boundary whose overlap interval has positive length (corner
+    contact does not count, matching the 4-connectivity the paper's planar
+    domain graphs use).
+    """
+    xmin = np.array([p.bbox.xmin for p in regions.polygons])
+    xmax = np.array([p.bbox.xmax for p in regions.polygons])
+    ymin = np.array([p.bbox.ymin for p in regions.polygons])
+    ymax = np.array([p.bbox.ymax for p in regions.polygons])
+    n = len(regions)
+    pairs: set[tuple[int, int]] = set()
+    for i in range(n):
+        touch_x = (np.abs(xmax[i] - xmin) < eps) | (np.abs(xmin[i] - xmax) < eps)
+        overlap_y = np.minimum(ymax[i], ymax) - np.maximum(ymin[i], ymin)
+        touch_y = (np.abs(ymax[i] - ymin) < eps) | (np.abs(ymin[i] - ymax) < eps)
+        overlap_x = np.minimum(xmax[i], xmax) - np.maximum(xmin[i], xmin)
+        adjacent = (touch_x & (overlap_y > eps)) | (touch_y & (overlap_x > eps))
+        for j in np.flatnonzero(adjacent):
+            if j != i:
+                pairs.add((min(i, int(j)), max(i, int(j))))
+    return _as_pair_array(pairs)
+
+
+def grid_adjacency(nx: int, ny: int) -> np.ndarray:
+    """4-neighbour adjacency of an ``nx x ny`` grid in row-major cell order.
+
+    Cell ``(i, j)`` has index ``j * nx + i``, matching
+    :func:`repro.spatial.regions.grid_partition`.
+    """
+    if nx < 1 or ny < 1:
+        raise DataError("grid dimensions must be positive")
+    pairs: list[tuple[int, int]] = []
+    for j in range(ny):
+        for i in range(nx):
+            v = j * nx + i
+            if i + 1 < nx:
+                pairs.append((v, v + 1))
+            if j + 1 < ny:
+                pairs.append((v, v + nx))
+    return _as_pair_array(set(pairs))
+
+
+def neighbors_from_pairs(n_regions: int, pairs: np.ndarray) -> list[np.ndarray]:
+    """Adjacency list (one sorted neighbour array per region) from pairs."""
+    lists: list[list[int]] = [[] for _ in range(n_regions)]
+    for i, j in np.asarray(pairs, dtype=np.int64).reshape(-1, 2):
+        lists[int(i)].append(int(j))
+        lists[int(j)].append(int(i))
+    return [np.array(sorted(ns), dtype=np.int64) for ns in lists]
+
+
+def _as_pair_array(pairs: set[tuple[int, int]]) -> np.ndarray:
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    arr = np.array(sorted(pairs), dtype=np.int64)
+    return arr

@@ -1,0 +1,99 @@
+"""City model: the region partitions and adjacency of one urban area.
+
+A :class:`CityModel` bundles, for each evaluation spatial resolution, the
+region partition (:class:`RegionSet`) and its adjacency pairs.  The corpus
+uses it to aggregate GPS records into regions and to build domain graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.errors import DataError
+from .adjacency import adjacency_from_rectangles
+from .regions import RegionSet, city_partition, grid_partition
+from .resolution import SpatialResolution
+
+
+@dataclass
+class CityModel:
+    """Region layers of a city, keyed by spatial resolution.
+
+    ``regions`` must contain CITY; ZIP and NEIGHBORHOOD layers are optional
+    (a purely city-level corpus needs neither).  ``adjacency`` holds the
+    region adjacency pairs per resolution; CITY has none.
+    """
+
+    name: str
+    regions: dict[SpatialResolution, RegionSet]
+    adjacency: dict[SpatialResolution, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if SpatialResolution.CITY not in self.regions:
+            raise DataError("a CityModel needs at least the CITY layer")
+        self.adjacency.setdefault(SpatialResolution.CITY, np.zeros((0, 2), np.int64))
+
+    def region_set(self, resolution: SpatialResolution) -> RegionSet:
+        """The partition at ``resolution`` (KeyError -> DataError)."""
+        try:
+            return self.regions[resolution]
+        except KeyError:
+            raise DataError(
+                f"{self.name}: no region layer for {resolution.name}"
+            ) from None
+
+    def spatial_pairs(self, resolution: SpatialResolution) -> np.ndarray:
+        """Region adjacency pairs at ``resolution`` (empty for CITY)."""
+        if resolution not in self.adjacency:
+            raise DataError(f"{self.name}: no adjacency for {resolution.name}")
+        return self.adjacency[resolution]
+
+    def available_resolutions(self) -> tuple[SpatialResolution, ...]:
+        """Evaluation resolutions this city has layers for."""
+        order = (
+            SpatialResolution.ZIP,
+            SpatialResolution.NEIGHBORHOOD,
+            SpatialResolution.CITY,
+        )
+        return tuple(r for r in order if r in self.regions)
+
+    @classmethod
+    def synthetic(
+        cls,
+        name: str = "synthville",
+        nbhd_grid: tuple[int, int] = (8, 8),
+        zip_grid: tuple[int, int] = (5, 5),
+        extent: tuple[float, float, float, float] = (0.0, 0.0, 16.0, 16.0),
+    ) -> "CityModel":
+        """A synthetic city with deliberately non-nested region layers.
+
+        Neighborhoods form an ``nbhd_grid`` partition and zip codes a
+        ``zip_grid`` partition of the same extent; since the grids do not
+        align, the two layers are incompatible exactly like the paper's
+        neighborhood and zip-code resolutions (Fig. 6).
+        """
+        xmin, ymin, xmax, ymax = extent
+        nbhd = grid_partition(
+            nbhd_grid[0], nbhd_grid[1], xmin, ymin, xmax, ymax,
+            name="neighborhood", prefix="nbhd",
+        )
+        zips = grid_partition(
+            zip_grid[0], zip_grid[1], xmin, ymin, xmax, ymax,
+            name="zip", prefix="zip",
+        )
+        city = city_partition(xmin, ymin, xmax, ymax)
+        return cls(
+            name=name,
+            regions={
+                SpatialResolution.NEIGHBORHOOD: nbhd,
+                SpatialResolution.ZIP: zips,
+                SpatialResolution.CITY: city,
+            },
+            adjacency={
+                SpatialResolution.NEIGHBORHOOD: adjacency_from_rectangles(nbhd),
+                SpatialResolution.ZIP: adjacency_from_rectangles(zips),
+                SpatialResolution.CITY: np.zeros((0, 2), np.int64),
+            },
+        )

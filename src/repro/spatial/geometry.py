@@ -1,0 +1,144 @@
+"""Minimal computational-geometry primitives.
+
+The framework needs just enough geometry to (a) assign GPS points to the
+polygonal regions of a spatial partition and (b) derive region adjacency from
+shared polygon boundaries.  We implement simple polygons with ray-casting
+point-in-polygon tests and axis-aligned bounding boxes; city-scale partitions
+have at most a few hundred polygons, so bbox pre-filtering is sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import DataError
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def contains(self, x: float, y: float) -> bool:
+        """True iff ``(x, y)`` lies inside or on the boundary."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains`."""
+        return (
+            (self.xmin <= xs)
+            & (xs <= self.xmax)
+            & (self.ymin <= ys)
+            & (ys <= self.ymax)
+        )
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon given by its vertex ring.
+
+    The ring is stored open (last vertex != first); closure is implicit.
+    Vertex order may be clockwise or counter-clockwise.
+    """
+
+    __slots__ = ("xs", "ys", "bbox")
+
+    def __init__(self, vertices: np.ndarray | list[tuple[float, float]]) -> None:
+        arr = np.asarray(vertices, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] < 3:
+            raise DataError("a polygon needs an (n>=3, 2) vertex array")
+        if np.allclose(arr[0], arr[-1]) and arr.shape[0] > 3:
+            arr = arr[:-1]
+        self.xs = arr[:, 0].copy()
+        self.ys = arr[:, 1].copy()
+        self.bbox = BoundingBox(
+            float(self.xs.min()),
+            float(self.ys.min()),
+            float(self.xs.max()),
+            float(self.ys.max()),
+        )
+
+    def __len__(self) -> int:
+        return int(self.xs.size)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Ray-casting point-in-polygon test (boundary points count inside)."""
+        if not self.bbox.contains(x, y):
+            return False
+        return bool(self.contains_many(np.array([x]), np.array([y]))[0])
+
+    def contains_many(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Vectorized ray casting for arrays of query points.
+
+        A horizontal ray is cast to the right of each point; an odd crossing
+        count means inside.  Points exactly on a horizontal edge are resolved
+        by the half-open vertex rule (consistent, no double counting).
+        """
+        px = np.asarray(px, dtype=np.float64)
+        py = np.asarray(py, dtype=np.float64)
+        inside = np.zeros(px.shape, dtype=bool)
+        candidates = self.bbox.contains_many(px, py)
+        if not candidates.any():
+            return inside
+        cx = px[candidates]
+        cy = py[candidates]
+        n = self.xs.size
+        hit = np.zeros(cx.shape, dtype=bool)
+        x0, y0 = self.xs, self.ys
+        x1 = np.roll(self.xs, -1)
+        y1 = np.roll(self.ys, -1)
+        for i in range(n):
+            ax, ay, bx, by = x0[i], y0[i], x1[i], y1[i]
+            crosses = (ay > cy) != (by > cy)
+            if not crosses.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t = (cy - ay) / (by - ay)
+                x_at = ax + t * (bx - ax)
+            hit ^= crosses & (cx < x_at)
+        inside[candidates] = hit
+        return inside
+
+    def centroid(self) -> tuple[float, float]:
+        """Area-weighted centroid of the polygon."""
+        x0, y0 = self.xs, self.ys
+        x1 = np.roll(x0, -1)
+        y1 = np.roll(y0, -1)
+        cross = x0 * y1 - x1 * y0
+        area6 = cross.sum() * 3.0
+        if abs(area6) < 1e-12:
+            return float(x0.mean()), float(y0.mean())
+        cx = ((x0 + x1) * cross).sum() / area6
+        cy = ((y0 + y1) * cross).sum() / area6
+        return float(cx), float(cy)
+
+    def area(self) -> float:
+        """Unsigned polygon area (shoelace formula)."""
+        x0, y0 = self.xs, self.ys
+        x1 = np.roll(x0, -1)
+        y1 = np.roll(y0, -1)
+        return float(abs((x0 * y1 - x1 * y0).sum()) / 2.0)
+
+    def edges(self) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+        """Boundary segments as ((x0, y0), (x1, y1)) tuples (ring order)."""
+        x1 = np.roll(self.xs, -1)
+        y1 = np.roll(self.ys, -1)
+        return [
+            ((float(self.xs[i]), float(self.ys[i])), (float(x1[i]), float(y1[i])))
+            for i in range(self.xs.size)
+        ]
+
+    @classmethod
+    def rectangle(cls, xmin: float, ymin: float, xmax: float, ymax: float) -> "Polygon":
+        """Axis-aligned rectangle polygon."""
+        if xmax <= xmin or ymax <= ymin:
+            raise DataError("rectangle must have positive width and height")
+        return cls([(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Polygon(n={len(self)}, bbox={self.bbox})"

@@ -1,0 +1,103 @@
+"""Spatial resolutions and the compatibility DAG of Figure 6 (left).
+
+The paper's spatial DAG::
+
+    GPS -> zip code ------.
+    GPS -> neighborhood ---+--> city
+    GPS -> city -----------'
+
+Zip code and neighborhood are *incompatible* (neither nests in the other), so
+a pair of functions at those two resolutions is evaluated at the city scale.
+GPS is a native input resolution only; evaluation happens at zip code,
+neighborhood and city (the solid lines of Fig. 6).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import total_ordering
+
+
+@total_ordering
+class SpatialResolution(Enum):
+    """Granularity of the spatial axis, orderable from finest to coarsest."""
+
+    GPS = "gps"
+    ZIP = "zip"
+    NEIGHBORHOOD = "neighborhood"
+    CITY = "city"
+
+    @property
+    def rank(self) -> int:
+        """Position in a finest-to-coarsest order (GPS=0 ... city=3).
+
+        ZIP and NEIGHBORHOOD share the middle of the hierarchy; their mutual
+        order (zip before neighborhood) is arbitrary and only used for
+        deterministic iteration, never for convertibility.
+        """
+        return _RANK[self]
+
+    def __lt__(self, other: "SpatialResolution") -> bool:
+        if not isinstance(other, SpatialResolution):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def convertible_to(self, other: "SpatialResolution") -> bool:
+        """True iff data at this resolution can be aggregated to ``other``."""
+        return other in _EDGES[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpatialResolution.{self.name}"
+
+
+_RANK = {
+    SpatialResolution.GPS: 0,
+    SpatialResolution.ZIP: 1,
+    SpatialResolution.NEIGHBORHOOD: 2,
+    SpatialResolution.CITY: 3,
+}
+
+_EDGES: dict[SpatialResolution, frozenset[SpatialResolution]] = {
+    SpatialResolution.GPS: frozenset(
+        {
+            SpatialResolution.GPS,
+            SpatialResolution.ZIP,
+            SpatialResolution.NEIGHBORHOOD,
+            SpatialResolution.CITY,
+        }
+    ),
+    SpatialResolution.ZIP: frozenset({SpatialResolution.ZIP, SpatialResolution.CITY}),
+    SpatialResolution.NEIGHBORHOOD: frozenset(
+        {SpatialResolution.NEIGHBORHOOD, SpatialResolution.CITY}
+    ),
+    SpatialResolution.CITY: frozenset({SpatialResolution.CITY}),
+}
+
+#: Resolutions at which relationships are evaluated (Fig. 6 solid lines).
+EVALUATION_SPATIAL = (
+    SpatialResolution.ZIP,
+    SpatialResolution.NEIGHBORHOOD,
+    SpatialResolution.CITY,
+)
+
+
+def viable_spatial_resolutions(
+    native: SpatialResolution,
+) -> tuple[SpatialResolution, ...]:
+    """Evaluation resolutions reachable from a data set's native resolution."""
+    return tuple(r for r in EVALUATION_SPATIAL if native.convertible_to(r))
+
+
+def common_spatial_resolutions(
+    a: SpatialResolution, b: SpatialResolution
+) -> tuple[SpatialResolution, ...]:
+    """Evaluation resolutions both ``a`` and ``b`` convert to, finest first.
+
+    E.g. neighborhood vs. zip code -> (city,) because the two middle layers
+    are incompatible (§5.1 and Fig. 6).
+    """
+    return tuple(
+        r
+        for r in EVALUATION_SPATIAL
+        if a.convertible_to(r) and b.convertible_to(r)
+    )

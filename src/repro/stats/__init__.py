@@ -1,0 +1,18 @@
+"""Statistics toolbox: 1-D 2-means, box plots, F-scores, descriptives."""
+
+from .boxplot import BoxPlotStats, boxplot_stats
+from .descriptive import iqr, shannon_entropy, z_normalize
+from .fscore import F1Result, f1_from_counts
+from .kmeans import TwoMeansResult, two_means
+
+__all__ = [
+    "BoxPlotStats",
+    "boxplot_stats",
+    "F1Result",
+    "f1_from_counts",
+    "TwoMeansResult",
+    "two_means",
+    "iqr",
+    "shannon_entropy",
+    "z_normalize",
+]

@@ -1,0 +1,47 @@
+"""Box-plot statistics: quartiles, IQR and Tukey outlier fences.
+
+§3.3 identifies *extreme* features with the standard box-plot rule: a salient
+minimum is extreme if its function value lies below ``Q1 - 1.5 * IQR``; a
+salient maximum if above ``Q3 + 1.5 * IQR``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import DataError
+
+
+@dataclass(frozen=True)
+class BoxPlotStats:
+    """Quartiles and Tukey fences of a sample."""
+
+    q1: float
+    median: float
+    q3: float
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range ``Q3 - Q1``."""
+        return self.q3 - self.q1
+
+    def lower_fence(self, k: float = 1.5) -> float:
+        """``Q1 - k * IQR`` — values below are outliers (extreme minima)."""
+        return self.q1 - k * self.iqr
+
+    def upper_fence(self, k: float = 1.5) -> float:
+        """``Q3 + k * IQR`` — values above are outliers (extreme maxima)."""
+        return self.q3 + k * self.iqr
+
+
+def boxplot_stats(values: np.ndarray) -> BoxPlotStats:
+    """Compute quartiles of ``values`` (linear interpolation, NaNs rejected)."""
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if vals.size == 0:
+        raise DataError("boxplot_stats needs at least one value")
+    if np.isnan(vals).any():
+        raise DataError("boxplot_stats input contains NaN")
+    q1, med, q3 = np.percentile(vals, [25.0, 50.0, 75.0])
+    return BoxPlotStats(q1=float(q1), median=float(med), q3=float(q3))

@@ -1,0 +1,46 @@
+"""Small descriptive-statistics helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import DataError
+
+
+def z_normalize(values: np.ndarray) -> np.ndarray:
+    """Zero-mean unit-variance normalization (constant input -> zeros).
+
+    Used by the normalized DTW baseline (Appendix D), which requires
+    Z-normalized series before computing warping distances.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    std = vals.std()
+    if std == 0.0:
+        return np.zeros_like(vals)
+    return (vals - vals.mean()) / std
+
+
+def shannon_entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy (nats) of a discrete distribution.
+
+    Zero-probability cells contribute nothing; probabilities must sum to ~1.
+    """
+    p = np.asarray(probabilities, dtype=np.float64).ravel()
+    if p.size == 0:
+        raise DataError("entropy of an empty distribution is undefined")
+    if (p < 0).any():
+        raise DataError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise DataError(f"probabilities must sum to 1 (got {total:.6f})")
+    nz = p[p > 0]
+    return float(-(nz * np.log(nz)).sum())
+
+
+def iqr(values: np.ndarray) -> float:
+    """Inter-quartile range of ``values``."""
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if vals.size == 0:
+        raise DataError("iqr needs at least one value")
+    q1, q3 = np.percentile(vals, [25.0, 75.0])
+    return float(q3 - q1)

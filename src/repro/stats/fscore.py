@@ -1,0 +1,43 @@
+"""Precision, recall and the F1 score (relationship strength ρ, §2.3).
+
+The paper models the feature set of one function as a binary classifier for
+the feature set of the other: true positives are feature-related points
+(Σ = Σ1 ∩ Σ2), false positives are features of f1 not matched in f2, false
+negatives are features of f2 not matched in f1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class F1Result:
+    """Precision/recall/F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def f1_from_counts(true_positive: int, n_predicted: int, n_actual: int) -> F1Result:
+    """F1 from set cardinalities.
+
+    Parameters
+    ----------
+    true_positive:
+        ``|Σ1 ∩ Σ2|``.
+    n_predicted:
+        ``|Σ1|`` (features of the first function).
+    n_actual:
+        ``|Σ2|`` (features of the second function).
+
+    All-empty inputs yield zeros rather than dividing by zero: two functions
+    with no features are reported as having no relationship strength.
+    """
+    precision = true_positive / n_predicted if n_predicted else 0.0
+    recall = true_positive / n_actual if n_actual else 0.0
+    if precision + recall == 0.0:
+        return F1Result(precision=precision, recall=recall, f1=0.0)
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return F1Result(precision=precision, recall=recall, f1=f1)

@@ -1,0 +1,82 @@
+"""Exact 1-D two-means clustering.
+
+§3.3 selects salient-feature thresholds by clustering the persistence values
+of the extrema into two groups (k-means with k = 2) and keeping the
+high-persistence cluster.  In one dimension the optimal 2-means solution is a
+single split point of the sorted values, so instead of Lloyd iterations we
+scan all n-1 splits with prefix sums and return the split minimizing the
+within-cluster sum of squared errors — deterministic and exactly optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import DataError
+
+
+@dataclass(frozen=True)
+class TwoMeansResult:
+    """Result of :func:`two_means`.
+
+    Attributes
+    ----------
+    labels:
+        0 for the low cluster, 1 for the high cluster, aligned with the input.
+    centers:
+        ``(low_mean, high_mean)``.
+    split_value:
+        Smallest input value assigned to the high cluster.
+    inertia:
+        Total within-cluster sum of squared errors.
+    """
+
+    labels: np.ndarray
+    centers: tuple[float, float]
+    split_value: float
+    inertia: float
+
+
+def two_means(values: np.ndarray) -> TwoMeansResult:
+    """Optimal 1-D 2-means clustering of ``values``.
+
+    Raises
+    ------
+    DataError
+        If fewer than two values are supplied (no split exists).
+    """
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if vals.size < 2:
+        raise DataError("two_means needs at least 2 values")
+    order = np.argsort(vals, kind="stable")
+    sorted_vals = vals[order]
+
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_vals)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(sorted_vals**2)))
+    n = sorted_vals.size
+
+    # Split after position k (low cluster = first k values, k = 1 .. n-1).
+    k = np.arange(1, n, dtype=np.float64)
+    low_sum = prefix[1:n]
+    low_sq = prefix_sq[1:n]
+    high_sum = prefix[n] - low_sum
+    high_sq = prefix_sq[n] - low_sq
+    sse = (low_sq - low_sum**2 / k) + (high_sq - high_sum**2 / (n - k))
+    best = int(np.argmin(sse))
+    split_after = best + 1
+
+    labels_sorted = np.zeros(n, dtype=np.int64)
+    labels_sorted[split_after:] = 1
+    labels = np.empty(n, dtype=np.int64)
+    labels[order] = labels_sorted
+
+    low_mean = float(low_sum[best] / split_after)
+    high_mean = float(high_sum[best] / (n - split_after))
+    return TwoMeansResult(
+        labels=labels,
+        centers=(low_mean, high_mean),
+        split_value=float(sorted_vals[split_after]),
+        inertia=float(sse[best]),
+    )

@@ -1,0 +1,60 @@
+"""Synthetic urban data: the NYC Urban / NYC Open replicas with ground truth."""
+
+from .bikes import bike_dataset, bike_hourly_rate
+from .collection import (
+    URBAN_DATASETS,
+    UrbanCollection,
+    nyc_open_collection,
+    nyc_urban_collection,
+)
+from .collisions import collision_hourly_rate, collisions_dataset
+from .config import DEFAULT_START, SimulationConfig, default_city
+from .events import (
+    Incident,
+    WeatherTimeline,
+    holiday_factor,
+    incident_boost_matrix,
+    simulate_incidents,
+    simulate_weather,
+)
+from .gas import gas_price_hourly, gas_price_weekly, gas_prices_dataset
+from .services import calls_911_dataset, complaints_311_dataset
+from .sim import CitySimulation
+from .taxi import HURRICANE_WIND, taxi_dataset, taxi_hourly_rate
+from .traffic import traffic_dataset, traffic_speed_hourly
+from .twitter import twitter_dataset
+from .weather import CORE_ATTRIBUTES, weather_dataset
+
+__all__ = [
+    "SimulationConfig",
+    "DEFAULT_START",
+    "default_city",
+    "CitySimulation",
+    "WeatherTimeline",
+    "Incident",
+    "simulate_weather",
+    "simulate_incidents",
+    "incident_boost_matrix",
+    "holiday_factor",
+    "URBAN_DATASETS",
+    "UrbanCollection",
+    "nyc_urban_collection",
+    "nyc_open_collection",
+    "weather_dataset",
+    "CORE_ATTRIBUTES",
+    "taxi_dataset",
+    "taxi_hourly_rate",
+    "HURRICANE_WIND",
+    "bike_dataset",
+    "bike_hourly_rate",
+    "collisions_dataset",
+    "collision_hourly_rate",
+    "complaints_311_dataset",
+    "calls_911_dataset",
+    "traffic_dataset",
+    "traffic_speed_hourly",
+    "twitter_dataset",
+    "gas_prices_dataset",
+    "gas_price_weekly",
+    "gas_price_hourly",
+]

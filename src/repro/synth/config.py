@@ -1,0 +1,80 @@
+"""Simulation configuration shared by all synthetic data generators.
+
+The synthetic collections replace the paper's real NYC data (Table 1); see
+DESIGN.md §1.3 for the substitution rationale.  A single
+:class:`SimulationConfig` fixes the simulated period, the city layout and the
+global record-volume scale so that every data set of a collection describes
+the *same* simulated city.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..spatial.city import CityModel
+from ..utils.errors import DataError
+
+#: Epoch seconds of 2011-01-03 00:00:00 UTC (a Monday) — the default
+#: simulation start; starting on a Monday keeps week buckets aligned with
+#: the weekly activity profile.
+DEFAULT_START = 1294012800
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulated city-year.
+
+    Attributes
+    ----------
+    start:
+        Simulation start, epoch seconds (hour-aligned).
+    n_days:
+        Length of the simulated period.
+    seed:
+        Master seed; generators derive independent substreams from it.
+    scale:
+        Global record-volume multiplier (1.0 ≈ tens of thousands of taxi
+        records per simulated month; tests use much smaller values).
+    """
+
+    start: int = DEFAULT_START
+    n_days: int = 120
+    seed: int = 7
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise DataError("simulation needs at least one day")
+        if self.start % 3600 != 0:
+            raise DataError("simulation start must be hour-aligned")
+        if self.scale <= 0:
+            raise DataError("scale must be positive")
+
+    @property
+    def n_hours(self) -> int:
+        """Number of simulated hours."""
+        return self.n_days * 24
+
+    def hour_timestamps(self) -> np.ndarray:
+        """Epoch seconds of each simulated hour's start."""
+        return self.start + 3600 * np.arange(self.n_hours, dtype=np.int64)
+
+    def day_of_week(self) -> np.ndarray:
+        """Day-of-week (0=Monday) per simulated hour."""
+        days = (self.hour_timestamps() // 86400 + 3) % 7  # epoch day 0 = Thu
+        return days.astype(np.int64)
+
+    def hour_of_day(self) -> np.ndarray:
+        """Hour-of-day (0-23) per simulated hour."""
+        return ((self.hour_timestamps() // 3600) % 24).astype(np.int64)
+
+    def day_index(self) -> np.ndarray:
+        """Simulated-day index (0-based) per simulated hour."""
+        return np.arange(self.n_hours, dtype=np.int64) // 24
+
+
+def default_city() -> CityModel:
+    """The synthetic city used by the NYC Urban replica collection."""
+    return CityModel.synthetic()

@@ -1,0 +1,53 @@
+"""Synthetic gas-price data set (Table 1: city / week) and its latent walk.
+
+Gas prices follow a slow weekly random walk.  The same latent series feeds
+the taxi fare model (per-mile rates follow fuel costs at monthly lag-free
+aggregation), planting the §E.2 fare↔gas-price relationship.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.schema import DatasetSchema
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from ..utils.rng import ensure_rng
+from .config import SimulationConfig
+from .sim import CitySimulation
+
+
+def gas_price_weekly(cfg: SimulationConfig) -> np.ndarray:
+    """Latent weekly gas price (random walk around $3.2/gal), deterministic
+    in the simulation seed so the taxi generator sees the same series."""
+    rng = ensure_rng(cfg.seed + 41)
+    n_weeks = cfg.n_days // 7 + 2
+    steps = rng.normal(0.0, 0.06, n_weeks)
+    price = 3.2 + np.cumsum(steps)
+    return np.clip(price, 2.2, 4.8)
+
+
+def gas_price_hourly(cfg: SimulationConfig) -> np.ndarray:
+    """The weekly gas price expanded to the hourly grid."""
+    weekly = gas_price_weekly(cfg)
+    week_idx = np.arange(cfg.n_hours) // (24 * 7)
+    return weekly[np.clip(week_idx, 0, weekly.size - 1)]
+
+
+def gas_prices_dataset(sim: CitySimulation) -> Dataset:
+    """The gas-price data set: one record per simulated week."""
+    cfg = sim.config
+    weekly = gas_price_weekly(cfg)
+    n_weeks = max(1, cfg.n_days // 7)
+    timestamps = cfg.start + np.arange(n_weeks, dtype=np.int64) * 7 * 86400
+    schema = DatasetSchema(
+        name="gas_prices",
+        spatial_resolution=SpatialResolution.CITY,
+        temporal_resolution=TemporalResolution.WEEK,
+        numeric_attributes=("price",),
+        description="Average gasoline price in dollars per gallon",
+    )
+    return Dataset(
+        schema, timestamps=timestamps, numerics={"price": weekly[:n_weeks]}
+    )

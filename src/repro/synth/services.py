@@ -1,0 +1,50 @@
+"""Synthetic 311 and 911 service-call data sets (Table 1: GPS / second).
+
+Both follow the city's activity profile and share the localized-incident
+boosts with the collision generator, planting the §6.3/§E.2 relationships
+between collisions, 311 complaints and 911 calls at neighborhood
+resolutions.  Like the paper's data sets they expose only their density
+function (no numeric attributes).
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..data.schema import DatasetSchema
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from .sim import CitySimulation
+
+#: City-wide expected calls per hour at scale=1.0 and activity=1.0.
+RATE_311 = 30.0
+RATE_911 = 16.0
+
+
+def complaints_311_dataset(sim: CitySimulation) -> Dataset:
+    """Non-emergency service requests (311)."""
+    return _calls_dataset(sim, "complaints_311", RATE_311, baseline=0.5)
+
+
+def calls_911_dataset(sim: CitySimulation) -> Dataset:
+    """Emergency calls (911)."""
+    return _calls_dataset(sim, "calls_911", RATE_911, baseline=0.6)
+
+
+def _calls_dataset(
+    sim: CitySimulation, name: str, base_rate: float, baseline: float
+) -> Dataset:
+    cfg = sim.config
+    rng = sim.rng_for(name)
+    # Calls keep a floor of round-the-clock volume plus an activity-driven
+    # component; incidents boost the affected neighborhood sharply.
+    rate = base_rate * cfg.scale * (baseline + (1.0 - baseline) * sim.activity)
+    timestamps, x, y, _hour_idx = sim.sample_records(
+        rate, rng, regional_boost=sim.incident_boost
+    )
+    schema = DatasetSchema(
+        name=name,
+        spatial_resolution=SpatialResolution.GPS,
+        temporal_resolution=TemporalResolution.SECOND,
+        description=f"Records from {name.split('_')[-1]} (synthetic)",
+    )
+    return Dataset(schema, timestamps=timestamps, x=x, y=y)

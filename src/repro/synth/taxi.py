@@ -1,0 +1,96 @@
+"""Synthetic taxi data set (Table 1: GPS / second) with planted relationships.
+
+The trip rate follows the city's activity profile and is suppressed by
+
+* precipitation (the §6.3 "fewer taxis when it rains", τ < 0),
+* hurricanes (the Fig. 1 drops; extreme-channel wind↔trips, τ = −1),
+* holidays (weather-independent drops keeping the extreme ρ low),
+* snow depth (drivers avoid accumulated snow, §E.2).
+
+Average fare *rises* with precipitation (the target-earner hypothesis test,
+τ > 0) and follows the latent gas-price walk at coarse resolutions (§E.2).
+A ``tax`` attribute is constant up to noise — the paper's example of a
+spurious attribute whose apparent relationships must be pruned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.schema import DatasetSchema
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from .gas import gas_price_hourly
+from .sim import CitySimulation
+
+#: City-wide expected trips per hour at scale=1.0 and activity=1.0.
+BASE_RATE = 60.0
+
+#: Wind speed (latent units) above which the hurricane suppression applies.
+HURRICANE_WIND = 30.0
+
+
+def taxi_hourly_rate(sim: CitySimulation) -> np.ndarray:
+    """Expected city-wide trips per hour (the latent taxi-demand signal)."""
+    cfg = sim.config
+    w = sim.weather
+    rate = BASE_RATE * cfg.scale * sim.activity
+    rate = rate / (1.0 + 0.18 * w.precipitation)
+    rate = rate / (1.0 + 0.25 * w.snow_depth)
+    rate = np.where(w.wind_speed > HURRICANE_WIND, rate * 0.08, rate)
+    return rate
+
+
+def taxi_dataset(sim: CitySimulation, n_medallions: int = 120) -> Dataset:
+    """The taxi data set: trip records with fares, mileage and medallions."""
+    cfg = sim.config
+    w = sim.weather
+    rng = sim.rng_for("taxi")
+    rate = taxi_hourly_rate(sim)
+    timestamps, x, y, hour_idx = sim.sample_records(rate, rng)
+    n = timestamps.size
+
+    # Fewer distinct medallions work during bad weather: the active pool
+    # shrinks with precipitation and snow depth (plants the unique-medallion
+    # relationships of §6.3/E.2).
+    pool_fraction = 1.0 / (1.0 + 0.15 * w.precipitation + 0.2 * w.snow_depth)
+    pool_size = np.maximum(5, (n_medallions * pool_fraction).astype(np.int64))
+    medallions = rng.integers(0, pool_size[hour_idx], n)
+
+    miles = np.clip(rng.lognormal(0.8, 0.55, n), 0.3, 30.0)
+    duration = miles * rng.uniform(3.5, 7.5, n) + rng.uniform(1.0, 6.0, n)
+    gas = gas_price_hourly(cfg)
+    precip = w.precipitation[hour_idx]
+    fare = (
+        4.0
+        + 2.2 * miles
+        + 0.55 * precip
+        + 2.5 * (gas[hour_idx] - gas.mean())
+        + rng.normal(0.0, 0.8, n)
+    )
+    tip = np.clip(fare * rng.beta(2.0, 10.0, n), 0.0, None)
+    tax = 0.5 + rng.normal(0.0, 0.01, n)  # flat fee: deliberately unrelated
+
+    schema = DatasetSchema(
+        name="taxi",
+        spatial_resolution=SpatialResolution.GPS,
+        temporal_resolution=TemporalResolution.SECOND,
+        key_attributes=("medallion",),
+        numeric_attributes=("fare", "miles", "duration", "tip", "tax"),
+        description="Trip data from taxicabs (synthetic TLC analogue)",
+    )
+    return Dataset(
+        schema,
+        timestamps=timestamps,
+        x=x,
+        y=y,
+        keys={"medallion": np.char.add("M", medallions.astype(str))},
+        numerics={
+            "fare": np.clip(fare, 2.5, None),
+            "miles": miles,
+            "duration": duration,
+            "tip": tip,
+            "tax": tax,
+        },
+    )

@@ -1,0 +1,77 @@
+"""Synthetic traffic-speed data set (Table 1: GPS / hour) and its latent speed.
+
+Average street speed is driven down by taxi demand (the §6.3 trips↔speed
+negative relationship) and up by visibility (the §E.2 visibility↔speed
+positive relationship).  The latent hourly speed is shared with the
+collision generator (motorists injured relate to speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.schema import DatasetSchema
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from .sim import CitySimulation
+from .taxi import taxi_hourly_rate
+
+
+def traffic_speed_hourly(sim: CitySimulation) -> np.ndarray:
+    """Latent city-wide average speed (mph) per hour."""
+    w = sim.weather
+    demand = taxi_hourly_rate(sim)
+    demand_norm = demand / max(demand.max(), 1e-9)
+    speed = 30.0 - 14.0 * demand_norm + 0.7 * (w.visibility - 10.0)
+    return np.clip(speed, 4.0, 45.0)
+
+
+def traffic_dataset(sim: CitySimulation, n_sensors: int = 40) -> Dataset:
+    """Hourly speed readings from fixed roadside sensors.
+
+    Each sensor sits at a fixed GPS location (popular neighborhoods get more
+    sensors) and reports once per hour: density is nearly constant while the
+    speed attribute carries the signal — matching the real data set's two
+    scalar functions.
+    """
+    cfg = sim.config
+    rng = sim.rng_for("traffic")
+    speed = traffic_speed_hourly(sim)
+
+    nbhd = sim.city.region_set(SpatialResolution.NEIGHBORHOOD)
+    sensor_region = rng.choice(
+        len(nbhd), size=n_sensors, p=sim.nbhd_weights / sim.nbhd_weights.sum()
+    )
+    sx = np.empty(n_sensors)
+    sy = np.empty(n_sensors)
+    for i, r in enumerate(sensor_region):
+        bbox = nbhd.polygons[r].bbox
+        sx[i] = rng.uniform(bbox.xmin, bbox.xmax)
+        sy[i] = rng.uniform(bbox.ymin, bbox.ymax)
+
+    hours = np.arange(cfg.n_hours, dtype=np.int64)
+    hour_idx = np.repeat(hours, n_sensors)
+    sensor_idx = np.tile(np.arange(n_sensors), cfg.n_hours)
+    # Sensors occasionally drop readings (2%), exercising missing data.
+    keep = rng.uniform(0.0, 1.0, hour_idx.size) > 0.02
+    hour_idx = hour_idx[keep]
+    sensor_idx = sensor_idx[keep]
+
+    timestamps = cfg.start + hour_idx * 3600
+    readings = speed[hour_idx] * rng.uniform(0.85, 1.15, hour_idx.size)
+
+    schema = DatasetSchema(
+        name="traffic_speed",
+        spatial_resolution=SpatialResolution.GPS,
+        temporal_resolution=TemporalResolution.HOUR,
+        numeric_attributes=("speed",),
+        description="Average street speed from roadside sensors (synthetic)",
+    )
+    return Dataset(
+        schema,
+        timestamps=timestamps,
+        x=sx[sensor_idx],
+        y=sy[sensor_idx],
+        numerics={"speed": readings},
+    )

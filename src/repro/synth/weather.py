@@ -1,0 +1,54 @@
+"""Synthetic NCEI-style weather data set (Table 1: city / hour).
+
+One record per simulated hour with the weather fields of the latent
+timeline.  The real data set has 228 numeric attributes; pass
+``extra_attributes`` to pad with autocorrelated noise channels when the
+benchmark needs attribute volume (the extra channels are *not* related to
+anything, exercising the pruning path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.schema import DatasetSchema
+from ..spatial.resolution import SpatialResolution
+from ..temporal.resolution import TemporalResolution
+from .sim import CitySimulation
+
+CORE_ATTRIBUTES = (
+    "temperature",
+    "precipitation",
+    "wind_speed",
+    "snow",
+    "snow_depth",
+    "visibility",
+    "humidity",
+    "pressure",
+)
+
+
+def weather_dataset(sim: CitySimulation, extra_attributes: int = 0) -> Dataset:
+    """The weather data set of the collection."""
+    cfg = sim.config
+    w = sim.weather
+    rng = sim.rng_for("weather")
+
+    numerics: dict[str, np.ndarray] = {
+        name: getattr(w, name).astype(np.float64) for name in CORE_ATTRIBUTES
+    }
+    for i in range(extra_attributes):
+        noise = rng.normal(0.0, 1.0, cfg.n_hours)
+        # Smooth into an autocorrelated channel so it looks like a sensor.
+        kernel = np.ones(6) / 6.0
+        numerics[f"sensor_{i:03d}"] = np.convolve(noise, kernel, mode="same")
+
+    schema = DatasetSchema(
+        name="weather",
+        spatial_resolution=SpatialResolution.CITY,
+        temporal_resolution=TemporalResolution.HOUR,
+        numeric_attributes=tuple(numerics),
+        description="Comprehensive weather data (synthetic NCEI analogue)",
+    )
+    return Dataset(schema, timestamps=cfg.hour_timestamps(), numerics=numerics)

@@ -1,0 +1,18 @@
+"""Temporal substrate: resolutions, bucketing, and seasonal intervals."""
+
+from .intervals import interval_slices, seasonal_interval_ids
+from .resolution import (
+    EVALUATION_TEMPORAL,
+    TemporalResolution,
+    common_temporal_resolutions,
+    viable_temporal_resolutions,
+)
+
+__all__ = [
+    "TemporalResolution",
+    "EVALUATION_TEMPORAL",
+    "common_temporal_resolutions",
+    "viable_temporal_resolutions",
+    "seasonal_interval_ids",
+    "interval_slices",
+]

@@ -1,0 +1,76 @@
+"""Seasonal intervals for threshold computation (paper §3.3, §5.2).
+
+Feature thresholds must adapt to the time of year: zero snow depth is normal
+in July and an event in January.  The paper divides the time range of a
+function into intervals and computes thresholds per interval:
+
+* hourly functions  -> monthly intervals,
+* daily functions   -> quarter-yearly intervals,
+* weekly & monthly functions -> a single global interval.
+
+This module maps a contiguous range of time-step indices at a given temporal
+resolution onto those interval labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .resolution import TemporalResolution
+
+
+def seasonal_interval_ids(
+    resolution: TemporalResolution, step_indices: np.ndarray
+) -> np.ndarray:
+    """Seasonal-interval label for each time-step index.
+
+    Parameters
+    ----------
+    resolution:
+        Temporal resolution of the time steps.
+    step_indices:
+        Integer bucket indices as produced by
+        :meth:`TemporalResolution.bucket`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` labels; steps sharing a label share feature thresholds.
+        Labels are arbitrary but consistent (month index for hourly data,
+        quarter index for daily data, all-zero otherwise).
+    """
+    steps = np.asarray(step_indices, dtype=np.int64)
+    if resolution is TemporalResolution.HOUR:
+        months = (
+            TemporalResolution.HOUR.bucket_start(steps)
+            .astype("datetime64[s]")
+            .astype("datetime64[M]")
+            .astype(np.int64)
+        )
+        return months
+    if resolution is TemporalResolution.DAY:
+        months = (
+            TemporalResolution.DAY.bucket_start(steps)
+            .astype("datetime64[s]")
+            .astype("datetime64[M]")
+            .astype(np.int64)
+        )
+        return months // 3
+    return np.zeros(steps.shape, dtype=np.int64)
+
+
+def interval_slices(labels: np.ndarray) -> list[np.ndarray]:
+    """Group positions of a label array into per-interval index arrays.
+
+    The input is assumed ordered by time (labels non-decreasing for calendar
+    intervals); the output preserves first-appearance order of labels.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    order: list[np.int64] = []
+    seen: set[int] = set()
+    for lab in labels:
+        key = int(lab)
+        if key not in seen:
+            seen.add(key)
+            order.append(lab)
+    return [np.flatnonzero(labels == lab) for lab in order]

@@ -1,0 +1,141 @@
+"""Temporal resolutions and the conversion DAG of Figure 6 (right).
+
+Timestamps throughout the library are Unix epoch seconds (``int64``).  A
+*temporal resolution* buckets timestamps into consecutive integer time-step
+indices; the scalar-function machinery then works purely with those indices.
+
+The paper's DAG is::
+
+    second -> hour -> day -> week
+                       `---> month
+
+Weeks do not nest inside months, so there is no ``week -> month`` edge: the
+two are incompatible and only meet again at coarser aggregation of the *data*
+(not of already-bucketed series).  ``second`` is a native input resolution; the
+resolutions used for relationship evaluation are hour, day, week and month,
+mirroring the solid lines in Figure 6.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import total_ordering
+
+import numpy as np
+
+_SECONDS_PER = {
+    "second": 1,
+    "hour": 3600,
+    "day": 86400,
+    "week": 604800,
+}
+
+
+@total_ordering
+class TemporalResolution(Enum):
+    """Granularity of the time axis, orderable from finest to coarsest."""
+
+    SECOND = "second"
+    HOUR = "hour"
+    DAY = "day"
+    WEEK = "week"
+    MONTH = "month"
+
+    @property
+    def rank(self) -> int:
+        """Position in the finest-to-coarsest order (second=0 ... month=4)."""
+        return _RANK[self]
+
+    def __lt__(self, other: "TemporalResolution") -> bool:
+        if not isinstance(other, TemporalResolution):
+            return NotImplemented
+        return self.rank < other.rank
+
+    # -- bucketing ---------------------------------------------------------
+
+    def bucket(self, timestamps: np.ndarray) -> np.ndarray:
+        """Map epoch-second timestamps to integer time-step indices.
+
+        Indices are anchored at the Unix epoch (bucket 0 contains 1970-01-01
+        00:00:00 UTC), so the same timestamp always lands in the same bucket
+        regardless of the data set it came from.
+        """
+        ts = np.asarray(timestamps, dtype=np.int64)
+        if self is TemporalResolution.MONTH:
+            months = ts.astype("datetime64[s]").astype("datetime64[M]")
+            return months.astype(np.int64)
+        return ts // _SECONDS_PER[self.value]
+
+    def bucket_start(self, indices: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`bucket`: epoch seconds of each bucket's start."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if self is TemporalResolution.MONTH:
+            months = idx.astype("datetime64[M]")
+            return months.astype("datetime64[s]").astype(np.int64)
+        return idx * _SECONDS_PER[self.value]
+
+    def seconds(self) -> int:
+        """Nominal bucket width in seconds (months use 30 days)."""
+        if self is TemporalResolution.MONTH:
+            return 30 * 86400
+        return _SECONDS_PER[self.value]
+
+    # -- DAG ---------------------------------------------------------------
+
+    def convertible_to(self, other: "TemporalResolution") -> bool:
+        """True iff data at this resolution can be re-bucketed at ``other``.
+
+        Follows the paper's DAG: every resolution converts to itself, finer
+        resolutions convert to coarser ones, *except* week -> month (and
+        month -> week), which do not nest.
+        """
+        if self is other:
+            return True
+        if self.rank > other.rank:
+            return False
+        if self is TemporalResolution.WEEK and other is TemporalResolution.MONTH:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TemporalResolution.{self.name}"
+
+
+_RANK = {
+    TemporalResolution.SECOND: 0,
+    TemporalResolution.HOUR: 1,
+    TemporalResolution.DAY: 2,
+    TemporalResolution.WEEK: 3,
+    TemporalResolution.MONTH: 4,
+}
+
+#: Resolutions at which relationships are evaluated (Fig. 6 solid lines).
+EVALUATION_TEMPORAL = (
+    TemporalResolution.HOUR,
+    TemporalResolution.DAY,
+    TemporalResolution.WEEK,
+    TemporalResolution.MONTH,
+)
+
+
+def viable_temporal_resolutions(
+    native: TemporalResolution,
+) -> tuple[TemporalResolution, ...]:
+    """Evaluation resolutions reachable from a data set's native resolution."""
+    return tuple(r for r in EVALUATION_TEMPORAL if native.convertible_to(r))
+
+
+def common_temporal_resolutions(
+    a: TemporalResolution, b: TemporalResolution
+) -> tuple[TemporalResolution, ...]:
+    """Evaluation resolutions both ``a`` and ``b`` convert to, finest first.
+
+    This is where two functions of different native resolutions meet: e.g.
+    hour vs. day -> (day, week, month).  Incompatible pairs (week vs. month)
+    yield an empty tuple; the relationship operator then skips the pair.
+    """
+    return tuple(
+        r
+        for r in EVALUATION_TEMPORAL
+        if a.convertible_to(r) and b.convertible_to(r)
+    )

@@ -1,0 +1,30 @@
+"""Shared utilities: bit vectors, RNG plumbing, timers, and errors."""
+
+from .bitvector import BitVector
+from .errors import (
+    DataError,
+    MapReduceError,
+    QueryError,
+    ReproError,
+    ResolutionError,
+    SchemaError,
+    TopologyError,
+)
+from .rng import RngLike, ensure_rng, spawn
+from .timer import Timer, timed
+
+__all__ = [
+    "BitVector",
+    "DataError",
+    "MapReduceError",
+    "QueryError",
+    "ReproError",
+    "ResolutionError",
+    "SchemaError",
+    "TopologyError",
+    "RngLike",
+    "ensure_rng",
+    "spawn",
+    "Timer",
+    "timed",
+]

@@ -1,0 +1,228 @@
+"""Fixed-length bit vectors backed by ``numpy.uint64`` words.
+
+Appendix C of the paper represents each feature set as a bit vector over the
+vertices of the spatio-temporal domain graph so that feature-set intersections
+(the inner loop of relationship evaluation) become word-wise ``AND`` plus a
+popcount.  This module provides that representation.
+
+The vector length is fixed at construction; all binary operations require both
+operands to have the same length.  Bits beyond ``length`` inside the final
+word are guaranteed to be zero at all times, so popcounts never over-count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from .errors import DataError
+
+_WORD_BITS = 64
+
+
+class BitVector:
+    """A fixed-length sequence of bits with fast set-algebra operations.
+
+    Parameters
+    ----------
+    length:
+        Number of addressable bits.  May be zero.
+    words:
+        Optional pre-built ``uint64`` word array.  Used internally; callers
+        normally use :meth:`from_indices` / :meth:`from_bools` or start from
+        an empty vector and call :meth:`set`.
+    """
+
+    __slots__ = ("_length", "_words")
+
+    def __init__(self, length: int, words: np.ndarray | None = None) -> None:
+        if length < 0:
+            raise DataError(f"BitVector length must be >= 0, got {length}")
+        self._length = int(length)
+        n_words = (self._length + _WORD_BITS - 1) // _WORD_BITS
+        if words is None:
+            self._words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            if words.shape != (n_words,):
+                raise DataError(
+                    f"word array has shape {words.shape}, expected ({n_words},)"
+                )
+            self._words = words.astype(np.uint64, copy=False)
+            self._mask_tail()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterable[int]) -> "BitVector":
+        """Build a vector of ``length`` bits with the given ``indices`` set."""
+        vec = cls(length)
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if idx.size == 0:
+            return vec
+        if idx.min() < 0 or idx.max() >= length:
+            raise DataError("bit index out of range")
+        np.bitwise_or.at(
+            vec._words, idx // _WORD_BITS, np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+        )
+        return vec
+
+    @classmethod
+    def from_bools(cls, flags: np.ndarray) -> "BitVector":
+        """Build a vector from a boolean array (bit i set iff ``flags[i]``)."""
+        flags = np.asarray(flags, dtype=bool).ravel()
+        vec = cls(flags.size)
+        if flags.size == 0:
+            return vec
+        padded = np.zeros(vec._words.size * _WORD_BITS, dtype=bool)
+        padded[: flags.size] = flags
+        packed = np.packbits(padded.reshape(-1, _WORD_BITS)[:, ::-1], axis=1, bitorder="big")
+        vec._words = packed.view(np.uint64).byteswap().ravel()
+        vec._mask_tail()
+        return vec
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        """Build a vector with every bit set."""
+        vec = cls(length)
+        vec._words[:] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        vec._mask_tail()
+        return vec
+
+    # -- internal ----------------------------------------------------------
+
+    def _mask_tail(self) -> None:
+        tail = self._length % _WORD_BITS
+        if tail and self._words.size:
+            mask = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+            self._words[-1] &= mask
+
+    def _check_same_length(self, other: "BitVector") -> None:
+        if self._length != other._length:
+            raise DataError(
+                f"bit vector length mismatch: {self._length} vs {other._length}"
+            )
+
+    # -- element access ----------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of addressable bits."""
+        return self._length
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        if not 0 <= index < self._length:
+            raise DataError(f"bit index {index} out of range [0, {self._length})")
+        self._words[index // _WORD_BITS] |= np.uint64(1) << np.uint64(index % _WORD_BITS)
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0."""
+        if not 0 <= index < self._length:
+            raise DataError(f"bit index {index} out of range [0, {self._length})")
+        self._words[index // _WORD_BITS] &= ~(
+            np.uint64(1) << np.uint64(index % _WORD_BITS)
+        )
+
+    def __getitem__(self, index: int) -> bool:
+        if not 0 <= index < self._length:
+            raise DataError(f"bit index {index} out of range [0, {self._length})")
+        word = self._words[index // _WORD_BITS]
+        return bool((word >> np.uint64(index % _WORD_BITS)) & np.uint64(1))
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- set algebra ---------------------------------------------------------
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_same_length(other)
+        return BitVector(self._length, self._words & other._words)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_same_length(other)
+        return BitVector(self._length, self._words | other._words)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_same_length(other)
+        return BitVector(self._length, self._words ^ other._words)
+
+    def __invert__(self) -> "BitVector":
+        inverted = BitVector(self._length, ~self._words)
+        inverted._mask_tail()
+        return inverted
+
+    def difference(self, other: "BitVector") -> "BitVector":
+        """Bits set in ``self`` but not in ``other``."""
+        self._check_same_length(other)
+        return BitVector(self._length, self._words & ~other._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._words.tobytes()))
+
+    # -- counting ------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        if self._words.size == 0:
+            return 0
+        return int(np.bitwise_count(self._words).sum())
+
+    def intersection_count(self, other: "BitVector") -> int:
+        """``(self & other).count()`` without materializing the intersection."""
+        self._check_same_length(other)
+        if self._words.size == 0:
+            return 0
+        return int(np.bitwise_count(self._words & other._words).sum())
+
+    def any(self) -> bool:
+        """True iff at least one bit is set."""
+        return bool(np.any(self._words))
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted array of the indices of all set bits."""
+        return np.flatnonzero(self.to_bools())
+
+    def to_bools(self) -> np.ndarray:
+        """Boolean array of length :attr:`length` (bit i -> flags[i])."""
+        if self._length == 0:
+            return np.zeros(0, dtype=bool)
+        as_bytes = self._words.byteswap().view(np.uint8)
+        bits = np.unpackbits(as_bytes, bitorder="big").reshape(-1, _WORD_BITS)[:, ::-1]
+        return bits.ravel()[: self._length].astype(bool)
+
+    def permuted(self, mapping: np.ndarray) -> "BitVector":
+        """Return the vector with bit ``i`` moved to position ``mapping[i]``.
+
+        ``mapping`` must be a permutation of ``range(length)``.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape != (self._length,):
+            raise DataError("permutation length mismatch")
+        flags = self.to_bools()
+        out = np.zeros_like(flags)
+        out[mapping] = flags
+        return BitVector.from_bools(out)
+
+    def copy(self) -> "BitVector":
+        """Deep copy."""
+        return BitVector(self._length, self._words.copy())
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(self.to_bools().tolist())
+
+    def __repr__(self) -> str:
+        return f"BitVector(length={self._length}, set={self.count()})"
+
+    def nbytes(self) -> int:
+        """Storage footprint of the word array in bytes."""
+        return int(self._words.nbytes)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Data Polygamy reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A data set schema is inconsistent (duplicate names, bad roles, ...)."""
+
+
+class DataError(ReproError):
+    """Input data violates an invariant (shape mismatch, empty data set, ...)."""
+
+
+class ResolutionError(ReproError):
+    """A spatio-temporal resolution conversion is undefined or incompatible."""
+
+
+class TopologyError(ReproError):
+    """A merge-tree / level-set operation was asked of an invalid function."""
+
+
+class QueryError(ReproError):
+    """A relationship query is malformed (unknown data set, bad clause, ...)."""
+
+
+class MapReduceError(ReproError):
+    """A map-reduce job failed or was configured inconsistently."""

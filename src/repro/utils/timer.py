@@ -1,0 +1,44 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Use as a context manager; each entry/exit adds to :attr:`elapsed` and
+    increments :attr:`laps`, so a single timer can aggregate many timed
+    sections.
+    """
+
+    elapsed: float = 0.0
+    laps: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+        self.laps += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per lap (0.0 before the first lap)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Record the wall time of the ``with`` body into ``sink[key]`` (added)."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - start)

@@ -1,0 +1,119 @@
+"""Tests for the §8 extensions: categorical functions and the 3-torus test."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSet
+from repro.core.significance import significance_test
+from repro.data.aggregation import FunctionSpec, aggregate
+from repro.data.dataset import Dataset
+from repro.data.schema import DatasetSchema
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.adjacency import grid_adjacency
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError
+
+HOUR = 3600
+
+
+class TestCategoryFunctions:
+    def make_dataset(self):
+        schema = DatasetSchema(
+            "svc", SpatialResolution.CITY, TemporalResolution.SECOND,
+            key_attributes=("complaint_type",),
+        )
+        return Dataset(
+            schema,
+            timestamps=np.array([0, 10, 20, HOUR, HOUR + 1]),
+            keys={
+                "complaint_type": np.array(
+                    ["noise", "noise", "heat", "noise", "heat"]
+                )
+            },
+        )
+
+    def test_category_counts(self):
+        ds = self.make_dataset()
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("svc", "category", "complaint_type",
+                                category="noise")],
+        )
+        assert out.values[:, 0].tolist() == [2.0, 1.0]
+        assert out.spec.function_id == "svc.count.complaint_type=noise"
+
+    def test_category_counts_sum_to_density(self):
+        ds = self.make_dataset()
+        outs = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[
+                FunctionSpec("svc", "density"),
+                FunctionSpec("svc", "category", "complaint_type", category="noise"),
+                FunctionSpec("svc", "category", "complaint_type", category="heat"),
+            ],
+        )
+        density, noise, heat = (o.values for o in outs)
+        assert np.array_equal(noise + heat, density)
+
+    def test_category_needs_value(self):
+        with pytest.raises(DataError):
+            FunctionSpec("svc", "category", "complaint_type")
+
+    def test_category_needs_key_column(self):
+        schema = DatasetSchema(
+            "n", SpatialResolution.CITY, TemporalResolution.SECOND,
+            numeric_attributes=("v",),
+        )
+        ds = Dataset(
+            schema, timestamps=np.array([0]), numerics={"v": np.array([1.0])}
+        )
+        with pytest.raises(DataError):
+            aggregate(
+                ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+                specs=[FunctionSpec("n", "category", "v", category="1")],
+            )
+
+
+class TestSpatioTemporalTorus:
+    def make_pair(self, related, seed=0):
+        rng = np.random.default_rng(seed)
+        n_steps, n_regions = 50, 16
+        pos1 = rng.uniform(size=(n_steps, n_regions)) < 0.08
+        neg1 = (rng.uniform(size=(n_steps, n_regions)) < 0.08) & ~pos1
+        if related:
+            pos2, neg2 = pos1.copy(), neg1.copy()
+        else:
+            pos2 = rng.uniform(size=(n_steps, n_regions)) < 0.08
+            neg2 = (rng.uniform(size=(n_steps, n_regions)) < 0.08) & ~pos2
+        graph = DomainGraph(n_regions, n_steps, grid_adjacency(4, 4))
+        return FeatureSet(pos1, neg1), FeatureSet(pos2, neg2), graph
+
+    def test_aligned_features_significant(self):
+        fs1, fs2, graph = self.make_pair(related=True)
+        result = significance_test(
+            fs1, fs2, graph, n_permutations=150,
+            method="spatiotemporal_torus", seed=0,
+        )
+        assert result.method == "spatiotemporal_torus"
+        assert result.observed_score == pytest.approx(1.0)
+        assert result.is_significant()
+
+    def test_independent_features_not_significant(self):
+        fs1, fs2, graph = self.make_pair(related=False, seed=4)
+        result = significance_test(
+            fs1, fs2, graph, n_permutations=150,
+            method="spatiotemporal_torus", seed=0,
+        )
+        assert not result.is_significant()
+
+    def test_degenerates_to_rotation_for_time_series(self):
+        rng = np.random.default_rng(1)
+        mask = rng.uniform(size=(200, 1)) < 0.1
+        fs = FeatureSet(mask, np.zeros_like(mask))
+        graph = DomainGraph(1, 200)
+        result = significance_test(
+            fs, fs, graph, n_permutations=50,
+            method="spatiotemporal_torus", seed=0,
+        )
+        assert 0.0 < result.p_value <= 1.0

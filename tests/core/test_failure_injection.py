@@ -1,0 +1,125 @@
+"""Failure-injection tests: degenerate domains, empty data, edge geometries.
+
+The DESIGN.md testing strategy calls for explicit coverage of the inputs
+that break naive implementations: constant functions (no critical points
+beyond the perturbation), single-step and single-region domains, collections
+with no common resolution, and non-finite values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.features import FeatureExtractor
+from repro.core.relationship import evaluate_features
+from repro.core.scalar_function import ScalarFunction
+from repro.core.significance import significance_test
+from repro.data.dataset import Dataset
+from repro.data.schema import DatasetSchema
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.city import CityModel
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError
+
+
+class TestDegenerateFunctions:
+    def test_constant_function_produces_no_runaway_features(self):
+        sf = ScalarFunction.time_series("c.v", np.full(200, 3.0))
+        features = FeatureExtractor().extract(sf)
+        # One perturbed extremum pair exists, but the masks must not flood
+        # the domain (the guard drops >50% masks).
+        assert features.salient.n_features() <= sf.n_vertices // 2
+
+    def test_single_step_function(self):
+        graph = DomainGraph(4, 1, np.array([[0, 1], [1, 2], [2, 3]]))
+        sf = ScalarFunction(
+            "s.v", np.array([[1.0, 5.0, 2.0, 4.0]]), graph,
+            SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
+        )
+        features = FeatureExtractor().extract(sf)
+        assert features.salient.shape == (1, 4)
+
+    def test_single_vertex_function(self):
+        sf = ScalarFunction.time_series("one.v", [7.0])
+        features = FeatureExtractor().extract(sf)
+        assert features.salient.shape == (1, 1)
+
+    def test_non_finite_values_rejected(self):
+        graph = DomainGraph(1, 2)
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(DataError):
+                ScalarFunction(
+                    "bad.v", np.array([[1.0], [bad]]), graph,
+                    SpatialResolution.CITY, TemporalResolution.HOUR,
+                )
+
+    def test_two_point_significance(self):
+        sf = ScalarFunction.time_series("t.v", [1.0, 2.0])
+        features = FeatureExtractor().extract(sf)
+        result = significance_test(
+            features.salient, features.salient, sf.graph, n_permutations=10
+        )
+        assert 0.0 < result.p_value <= 1.0
+
+
+class TestMismatchedCollections:
+    def make_dataset(self, name, temporal, n, spacing):
+        schema = DatasetSchema(
+            name, SpatialResolution.CITY, temporal, numeric_attributes=("v",)
+        )
+        rng = np.random.default_rng(0)
+        return Dataset(
+            schema,
+            timestamps=np.arange(n, dtype=np.int64) * spacing,
+            numerics={"v": rng.normal(0, 1, n)},
+        )
+
+    def test_week_vs_month_native_pair_yields_no_evaluations(self):
+        weekly = self.make_dataset("w", TemporalResolution.WEEK, 30, 604800)
+        monthly = self.make_dataset("m", TemporalResolution.MONTH, 7, 2592000)
+        city = CityModel.synthetic(nbhd_grid=(2, 2), zip_grid=(2, 2))
+        index = Corpus([weekly, monthly], city).build_index()
+        result = index.query(n_permutations=10, seed=0)
+        # Incompatible native resolutions (Fig. 6): nothing to evaluate.
+        assert result.n_evaluated == 0
+        assert result.results == []
+
+    def test_disjoint_time_ranges_yield_no_evaluations(self):
+        early = self.make_dataset("early", TemporalResolution.DAY, 20, 86400)
+        schema = DatasetSchema(
+            "late", SpatialResolution.CITY, TemporalResolution.DAY,
+            numeric_attributes=("v",),
+        )
+        late = Dataset(
+            schema,
+            timestamps=(10_000 + np.arange(20, dtype=np.int64)) * 86400,
+            numerics={"v": np.random.default_rng(1).normal(0, 1, 20)},
+        )
+        city = CityModel.synthetic(nbhd_grid=(2, 2), zip_grid=(2, 2))
+        index = Corpus([early, late], city).build_index(
+            temporal=(TemporalResolution.DAY,)
+        )
+        result = index.query(n_permutations=10, seed=0)
+        assert result.n_evaluated == 0
+
+
+class TestEmptyFeatureInteractions:
+    def test_empty_vs_nonempty_features_unrelated(self):
+        from repro.core.features import FeatureSet
+
+        empty = FeatureSet.empty(10, 2)
+        other = FeatureSet.empty(10, 2)
+        other.positive[3, 1] = True
+        measures = evaluate_features(empty, other)
+        assert not measures.is_related
+        assert measures.score == 0.0
+        assert measures.strength == 0.0
+
+    def test_query_result_helpers_on_empty_result(self):
+        from repro.core.corpus import QueryResult
+
+        result = QueryResult()
+        assert result.top(5) == []
+        assert result.between("a", "b") == []
+        assert result.evaluations_per_minute == 0.0

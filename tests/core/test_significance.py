@@ -1,0 +1,243 @@
+"""Tests for the restricted Monte Carlo significance tests (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSet
+from repro.core.relationship import evaluate_features
+from repro.core.significance import (
+    adjacency_preservation,
+    rotation_scores_all,
+    significance_test,
+    toroidal_map,
+)
+from repro.graph.domain_graph import DomainGraph
+from repro.spatial.adjacency import grid_adjacency, neighbors_from_pairs
+from repro.utils.errors import DataError
+
+
+def time_series_features(pos_hours, neg_hours, n_steps):
+    pos = np.zeros((n_steps, 1), dtype=bool)
+    neg = np.zeros((n_steps, 1), dtype=bool)
+    pos[list(pos_hours), 0] = True
+    neg[list(neg_hours), 0] = True
+    return FeatureSet(pos, neg)
+
+
+def block_features(seed, n_steps, n_blocks=20, block_len=4):
+    """Two-signed block features: n_blocks positive + n_blocks negative runs.
+
+    Dense enough that a rotation null sees ~10 simultaneous block overlaps;
+    since each overlap's relation sign is a coin flip under the null,
+    P(|tau_k| = 1) ~ 2^(1-m) — decisively rare.
+    """
+    rng = np.random.default_rng(seed)
+    pos = np.zeros((n_steps, 1), dtype=bool)
+    neg = np.zeros((n_steps, 1), dtype=bool)
+    # Blocks are drawn from disjoint slots so positive and negative runs
+    # never overlap (tau* of the aligned pair is exactly 1).
+    slots = np.arange(n_steps // (2 * block_len))
+    chosen = rng.choice(slots, 2 * n_blocks, replace=False) * 2 * block_len
+    for s in chosen[:n_blocks]:
+        pos[s : s + block_len, 0] = True
+    for s in chosen[n_blocks:]:
+        neg[s : s + block_len, 0] = True
+    return FeatureSet(pos, neg)
+
+
+class TestRotationScores:
+    def test_fft_matches_explicit_roll(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        fs1 = FeatureSet(rng.uniform(size=(n, 2)) < 0.3, rng.uniform(size=(n, 2)) < 0.2)
+        fs2 = FeatureSet(rng.uniform(size=(n, 2)) < 0.25, rng.uniform(size=(n, 2)) < 0.3)
+        fft_scores = rotation_scores_all(fs1, fs2)
+        for k in range(1, n):
+            rolled = FeatureSet(
+                np.roll(fs2.positive, k, axis=0), np.roll(fs2.negative, k, axis=0)
+            )
+            p1, n1 = fs1.positive, fs1.negative
+            p2, n2 = rolled.positive, rolled.negative
+            pp = np.count_nonzero(p1 & p2) + np.count_nonzero(n1 & n2)
+            pn = np.count_nonzero(p1 & n2) + np.count_nonzero(n1 & p2)
+            sig = np.count_nonzero((p1 | n1) & (p2 | n2))
+            expected = (pp - pn) / sig if sig else 0.0
+            assert fft_scores[k - 1] == pytest.approx(expected, abs=1e-9)
+
+    def test_zero_shift_excluded(self):
+        fs1 = time_series_features([3], [], 10)
+        fs2 = time_series_features([3], [], 10)
+        scores = rotation_scores_all(fs1, fs2)
+        assert scores.size == 9
+
+
+class TestSignificanceTemporal:
+    def test_planted_relationship_is_significant(self):
+        # Sign-aligned block features: rotations scramble the sign
+        # alignment, so tau* = 1 is rare under the null.
+        fs1 = block_features(seed=1, n_steps=1000)
+        fs2 = FeatureSet(fs1.positive.copy(), fs1.negative.copy())
+        graph = DomainGraph(1, 1000)
+        result = significance_test(fs1, fs2, graph, n_permutations=400, seed=0)
+        assert result.method == "temporal_rotation"
+        assert result.observed_score == pytest.approx(1.0)
+        assert result.is_significant()
+
+    def test_disjoint_features_not_significant(self):
+        fs1 = time_series_features(range(0, 100, 10), [], 100)
+        fs2 = time_series_features(range(5, 100, 10), [], 100)
+        graph = DomainGraph(1, 100)
+        result = significance_test(fs1, fs2, graph, n_permutations=99, seed=0)
+        assert result.observed_score == 0.0
+        assert not result.is_significant()
+
+    def test_alternative_validation(self):
+        fs = time_series_features([1], [], 10)
+        graph = DomainGraph(1, 10)
+        with pytest.raises(DataError):
+            significance_test(fs, fs, graph, alternative="weird")
+
+    def test_shape_mismatch_rejected(self):
+        graph = DomainGraph(1, 10)
+        with pytest.raises(DataError):
+            significance_test(
+                time_series_features([1], [], 10),
+                time_series_features([1], [], 11),
+                graph,
+            )
+
+    def test_left_and_right_tails(self):
+        fs1 = block_features(seed=3, n_steps=1000)
+        fs2 = FeatureSet(fs1.negative.copy(), fs1.positive.copy())  # sign-flipped
+        graph = DomainGraph(1, 1000)
+        left = significance_test(fs1, fs2, graph, alternative="less", seed=0)
+        right = significance_test(fs1, fs2, graph, alternative="greater", seed=0)
+        assert left.observed_score == pytest.approx(-1.0)
+        assert left.p_value < 0.05
+        assert right.p_value > 0.5
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(2)
+        f1 = FeatureSet(rng.uniform(size=(400, 1)) < 0.1, rng.uniform(size=(400, 1)) < 0.1)
+        f2 = FeatureSet(rng.uniform(size=(400, 1)) < 0.1, rng.uniform(size=(400, 1)) < 0.1)
+        graph = DomainGraph(1, 400)
+        a = significance_test(f1, f2, graph, n_permutations=50, seed=9)
+        b = significance_test(f1, f2, graph, n_permutations=50, seed=9)
+        assert a.p_value == b.p_value
+
+
+class TestToroidalMaps:
+    def test_map_is_a_permutation(self):
+        pairs = grid_adjacency(5, 5)
+        neighbors = neighbors_from_pairs(25, pairs)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            image = toroidal_map(neighbors, rng)
+            assert sorted(image.tolist()) == list(range(25))
+
+    def test_maps_mostly_preserve_adjacency(self):
+        pairs = grid_adjacency(6, 6)
+        neighbors = neighbors_from_pairs(36, pairs)
+        rng = np.random.default_rng(1)
+        fractions = [
+            adjacency_preservation(neighbors, toroidal_map(neighbors, rng))
+            for _ in range(20)
+        ]
+        # §4: distances preserved "in most cases".  Random permutations
+        # preserve ~ d/n of edges (~11% here); BFS-grown maps must do much
+        # better on average.
+        assert np.mean(fractions) > 0.4
+
+    def test_random_permutation_preserves_little(self):
+        pairs = grid_adjacency(6, 6)
+        neighbors = neighbors_from_pairs(36, pairs)
+        rng = np.random.default_rng(2)
+        fractions = [
+            adjacency_preservation(neighbors, rng.permutation(36))
+            for _ in range(20)
+        ]
+        assert np.mean(fractions) < 0.25
+
+
+class TestSignificanceSpatial:
+    def make_spatial_pair(self, related, seed=0):
+        # Many scattered single-region features of both signs: toroidal
+        # shifts relocate regions, so sign alignment across ~dozens of
+        # overlap points is vanishingly rare under the null.
+        rng = np.random.default_rng(seed)
+        n_steps, nx, ny = 60, 6, 6
+        n_regions = nx * ny
+        pos1 = rng.uniform(size=(n_steps, n_regions)) < 0.08
+        neg1 = (rng.uniform(size=(n_steps, n_regions)) < 0.08) & ~pos1
+        if related:
+            pos2, neg2 = pos1.copy(), neg1.copy()
+        else:
+            pos2 = rng.uniform(size=(n_steps, n_regions)) < 0.08
+            neg2 = (rng.uniform(size=(n_steps, n_regions)) < 0.08) & ~pos2
+        graph = DomainGraph(n_regions, n_steps, grid_adjacency(nx, ny))
+        return FeatureSet(pos1, neg1), FeatureSet(pos2, neg2), graph
+
+    def test_spatially_aligned_features_significant(self):
+        fs1, fs2, graph = self.make_spatial_pair(related=True)
+        result = significance_test(fs1, fs2, graph, n_permutations=200, seed=0)
+        assert result.method == "spatial_toroidal"
+        assert result.observed_score == pytest.approx(1.0)
+        assert result.is_significant()
+
+    def test_spatially_independent_features_not_significant(self):
+        # seed=2 is a typical draw (tau near 0); at the 5% level roughly one
+        # seed in twenty is a legitimate false positive, so the test pins a
+        # representative one rather than sampling.
+        fs1, fs2, graph = self.make_spatial_pair(related=False, seed=2)
+        result = significance_test(fs1, fs2, graph, n_permutations=200, seed=0)
+        assert abs(result.observed_score) < 0.5
+        assert not result.is_significant()
+
+    def test_naive_method_runs(self):
+        fs1, fs2, graph = self.make_spatial_pair(related=True)
+        result = significance_test(
+            fs1, fs2, graph, n_permutations=50, method="naive", seed=0
+        )
+        assert result.method == "naive"
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_unknown_method_rejected(self):
+        fs1, fs2, graph = self.make_spatial_pair(related=True)
+        with pytest.raises(DataError):
+            significance_test(fs1, fs2, graph, method="quantum")
+
+
+class TestRestrictedVsNaive:
+    def test_naive_test_overstates_significance_on_autocorrelated_data(self):
+        # Two independent but strongly autocorrelated feature streams: block
+        # features of length 12.  The naive test scatters single points
+        # (destroying block structure) and deems the overlap significant;
+        # the rotation test preserves blocks and does not.
+        n = 600
+        def blocky(seed):
+            r = np.random.default_rng(seed)
+            pos = np.zeros((n, 1), dtype=bool)
+            neg = np.zeros((n, 1), dtype=bool)
+            for start in r.choice(n - 12, 10, replace=False):
+                pos[start : start + 12, 0] = True
+            for start in r.choice(n - 12, 10, replace=False):
+                neg[start : start + 12, 0] = True
+            neg &= ~pos
+            return FeatureSet(pos, neg)
+        graph = DomainGraph(1, n)
+        p_rotation = []
+        p_naive = []
+        for seed in range(8):
+            fs1 = blocky(seed * 2)
+            fs2 = blocky(seed * 2 + 1)
+            if not evaluate_features(fs1, fs2).is_related:
+                continue
+            p_rotation.append(
+                significance_test(fs1, fs2, graph, 99, seed=seed).p_value
+            )
+            p_naive.append(
+                significance_test(fs1, fs2, graph, 99, method="naive", seed=seed).p_value
+            )
+        # The naive test's p-values are systematically smaller (anti-
+        # conservative) than the restricted ones on dependent data.
+        assert np.mean(p_naive) < np.mean(p_rotation)

@@ -1,0 +1,307 @@
+"""Tests for scalar-function aggregation (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.aggregation import (
+    AggregatedFunction,
+    FunctionSpec,
+    aggregate,
+    default_specs,
+    fill_interpolate,
+)
+from repro.data.dataset import Dataset
+from repro.data.schema import DatasetSchema
+from repro.spatial.regions import grid_partition
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError, ResolutionError
+
+HOUR = 3600
+
+
+def make_gps_dataset(n=400, seed=0, extent=3.0):
+    rng = np.random.default_rng(seed)
+    schema = DatasetSchema(
+        "taxi",
+        SpatialResolution.GPS,
+        TemporalResolution.SECOND,
+        key_attributes=("medallion",),
+        numeric_attributes=("fare",),
+    )
+    return Dataset(
+        schema,
+        timestamps=rng.integers(0, 48 * HOUR, n),
+        x=rng.uniform(0, extent, n),
+        y=rng.uniform(0, extent, n),
+        keys={"medallion": rng.integers(0, 25, n).astype(str)},
+        numerics={"fare": rng.normal(10.0, 2.0, n)},
+    ), rng
+
+
+class TestFunctionSpec:
+    def test_ids(self):
+        assert FunctionSpec("d", "density").function_id == "d.density"
+        assert FunctionSpec("d", "unique", "k").function_id == "d.unique.k"
+        assert FunctionSpec("d", "attribute", "a").function_id == "d.avg.a"
+        assert FunctionSpec("d", "attribute", "a", "max").function_id == "d.max.a"
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            FunctionSpec("d", "weird")
+        with pytest.raises(DataError):
+            FunctionSpec("d", "unique")
+        with pytest.raises(DataError):
+            FunctionSpec("d", "attribute", "a", "mode")
+
+    def test_default_specs_cover_schema(self):
+        ds, _ = make_gps_dataset()
+        specs = default_specs(ds)
+        assert [s.function_id for s in specs] == [
+            "taxi.density",
+            "taxi.unique.medallion",
+            "taxi.avg.fare",
+        ]
+
+
+class TestDensityAndUnique:
+    def test_density_conserves_records_at_city(self):
+        ds, _ = make_gps_dataset(500)
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("taxi", "density")],
+        )
+        assert out.values.sum() == 500
+        assert out.values.shape == (48, 1)
+
+    def test_density_matches_brute_force_grid(self):
+        ds, _ = make_gps_dataset(300)
+        grid = grid_partition(3, 3, 0, 0, 3, 3)
+        (out,) = aggregate(
+            ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
+            regions=grid, specs=[FunctionSpec("taxi", "density")],
+        )
+        # Brute force per cell.
+        regions = grid.locate(ds.x, ds.y)
+        days = ds.timestamps // 86400
+        for day in range(2):
+            for r in range(9):
+                expected = int(((regions == r) & (days == day)).sum())
+                assert out.values[day, r] == expected
+
+    def test_unique_counts_distinct_ids(self):
+        schema = DatasetSchema(
+            "d", SpatialResolution.CITY, TemporalResolution.HOUR,
+            key_attributes=("k",),
+        )
+        ds = Dataset(
+            schema,
+            timestamps=np.array([0, 10, 20, HOUR + 5, HOUR + 6]),
+            keys={"k": np.array(["a", "a", "b", "a", "a"])},
+        )
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "unique", "k")],
+        )
+        assert out.values[:, 0].tolist() == [2.0, 1.0]
+
+    def test_unique_never_exceeds_density(self):
+        ds, _ = make_gps_dataset(800)
+        outs = aggregate(ds, SpatialResolution.CITY, TemporalResolution.HOUR)
+        by_id = {o.spec.function_id: o for o in outs}
+        density = by_id["taxi.density"].values
+        unique = by_id["taxi.unique.medallion"].values
+        assert (unique <= density).all()
+
+
+class TestAttributeAggregators:
+    def make_city_dataset(self, values, timestamps):
+        schema = DatasetSchema(
+            "d", SpatialResolution.CITY, TemporalResolution.SECOND,
+            numeric_attributes=("v",),
+        )
+        return Dataset(
+            schema,
+            timestamps=np.asarray(timestamps, dtype=np.int64),
+            numerics={"v": np.asarray(values, dtype=np.float64)},
+        )
+
+    def test_mean(self):
+        ds = self.make_city_dataset([1.0, 3.0, 10.0], [0, 10, HOUR])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")],
+        )
+        assert out.values[:, 0].tolist() == [2.0, 10.0]
+
+    @pytest.mark.parametrize(
+        "agg,expected", [("sum", 4.0), ("min", 1.0), ("max", 3.0), ("median", 2.0)]
+    )
+    def test_other_aggregators(self, agg, expected):
+        ds = self.make_city_dataset([1.0, 3.0], [0, 10])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v", agg)],
+        )
+        assert out.values[0, 0] == expected
+
+    def test_nan_values_ignored_in_mean(self):
+        ds = self.make_city_dataset([2.0, np.nan], [0, 5])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")],
+        )
+        assert out.values[0, 0] == 2.0
+        assert out.observed[0, 0]
+
+    def test_fill_global_mean(self):
+        ds = self.make_city_dataset([4.0, 8.0], [0, 2 * HOUR])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")], fill="global_mean",
+        )
+        assert out.values[1, 0] == pytest.approx(6.0)
+        assert not out.observed[1, 0]
+
+    def test_fill_zero(self):
+        ds = self.make_city_dataset([4.0, 8.0], [0, 2 * HOUR])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")], fill="zero",
+        )
+        assert out.values[1, 0] == 0.0
+
+    def test_fill_interpolate(self):
+        ds = self.make_city_dataset([4.0, 8.0], [0, 2 * HOUR])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")], fill="interpolate",
+        )
+        assert out.values[1, 0] == pytest.approx(6.0)
+
+    def test_unknown_fill_rejected(self):
+        ds = self.make_city_dataset([1.0], [0])
+        with pytest.raises(DataError):
+            aggregate(
+                ds, SpatialResolution.CITY, TemporalResolution.HOUR, fill="magic"
+            )
+
+    def test_sum_of_empty_cells_is_zero(self):
+        ds = self.make_city_dataset([5.0], [0])
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v", "sum")],
+            step_range=(0, 3),
+        )
+        assert out.values[:, 0].tolist() == [5.0, 0.0, 0.0, 0.0]
+
+
+class TestResolutionHandling:
+    def test_incompatible_conversion_rejected(self):
+        schema = DatasetSchema("z", SpatialResolution.ZIP, TemporalResolution.DAY)
+        ds = Dataset(schema, timestamps=np.array([0]), regions=np.array(["zip_0_0"]))
+        grid = grid_partition(2, 2, 0, 0, 2, 2)
+        with pytest.raises(ResolutionError):
+            aggregate(ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
+                      regions=grid)
+        with pytest.raises(ResolutionError):
+            aggregate(ds, SpatialResolution.ZIP, TemporalResolution.HOUR,
+                      regions=grid)
+
+    def test_region_native_data_maps_by_id(self):
+        grid = grid_partition(2, 1, 0, 0, 2, 1, name="zip", prefix="zip")
+        schema = DatasetSchema("z", SpatialResolution.ZIP, TemporalResolution.DAY)
+        ds = Dataset(
+            schema,
+            timestamps=np.array([0, 0, 86400]),
+            regions=np.array(["zip_0_0", "zip_1_0", "zip_0_0"]),
+        )
+        (out,) = aggregate(
+            ds, SpatialResolution.ZIP, TemporalResolution.DAY,
+            regions=grid, specs=[FunctionSpec("z", "density")],
+        )
+        assert out.values.tolist() == [[1.0, 1.0], [1.0, 0.0]]
+
+    def test_missing_region_set_rejected(self):
+        ds, _ = make_gps_dataset()
+        with pytest.raises(DataError):
+            aggregate(ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY)
+
+    def test_step_range_filters_records(self):
+        ds, _ = make_gps_dataset(200)
+        (out,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("taxi", "density")], step_range=(0, 9),
+        )
+        assert out.values.shape == (10, 1)
+        hours = ds.timestamps // HOUR
+        assert out.values.sum() == int((hours <= 9).sum())
+
+    def test_empty_dataset_rejected(self):
+        schema = DatasetSchema("d", SpatialResolution.CITY, TemporalResolution.HOUR)
+        ds = Dataset(schema, timestamps=np.zeros(0, dtype=np.int64))
+        with pytest.raises(DataError):
+            aggregate(ds, SpatialResolution.CITY, TemporalResolution.HOUR)
+
+    def test_bad_step_range_rejected(self):
+        ds, _ = make_gps_dataset()
+        with pytest.raises(DataError):
+            aggregate(
+                ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+                step_range=(5, 2),
+            )
+
+    def test_foreign_spec_rejected(self):
+        ds, _ = make_gps_dataset()
+        with pytest.raises(DataError):
+            aggregate(
+                ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+                specs=[FunctionSpec("other", "density")],
+            )
+
+
+class TestCoarseningConsistency:
+    def test_city_density_equals_region_sum(self):
+        ds, _ = make_gps_dataset(600)
+        grid = grid_partition(3, 3, 0, 0, 3, 3)
+        (city,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.DAY,
+            specs=[FunctionSpec("taxi", "density")],
+        )
+        (nbhd,) = aggregate(
+            ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
+            regions=grid, specs=[FunctionSpec("taxi", "density")],
+        )
+        # All GPS points fall inside the grid, so the region-summed density
+        # must equal the city density per day.
+        assert np.array_equal(nbhd.values.sum(axis=1), city.values[:, 0])
+
+    def test_day_density_equals_hour_sum(self):
+        ds, _ = make_gps_dataset(600)
+        (hourly,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            specs=[FunctionSpec("taxi", "density")],
+        )
+        (daily,) = aggregate(
+            ds, SpatialResolution.CITY, TemporalResolution.DAY,
+            specs=[FunctionSpec("taxi", "density")],
+        )
+        assert hourly.values.sum() == daily.values.sum()
+
+
+class TestFillInterpolateUnit:
+    def test_region_without_observations_gets_global_mean(self):
+        values = np.array([[1.0, np.nan], [3.0, np.nan]])
+        observed = np.array([[True, False], [True, False]])
+        out = fill_interpolate(values, observed)
+        assert out[:, 1].tolist() == [2.0, 2.0]
+
+    def test_interior_gap_linear(self):
+        values = np.array([[0.0], [np.nan], [4.0]])
+        observed = np.array([[True], [False], [True]])
+        out = fill_interpolate(values, observed)
+        assert out[1, 0] == pytest.approx(2.0)
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(DataError):
+            fill_interpolate(np.array([[np.nan]]), np.array([[False]]))

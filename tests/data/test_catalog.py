@@ -1,0 +1,99 @@
+"""Tests for catalog persistence (CSV + JSON metadata round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.data.catalog import (
+    city_from_dict,
+    city_to_dict,
+    load_catalog,
+    save_catalog,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.data.schema import DatasetSchema
+from repro.spatial.city import CityModel
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import nyc_urban_collection
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError
+
+
+class TestSchemaRoundTrip:
+    def test_full_schema(self):
+        schema = DatasetSchema(
+            "taxi", SpatialResolution.GPS, TemporalResolution.SECOND,
+            key_attributes=("medallion",), numeric_attributes=("fare", "tip"),
+            description="trips",
+        )
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(DataError):
+            schema_from_dict({"name": "x"})
+        with pytest.raises(DataError):
+            schema_from_dict(
+                {"name": "x", "spatial_resolution": "galaxy",
+                 "temporal_resolution": "hour"}
+            )
+
+
+class TestCityRoundTrip:
+    def test_synthetic_city(self):
+        city = CityModel.synthetic(nbhd_grid=(3, 3), zip_grid=(2, 2))
+        restored = city_from_dict(city_to_dict(city))
+        assert restored.name == city.name
+        assert set(restored.regions) == set(city.regions)
+        for res in city.regions:
+            original = city.region_set(res)
+            back = restored.region_set(res)
+            assert back.region_ids == original.region_ids
+            assert np.array_equal(
+                restored.spatial_pairs(res), city.spatial_pairs(res)
+            )
+            # Point location behaves identically after the round trip.
+            rng = np.random.default_rng(0)
+            xs = rng.uniform(0, 16, 50)
+            ys = rng.uniform(0, 16, 50)
+            assert np.array_equal(back.locate(xs, ys), original.locate(xs, ys))
+
+    def test_malformed_city_rejected(self):
+        with pytest.raises(DataError):
+            city_from_dict({"name": "x", "layers": {"galaxy": {}}})
+
+
+class TestCatalogRoundTrip:
+    def test_save_load_collection(self, tmp_path):
+        coll = nyc_urban_collection(
+            seed=3, n_days=7, scale=0.2, subset=("taxi", "weather")
+        )
+        save_catalog(tmp_path / "cat", coll.datasets, coll.city)
+        datasets, city = load_catalog(tmp_path / "cat")
+        assert [d.name for d in datasets] == ["taxi", "weather"]
+        by_name = {d.name: d for d in datasets}
+        original = {d.name: d for d in coll.datasets}
+        for name, restored in by_name.items():
+            assert restored.n_records == original[name].n_records
+            assert np.array_equal(restored.timestamps, original[name].timestamps)
+
+    def test_loaded_catalog_is_queryable(self, tmp_path):
+        coll = nyc_urban_collection(
+            seed=3, n_days=21, scale=0.3, subset=("taxi", "weather")
+        )
+        save_catalog(tmp_path / "cat", coll.datasets, coll.city)
+        datasets, city = load_catalog(tmp_path / "cat")
+        index = Corpus(datasets, city).build_index(
+            temporal=(TemporalResolution.DAY,)
+        )
+        result = index.query(n_permutations=30, seed=0)
+        assert result.n_evaluated > 0
+
+    def test_missing_catalog_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            load_catalog(tmp_path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        (tmp_path / "catalog.json").write_text('{"version": 99}')
+        with pytest.raises(DataError):
+            load_catalog(tmp_path)

@@ -1,0 +1,85 @@
+"""Round-trip tests for CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.csv_io import read_csv, write_csv
+from repro.data.dataset import Dataset
+from repro.data.schema import DatasetSchema
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError
+
+
+def test_gps_round_trip(tmp_path):
+    schema = DatasetSchema(
+        "taxi", SpatialResolution.GPS, TemporalResolution.SECOND,
+        key_attributes=("medallion",), numeric_attributes=("fare",),
+    )
+    rng = np.random.default_rng(0)
+    n = 50
+    original = Dataset(
+        schema,
+        timestamps=rng.integers(0, 10_000, n),
+        x=rng.uniform(0, 1, n),
+        y=rng.uniform(0, 1, n),
+        keys={"medallion": rng.integers(0, 5, n).astype(str)},
+        numerics={"fare": rng.normal(10, 1, n)},
+    )
+    path = tmp_path / "taxi.csv"
+    write_csv(original, path)
+    restored = read_csv(path, schema)
+    assert np.array_equal(restored.timestamps, original.timestamps)
+    assert np.allclose(restored.x, original.x)
+    assert np.allclose(restored.y, original.y)
+    assert np.array_equal(restored.keys["medallion"], original.keys["medallion"])
+    assert np.allclose(restored.numerics["fare"], original.numerics["fare"])
+
+
+def test_nan_round_trip(tmp_path):
+    schema = DatasetSchema(
+        "w", SpatialResolution.CITY, TemporalResolution.HOUR,
+        numeric_attributes=("v",),
+    )
+    original = Dataset(
+        schema,
+        timestamps=np.array([0, 3600]),
+        numerics={"v": np.array([1.5, np.nan])},
+    )
+    path = tmp_path / "w.csv"
+    write_csv(original, path)
+    restored = read_csv(path, schema)
+    assert restored.numerics["v"][0] == 1.5
+    assert np.isnan(restored.numerics["v"][1])
+
+
+def test_region_level_round_trip(tmp_path):
+    schema = DatasetSchema("z", SpatialResolution.ZIP, TemporalResolution.DAY)
+    original = Dataset(
+        schema,
+        timestamps=np.array([0, 86400]),
+        regions=np.array(["zip_0", "zip_1"]),
+    )
+    path = tmp_path / "z.csv"
+    write_csv(original, path)
+    restored = read_csv(path, schema)
+    assert np.array_equal(restored.regions, original.regions)
+
+
+def test_missing_column_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("timestamp\n0\n")
+    schema = DatasetSchema(
+        "d", SpatialResolution.CITY, TemporalResolution.HOUR,
+        numeric_attributes=("v",),
+    )
+    with pytest.raises(DataError):
+        read_csv(path, schema)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    schema = DatasetSchema("d", SpatialResolution.CITY, TemporalResolution.HOUR)
+    with pytest.raises(DataError):
+        read_csv(path, schema)

@@ -1,0 +1,121 @@
+"""Tests for data set schemas and the columnar Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import DatasetSchema
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import DataError, SchemaError
+
+
+def gps_schema(**kwargs):
+    defaults = dict(
+        name="taxi",
+        spatial_resolution=SpatialResolution.GPS,
+        temporal_resolution=TemporalResolution.SECOND,
+    )
+    defaults.update(kwargs)
+    return DatasetSchema(**defaults)
+
+
+class TestSchema:
+    def test_scalar_function_count(self):
+        schema = gps_schema(
+            key_attributes=("medallion",), numeric_attributes=("fare", "tip")
+        )
+        assert schema.n_scalar_functions == 4  # density + 1 unique + 2 attrs
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            gps_schema(name="")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            gps_schema(key_attributes=("a",), numeric_attributes=("a",))
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(SchemaError):
+            gps_schema(numeric_attributes=("timestamp",))
+
+
+class TestDatasetValidation:
+    def test_gps_dataset_needs_coordinates(self):
+        with pytest.raises(DataError):
+            Dataset(gps_schema(), timestamps=np.array([0, 1]))
+
+    def test_city_dataset_rejects_spatial_columns(self):
+        schema = DatasetSchema(
+            "weather", SpatialResolution.CITY, TemporalResolution.HOUR
+        )
+        with pytest.raises(DataError):
+            Dataset(schema, timestamps=np.array([0]), x=np.array([1.0]), y=np.array([1.0]))
+
+    def test_region_dataset_needs_region_column(self):
+        schema = DatasetSchema("zips", SpatialResolution.ZIP, TemporalResolution.DAY)
+        with pytest.raises(DataError):
+            Dataset(schema, timestamps=np.array([0]))
+
+    def test_missing_declared_column_rejected(self):
+        schema = gps_schema(numeric_attributes=("fare",))
+        with pytest.raises(SchemaError):
+            Dataset(
+                schema,
+                timestamps=np.array([0]),
+                x=np.array([0.0]),
+                y=np.array([0.0]),
+            )
+
+    def test_undeclared_column_rejected(self):
+        schema = gps_schema()
+        with pytest.raises(SchemaError):
+            Dataset(
+                schema,
+                timestamps=np.array([0]),
+                x=np.array([0.0]),
+                y=np.array([0.0]),
+                numerics={"fare": np.array([1.0])},
+            )
+
+    def test_misaligned_columns_rejected(self):
+        schema = gps_schema(numeric_attributes=("fare",))
+        with pytest.raises(DataError):
+            Dataset(
+                schema,
+                timestamps=np.array([0, 1]),
+                x=np.array([0.0, 1.0]),
+                y=np.array([0.0, 1.0]),
+                numerics={"fare": np.array([1.0])},
+            )
+
+
+class TestDatasetProperties:
+    def make(self, n=5):
+        schema = gps_schema(
+            key_attributes=("id",), numeric_attributes=("v",)
+        )
+        return Dataset(
+            schema,
+            timestamps=np.arange(n, dtype=np.int64) * 100,
+            x=np.zeros(n),
+            y=np.zeros(n),
+            keys={"id": np.array([f"k{i}" for i in range(n)])},
+            numerics={"v": np.ones(n)},
+        )
+
+    def test_len_and_records(self):
+        ds = self.make(7)
+        assert len(ds) == 7
+        assert ds.n_records == 7
+
+    def test_time_range(self):
+        assert self.make(5).time_range() == (0, 400)
+
+    def test_time_range_of_empty_dataset_raises(self):
+        ds = self.make(0)
+        with pytest.raises(DataError):
+            ds.time_range()
+
+    def test_nbytes_positive(self):
+        assert self.make().nbytes() > 0

@@ -1,0 +1,58 @@
+"""Tests for the union-find data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.union_find import UnionFind
+from repro.utils.errors import DataError
+
+
+class TestUnionFind:
+    def test_initially_all_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(0, 1)
+        assert uf.n_components == 2
+
+    def test_find_returns_consistent_representative(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 3)
+        reps = {uf.find(i) for i in range(4)}
+        assert len(reps) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DataError):
+            UnionFind(-1)
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_random_unions_match_reference(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        uf = UnionFind(n)
+        # Reference: naive label propagation.
+        labels = list(range(n))
+        for _ in range(100):
+            a, b = rng.integers(0, n, 2)
+            uf.union(int(a), int(b))
+            la, lb = labels[a], labels[b]
+            if la != lb:
+                labels = [la if x == lb else x for x in labels]
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert uf.connected(i, j) == (labels[i] == labels[j])

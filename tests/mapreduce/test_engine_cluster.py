@@ -1,0 +1,123 @@
+"""Tests for the local map-reduce engine and the simulated-cluster scheduler."""
+
+import pytest
+
+from repro.mapreduce.cluster import (
+    greedy_makespan,
+    job_makespan,
+    speedup_curve,
+    straggler_ratio,
+)
+from repro.mapreduce.engine import LocalEngine
+from repro.mapreduce.job import JobStats, MapReduceJob
+from repro.utils.errors import MapReduceError
+
+
+class WordCount(MapReduceJob):
+    def map(self, key, value):
+        for word in value.split():
+            yield word.lower(), 1
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+DOCS = [
+    (1, "the quick brown fox"),
+    (2, "the lazy dog"),
+    (3, "the quick dog"),
+]
+
+
+class TestEngine:
+    def test_wordcount_serial(self):
+        outputs, stats = LocalEngine().run(WordCount(), DOCS)
+        counts = dict(outputs)
+        assert counts["the"] == 3
+        assert counts["quick"] == 2
+        assert counts["fox"] == 1
+        assert stats.n_outputs == len(counts)
+        assert len(stats.map_task_seconds) == 3
+        assert len(stats.reduce_task_seconds) == len(counts)
+
+    def test_wordcount_threaded_matches_serial(self):
+        serial, _ = LocalEngine().run(WordCount(), DOCS)
+        threaded, _ = LocalEngine(n_workers=4, executor="thread").run(WordCount(), DOCS)
+        assert dict(serial) == dict(threaded)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(MapReduceError):
+            LocalEngine(executor="gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(MapReduceError):
+            LocalEngine(n_workers=0)
+
+    def test_empty_input(self):
+        outputs, stats = LocalEngine().run(WordCount(), [])
+        assert outputs == []
+        assert stats.total_task_seconds == 0.0
+
+
+class TestGreedyMakespan:
+    def test_single_node_is_sum(self):
+        assert greedy_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfectly_parallel(self):
+        assert greedy_makespan([1.0, 1.0, 1.0, 1.0], 4) == pytest.approx(1.0)
+
+    def test_straggler_dominates(self):
+        # One 10s task + many small: makespan can't go below 10s.
+        tasks = [10.0] + [0.5] * 20
+        assert greedy_makespan(tasks, 8) >= 10.0
+
+    def test_empty_tasks(self):
+        assert greedy_makespan([], 4) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MapReduceError):
+            greedy_makespan([1.0], 0)
+        with pytest.raises(MapReduceError):
+            greedy_makespan([-1.0], 2)
+
+    def test_makespan_monotone_in_nodes(self):
+        tasks = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        spans = [greedy_makespan(tasks, n) for n in (1, 2, 4, 8)]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestSpeedupCurve:
+    def make_stats(self, map_times, reduce_times):
+        stats = JobStats()
+        stats.map_task_seconds = map_times
+        stats.reduce_task_seconds = reduce_times
+        return stats
+
+    def test_homogeneous_tasks_scale_nearly_linearly(self):
+        stats = self.make_stats([1.0] * 16, [1.0] * 16)
+        curve = speedup_curve(stats, [1, 2, 4, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[4] == pytest.approx(4.0)
+        assert curve[8] == pytest.approx(8.0)
+
+    def test_stragglers_cap_speedup(self):
+        stats = self.make_stats([8.0] + [0.5] * 16, [])
+        curve = speedup_curve(stats, [1, 4, 16])
+        # T1 = 16; Tn >= 8 regardless of n.
+        assert curve[16] <= 2.0 + 1e-9
+
+    def test_job_makespan_includes_shuffle(self):
+        stats = self.make_stats([1.0, 1.0], [1.0, 1.0])
+        stats.shuffle_seconds = 0.5
+        assert job_makespan(stats, 2) == pytest.approx(1.0 + 0.5 + 1.0)
+
+
+class TestStragglerRatio:
+    def test_uniform_tasks(self):
+        assert straggler_ratio([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_heavy_tail(self):
+        assert straggler_ratio([1.0, 1.0, 10.0]) == pytest.approx(10.0 / 4.0)
+
+    def test_empty(self):
+        assert straggler_ratio([]) == 1.0

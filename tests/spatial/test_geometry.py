@@ -1,0 +1,96 @@
+"""Tests for geometry primitives: polygons, containment, centroids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BoundingBox, Polygon
+from repro.utils.errors import DataError
+
+
+class TestBoundingBox:
+    def test_contains(self):
+        box = BoundingBox(0, 0, 2, 3)
+        assert box.contains(1, 1)
+        assert box.contains(0, 0)  # boundary counts
+        assert not box.contains(2.1, 1)
+
+    def test_contains_many(self):
+        box = BoundingBox(0, 0, 1, 1)
+        xs = np.array([0.5, 1.5, -0.1])
+        ys = np.array([0.5, 0.5, 0.5])
+        assert box.contains_many(xs, ys).tolist() == [True, False, False]
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(DataError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_closed_ring_is_normalized(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)])
+        assert len(poly) == 4
+
+    def test_rectangle_contains_interior(self):
+        rect = Polygon.rectangle(0, 0, 2, 1)
+        assert rect.contains(1.0, 0.5)
+        assert not rect.contains(2.5, 0.5)
+        assert not rect.contains(1.0, 1.5)
+
+    def test_rectangle_validation(self):
+        with pytest.raises(DataError):
+            Polygon.rectangle(0, 0, 0, 1)
+
+    def test_concave_polygon_containment(self):
+        # L-shaped polygon: the notch is outside.
+        poly = Polygon([(0, 0), (2, 0), (2, 2), (1, 2), (1, 1), (0, 1)])
+        assert poly.contains(0.5, 0.5)
+        assert poly.contains(1.5, 1.5)
+        assert not poly.contains(0.5, 1.5)  # in the notch
+
+    def test_area_and_centroid_of_rectangle(self):
+        rect = Polygon.rectangle(0, 0, 4, 2)
+        assert rect.area() == pytest.approx(8.0)
+        assert rect.centroid() == pytest.approx((2.0, 1.0))
+
+    def test_centroid_orientation_independent(self):
+        cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        ccw = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert cw.centroid() == pytest.approx(ccw.centroid())
+
+    def test_edges_form_closed_ring(self):
+        poly = Polygon([(0, 0), (1, 0), (0, 1)])
+        edges = poly.edges()
+        assert len(edges) == 3
+        assert edges[-1][1] == edges[0][0]
+
+    def test_contains_many_matches_scalar(self):
+        poly = Polygon([(0, 0), (3, 0), (3, 3), (1.5, 1.2), (0, 3)])
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(-1, 4, 200)
+        ys = rng.uniform(-1, 4, 200)
+        vector = poly.contains_many(xs, ys)
+        scalar = np.array([poly.contains(x, y) for x, y in zip(xs, ys)])
+        assert np.array_equal(vector, scalar)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50),
+    st.floats(min_value=0.1, max_value=20),
+    st.floats(min_value=0.1, max_value=20),
+)
+def test_property_rectangle_containment_equals_bbox(x0, y0, w, h):
+    rect = Polygon.rectangle(x0, y0, x0 + w, y0 + h)
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(x0 - 1, x0 + w + 1, 50)
+    ys = rng.uniform(y0 - 1, y0 + h + 1, 50)
+    inside = rect.contains_many(xs, ys)
+    # Interior points agree with the bbox test (boundary handling may differ
+    # by the half-open rule, so compare strictly interior points only).
+    strict = (xs > x0 + 1e-9) & (xs < x0 + w - 1e-9) & (ys > y0 + 1e-9) & (ys < y0 + h - 1e-9)
+    assert np.array_equal(inside[strict], np.ones(int(strict.sum()), dtype=bool))
+    outside = (xs < x0 - 1e-9) | (xs > x0 + w + 1e-9) | (ys < y0 - 1e-9) | (ys > y0 + h + 1e-9)
+    assert not inside[outside].any()

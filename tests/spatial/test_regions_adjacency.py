@@ -1,0 +1,150 @@
+"""Tests for region partitions, point location and adjacency derivation."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.adjacency import (
+    adjacency_from_rectangles,
+    adjacency_from_shared_edges,
+    grid_adjacency,
+    neighbors_from_pairs,
+)
+from repro.spatial.regions import RegionSet, city_partition, grid_partition
+from repro.utils.errors import DataError
+
+
+class TestGridPartition:
+    def test_cell_count_and_ids(self):
+        grid = grid_partition(4, 3, 0, 0, 4, 3)
+        assert len(grid) == 12
+        assert grid.region_ids[0] == "cell_0_0"
+        assert grid.region_ids[-1] == "cell_3_2"
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DataError):
+            grid_partition(0, 3, 0, 0, 1, 1)
+        with pytest.raises(DataError):
+            grid_partition(2, 2, 0, 0, 0, 1)
+
+    def test_extent(self):
+        grid = grid_partition(2, 2, -1, -2, 3, 4)
+        assert grid.extent() == (-1, -2, 3, 4)
+
+
+class TestLocate:
+    def test_interior_points_land_in_right_cell(self):
+        grid = grid_partition(3, 2, 0, 0, 3, 2)
+        xs = np.array([0.5, 1.5, 2.5, 0.5])
+        ys = np.array([0.5, 0.5, 1.5, 1.5])
+        # row-major: cell (i, j) -> j * nx + i
+        assert grid.locate(xs, ys).tolist() == [0, 1, 5, 3]
+
+    def test_outside_points_get_minus_one(self):
+        grid = grid_partition(2, 2, 0, 0, 2, 2)
+        assert grid.locate(np.array([5.0]), np.array([5.0])).tolist() == [-1]
+
+    def test_locate_partitions_random_points(self):
+        grid = grid_partition(5, 5, 0, 0, 5, 5)
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(0.01, 4.99, 500)
+        ys = rng.uniform(0.01, 4.99, 500)
+        located = grid.locate(xs, ys)
+        assert (located >= 0).all()
+        expected = np.floor(ys).astype(int) * 5 + np.floor(xs).astype(int)
+        assert np.array_equal(located, expected)
+
+    def test_misaligned_inputs_rejected(self):
+        grid = grid_partition(2, 2, 0, 0, 2, 2)
+        with pytest.raises(DataError):
+            grid.locate(np.zeros(3), np.zeros(2))
+
+
+class TestRegionSetValidation:
+    def test_duplicate_ids_rejected(self):
+        from repro.spatial.geometry import Polygon
+
+        polys = [Polygon.rectangle(0, 0, 1, 1), Polygon.rectangle(1, 0, 2, 1)]
+        with pytest.raises(DataError):
+            RegionSet("x", ["a", "a"], polys)
+
+    def test_index_of_unknown_region(self):
+        city = city_partition(0, 0, 1, 1)
+        with pytest.raises(DataError):
+            city.index_of("nope")
+
+    def test_indices_of_maps_unknown_to_minus_one(self):
+        city = city_partition(0, 0, 1, 1)
+        out = city.indices_of(np.array(["city", "nope"]))
+        assert out.tolist() == [0, -1]
+
+
+class TestParentMap:
+    def test_grid_to_city(self):
+        grid = grid_partition(3, 3, 0, 0, 3, 3)
+        city = city_partition(0, 0, 3, 3)
+        assert (grid.parent_map(city) == 0).all()
+
+    def test_fine_grid_to_coarse_grid(self):
+        fine = grid_partition(4, 4, 0, 0, 4, 4)
+        coarse = grid_partition(2, 2, 0, 0, 4, 4)
+        parents = fine.parent_map(coarse)
+        # Cell (0,0) of the fine grid (centroid 0.5,0.5) -> coarse cell 0.
+        assert parents[0] == 0
+        # Cell (3,3) -> coarse cell 3.
+        assert parents[15] == 3
+
+
+class TestAdjacency:
+    def test_grid_adjacency_pair_count(self):
+        # nx*ny grid has nx*(ny-1) + ny*(nx-1) adjacent pairs.
+        pairs = grid_adjacency(4, 3)
+        assert pairs.shape[0] == 4 * 2 + 3 * 3
+
+    def test_shared_edges_matches_grid(self):
+        grid = grid_partition(4, 3, 0, 0, 4, 3)
+        a = adjacency_from_shared_edges(grid)
+        b = grid_adjacency(4, 3)
+        assert np.array_equal(a, b)
+
+    def test_rectangles_matches_grid(self):
+        grid = grid_partition(3, 4, 0, 0, 3, 4)
+        a = adjacency_from_rectangles(grid)
+        b = grid_adjacency(3, 4)
+        assert np.array_equal(a, b)
+
+    def test_rectangles_handles_t_junctions(self):
+        # One tall rectangle beside two stacked ones: shared-edge hashing
+        # misses the partial contact, rectangle adjacency finds it.
+        from repro.spatial.geometry import Polygon
+
+        regions = RegionSet(
+            "t",
+            ["tall", "low", "high"],
+            [
+                Polygon.rectangle(0, 0, 1, 2),
+                Polygon.rectangle(1, 0, 2, 1),
+                Polygon.rectangle(1, 1, 2, 2),
+            ],
+        )
+        pairs = adjacency_from_rectangles(regions)
+        assert {(0, 1), (0, 2), (1, 2)} == {tuple(p) for p in pairs}
+
+    def test_corner_contact_is_not_adjacent(self):
+        from repro.spatial.geometry import Polygon
+
+        regions = RegionSet(
+            "corner",
+            ["a", "b"],
+            [Polygon.rectangle(0, 0, 1, 1), Polygon.rectangle(1, 1, 2, 2)],
+        )
+        assert adjacency_from_rectangles(regions).shape[0] == 0
+
+    def test_neighbors_from_pairs(self):
+        pairs = grid_adjacency(2, 2)
+        neighbors = neighbors_from_pairs(4, pairs)
+        assert neighbors[0].tolist() == [1, 2]
+        assert neighbors[3].tolist() == [1, 2]
+
+    def test_invalid_grid_adjacency(self):
+        with pytest.raises(DataError):
+            grid_adjacency(0, 1)

@@ -1,0 +1,99 @@
+"""Tests for the spatial-resolution DAG and the CityModel container."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.city import CityModel
+from repro.spatial.regions import city_partition
+from repro.spatial.resolution import (
+    EVALUATION_SPATIAL,
+    SpatialResolution,
+    common_spatial_resolutions,
+    viable_spatial_resolutions,
+)
+from repro.utils.errors import DataError
+
+
+class TestSpatialDag:
+    def test_gps_converts_to_everything(self):
+        for res in SpatialResolution:
+            assert SpatialResolution.GPS.convertible_to(res)
+
+    def test_zip_neighborhood_incompatible(self):
+        assert not SpatialResolution.ZIP.convertible_to(SpatialResolution.NEIGHBORHOOD)
+        assert not SpatialResolution.NEIGHBORHOOD.convertible_to(SpatialResolution.ZIP)
+
+    def test_middle_layers_convert_to_city_only(self):
+        assert viable_spatial_resolutions(SpatialResolution.ZIP) == (
+            SpatialResolution.ZIP,
+            SpatialResolution.CITY,
+        )
+
+    def test_common_zip_vs_neighborhood_is_city(self):
+        assert common_spatial_resolutions(
+            SpatialResolution.ZIP, SpatialResolution.NEIGHBORHOOD
+        ) == (SpatialResolution.CITY,)
+
+    def test_common_gps_vs_gps_is_all(self):
+        assert common_spatial_resolutions(
+            SpatialResolution.GPS, SpatialResolution.GPS
+        ) == EVALUATION_SPATIAL
+
+    def test_ordering_is_total_for_iteration(self):
+        ranks = [r.rank for r in SpatialResolution]
+        assert len(set(ranks)) == len(ranks)
+
+
+class TestCityModel:
+    def test_synthetic_city_has_three_layers(self):
+        city = CityModel.synthetic()
+        assert set(city.available_resolutions()) == {
+            SpatialResolution.ZIP,
+            SpatialResolution.NEIGHBORHOOD,
+            SpatialResolution.CITY,
+        }
+
+    def test_city_layer_required(self):
+        with pytest.raises(DataError):
+            CityModel("broken", regions={})
+
+    def test_city_adjacency_defaults_empty(self):
+        city = CityModel(
+            "tiny", regions={SpatialResolution.CITY: city_partition(0, 0, 1, 1)}
+        )
+        assert city.spatial_pairs(SpatialResolution.CITY).shape == (0, 2)
+
+    def test_unknown_layer_raises(self):
+        city = CityModel(
+            "tiny", regions={SpatialResolution.CITY: city_partition(0, 0, 1, 1)}
+        )
+        with pytest.raises(DataError):
+            city.region_set(SpatialResolution.ZIP)
+
+    def test_synthetic_adjacency_counts(self):
+        city = CityModel.synthetic(nbhd_grid=(4, 4), zip_grid=(3, 3))
+        nbhd_pairs = city.spatial_pairs(SpatialResolution.NEIGHBORHOOD)
+        assert nbhd_pairs.shape[0] == 4 * 3 + 4 * 3
+        zip_pairs = city.spatial_pairs(SpatialResolution.ZIP)
+        assert zip_pairs.shape[0] == 3 * 2 + 3 * 2
+
+    def test_layers_cover_same_extent(self):
+        city = CityModel.synthetic()
+        nbhd = city.region_set(SpatialResolution.NEIGHBORHOOD)
+        zips = city.region_set(SpatialResolution.ZIP)
+        assert nbhd.extent() == zips.extent()
+
+    def test_zip_and_neighborhood_do_not_nest(self):
+        city = CityModel.synthetic(nbhd_grid=(8, 8), zip_grid=(5, 5))
+        nbhd = city.region_set(SpatialResolution.NEIGHBORHOOD)
+        zips = city.region_set(SpatialResolution.ZIP)
+        # Some neighborhood must straddle a zip boundary: locate its corners.
+        straddles = False
+        for poly in nbhd.polygons:
+            corners_x = np.array([poly.bbox.xmin + 1e-6, poly.bbox.xmax - 1e-6])
+            corners_y = np.array([poly.bbox.ymin + 1e-6, poly.bbox.ymin + 1e-6])
+            cells = zips.locate(corners_x, corners_y)
+            if cells[0] != cells[1]:
+                straddles = True
+                break
+        assert straddles

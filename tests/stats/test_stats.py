@@ -1,0 +1,122 @@
+"""Tests for the statistics toolbox: 2-means, box plots, F1, descriptives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.boxplot import boxplot_stats
+from repro.stats.descriptive import iqr, shannon_entropy, z_normalize
+from repro.stats.fscore import f1_from_counts
+from repro.stats.kmeans import two_means
+from repro.utils.errors import DataError
+
+
+class TestTwoMeans:
+    def test_obvious_split(self):
+        result = two_means(np.array([1.0, 1.2, 0.9, 10.0, 10.5]))
+        assert result.labels.tolist() == [0, 0, 0, 1, 1]
+        assert result.centers[0] < result.centers[1]
+        assert result.split_value == 10.0
+
+    def test_needs_two_values(self):
+        with pytest.raises(DataError):
+            two_means(np.array([1.0]))
+
+    def test_two_values_split_into_singletons(self):
+        result = two_means(np.array([3.0, 8.0]))
+        assert sorted(result.labels.tolist()) == [0, 1]
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_labels_align_with_input_order(self):
+        result = two_means(np.array([10.0, 1.0, 9.5, 0.8]))
+        assert result.labels.tolist() == [1, 0, 1, 0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=40))
+    def test_property_optimal_among_all_splits(self, values):
+        vals = np.array(values)
+        result = two_means(vals)
+        # Brute force: every sorted-split must have SSE >= the returned one.
+        sorted_vals = np.sort(vals)
+        best = np.inf
+        for k in range(1, len(sorted_vals)):
+            lo, hi = sorted_vals[:k], sorted_vals[k:]
+            sse = ((lo - lo.mean()) ** 2).sum() + ((hi - hi.mean()) ** 2).sum()
+            best = min(best, sse)
+        assert result.inertia == pytest.approx(best, abs=1e-6)
+
+
+class TestBoxPlot:
+    def test_quartiles_of_known_sample(self):
+        stats = boxplot_stats(np.arange(1, 101, dtype=float))
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.iqr == pytest.approx(49.5)
+
+    def test_fences(self):
+        stats = boxplot_stats(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats.lower_fence() == pytest.approx(stats.q1 - 1.5 * stats.iqr)
+        assert stats.upper_fence(3.0) == pytest.approx(stats.q3 + 3.0 * stats.iqr)
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(DataError):
+            boxplot_stats(np.array([]))
+        with pytest.raises(DataError):
+            boxplot_stats(np.array([1.0, np.nan]))
+
+
+class TestF1:
+    def test_perfect_overlap(self):
+        result = f1_from_counts(10, 10, 10)
+        assert result.f1 == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        result = f1_from_counts(0, 10, 10)
+        assert result.f1 == 0.0
+
+    def test_known_value(self):
+        result = f1_from_counts(5, 10, 5)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(1.0)
+        assert result.f1 == pytest.approx(2 * 0.5 / 1.5)
+
+    def test_empty_sets_give_zero(self):
+        assert f1_from_counts(0, 0, 0).f1 == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 50), st.integers(0, 100), st.integers(0, 100))
+    def test_property_bounded(self, tp, n1, n2):
+        tp = min(tp, n1, n2)
+        result = f1_from_counts(tp, n1, n2)
+        assert 0.0 <= result.f1 <= 1.0
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+
+
+class TestDescriptive:
+    def test_z_normalize(self):
+        out = z_normalize(np.array([1.0, 2.0, 3.0]))
+        assert out.mean() == pytest.approx(0.0)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_z_normalize_constant_gives_zeros(self):
+        assert (z_normalize(np.full(5, 3.0)) == 0).all()
+
+    def test_entropy_uniform(self):
+        assert shannon_entropy(np.full(4, 0.25)) == pytest.approx(np.log(4))
+
+    def test_entropy_point_mass_is_zero(self):
+        assert shannon_entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_entropy_validation(self):
+        with pytest.raises(DataError):
+            shannon_entropy(np.array([0.5, 0.2]))
+        with pytest.raises(DataError):
+            shannon_entropy(np.array([-0.5, 1.5]))
+
+    def test_iqr(self):
+        assert iqr(np.arange(1, 101, dtype=float)) == pytest.approx(49.5)
+        with pytest.raises(DataError):
+            iqr(np.array([]))

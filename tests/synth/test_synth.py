@@ -1,0 +1,169 @@
+"""Tests for the synthetic city simulation and data generators."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import (
+    HURRICANE_WIND,
+    CitySimulation,
+    SimulationConfig,
+    nyc_open_collection,
+    nyc_urban_collection,
+    simulate_weather,
+    taxi_hourly_rate,
+)
+from repro.synth.collection import URBAN_DATASETS
+from repro.utils.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return CitySimulation.generate(SimulationConfig(n_days=60, seed=3, scale=0.3))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            SimulationConfig(n_days=0)
+        with pytest.raises(DataError):
+            SimulationConfig(start=123)  # not hour-aligned
+        with pytest.raises(DataError):
+            SimulationConfig(scale=0.0)
+
+    def test_hour_grid(self):
+        cfg = SimulationConfig(n_days=2)
+        assert cfg.n_hours == 48
+        ts = cfg.hour_timestamps()
+        assert ts.size == 48
+        assert (np.diff(ts) == 3600).all()
+
+    def test_monday_start_gives_weekday_zero(self):
+        cfg = SimulationConfig()
+        assert cfg.day_of_week()[0] == 0
+
+
+class TestWeather:
+    def test_deterministic_given_seed(self):
+        cfg = SimulationConfig(n_days=30, seed=5)
+        a = simulate_weather(cfg)
+        b = simulate_weather(cfg)
+        assert np.array_equal(a.wind_speed, b.wind_speed)
+        assert np.array_equal(a.precipitation, b.precipitation)
+
+    def test_hurricanes_present_for_long_periods(self, sim):
+        assert sim.weather.hurricane_hours.size > 0
+        assert sim.weather.wind_speed[sim.weather.hurricane_hours].max() > HURRICANE_WIND
+
+    def test_snow_depth_nonnegative_and_accumulates(self, sim):
+        assert (sim.weather.snow_depth >= 0).all()
+        if sim.weather.snow_hours.size:
+            h = int(sim.weather.snow_hours[0])
+            assert sim.weather.snow_depth[h] > 0
+
+    def test_visibility_bounded(self, sim):
+        assert sim.weather.visibility.min() >= 0.2
+        assert sim.weather.visibility.max() <= 10.0
+
+
+class TestPlantedSignals:
+    def test_taxi_rate_collapses_during_hurricanes(self, sim):
+        rate = taxi_hourly_rate(sim)
+        hurricanes = sim.weather.hurricane_hours
+        peak = hurricanes[np.argmax(sim.weather.wind_speed[hurricanes])]
+        calm = np.setdiff1d(np.arange(sim.config.n_hours), hurricanes)
+        same_hour = calm[
+            (calm % 24 == peak % 24) & (sim.holidays[calm] == 1.0)
+        ]
+        assert rate[peak] < 0.2 * rate[same_hour].mean()
+
+    def test_holidays_suppress_activity(self, sim):
+        holiday_hours = sim.holidays < 1.0
+        assert holiday_hours.any()
+        assert sim.activity[holiday_hours].mean() < sim.activity[~holiday_hours].mean()
+
+    def test_incident_boost_is_local(self, sim):
+        inc = sim.incidents[0]
+        boost = sim.incident_boost
+        assert boost[inc.start_hour, inc.region] > 1.0
+        other = (inc.region + 1) % boost.shape[1]
+        untouched = all(
+            i.region != other
+            or not (i.start_hour <= inc.start_hour < i.start_hour + i.duration)
+            for i in sim.incidents
+        )
+        if untouched:
+            assert boost[inc.start_hour, other] in (1.0,) or boost[
+                inc.start_hour, other
+            ] > 1.0  # may coincide with another incident
+
+
+class TestSampling:
+    def test_sample_records_counts_follow_rate(self, sim):
+        rng = np.random.default_rng(0)
+        rate = np.full(sim.config.n_hours, 20.0)
+        ts, x, y, hour_idx = sim.sample_records(rate, rng)
+        expected = 20.0 * sim.config.n_hours
+        assert abs(ts.size - expected) < 5 * np.sqrt(expected)
+        # Records are inside the city extent.
+        nbhd = sim.city.region_set(SpatialResolution.NEIGHBORHOOD)
+        xmin, ymin, xmax, ymax = nbhd.extent()
+        assert (x >= xmin).all() and (x <= xmax).all()
+        assert (y >= ymin).all() and (y <= ymax).all()
+
+    def test_timestamps_fall_in_their_hour(self, sim):
+        rng = np.random.default_rng(1)
+        rate = np.full(sim.config.n_hours, 5.0)
+        ts, _, _, hour_idx = sim.sample_records(rate, rng)
+        start = sim.config.start
+        assert ((ts - start) // 3600 == hour_idx).all()
+
+
+class TestCollections:
+    def test_urban_collection_has_all_datasets(self):
+        coll = nyc_urban_collection(seed=1, n_days=14, scale=0.2)
+        assert tuple(ds.name for ds in coll.datasets) == URBAN_DATASETS
+
+    def test_urban_collection_deterministic(self):
+        a = nyc_urban_collection(seed=2, n_days=10, scale=0.2)
+        b = nyc_urban_collection(seed=2, n_days=10, scale=0.2)
+        for ds_a, ds_b in zip(a.datasets, b.datasets):
+            assert ds_a.n_records == ds_b.n_records
+            assert np.array_equal(ds_a.timestamps, ds_b.timestamps)
+
+    def test_subset_selection(self):
+        coll = nyc_urban_collection(seed=1, n_days=10, scale=0.2, subset=("taxi",))
+        assert [ds.name for ds in coll.datasets] == ["taxi"]
+        with pytest.raises(KeyError):
+            coll.dataset("weather")
+
+    def test_scale_controls_volume(self):
+        small = nyc_urban_collection(seed=3, n_days=10, scale=0.1)
+        large = nyc_urban_collection(seed=3, n_days=10, scale=0.5)
+        assert large.dataset("taxi").n_records > small.dataset("taxi").n_records
+
+    def test_open_collection_shapes(self):
+        coll = nyc_open_collection(n_datasets=8, seed=4, n_days=21)
+        assert len(coll.datasets) == 8
+        for ds in coll.datasets:
+            assert ds.n_records > 0
+            assert ds.schema.spatial_resolution in (
+                SpatialResolution.ZIP,
+                SpatialResolution.CITY,
+            )
+
+    def test_open_collection_zip_records_resolve(self):
+        coll = nyc_open_collection(n_datasets=10, seed=5, n_days=14)
+        zips = coll.city.region_set(SpatialResolution.ZIP)
+        for ds in coll.datasets:
+            if ds.schema.spatial_resolution is SpatialResolution.ZIP:
+                idx = zips.indices_of(ds.regions)
+                assert (idx >= 0).all()
+
+    def test_weather_extra_attributes(self):
+        coll = nyc_urban_collection(
+            seed=1, n_days=7, scale=0.2, subset=("weather",),
+            weather_extra_attributes=5,
+        )
+        weather = coll.dataset("weather")
+        assert weather.schema.n_scalar_functions == 1 + 8 + 5

@@ -1,0 +1,47 @@
+"""Tests for seasonal-interval segmentation (§3.3)."""
+
+import numpy as np
+
+from repro.temporal.intervals import interval_slices, seasonal_interval_ids
+from repro.temporal.resolution import TemporalResolution
+
+
+class TestSeasonalIntervalIds:
+    def test_hourly_steps_group_by_month(self):
+        # Hours spanning Jan and Feb 1970.
+        hours = np.arange(0, 35 * 24)  # 35 days of hourly steps
+        labels = seasonal_interval_ids(TemporalResolution.HOUR, hours)
+        assert labels[0] == 0  # January 1970
+        assert labels[-1] == 1  # February 1970
+        # Exactly 31 days of January hours.
+        assert int((labels == 0).sum()) == 31 * 24
+
+    def test_daily_steps_group_by_quarter(self):
+        days = np.arange(0, 200)  # Jan 1 .. mid-July 1970
+        labels = seasonal_interval_ids(TemporalResolution.DAY, days)
+        assert labels[0] == 0
+        # Q1 1970 has 31+28+31 = 90 days.
+        assert int((labels == 0).sum()) == 90
+
+    def test_week_and_month_use_single_interval(self):
+        for res in (TemporalResolution.WEEK, TemporalResolution.MONTH):
+            labels = seasonal_interval_ids(res, np.arange(50))
+            assert (labels == 0).all()
+
+
+class TestIntervalSlices:
+    def test_groups_preserve_order_and_partition(self):
+        labels = np.array([3, 3, 5, 5, 5, 9])
+        groups = interval_slices(labels)
+        assert [g.tolist() for g in groups] == [[0, 1], [2, 3, 4], [5]]
+
+    def test_single_label_single_group(self):
+        groups = interval_slices(np.zeros(7, dtype=np.int64))
+        assert len(groups) == 1
+        assert groups[0].size == 7
+
+    def test_groups_cover_everything_once(self):
+        labels = seasonal_interval_ids(TemporalResolution.HOUR, np.arange(1500))
+        groups = interval_slices(labels)
+        combined = np.concatenate(groups)
+        assert np.array_equal(np.sort(combined), np.arange(1500))

@@ -1,0 +1,119 @@
+"""Tests for temporal resolutions: bucketing and the Fig. 6 DAG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.resolution import (
+    EVALUATION_TEMPORAL,
+    TemporalResolution,
+    common_temporal_resolutions,
+    viable_temporal_resolutions,
+)
+
+HOUR = 3600
+DAY = 86400
+
+
+class TestBucketing:
+    def test_hour_buckets(self):
+        ts = np.array([0, HOUR - 1, HOUR, 2 * HOUR])
+        assert TemporalResolution.HOUR.bucket(ts).tolist() == [0, 0, 1, 2]
+
+    def test_day_buckets(self):
+        ts = np.array([0, DAY - 1, DAY])
+        assert TemporalResolution.DAY.bucket(ts).tolist() == [0, 0, 1]
+
+    def test_week_buckets(self):
+        ts = np.array([0, 7 * DAY - 1, 7 * DAY])
+        assert TemporalResolution.WEEK.bucket(ts).tolist() == [0, 0, 1]
+
+    def test_month_buckets_follow_calendar(self):
+        # 1970-01-31 23:59:59 is month 0; 1970-02-01 00:00:00 is month 1.
+        jan31 = 31 * DAY - 1
+        feb1 = 31 * DAY
+        ts = np.array([0, jan31, feb1])
+        assert TemporalResolution.MONTH.bucket(ts).tolist() == [0, 0, 1]
+
+    def test_month_buckets_handle_leap_years(self):
+        # 1972 was a leap year: Feb has 29 days.
+        feb_1972 = int(np.datetime64("1972-02-29T12:00:00").astype("datetime64[s]").astype(np.int64))
+        mar_1972 = int(np.datetime64("1972-03-01T00:00:00").astype("datetime64[s]").astype(np.int64))
+        months = TemporalResolution.MONTH.bucket(np.array([feb_1972, mar_1972]))
+        assert months[1] == months[0] + 1
+
+    @pytest.mark.parametrize("res", list(TemporalResolution))
+    def test_bucket_start_is_left_inverse(self, res):
+        ts = np.array([0, 5 * DAY + 321, 400 * DAY + 7])
+        buckets = res.bucket(ts)
+        starts = res.bucket_start(buckets)
+        assert np.array_equal(res.bucket(starts), buckets)
+        assert (starts <= ts).all()
+
+    def test_seconds_width(self):
+        assert TemporalResolution.HOUR.seconds() == HOUR
+        assert TemporalResolution.MONTH.seconds() == 30 * DAY
+
+
+class TestDag:
+    def test_second_converts_to_everything(self):
+        for res in TemporalResolution:
+            assert TemporalResolution.SECOND.convertible_to(res)
+
+    def test_week_month_incompatible_both_ways(self):
+        assert not TemporalResolution.WEEK.convertible_to(TemporalResolution.MONTH)
+        assert not TemporalResolution.MONTH.convertible_to(TemporalResolution.WEEK)
+
+    def test_coarse_never_converts_to_fine(self):
+        assert not TemporalResolution.DAY.convertible_to(TemporalResolution.HOUR)
+        assert not TemporalResolution.MONTH.convertible_to(TemporalResolution.DAY)
+
+    def test_every_resolution_converts_to_itself(self):
+        for res in TemporalResolution:
+            assert res.convertible_to(res)
+
+    def test_ordering(self):
+        assert TemporalResolution.SECOND < TemporalResolution.HOUR < \
+            TemporalResolution.DAY < TemporalResolution.WEEK < TemporalResolution.MONTH
+
+
+class TestViableAndCommon:
+    def test_viable_from_second(self):
+        assert viable_temporal_resolutions(TemporalResolution.SECOND) == \
+            EVALUATION_TEMPORAL
+
+    def test_viable_from_week_excludes_month(self):
+        assert viable_temporal_resolutions(TemporalResolution.WEEK) == \
+            (TemporalResolution.WEEK,)
+
+    def test_common_hour_vs_day(self):
+        common = common_temporal_resolutions(
+            TemporalResolution.HOUR, TemporalResolution.DAY
+        )
+        assert common == (
+            TemporalResolution.DAY,
+            TemporalResolution.WEEK,
+            TemporalResolution.MONTH,
+        )
+
+    def test_common_week_vs_month_is_empty(self):
+        assert common_temporal_resolutions(
+            TemporalResolution.WEEK, TemporalResolution.MONTH
+        ) == ()
+
+    def test_common_is_symmetric(self):
+        for a in TemporalResolution:
+            for b in TemporalResolution:
+                assert common_temporal_resolutions(a, b) == \
+                    common_temporal_resolutions(b, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2_000_000_000))
+def test_property_buckets_are_monotone(ts):
+    later = ts + 12345
+    for res in TemporalResolution:
+        b0 = res.bucket(np.array([ts]))[0]
+        b1 = res.bucket(np.array([later]))[0]
+        assert b1 >= b0

@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--out", "/tmp/x"])
+        assert args.days == 120
+        assert args.scale == 0.5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestEndToEnd:
+    def test_simulate_then_query(self, tmp_path, capsys):
+        out = tmp_path / "cat"
+        code = main([
+            "simulate", "--out", str(out), "--days", "21", "--scale", "0.3",
+            "--datasets", "taxi,weather", "--seed", "5",
+        ])
+        assert code == 0
+        assert (out / "catalog.json").exists()
+        assert (out / "taxi.csv").exists()
+
+        code = main([
+            "query", "--data", str(out), "--permutations", "30",
+            "--temporal", "day", "--top", "5",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "evaluated" in printed
+        assert "scalar functions" in printed
+
+    def test_query_with_find_filter(self, tmp_path, capsys):
+        out = tmp_path / "cat"
+        main([
+            "simulate", "--out", str(out), "--days", "14", "--scale", "0.2",
+            "--datasets", "taxi,weather,citibike",
+        ])
+        code = main([
+            "query", "--data", str(out), "--find", "taxi",
+            "--permutations", "20", "--temporal", "day",
+        ])
+        assert code == 0
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        assert "relationships" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Unit and property tests for the bit-vector feature-set representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitvector import BitVector
+from repro.utils.errors import DataError
+
+
+class TestConstruction:
+    def test_empty_vector_has_no_bits(self):
+        vec = BitVector(0)
+        assert len(vec) == 0
+        assert vec.count() == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DataError):
+            BitVector(-1)
+
+    def test_from_indices_sets_exactly_those_bits(self):
+        vec = BitVector.from_indices(200, [0, 63, 64, 127, 128, 199])
+        assert vec.count() == 6
+        assert vec.to_indices().tolist() == [0, 63, 64, 127, 128, 199]
+
+    def test_from_indices_out_of_range_rejected(self):
+        with pytest.raises(DataError):
+            BitVector.from_indices(10, [10])
+        with pytest.raises(DataError):
+            BitVector.from_indices(10, [-1])
+
+    def test_from_indices_empty(self):
+        assert BitVector.from_indices(50, []).count() == 0
+
+    def test_from_bools_round_trip(self):
+        flags = np.array([True, False, True, True] * 33)  # 132 bits, odd tail
+        vec = BitVector.from_bools(flags)
+        assert np.array_equal(vec.to_bools(), flags)
+
+    def test_ones_sets_every_bit(self):
+        vec = BitVector.ones(130)
+        assert vec.count() == 130
+
+    def test_word_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            BitVector(10, words=np.zeros(5, dtype=np.uint64))
+
+
+class TestElementAccess:
+    def test_set_get_clear(self):
+        vec = BitVector(70)
+        vec.set(69)
+        assert vec[69]
+        vec.clear(69)
+        assert not vec[69]
+
+    def test_out_of_range_access_rejected(self):
+        vec = BitVector(8)
+        for op in (vec.set, vec.clear, vec.__getitem__):
+            with pytest.raises(DataError):
+                op(8)
+
+
+class TestSetAlgebra:
+    def test_and_or_xor(self):
+        a = BitVector.from_indices(100, [1, 2, 3])
+        b = BitVector.from_indices(100, [2, 3, 4])
+        assert (a & b).to_indices().tolist() == [2, 3]
+        assert (a | b).to_indices().tolist() == [1, 2, 3, 4]
+        assert (a ^ b).to_indices().tolist() == [1, 4]
+
+    def test_difference(self):
+        a = BitVector.from_indices(64, [1, 2, 3])
+        b = BitVector.from_indices(64, [3])
+        assert a.difference(b).to_indices().tolist() == [1, 2]
+
+    def test_invert_respects_tail(self):
+        vec = BitVector.from_indices(70, [0])
+        inv = ~vec
+        assert inv.count() == 69
+        assert not inv[0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            BitVector(10) & BitVector(11)
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_indices(100, [5, 50])
+        b = BitVector.from_indices(100, [5, 50])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitVector.from_indices(100, [5])
+
+    def test_intersection_count_matches_and(self):
+        a = BitVector.from_indices(256, range(0, 256, 3))
+        b = BitVector.from_indices(256, range(0, 256, 5))
+        assert a.intersection_count(b) == (a & b).count()
+
+    def test_any(self):
+        assert not BitVector(100).any()
+        assert BitVector.from_indices(100, [99]).any()
+
+
+class TestPermutation:
+    def test_permuted_moves_bits(self):
+        vec = BitVector.from_indices(4, [0, 1])
+        mapping = np.array([3, 2, 1, 0])
+        assert vec.permuted(mapping).to_indices().tolist() == [2, 3]
+
+    def test_permuted_requires_full_mapping(self):
+        with pytest.raises(DataError):
+            BitVector(4).permuted(np.array([0, 1]))
+
+    def test_permutation_preserves_count(self):
+        rng = np.random.default_rng(0)
+        vec = BitVector.from_bools(rng.uniform(size=321) < 0.3)
+        perm = rng.permutation(321)
+        assert vec.permuted(perm).count() == vec.count()
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self):
+        a = BitVector.from_indices(64, [1])
+        b = a.copy()
+        b.set(2)
+        assert not a[2]
+
+    def test_nbytes_accounts_words(self):
+        assert BitVector(64).nbytes() == 8
+        assert BitVector(65).nbytes() == 16
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=0, max_size=400))
+def test_property_bool_round_trip(flags):
+    arr = np.array(flags, dtype=bool)
+    vec = BitVector.from_bools(arr)
+    assert np.array_equal(vec.to_bools(), arr)
+    assert vec.count() == int(arr.sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.data(),
+)
+def test_property_de_morgan(length, data):
+    idx_a = data.draw(st.sets(st.integers(0, length - 1)))
+    idx_b = data.draw(st.sets(st.integers(0, length - 1)))
+    a = BitVector.from_indices(length, idx_a)
+    b = BitVector.from_indices(length, idx_b)
+    assert ~(a | b) == (~a & ~b)
+    assert ~(a & b) == (~a | ~b)
+    assert (a & b).count() + (a | b).count() == a.count() + b.count()

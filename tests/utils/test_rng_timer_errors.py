@@ -1,0 +1,74 @@
+"""Tests for RNG plumbing, timers and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import (
+    DataError,
+    MapReduceError,
+    QueryError,
+    ReproError,
+    ResolutionError,
+    SchemaError,
+    TopologyError,
+)
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.timer import Timer, timed
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        children_a = spawn(ensure_rng(5), 3)
+        children_b = spawn(ensure_rng(5), 3)
+        for ca, cb in zip(children_a, children_b):
+            assert np.array_equal(ca.integers(0, 100, 5), cb.integers(0, 100, 5))
+        draws = [c.integers(0, 2**31) for c in spawn(ensure_rng(5), 3)]
+        assert len(set(draws)) == 3
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                pass
+        assert timer.laps == 3
+        assert timer.elapsed >= 0.0
+        assert timer.mean == pytest.approx(timer.elapsed / 3)
+
+    def test_mean_before_first_lap_is_zero(self):
+        assert Timer().mean == 0.0
+
+    def test_timed_adds_into_sink(self):
+        sink = {}
+        with timed(sink, "phase"):
+            pass
+        with timed(sink, "phase"):
+            pass
+        assert sink["phase"] >= 0.0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [DataError, SchemaError, ResolutionError, TopologyError, QueryError,
+         MapReduceError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
