@@ -24,8 +24,6 @@ from repro.core.relationship import evaluate_features
 from repro.core.scalar_function import ScalarFunction
 from repro.core.significance import significance_test
 from repro.graph.domain_graph import DomainGraph
-from repro.spatial.resolution import SpatialResolution
-from repro.temporal.resolution import TemporalResolution
 
 
 def _event_series(seed=0, n=24 * 120):

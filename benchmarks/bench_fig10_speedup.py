@@ -16,24 +16,23 @@ import pytest
 
 from repro.mapreduce.cluster import speedup_curve, straggler_ratio
 from repro.mapreduce.pipeline import PolygamyPipeline
-from repro.spatial.resolution import SpatialResolution
 from repro.temporal.resolution import TemporalResolution
 
 NODE_COUNTS = [1, 2, 4, 8, 16, 20]
 
 
 @pytest.fixture(scope="module")
-def pipeline_run(urban_small):
+def pipeline_run(urban_small, smoke):
     pipeline = PolygamyPipeline(urban_small.city, chunks_per_dataset=8)
     return pipeline.run(
         urban_small.datasets,
-        n_permutations=60,
+        n_permutations=20 if smoke else 60,
         temporal=(TemporalResolution.DAY, TemporalResolution.WEEK),
         seed=0,
     )
 
 
-def test_fig10_speedup_curves(pipeline_run, benchmark):
+def test_fig10_speedup_curves(pipeline_run, benchmark, smoke):
     curves = {
         "scalar functions": speedup_curve(pipeline_run.scalar_stats, NODE_COUNTS),
         "feature identification": speedup_curve(
@@ -66,7 +65,11 @@ def test_fig10_speedup_curves(pipeline_run, benchmark):
         assert abs(curve[1] - 1.0) < 1e-9
     # The paper's key observation: the event-driven phases scale worse than
     # scalar-function computation because straggler reducers dominate.
-    assert curves["scalar functions"][20] >= curves["relationships"][20] - 1e-9
+    # (Skipped under smoke: tiny task times make the comparison jittery.)
+    if not smoke:
+        assert (
+            curves["scalar functions"][20] >= curves["relationships"][20] - 1e-9
+        )
 
     benchmark.pedantic(
         lambda: speedup_curve(pipeline_run.feature_stats, NODE_COUNTS),

@@ -7,7 +7,6 @@ prunes ~98.6% for NYC Urban and ~98.9% for NYC Open; clause filters
 are smaller, so the asserted bound is a conservative >=80% pruning.
 """
 
-from repro.core.clause import Clause
 from repro.core.corpus import Corpus
 from repro.spatial.resolution import SpatialResolution
 from repro.synth import nyc_open_collection
@@ -46,8 +45,9 @@ def _print(label, rows):
         )
 
 
-def test_fig11a_nyc_urban_pruning(benchmark, urban_small):
-    rows = _pruning_series(urban_small, ks=(3, 6, 9))
+def test_fig11a_nyc_urban_pruning(benchmark, urban_small, smoke):
+    rows = _pruning_series(urban_small, ks=(3, 6, 9),
+                           n_permutations=50 if smoke else 150)
     _print("(a) — NYC Urban", rows)
     k, possible, significant, s6, s8 = rows[-1]
     assert possible > 0
@@ -61,12 +61,18 @@ def test_fig11a_nyc_urban_pruning(benchmark, urban_small):
     )
 
 
-def test_fig11b_nyc_open_pruning(benchmark):
-    coll = nyc_open_collection(n_datasets=24, seed=11, n_days=180)
-    rows = _pruning_series(coll, ks=(8, 16, 24))
+def test_fig11b_nyc_open_pruning(benchmark, smoke):
+    if smoke:
+        coll = nyc_open_collection(n_datasets=8, seed=11, n_days=60)
+        ks = (4, 8)
+    else:
+        coll = nyc_open_collection(n_datasets=24, seed=11, n_days=180)
+        ks = (8, 16, 24)
+    rows = _pruning_series(coll, ks=ks, n_permutations=50 if smoke else 150)
     _print("(b) — NYC Open", rows)
     k, possible, significant, s6, s8 = rows[-1]
-    assert possible > 100, "the open corpus must offer many possible pairs"
+    if not smoke:
+        assert possible > 100, "the open corpus must offer many possible pairs"
     assert significant / possible < 0.2
 
     corpus = Corpus(coll.datasets, coll.city)

@@ -44,15 +44,18 @@ def _function(index, dataset, function_id):
     return fns[function_id].function
 
 
-def test_fig12_taxi_density_robustness(urban_year_index, benchmark):
+def test_fig12_taxi_density_robustness(urban_year_index, benchmark, smoke):
     fn = _function(urban_year_index, "taxi", "taxi.density")
     rows = robustness_sweep(fn)
     _print("taxi.density (Figure 12)", rows)
     by_level = dict((lvl, (tau, rho)) for lvl, tau, rho in rows)
-    assert by_level[0.01][0] > 0.95, "tau ~ 1 at 1% noise"
-    assert by_level[0.02][0] > 0.9, "tau ~ 1 at 2% noise (paper: stays 1)"
-    assert by_level[0.10][0] > 0.5, "still strongly positive at 10% noise"
-    assert by_level[0.01][1] > 0.5, "strength stays high at small noise"
+    if smoke:  # short series: only the qualitative shape is stable
+        assert by_level[0.01][0] > 0.5
+    else:
+        assert by_level[0.01][0] > 0.95, "tau ~ 1 at 1% noise"
+        assert by_level[0.02][0] > 0.9, "tau ~ 1 at 2% noise (paper: stays 1)"
+        assert by_level[0.10][0] > 0.5, "still strongly positive at 10% noise"
+        assert by_level[0.01][1] > 0.5, "strength stays high at small noise"
 
     extractor = FeatureExtractor()
     benchmark.pedantic(
@@ -68,10 +71,14 @@ def test_fig12_taxi_density_robustness(urban_year_index, benchmark):
         ("taxi.avg.fare", "Figure III"),
     ],
 )
-def test_appendix_robustness(urban_year_index, benchmark, function_id, figure):
+def test_appendix_robustness(urban_year_index, benchmark, function_id, figure,
+                             smoke):
     fn = _function(urban_year_index, "taxi", function_id)
     rows = robustness_sweep(fn)
     _print(f"{function_id} ({figure})", rows)
-    assert rows[0][1] > 0.8, "tau stays near 1 at 1% noise"
-    assert all(tau > 0.0 for _, tau, _ in rows), "positive throughout the sweep"
+    if not smoke:
+        assert rows[0][1] > 0.8, "tau stays near 1 at 1% noise"
+        assert all(
+            tau > 0.0 for _, tau, _ in rows
+        ), "positive throughout the sweep"
     benchmark.pedantic(lambda: robustness_sweep(fn), iterations=1, rounds=1)

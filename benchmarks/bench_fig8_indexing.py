@@ -6,17 +6,21 @@ the number of computations.  We rebuild the index over growing prefixes of
 each collection and print both phases; the paper's qualitative observations
 are asserted: adding the taxi data set dominates the Urban cost, and for the
 Open collection feature identification outweighs scalar-function computation.
+``test_fig8c_parallel_indexing`` re-runs the Urban build through the
+map-reduce engine with four threads and checks the parallel index is
+bit-identical to the serial one (the §5.4 deployment argument).
 """
 
-import pytest
+import time
+
+import numpy as np
 
 from repro.core.corpus import Corpus
-from repro.spatial.resolution import SpatialResolution
-from repro.synth import URBAN_DATASETS, nyc_open_collection, nyc_urban_collection
+from repro.synth import URBAN_DATASETS, nyc_open_collection
 from repro.temporal.resolution import TemporalResolution
 
 
-def test_fig8a_nyc_urban(benchmark, urban_small):
+def test_fig8a_nyc_urban(benchmark, urban_small, smoke):
     rows = []
     for k in range(1, len(URBAN_DATASETS) + 1):
         subset = urban_small.datasets[:k]
@@ -53,10 +57,11 @@ def test_fig8a_nyc_urban(benchmark, urban_small):
     )
     # Each row is an independent rebuild, so per-row wall times carry jitter;
     # the robust claim is that the full corpus costs more than a small prefix.
-    scalar_times = [r[2] for r in rows]
-    assert scalar_times[-1] > scalar_times[0], (
-        "indexing the full corpus costs more than indexing one data set"
-    )
+    if not smoke:
+        scalar_times = [r[2] for r in rows]
+        assert scalar_times[-1] > scalar_times[0], (
+            "indexing the full corpus costs more than indexing one data set"
+        )
 
     corpus = Corpus(urban_small.datasets, urban_small.city)
     benchmark.pedantic(
@@ -66,10 +71,15 @@ def test_fig8a_nyc_urban(benchmark, urban_small):
     )
 
 
-def test_fig8b_nyc_open(benchmark):
-    coll = nyc_open_collection(n_datasets=24, seed=11, n_days=120)
+def test_fig8b_nyc_open(benchmark, smoke):
+    if smoke:
+        coll = nyc_open_collection(n_datasets=8, seed=11, n_days=30)
+        ks = (4, 8)
+    else:
+        coll = nyc_open_collection(n_datasets=24, seed=11, n_days=120)
+        ks = (6, 12, 18, 24)
     rows = []
-    for k in (6, 12, 18, 24):
+    for k in ks:
         corpus = Corpus(coll.datasets[:k], coll.city)
         index = corpus.build_index()
         rows.append(
@@ -88,9 +98,48 @@ def test_fig8b_nyc_open(benchmark):
     # Paper: for NYC Open, feature identification dominates because the data
     # sets are small (little aggregation work) but every function still needs
     # its merge trees.
-    total_scalar = rows[-1][2]
-    total_features = rows[-1][3]
-    assert total_features > total_scalar
+    if not smoke:
+        total_scalar = rows[-1][2]
+        total_features = rows[-1][3]
+        assert total_features > total_scalar
 
-    corpus = Corpus(coll.datasets[:12], coll.city)
+    corpus = Corpus(coll.datasets[: ks[-1] // 2], coll.city)
     benchmark.pedantic(lambda: corpus.build_index(), iterations=1, rounds=2)
+
+
+def test_fig8c_parallel_indexing(benchmark, urban_small):
+    """Serial vs. 4-thread map-reduce indexing: identical index, lower wall."""
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    temporal = (TemporalResolution.DAY, TemporalResolution.WEEK)
+
+    start = time.perf_counter()
+    serial = corpus.build_index(temporal=temporal)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = corpus.build_index(
+        temporal=temporal, n_workers=4, executor="thread"
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    assert serial.stats.n_scalar_functions == parallel.stats.n_scalar_functions
+    assert serial.stats.n_feature_sets == parallel.stats.n_feature_sets
+    for name, ds_serial in serial.datasets.items():
+        ds_parallel = parallel.datasets[name]
+        assert list(ds_serial.functions) == list(ds_parallel.functions)
+        for key, fns in ds_serial.functions.items():
+            for fn_s, fn_p in zip(fns, ds_parallel.functions[key]):
+                assert fn_s.function_id == fn_p.function_id
+                assert np.array_equal(fn_s.function.values, fn_p.function.values)
+
+    print(
+        "\nFigure 8(c) — parallel indexing (thread, 4 workers)\n"
+        f"serial: {serial_seconds:.2f}s  parallel: {parallel_seconds:.2f}s  "
+        f"({parallel.job_stats.n_map_chunks} map chunks)"
+    )
+    benchmark.pedantic(
+        lambda: corpus.build_index(
+            temporal=temporal, n_workers=4, executor="thread"
+        ),
+        iterations=1,
+        rounds=2,
+    )

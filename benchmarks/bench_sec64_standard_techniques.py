@@ -11,7 +11,6 @@ The paper's findings, reproduced here on city-resolution series:
   invisible to the inherently 1-D techniques once aggregated to the city.
 """
 
-import numpy as np
 
 from repro.baselines import dtw_score, mutual_information_score, pearson_score
 from repro.core.relationship import evaluate_features
@@ -111,7 +110,6 @@ def test_sec64_spatial_relationship_invisible_to_1d(urban_small, benchmark):
     space-aware comparison is required).  We print both views.
     """
     from repro.core.corpus import Corpus
-    from repro.core.significance import significance_test
 
     corpus = Corpus(
         [urban_small.dataset("collisions"), urban_small.dataset("complaints_311")],

@@ -21,7 +21,7 @@ def _fmt_bytes(n: int) -> str:
     return f"{n:.1f} TB"
 
 
-def test_table1_dataset_properties(urban_year, benchmark):
+def test_table1_dataset_properties(urban_year, benchmark, smoke):
     benchmark.pedantic(
         lambda: nyc_urban_collection(seed=7, n_days=30, scale=0.5),
         iterations=1,
@@ -44,15 +44,20 @@ def test_table1_dataset_properties(urban_year, benchmark):
         )
 
     by_name = {ds.name: ds for ds in urban_year.datasets}
-    # Shape assertions mirroring Table 1's structure.
-    assert by_name["taxi"].n_records == max(
-        d.n_records for d in urban_year.datasets if d.name != "twitter"
-    ), "taxi should dominate record volume among non-Twitter sets"
+    # Shape assertions mirroring Table 1's structure.  Volume ordering only
+    # holds at full scale: event-driven record counts shrink with the smoke
+    # collection's `scale` while fixed-rate sensors (weather) do not.
     assert by_name["weather"].schema.n_scalar_functions == max(
         d.schema.n_scalar_functions for d in urban_year.datasets
     ), "weather should dominate attribute count"
-    assert by_name["gas_prices"].n_records == min(
-        d.n_records for d in urban_year.datasets
-    ), "gas prices is the smallest data set"
-    records = np.array([d.n_records for d in urban_year.datasets])
-    assert records.max() / records.min() > 100, "volumes span orders of magnitude"
+    if not smoke:
+        assert by_name["taxi"].n_records == max(
+            d.n_records for d in urban_year.datasets if d.name != "twitter"
+        ), "taxi should dominate record volume among non-Twitter sets"
+        assert by_name["gas_prices"].n_records == min(
+            d.n_records for d in urban_year.datasets
+        ), "gas prices is the smallest data set"
+        records = np.array([d.n_records for d in urban_year.datasets])
+        assert (
+            records.max() / records.min() > 100
+        ), "volumes span orders of magnitude"

@@ -4,6 +4,12 @@ Each ``bench_*`` module regenerates one table or figure of the paper's
 evaluation (see DESIGN.md §2 for the index and EXPERIMENTS.md for the
 paper-vs-measured record).  Benchmarks print their rows/series, so run with
 ``pytest benchmarks/ --benchmark-only -s`` to see the reproduced output.
+
+Smoke mode.  ``pytest benchmarks/ --smoke`` shrinks every collection and
+permutation count so the full suite executes end-to-end in seconds — the CI
+benchmark job runs exactly that.  Assertions that only hold at full scale
+are relaxed or skipped under smoke; the point of the smoke run is to prove
+every benchmark still executes, not to re-validate the paper's numbers.
 """
 
 import pytest
@@ -14,9 +20,50 @@ from repro.synth import nyc_urban_collection
 from repro.temporal.resolution import TemporalResolution
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="tiny collections + few permutations so every benchmark "
+        "finishes in seconds (used by CI)",
+    )
+
+
+#: Effectiveness benchmarks validate *what* the framework finds (planted
+#: NYC relationships); those signals only exist at full collection scale,
+#: so smoke runs skip them rather than assert on starved data.
+_FULL_SCALE_ONLY = (
+    "bench_sec63_effectiveness.py",
+    "bench_sec64_standard_techniques.py",
+)
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--smoke"):
+        return
+    skip = pytest.mark.skip(
+        reason="effectiveness assertions need the full-scale collection"
+    )
+    for item in items:
+        if item.path.name in _FULL_SCALE_ONLY:
+            item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
-def urban_year():
-    """One simulated city-year of the NYC Urban replica (all nine data sets)."""
+def smoke(request):
+    """True when the run should use tiny inputs (CI smoke job)."""
+    return request.config.getoption("--smoke")
+
+
+@pytest.fixture(scope="session")
+def urban_year(smoke):
+    """One simulated city-year of the NYC Urban replica (all nine data sets).
+
+    Under ``--smoke`` this shrinks to two months at quarter volume.
+    """
+    if smoke:
+        return nyc_urban_collection(seed=7, n_days=60, scale=0.25)
     return nyc_urban_collection(seed=7, n_days=365, scale=1.0)
 
 
@@ -31,6 +78,8 @@ def urban_year_index(urban_year):
 
 
 @pytest.fixture(scope="session")
-def urban_small():
+def urban_small(smoke):
     """A smaller collection for performance sweeps (120 days, 0.5x volume)."""
+    if smoke:
+        return nyc_urban_collection(seed=13, n_days=45, scale=0.25)
     return nyc_urban_collection(seed=13, n_days=120, scale=0.5)

@@ -1,10 +1,11 @@
 """Legacy setup shim.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP 660 editable installs (the default ``pip install -e .`` path) cannot build
-the editable wheel.  This shim lets ``pip install -e . --no-use-pep517`` (and
-plain ``pip install -e .`` on older pips) fall back to ``setup.py develop``.
-All project metadata lives in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml``; this file only enables
+fallback install paths.  Offline environments that ship setuptools without
+the ``wheel`` package cannot build the PEP 660 editable wheel that plain
+``pip install -e .`` requires — there, use ``python setup.py develop`` (or
+``pip install -e . --no-use-pep517`` on older pips), which resolves the
+``src/`` layout and console script from the same pyproject metadata.
 """
 
 from setuptools import setup

@@ -7,6 +7,10 @@ Three commands cover the zero-to-discovery path:
 * ``query`` — load a catalog, build the Data Polygamy index, run a
   relationship query and print the significant relationships.
 * ``demo`` — simulate, index and query in one go (small scale).
+
+``query`` and ``demo`` accept ``--workers N --executor thread`` to fan
+indexing and relationship evaluation out through the map-reduce engine
+(§5.4); results are bit-identical to the serial default under a fixed seed.
 """
 
 from __future__ import annotations
@@ -41,15 +45,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         temporal = tuple(
             TemporalResolution(t.strip()) for t in args.temporal.split(",")
         )
-    index = corpus.build_index(temporal=temporal)
+    index = corpus.build_index(
+        temporal=temporal, n_workers=args.workers, executor=args.executor
+    )
     print(
         f"indexed {index.stats.n_scalar_functions} scalar functions "
-        f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s"
+        f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s "
+        f"({args.executor}, {args.workers} worker(s))"
     )
     clause = Clause(min_score=args.min_score, min_strength=args.min_strength)
     d1 = args.find.split(",") if args.find else None
     result = index.query(
-        d1, clause=clause, n_permutations=args.permutations, seed=args.seed
+        d1,
+        clause=clause,
+        n_permutations=args.permutations,
+        seed=args.seed,
+        n_workers=args.workers,
+        executor=args.executor,
     )
     print(
         f"evaluated {result.n_evaluated} relationships, "
@@ -67,9 +79,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed, n_days=90, scale=0.5, subset=("taxi", "weather")
     )
     index = Corpus(coll.datasets, coll.city).build_index(
-        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY)
+        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
+        n_workers=args.workers,
+        executor=args.executor,
     )
-    result = index.query(n_permutations=200, seed=args.seed)
+    result = index.query(
+        n_permutations=200,
+        seed=args.seed,
+        n_workers=args.workers,
+        executor=args.executor,
+    )
     print(f"{result.n_significant} significant relationships; strongest:")
     for rel in result.top(6):
         print(" ", rel.describe())
@@ -104,12 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--temporal", default="", help="e.g. 'day,week'")
     qry.add_argument("--top", type=int, default=15)
     qry.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(qry)
     qry.set_defaults(func=_cmd_query)
 
     demo = sub.add_parser("demo", help="end-to-end demo on synthetic data")
     demo.add_argument("--seed", type=int, default=7)
+    _add_parallel_flags(demo)
     demo.set_defaults(func=_cmd_demo)
     return parser
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="map-reduce worker count (default: 1)",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "thread"), default="serial",
+        help="map-reduce executor; 'thread' enables parallel execution",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,7 +1,14 @@
 """Core of the Data Polygamy framework: topology-based relationship mining."""
 
 from .clause import FEATURE_TYPES, Clause
-from .corpus import Corpus, CorpusIndex, IndexStats, QueryResult
+from .corpus import (
+    Corpus,
+    CorpusIndex,
+    IndexPartitionJob,
+    IndexStats,
+    QueryResult,
+    RelationshipPairJob,
+)
 from .features import (
     FeatureExtractor,
     FeatureSet,
@@ -21,8 +28,12 @@ from .merge_tree import (
 from .operator import (
     DatasetIndex,
     IndexedFunction,
+    PairOutcome,
+    PairTask,
     RelationReport,
     RelationshipResult,
+    enumerate_pair_tasks,
+    evaluate_pair_task,
     relation,
 )
 from .relationship import RelationshipMeasures, evaluate_features, score_from_masks
@@ -49,8 +60,10 @@ __all__ = [
     "FEATURE_TYPES",
     "Corpus",
     "CorpusIndex",
+    "IndexPartitionJob",
     "IndexStats",
     "QueryResult",
+    "RelationshipPairJob",
     "FeatureExtractor",
     "FeatureSet",
     "FunctionFeatures",
@@ -66,8 +79,12 @@ __all__ = [
     "compute_split_tree",
     "DatasetIndex",
     "IndexedFunction",
+    "PairOutcome",
+    "PairTask",
     "RelationReport",
     "RelationshipResult",
+    "enumerate_pair_tasks",
+    "evaluate_pair_task",
     "relation",
     "RelationshipMeasures",
     "evaluate_features",

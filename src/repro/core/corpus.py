@@ -6,13 +6,30 @@ evaluation resolution (Fig. 6), builds the merge-tree-driven features
 (salient + extreme), and records the phase timings the performance
 experiments report.  A :class:`CorpusIndex` then answers relationship
 queries: *find relationships between D1 and D2 satisfying clause*.
+
+Parallel execution (§5.4).  Both phases are expressed as map-reduce jobs on
+:class:`repro.mapreduce.LocalEngine` — the paper's Hadoop deployment in
+miniature:
+
+* :class:`IndexPartitionJob` maps over (data set, resolution) partitions and
+  reduces the materialized functions into one :class:`DatasetIndex` per data
+  set.
+* :class:`RelationshipPairJob` maps over individual function pairs
+  (:class:`~repro.core.operator.PairTask`) and reduces their outcomes into
+  one :class:`~repro.core.operator.RelationReport` per data set pair.
+
+``build_index(..., n_workers=4, executor="thread")`` and
+``query(..., n_workers=4, executor="thread")`` therefore fan work out across
+cores while producing **bit-identical** results to the serial path: map
+outputs are reassembled in canonical order and every significance test
+spawns its own per-pair RNG (see ``operator._pair_rng``).
 """
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..data.aggregation import FunctionSpec, aggregate, default_specs
 from ..data.dataset import Dataset
@@ -20,7 +37,7 @@ from ..spatial.city import CityModel
 from ..spatial.resolution import SpatialResolution, viable_spatial_resolutions
 from ..temporal.resolution import TemporalResolution, viable_temporal_resolutions
 from ..utils.errors import DataError, QueryError
-from ..utils.rng import RngLike
+from ..utils.rng import RngLike, ensure_rng
 from .clause import Clause
 from .features import FeatureExtractor
 from .operator import (
@@ -28,9 +45,16 @@ from .operator import (
     IndexedFunction,
     RelationReport,
     RelationshipResult,
-    relation,
+    enumerate_pair_tasks,
+    evaluate_pair_task,
 )
 from .scalar_function import ScalarFunction
+
+# Imported after the core modules above: repro.mapreduce.__init__ pulls in
+# pipeline.py, which imports repro.core.operator — already materialized at
+# this point, so the import is cycle-free.
+from ..mapreduce.engine import LocalEngine
+from ..mapreduce.job import JobStats, MapReduceJob
 
 
 @dataclass
@@ -50,6 +74,16 @@ class IndexStats:
     function_bytes: int = 0
     feature_bytes: int = 0
 
+    def merge(self, other: "IndexStats") -> None:
+        """Accumulate another run's counters (used by the reduce phase)."""
+        self.scalar_seconds += other.scalar_seconds
+        self.feature_seconds += other.feature_seconds
+        self.n_scalar_functions += other.n_scalar_functions
+        self.n_feature_sets += other.n_feature_sets
+        self.raw_bytes += other.raw_bytes
+        self.function_bytes += other.function_bytes
+        self.feature_bytes += other.feature_bytes
+
 
 @dataclass
 class QueryResult:
@@ -57,6 +91,8 @@ class QueryResult:
 
     ``results`` contains the statistically significant relationships of all
     evaluated data set pairs; the counters aggregate the per-pair reports.
+    ``job_stats`` carries the per-task timings of the map-reduce execution
+    (one map task per function pair) for the scalability experiments.
     """
 
     results: list[RelationshipResult] = field(default_factory=list)
@@ -65,6 +101,7 @@ class QueryResult:
     n_candidates: int = 0
     n_significant: int = 0
     elapsed_seconds: float = 0.0
+    job_stats: JobStats | None = None
 
     @property
     def evaluations_per_minute(self) -> float:
@@ -87,6 +124,125 @@ class QueryResult:
         """Relationships of one unordered data set pair."""
         names = {dataset1, dataset2}
         return [r for r in self.results if {r.dataset1, r.dataset2} == names]
+
+
+@dataclass
+class IndexPartition:
+    """Map output of :class:`IndexPartitionJob`: one (data set, resolution).
+
+    ``seq`` is the partition's position in the canonical serial indexing
+    order; the reducer sorts by it so the assembled ``DatasetIndex`` lists
+    resolutions in exactly the order the serial loop would have produced.
+    """
+
+    seq: int
+    resolution: tuple[SpatialResolution, TemporalResolution]
+    functions: list[IndexedFunction]
+    stats: IndexStats
+
+
+class IndexPartitionJob(MapReduceJob):
+    """Job 1+2 fused: materialize scalar functions + features per partition.
+
+    Map input: ``((dataset_name, s_res, t_res), (seq, dataset, specs,
+    regions, spatial_pairs))``.  The mapper aggregates the data set at one
+    resolution and extracts merge-tree features for every resulting function;
+    the reducer assembles one :class:`DatasetIndex` per data set.
+    """
+
+    def __init__(self, extractor: FeatureExtractor, fill: str) -> None:
+        self.extractor = extractor
+        self.fill = fill
+
+    def map(self, key: Any, value: Any):
+        dataset_name, s_res, t_res = key
+        seq, dataset, specs, regions, pairs = value
+        stats = IndexStats()
+        start = time.perf_counter()
+        aggregated = aggregate(
+            dataset, s_res, t_res, regions=regions, specs=specs, fill=self.fill
+        )
+        stats.scalar_seconds = time.perf_counter() - start
+        stats.n_scalar_functions = len(aggregated)
+
+        indexed: list[IndexedFunction] = []
+        start = time.perf_counter()
+        for agg in aggregated:
+            function = ScalarFunction.from_aggregated(agg, spatial_pairs=pairs)
+            features = self.extractor.extract(function)
+            stats.function_bytes += function.nbytes()
+            stats.feature_bytes += features.nbytes()
+            indexed.append(IndexedFunction(function=function, features=features))
+        stats.feature_seconds = time.perf_counter() - start
+        stats.n_feature_sets = len(indexed)
+        yield dataset_name, IndexPartition(seq, (s_res, t_res), indexed, stats)
+
+    def reduce(self, key: Any, values: list[Any]):
+        ds_index = DatasetIndex(dataset=key)
+        stats = IndexStats()
+        for part in sorted(values, key=lambda p: p.seq):
+            ds_index.functions[part.resolution] = part.functions
+            stats.merge(part.stats)
+        yield key, (ds_index, stats)
+
+
+class RelationshipPairJob(MapReduceJob):
+    """One map task per function pair; one reducer per data set pair.
+
+    Map input: ``((pair_seq, name1, name2), (task, base_seed))`` where
+    ``task`` is a :class:`~repro.core.operator.PairTask`.  The mapper runs
+    the feature comparison and (when the clause admits it) the restricted
+    Monte Carlo significance test; the reducer sorts outcomes back into
+    serial order and assembles the pair's :class:`RelationReport`.
+    """
+
+    def __init__(
+        self,
+        clause: Clause,
+        n_permutations: int,
+        alternative: str,
+        extractor: FeatureExtractor | None,
+    ) -> None:
+        self.clause = clause
+        self.n_permutations = n_permutations
+        self.alternative = alternative
+        self.extractor = extractor
+
+    def map(self, key: Any, value: Any):
+        _pair_seq, name1, name2 = key
+        task, base_seed = value
+        outcome = evaluate_pair_task(
+            task,
+            name1,
+            name2,
+            self.clause,
+            self.n_permutations,
+            self.alternative,
+            base_seed,
+            self.extractor,
+        )
+        yield key, outcome
+
+    def reduce(self, key: Any, values: list[Any]):
+        _pair_seq, name1, name2 = key
+        report = RelationReport(dataset1=name1, dataset2=name2)
+        for outcome in sorted(values, key=lambda o: o.seq):
+            report.n_evaluated += outcome.n_evaluated
+            report.n_candidates += outcome.n_candidates
+            report.results.extend(outcome.results)
+        report.n_significant = len(report.results)
+        yield key, report
+
+
+def _resolve_engine(
+    engine: LocalEngine | None, n_workers: int, executor: str
+) -> LocalEngine:
+    """An explicit engine wins; otherwise build one from the simple knobs."""
+    if engine is not None:
+        return engine
+    return LocalEngine(
+        n_workers=n_workers, executor=executor, map_chunk_size="auto"
+    )
 
 
 class Corpus:
@@ -114,6 +270,9 @@ class Corpus:
         spatial: tuple[SpatialResolution, ...] | None = None,
         temporal: tuple[TemporalResolution, ...] | None = None,
         specs: dict[str, list[FunctionSpec]] | None = None,
+        n_workers: int = 1,
+        executor: str = "serial",
+        engine: LocalEngine | None = None,
     ) -> "CorpusIndex":
         """Materialize scalar functions and features for every data set.
 
@@ -126,16 +285,51 @@ class Corpus:
         specs:
             Optional per-data-set function specs (defaults to all of §5.1's
             count + attribute functions).
+        n_workers, executor:
+            Parallel-execution knobs forwarded to the map-reduce engine:
+            ``executor="thread"`` with ``n_workers > 1`` fans the
+            (data set, resolution) partitions out across a thread pool.
+            Results are bit-identical to the serial default.
+        engine:
+            Optional pre-configured :class:`LocalEngine`; overrides
+            ``n_workers``/``executor``.
         """
+        run_engine = _resolve_engine(engine, n_workers, executor)
         index = CorpusIndex(city=self.city, corpus=self)
+
+        inputs: list[tuple[Any, Any]] = []
+        seq = 0
         for dataset in self.datasets.values():
-            ds_index = DatasetIndex(dataset=dataset.name)
             index.stats.raw_bytes += dataset.nbytes()
             ds_specs = (specs or {}).get(dataset.name) or default_specs(dataset)
             for s_res in self._spatial_for(dataset, spatial):
+                regions = (
+                    None
+                    if s_res is SpatialResolution.CITY
+                    else self.city.region_set(s_res)
+                )
+                pairs = self.city.spatial_pairs(s_res)
                 for t_res in self._temporal_for(dataset, temporal):
-                    self._index_one(index, ds_index, dataset, ds_specs, s_res, t_res)
-            index.datasets[dataset.name] = ds_index
+                    inputs.append(
+                        (
+                            (dataset.name, s_res, t_res),
+                            (seq, dataset, ds_specs, regions, pairs),
+                        )
+                    )
+                    seq += 1
+
+        job = IndexPartitionJob(self.extractor, self.fill)
+        outputs, job_stats = run_engine.run(job, inputs)
+        index.job_stats = job_stats
+
+        reduced = dict(outputs)
+        for name in self.datasets:
+            if name in reduced:
+                ds_index, stats = reduced[name]
+                index.stats.merge(stats)
+            else:  # data set with no viable resolution under the whitelists
+                ds_index = DatasetIndex(dataset=name)
+            index.datasets[name] = ds_index
         return index
 
     # -- internals -----------------------------------------------------------
@@ -158,40 +352,6 @@ class Corpus:
             viable = tuple(r for r in viable if r in whitelist)
         return list(viable)
 
-    def _index_one(
-        self,
-        index: "CorpusIndex",
-        ds_index: DatasetIndex,
-        dataset: Dataset,
-        specs: list[FunctionSpec],
-        s_res: SpatialResolution,
-        t_res: TemporalResolution,
-    ) -> None:
-        regions = (
-            None
-            if s_res is SpatialResolution.CITY
-            else self.city.region_set(s_res)
-        )
-        start = time.perf_counter()
-        aggregated = aggregate(
-            dataset, s_res, t_res, regions=regions, specs=specs, fill=self.fill
-        )
-        index.stats.scalar_seconds += time.perf_counter() - start
-        index.stats.n_scalar_functions += len(aggregated)
-
-        pairs = self.city.spatial_pairs(s_res)
-        indexed: list[IndexedFunction] = []
-        start = time.perf_counter()
-        for agg in aggregated:
-            function = ScalarFunction.from_aggregated(agg, spatial_pairs=pairs)
-            features = self.extractor.extract(function)
-            index.stats.function_bytes += function.nbytes()
-            index.stats.feature_bytes += features.nbytes()
-            indexed.append(IndexedFunction(function=function, features=features))
-        index.stats.feature_seconds += time.perf_counter() - start
-        index.stats.n_feature_sets += len(indexed)
-        ds_index.functions[(s_res, t_res)] = indexed
-
 
 @dataclass
 class CorpusIndex:
@@ -201,6 +361,7 @@ class CorpusIndex:
     corpus: Corpus
     datasets: dict[str, DatasetIndex] = field(default_factory=dict)
     stats: IndexStats = field(default_factory=IndexStats)
+    job_stats: JobStats | None = None
 
     def dataset_index(self, name: str) -> DatasetIndex:
         """The index of one data set (QueryError if unknown)."""
@@ -217,18 +378,27 @@ class CorpusIndex:
         n_permutations: int = 1000,
         alternative: str = "two-sided",
         seed: RngLike = 0,
+        n_workers: int = 1,
+        executor: str = "serial",
+        engine: LocalEngine | None = None,
     ) -> QueryResult:
         """Find relationships between D1 and D2 satisfying ``clause`` (§5.3).
 
         ``datasets1`` defaults to every indexed data set; ``datasets2``
         defaults to the full corpus (the paper's ``D2 = ∅`` convention).
         Every unordered pair (Di, Dj) with Di ≠ Dj is evaluated once.
+
+        ``n_workers``/``executor`` (or an explicit ``engine``) fan the
+        function-pair evaluations out through the map-reduce engine; per-pair
+        RNGs are spawned via ``SeedSequence`` from deterministic pair seeds,
+        so ``executor="thread", n_workers=4`` returns results bit-identical
+        to the serial default under the same ``seed``.
         """
         if clause is None:
             clause = Clause()
-        d1 = datasets1 or list(self.datasets)
-        d2 = datasets2 or list(self.datasets)
-        for name in itertools.chain(d1, d2):
+        d1 = list(datasets1) if datasets1 else list(self.datasets)
+        d2 = list(datasets2) if datasets2 else list(self.datasets)
+        for name in d1 + d2:
             if name not in self.datasets:
                 raise QueryError(f"data set {name!r} is not indexed")
 
@@ -246,18 +416,31 @@ class CorpusIndex:
                 seen.add(key)
                 pairs.append(key)
 
+        run_engine = _resolve_engine(engine, n_workers, executor)
         result = QueryResult()
         start = time.perf_counter()
-        for a, b in pairs:
-            report = relation(
-                self.datasets[a],
-                self.datasets[b],
-                clause=clause,
-                n_permutations=n_permutations,
-                alternative=alternative,
-                seed=seed,
-                extractor=self.corpus.extractor,
-            )
+
+        inputs: list[tuple[Any, Any]] = []
+        for pair_seq, (a, b) in enumerate(pairs):
+            # Mirrors relation(): a fresh draw per pair, so an int seed gives
+            # every pair the same base and a Generator advances in pair order.
+            base_seed = int(ensure_rng(seed).integers(2**62))
+            for task in enumerate_pair_tasks(
+                self.datasets[a], self.datasets[b], clause
+            ):
+                inputs.append(((pair_seq, a, b), (task, base_seed)))
+
+        job = RelationshipPairJob(
+            clause, n_permutations, alternative, self.corpus.extractor
+        )
+        outputs, job_stats = run_engine.run(job, inputs)
+        result.job_stats = job_stats
+
+        by_pair = {key[0]: report for key, report in outputs}
+        for pair_seq, (a, b) in enumerate(pairs):
+            report = by_pair.get(pair_seq)
+            if report is None:  # no common resolutions -> empty report
+                report = RelationReport(dataset1=a, dataset2=b)
             result.reports.append(report)
             result.results.extend(report.results)
             result.n_evaluated += report.n_evaluated

@@ -11,6 +11,8 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..graph.domain_graph import DomainGraph
 from ..spatial.resolution import SpatialResolution
 from ..temporal.resolution import TemporalResolution
@@ -126,6 +128,17 @@ def _pair_seed(base: int, *tokens: str) -> int:
     return (base * 1_000_003 + digest) % (2**63 - 1)
 
 
+def _pair_rng(base: int, *tokens: str) -> np.random.Generator:
+    """A fresh per-function-pair generator spawned via ``SeedSequence``.
+
+    Every (function pair, resolution, feature type) combination gets its own
+    independent stream derived from the deterministic pair seed — never a
+    generator shared across tasks — so evaluations can run on any worker in
+    any order and still produce bit-identical p-values.
+    """
+    return np.random.default_rng(np.random.SeedSequence(_pair_seed(base, *tokens)))
+
+
 def _overlap_slices(
     f1: ScalarFunction, f2: ScalarFunction
 ) -> tuple[slice, slice] | None:
@@ -139,6 +152,126 @@ def _overlap_slices(
     s1 = slice(first - int(l1[0]), last - int(l1[0]) + 1)
     s2 = slice(first - int(l2[0]), last - int(l2[0]) + 1)
     return s1, s2
+
+
+@dataclass(frozen=True)
+class PairTask:
+    """One schedulable unit of a relationship query: a function pair.
+
+    ``seq`` is the position of the task in the canonical serial evaluation
+    order (common resolutions finest-first, then ``index1``'s functions, then
+    ``index2``'s); reducers sort outcomes by it so parallel execution
+    reassembles reports in exactly the serial order.
+    """
+
+    seq: int
+    fn1: IndexedFunction
+    fn2: IndexedFunction
+    spatial: SpatialResolution
+    temporal: TemporalResolution
+
+
+@dataclass
+class PairOutcome:
+    """What evaluating one :class:`PairTask` contributed to the report."""
+
+    seq: int
+    n_evaluated: int = 0
+    n_candidates: int = 0
+    results: list[RelationshipResult] = field(default_factory=list)
+
+
+def enumerate_pair_tasks(
+    index1: DatasetIndex, index2: DatasetIndex, clause: Clause
+) -> list[PairTask]:
+    """All function-pair tasks of ``relation(index1, index2)``, serial order."""
+    tasks: list[PairTask] = []
+    common = [
+        key for key in index1.resolutions() if key in set(index2.resolutions())
+    ]
+    for key in common:
+        spatial, temporal = key
+        if not clause.admits_resolution(spatial, temporal):
+            continue
+        for fn1 in index1.functions[key]:
+            for fn2 in index2.functions[key]:
+                tasks.append(PairTask(len(tasks), fn1, fn2, spatial, temporal))
+    return tasks
+
+
+def evaluate_pair_task(
+    task: PairTask,
+    dataset1: str,
+    dataset2: str,
+    clause: Clause,
+    n_permutations: int,
+    alternative: str,
+    base_seed: int,
+    extractor: FeatureExtractor | None,
+) -> PairOutcome:
+    """Evaluate one function pair: feature comparison + significance test.
+
+    Self-contained and side-effect free so it can run as a map task on any
+    worker: the RNG is spawned per pair from ``base_seed`` (see
+    :func:`_pair_rng`), never shared.
+    """
+    fn1, fn2, spatial, temporal = task.fn1, task.fn2, task.spatial, task.temporal
+    outcome = PairOutcome(seq=task.seq)
+    slices = _overlap_slices(fn1.function, fn2.function)
+    if slices is None:
+        return outcome
+    s1, s2 = slices
+    graph = DomainGraph(
+        n_regions=fn1.function.n_regions,
+        n_steps=s1.stop - s1.start,
+        spatial_pairs=fn1.function.graph.spatial_pairs,
+        step_labels=fn1.function.graph.step_labels[s1],
+    )
+    for feature_type in clause.feature_types:
+        outcome.n_evaluated += 1
+        fs1 = _resolve_features(fn1, feature_type, clause, extractor)
+        fs2 = _resolve_features(fn2, feature_type, clause, extractor)
+        fs1 = fs1.slice_steps(s1.start, s1.stop)
+        fs2 = fs2.slice_steps(s2.start, s2.stop)
+        measures = evaluate_features(fs1, fs2)
+        if not measures.is_related or not clause.admits_measures(measures):
+            continue
+        outcome.n_candidates += 1
+        sig = significance_test(
+            fs1,
+            fs2,
+            graph,
+            n_permutations=n_permutations,
+            alternative=alternative,
+            seed=_pair_rng(
+                base_seed,
+                fn1.function_id,
+                fn2.function_id,
+                spatial.value,
+                temporal.value,
+                feature_type,
+            ),
+        )
+        if not sig.is_significant(clause.alpha):
+            continue
+        outcome.results.append(
+            RelationshipResult(
+                dataset1=dataset1,
+                dataset2=dataset2,
+                function1=fn1.function_id,
+                function2=fn2.function_id,
+                spatial=spatial,
+                temporal=temporal,
+                feature_type=feature_type,
+                score=measures.score,
+                strength=measures.strength,
+                p_value=sig.p_value,
+                n_related=measures.n_related,
+                precision=measures.precision,
+                recall=measures.recall,
+            )
+        )
+    return outcome
 
 
 def relation(
@@ -167,6 +300,10 @@ def relation(
     extractor:
         Only needed when the clause pins custom thresholds (to recompute
         features for those functions).
+
+    ``relation`` runs the tasks serially; ``CorpusIndex.query`` routes the
+    same :func:`evaluate_pair_task` units through the map-reduce engine, so
+    the two paths produce bit-identical reports.
     """
     if clause is None:
         clause = Clause()
@@ -176,97 +313,22 @@ def relation(
     base_seed = int(rng.integers(2**62))
 
     report = RelationReport(dataset1=index1.dataset, dataset2=index2.dataset)
-    common = [
-        key for key in index1.resolutions() if key in set(index2.resolutions())
-    ]
-    for key in common:
-        spatial, temporal = key
-        if not clause.admits_resolution(spatial, temporal):
-            continue
-        for fn1 in index1.functions[key]:
-            for fn2 in index2.functions[key]:
-                _evaluate_pair(
-                    fn1,
-                    fn2,
-                    spatial,
-                    temporal,
-                    clause,
-                    n_permutations,
-                    alternative,
-                    base_seed,
-                    extractor,
-                    report,
-                )
+    for task in enumerate_pair_tasks(index1, index2, clause):
+        outcome = evaluate_pair_task(
+            task,
+            report.dataset1,
+            report.dataset2,
+            clause,
+            n_permutations,
+            alternative,
+            base_seed,
+            extractor,
+        )
+        report.n_evaluated += outcome.n_evaluated
+        report.n_candidates += outcome.n_candidates
+        report.results.extend(outcome.results)
     report.n_significant = len(report.results)
     return report
-
-
-def _evaluate_pair(
-    fn1: IndexedFunction,
-    fn2: IndexedFunction,
-    spatial: SpatialResolution,
-    temporal: TemporalResolution,
-    clause: Clause,
-    n_permutations: int,
-    alternative: str,
-    base_seed: int,
-    extractor: FeatureExtractor | None,
-    report: RelationReport,
-) -> None:
-    slices = _overlap_slices(fn1.function, fn2.function)
-    if slices is None:
-        return
-    s1, s2 = slices
-    graph = DomainGraph(
-        n_regions=fn1.function.n_regions,
-        n_steps=s1.stop - s1.start,
-        spatial_pairs=fn1.function.graph.spatial_pairs,
-        step_labels=fn1.function.graph.step_labels[s1],
-    )
-    for feature_type in clause.feature_types:
-        report.n_evaluated += 1
-        fs1 = _resolve_features(fn1, feature_type, clause, extractor)
-        fs2 = _resolve_features(fn2, feature_type, clause, extractor)
-        fs1 = fs1.slice_steps(s1.start, s1.stop)
-        fs2 = fs2.slice_steps(s2.start, s2.stop)
-        measures = evaluate_features(fs1, fs2)
-        if not measures.is_related or not clause.admits_measures(measures):
-            continue
-        report.n_candidates += 1
-        sig = significance_test(
-            fs1,
-            fs2,
-            graph,
-            n_permutations=n_permutations,
-            alternative=alternative,
-            seed=_pair_seed(
-                base_seed,
-                fn1.function_id,
-                fn2.function_id,
-                spatial.value,
-                temporal.value,
-                feature_type,
-            ),
-        )
-        if not sig.is_significant(clause.alpha):
-            continue
-        report.results.append(
-            RelationshipResult(
-                dataset1=report.dataset1,
-                dataset2=report.dataset2,
-                function1=fn1.function_id,
-                function2=fn2.function_id,
-                spatial=spatial,
-                temporal=temporal,
-                feature_type=feature_type,
-                score=measures.score,
-                strength=measures.strength,
-                p_value=sig.p_value,
-                n_related=measures.n_related,
-                precision=measures.precision,
-                recall=measures.recall,
-            )
-        )
 
 
 def _resolve_features(

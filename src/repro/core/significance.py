@@ -32,6 +32,7 @@ uses it.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import deque
 from dataclasses import dataclass
@@ -267,9 +268,13 @@ def adjacency_preservation(neighbors: list[np.ndarray], image: np.ndarray) -> fl
 #: Domain-level cache of toroidal-shift families.  §4 defines the |m| shifts
 #: as randomizations of the *spatial domain*, so one family per region graph
 #: is both faithful and fast: reusing the same permutations across function
-#: pairs is the standard formulation of a permutation test.
+#: pairs is the standard formulation of a permutation test.  The lock makes
+#: the cache safe under the thread executor: parallel query map tasks over
+#: the same region graph share one deterministically-seeded family instead
+#: of racing to build (and evict) their own.
 _TOROIDAL_CACHE: dict[tuple, np.ndarray] = {}
 _TOROIDAL_CACHE_LIMIT = 32
+_TOROIDAL_CACHE_LOCK = threading.Lock()
 
 
 def domain_toroidal_maps(graph: DomainGraph, n_maps: int) -> np.ndarray:
@@ -279,14 +284,15 @@ def domain_toroidal_maps(graph: DomainGraph, n_maps: int) -> np.ndarray:
         graph.spatial_pairs.tobytes(),
         int(n_maps),
     )
-    cached = _TOROIDAL_CACHE.get(key)
-    if cached is None:
-        neighbors = [graph.region_neighbors(r) for r in range(graph.n_regions)]
-        rng = ensure_rng(zlib.crc32(key[1]) + graph.n_regions)
-        cached = np.stack([toroidal_map(neighbors, rng) for _ in range(n_maps)])
-        if len(_TOROIDAL_CACHE) >= _TOROIDAL_CACHE_LIMIT:
-            _TOROIDAL_CACHE.pop(next(iter(_TOROIDAL_CACHE)))
-        _TOROIDAL_CACHE[key] = cached
+    with _TOROIDAL_CACHE_LOCK:
+        cached = _TOROIDAL_CACHE.get(key)
+        if cached is None:
+            neighbors = [graph.region_neighbors(r) for r in range(graph.n_regions)]
+            rng = ensure_rng(zlib.crc32(key[1]) + graph.n_regions)
+            cached = np.stack([toroidal_map(neighbors, rng) for _ in range(n_maps)])
+            if len(_TOROIDAL_CACHE) >= _TOROIDAL_CACHE_LIMIT:
+                _TOROIDAL_CACHE.pop(next(iter(_TOROIDAL_CACHE)))
+            _TOROIDAL_CACHE[key] = cached
     return cached
 
 

@@ -9,14 +9,25 @@ Two executors are provided:
   heavy lifting happens inside NumPy (which releases the GIL), so threads
   give real overlap without pickling overheads.
 
-The shuffle groups intermediate pairs by key with a plain dictionary —
-the in-process analogue of Hadoop's sort/partition phase.
+Determinism.  Every intermediate pair is tagged with its provenance
+``(input_index, emit_index)`` before the shuffle; the shuffle sorts by that
+tag, so grouped values (and therefore reduce outputs) are identical no
+matter how map tasks were scheduled or in which order their results arrived.
+This is what lets :class:`repro.core.Corpus` promise bit-identical serial
+and parallel indexes/queries.
+
+Chunked map partitions.  One thread task per map input is wasteful when a
+job has many tiny inputs (thread dispatch dominates).  ``map_chunk_size``
+groups consecutive inputs into one schedulable task: pass an ``int``, or
+``"auto"`` to size chunks so each worker receives a few tasks.  The shuffle
+groups intermediate pairs by key with a plain dictionary — the in-process
+analogue of Hadoop's sort/partition phase.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from collections import defaultdict
 from collections.abc import Hashable, Iterable
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
@@ -25,6 +36,13 @@ from ..utils.errors import MapReduceError
 from .job import JobStats, MapReduceJob
 
 _EXECUTORS = ("serial", "thread")
+
+#: ``"auto"`` chunking targets this many map tasks per worker, keeping the
+#: pool busy (work stealing across uneven tasks) without per-input dispatch.
+_AUTO_TASKS_PER_WORKER = 4
+
+#: A tagged intermediate pair: ((input_index, emit_index), key, value).
+TaggedPair = tuple[tuple[int, int], Hashable, Any]
 
 
 class LocalEngine:
@@ -37,15 +55,47 @@ class LocalEngine:
         ``"serial"``).
     executor:
         ``"serial"`` (default) or ``"thread"``.
+    map_chunk_size:
+        Number of consecutive map inputs grouped into one schedulable task.
+        ``None`` (default) keeps one task per input; ``"auto"`` sizes chunks
+        to ``ceil(n_inputs / (n_workers * 4))`` under the thread executor so
+        dispatch overhead does not dominate small workloads.
     """
 
-    def __init__(self, n_workers: int = 1, executor: str = "serial") -> None:
+    def __init__(
+        self,
+        n_workers: int = 1,
+        executor: str = "serial",
+        map_chunk_size: int | str | None = None,
+    ) -> None:
         if executor not in _EXECUTORS:
             raise MapReduceError(f"unknown executor {executor!r}")
         if n_workers < 1:
             raise MapReduceError("n_workers must be >= 1")
+        if map_chunk_size is not None and map_chunk_size != "auto":
+            if not isinstance(map_chunk_size, int) or map_chunk_size < 1:
+                raise MapReduceError(
+                    "map_chunk_size must be a positive int, 'auto' or None"
+                )
         self.n_workers = n_workers
         self.executor = executor
+        self.map_chunk_size = map_chunk_size
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when tasks actually run on a thread pool."""
+        return self.executor == "thread" and self.n_workers > 1
+
+    def _resolve_chunk_size(self, n_inputs: int) -> int:
+        if self.map_chunk_size is None:
+            return 1
+        if self.map_chunk_size == "auto":
+            if not self.is_parallel or n_inputs == 0:
+                return 1
+            return max(
+                1, math.ceil(n_inputs / (self.n_workers * _AUTO_TASKS_PER_WORKER))
+            )
+        return self.map_chunk_size
 
     def run(
         self, job: MapReduceJob, inputs: Iterable[tuple[Any, Any]]
@@ -55,30 +105,40 @@ class LocalEngine:
 
         # -- map phase -------------------------------------------------------
         input_list = list(inputs)
-        if self.executor == "thread" and self.n_workers > 1:
+        chunk_size = self._resolve_chunk_size(len(input_list))
+        indexed = list(enumerate(input_list))
+        chunks = [
+            indexed[lo : lo + chunk_size]
+            for lo in range(0, len(indexed), chunk_size)
+        ]
+        stats.n_map_chunks = len(chunks)
+
+        def map_chunk(chunk: list[tuple[int, tuple[Any, Any]]]) -> list[TaggedPair]:
+            tagged: list[TaggedPair] = []
+            for input_index, (key, value) in chunk:
+                for emit_index, (k, v) in enumerate(job.map(key, value)):
+                    tagged.append(((input_index, emit_index), k, v))
+            return tagged
+
+        if self.is_parallel:
             map_results = self._run_tasks(
-                [(job.map, key, value) for key, value in input_list],
-                stats.map_task_seconds,
+                [(map_chunk, chunk) for chunk in chunks], stats.map_task_seconds
             )
         else:
             map_results = []
-            for key, value in input_list:
+            for chunk in chunks:
                 start = time.perf_counter()
-                emitted = list(job.map(key, value))
+                map_results.append(map_chunk(chunk))
                 stats.map_task_seconds.append(time.perf_counter() - start)
-                map_results.append(emitted)
 
         # -- shuffle -----------------------------------------------------------
         start = time.perf_counter()
-        groups: dict[Hashable, list[Any]] = defaultdict(list)
-        for emitted in map_results:
-            for k, v in emitted:
-                groups[k].append(v)
+        groups = self.shuffle(pair for emitted in map_results for pair in emitted)
         stats.shuffle_seconds = time.perf_counter() - start
 
         # -- reduce phase ------------------------------------------------------
         items = list(groups.items())
-        if self.executor == "thread" and self.n_workers > 1:
+        if self.is_parallel:
             reduce_results = self._run_tasks(
                 [(job.reduce, k, vs) for k, vs in items],
                 stats.reduce_task_seconds,
@@ -95,17 +155,32 @@ class LocalEngine:
         stats.n_outputs = len(outputs)
         return outputs, stats
 
+    @staticmethod
+    def shuffle(tagged: Iterable[TaggedPair]) -> dict[Hashable, list[Any]]:
+        """Group tagged intermediate pairs by key, deterministically.
+
+        Pairs are first sorted by their ``(input_index, emit_index)`` tag, so
+        both the per-key value order and the key (reduce-task) order depend
+        only on what the map phase emitted — never on scheduling order.  This
+        is the property the parallel/serial equivalence tests pin down.
+        """
+        ordered = sorted(tagged, key=lambda pair: pair[0])
+        groups: dict[Hashable, list[Any]] = {}
+        for _tag, key, value in ordered:
+            groups.setdefault(key, []).append(value)
+        return groups
+
     def _run_tasks(
         self,
-        tasks: list[tuple[Any, Any, Any]],
+        tasks: list[tuple],
         timings: list[float],
-    ) -> list[list[tuple[Any, Any]]]:
-        """Run (fn, a, b) tasks on the thread pool, recording per-task times."""
+    ) -> list[list]:
+        """Run ``(fn, *args)`` tasks on the thread pool, recording times."""
 
-        def timed_call(task: tuple[Any, Any, Any]) -> tuple[list, float]:
-            fn, a, b = task
+        def timed_call(task: tuple) -> tuple[list, float]:
+            fn, *args = task
             start = time.perf_counter()
-            out = list(fn(a, b))
+            out = list(fn(*args))
             return out, time.perf_counter() - start
 
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:

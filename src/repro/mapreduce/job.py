@@ -32,13 +32,17 @@ class JobStats:
 
     ``map_task_seconds`` and ``reduce_task_seconds`` record the wall time of
     each individual task; the simulated-cluster scheduler replays them onto
-    n virtual nodes to estimate distributed makespans (Fig. 10).
+    n virtual nodes to estimate distributed makespans (Fig. 10).  When the
+    engine chunks map inputs (see ``LocalEngine.map_chunk_size``), each chunk
+    is one schedulable task: ``n_map_chunks`` counts them and
+    ``map_task_seconds`` holds one entry per chunk.
     """
 
     map_task_seconds: list[float] = field(default_factory=list)
     reduce_task_seconds: list[float] = field(default_factory=list)
     shuffle_seconds: float = 0.0
     n_outputs: int = 0
+    n_map_chunks: int = 0
 
     @property
     def total_task_seconds(self) -> float:

@@ -8,7 +8,6 @@ from repro.data.aggregation import FunctionSpec, aggregate
 from repro.data.dataset import Dataset
 from repro.data.schema import DatasetSchema
 from repro.graph.domain_graph import DomainGraph
-from repro.spatial.adjacency import grid_adjacency
 from repro.spatial.resolution import SpatialResolution
 from repro.temporal.resolution import TemporalResolution
 from repro.utils.errors import DataError

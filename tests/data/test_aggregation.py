@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.aggregation import (
-    AggregatedFunction,
     FunctionSpec,
     aggregate,
     default_specs,

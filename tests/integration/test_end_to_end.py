@@ -10,7 +10,6 @@ pruned, correctness on replicated years, robustness to noise.
 import numpy as np
 import pytest
 
-from repro.core.clause import Clause
 from repro.core.corpus import Corpus
 from repro.core.features import FeatureExtractor
 from repro.core.relationship import evaluate_features

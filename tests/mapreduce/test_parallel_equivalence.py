@@ -1,0 +1,242 @@
+"""Parallel/serial equivalence of the map-reduce-backed core pipeline.
+
+The contract under test: ``Corpus.build_index`` and ``CorpusIndex.query``
+with ``executor="thread", n_workers=4`` must produce **bit-identical**
+results to the serial path under a fixed seed, and the engine's shuffle must
+be deterministic no matter in which order intermediate pairs arrive.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.mapreduce.engine import LocalEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.spatial.city import CityModel
+from repro.data.dataset import Dataset
+from repro.data.schema import DatasetSchema
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+from repro.utils.errors import MapReduceError
+
+HOUR = 3600
+
+
+def correlated_corpus(seed=0, n_hours=1200):
+    """Three city/hour data sets: two related, one noise (like §6.2)."""
+    rng = np.random.default_rng(seed)
+    ts = np.arange(n_hours, dtype=np.int64) * HOUR
+    t = np.arange(n_hours)
+    base = 10 + 1.5 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.2, n_hours)
+    ups = rng.choice(n_hours - 6, 25, replace=False)
+    downs = rng.choice(n_hours - 6, 25, replace=False)
+    a = base.copy()
+    b = 5 + 0.8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.1, n_hours)
+    for e in ups:
+        a[e : e + 4] += 8
+        b[e : e + 4] += 6
+    for e in downs:
+        a[e : e + 4] -= 8
+        b[e : e + 4] -= 6
+    noise = 10 + rng.normal(0, 1.0, n_hours)
+
+    def city_dataset(name, values):
+        schema = DatasetSchema(
+            name, SpatialResolution.CITY, TemporalResolution.HOUR,
+            numeric_attributes=("v",),
+        )
+        return Dataset(schema, timestamps=ts, numerics={"v": values})
+
+    city = CityModel.synthetic(nbhd_grid=(3, 3), zip_grid=(2, 2))
+    return Corpus(
+        [
+            city_dataset("alpha", a),
+            city_dataset("beta", b),
+            city_dataset("gamma", noise),
+        ],
+        city,
+    )
+
+
+def assert_indexes_identical(index1, index2):
+    assert list(index1.datasets) == list(index2.datasets)
+    for name, ds1 in index1.datasets.items():
+        ds2 = index2.datasets[name]
+        assert list(ds1.functions) == list(ds2.functions)
+        for key, fns1 in ds1.functions.items():
+            fns2 = ds2.functions[key]
+            assert [f.function_id for f in fns1] == [f.function_id for f in fns2]
+            for f1, f2 in zip(fns1, fns2):
+                assert np.array_equal(f1.function.values, f2.function.values)
+                for feature_type in ("salient", "extreme"):
+                    s1 = f1.feature_set(feature_type)
+                    s2 = f2.feature_set(feature_type)
+                    assert np.array_equal(s1.positive, s2.positive)
+                    assert np.array_equal(s1.negative, s2.negative)
+
+
+def assert_query_results_identical(r1, r2):
+    assert (r1.n_evaluated, r1.n_candidates, r1.n_significant) == (
+        r2.n_evaluated,
+        r2.n_candidates,
+        r2.n_significant,
+    )
+    assert [(rep.dataset1, rep.dataset2) for rep in r1.reports] == [
+        (rep.dataset1, rep.dataset2) for rep in r2.reports
+    ]
+    rows1 = [
+        (x.function1, x.function2, x.feature_type, x.score, x.strength,
+         x.p_value, x.n_related, x.precision, x.recall)
+        for x in r1.results
+    ]
+    rows2 = [
+        (x.function1, x.function2, x.feature_type, x.score, x.strength,
+         x.p_value, x.n_related, x.precision, x.recall)
+        for x in r2.results
+    ]
+    assert rows1 == rows2
+
+
+class TestCorpusParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return correlated_corpus()
+
+    @pytest.fixture(scope="class")
+    def serial_index(self, corpus):
+        return corpus.build_index(temporal=(TemporalResolution.HOUR,))
+
+    def test_build_index_thread_matches_serial(self, corpus, serial_index):
+        parallel = corpus.build_index(
+            temporal=(TemporalResolution.HOUR,), n_workers=4, executor="thread"
+        )
+        assert_indexes_identical(serial_index, parallel)
+        assert (
+            serial_index.stats.n_scalar_functions
+            == parallel.stats.n_scalar_functions
+        )
+        assert serial_index.stats.n_feature_sets == parallel.stats.n_feature_sets
+        assert serial_index.stats.function_bytes == parallel.stats.function_bytes
+        assert serial_index.stats.feature_bytes == parallel.stats.feature_bytes
+        assert serial_index.stats.raw_bytes == parallel.stats.raw_bytes
+
+    def test_query_thread_matches_serial(self, corpus, serial_index):
+        serial = serial_index.query(n_permutations=150, seed=0)
+        parallel = serial_index.query(
+            n_permutations=150, seed=0, n_workers=4, executor="thread"
+        )
+        assert_query_results_identical(serial, parallel)
+        assert serial.n_significant >= 1  # the planted pair survives
+
+    def test_query_on_parallel_index_matches(self, corpus, serial_index):
+        parallel_index = corpus.build_index(
+            temporal=(TemporalResolution.HOUR,), n_workers=4, executor="thread"
+        )
+        serial = serial_index.query(n_permutations=60, seed=3)
+        parallel = parallel_index.query(
+            n_permutations=60, seed=3, n_workers=4, executor="thread"
+        )
+        assert_query_results_identical(serial, parallel)
+
+    def test_generator_seed_parity(self, serial_index):
+        serial = serial_index.query(
+            n_permutations=40, seed=np.random.default_rng(11)
+        )
+        parallel = serial_index.query(
+            n_permutations=40,
+            seed=np.random.default_rng(11),
+            n_workers=4,
+            executor="thread",
+        )
+        assert_query_results_identical(serial, parallel)
+
+    def test_explicit_engine_override(self, serial_index):
+        engine = LocalEngine(n_workers=2, executor="thread", map_chunk_size=3)
+        serial = serial_index.query(n_permutations=40, seed=0)
+        parallel = serial_index.query(n_permutations=40, seed=0, engine=engine)
+        assert_query_results_identical(serial, parallel)
+
+    def test_query_accepts_tuple_dataset_lists(self, serial_index):
+        by_tuple = serial_index.query(
+            datasets1=("alpha", "beta"), n_permutations=20, seed=0
+        )
+        by_list = serial_index.query(
+            datasets1=["alpha", "beta"], n_permutations=20, seed=0
+        )
+        assert_query_results_identical(by_tuple, by_list)
+
+    def test_query_job_stats_exposed(self, serial_index):
+        result = serial_index.query(
+            n_permutations=20, seed=0, n_workers=2, executor="thread"
+        )
+        assert result.job_stats is not None
+        assert result.job_stats.n_map_chunks >= 1
+        assert len(result.job_stats.reduce_task_seconds) == len(result.reports)
+
+
+class PartialSumJob(MapReduceJob):
+    """Toy job whose reduce output depends on value order (running max)."""
+
+    def map(self, key, value):
+        for i, v in enumerate(value):
+            yield key % 2, (key, i, v)
+
+    def reduce(self, key, values):
+        # Deliberately order sensitive: concatenation of the value stream.
+        yield key, tuple(values)
+
+
+class TestEngineDeterminism:
+    def test_shuffle_invariant_under_intermediate_ordering(self):
+        tagged = []
+        rng = random.Random(7)
+        for input_index in range(20):
+            for emit_index in range(3):
+                tagged.append(
+                    ((input_index, emit_index), input_index % 4,
+                     (input_index, emit_index))
+                )
+        reference = LocalEngine.shuffle(list(tagged))
+        for _ in range(5):
+            rng.shuffle(tagged)
+            shuffled = LocalEngine.shuffle(list(tagged))
+            assert list(shuffled) == list(reference)
+            assert shuffled == reference
+
+    def test_order_sensitive_reduce_is_stable_across_executors(self):
+        inputs = [(k, list(range(k + 1))) for k in range(10)]
+        serial, _ = LocalEngine().run(PartialSumJob(), inputs)
+        for n_workers in (2, 4):
+            for chunk in (None, 2, "auto"):
+                threaded, _ = LocalEngine(
+                    n_workers=n_workers, executor="thread", map_chunk_size=chunk
+                ).run(PartialSumJob(), inputs)
+                assert threaded == serial
+
+    def test_chunked_map_partitions(self):
+        inputs = [(k, [k]) for k in range(10)]
+        engine = LocalEngine(n_workers=2, executor="thread", map_chunk_size=4)
+        outputs, stats = engine.run(PartialSumJob(), inputs)
+        assert stats.n_map_chunks == 3  # ceil(10 / 4)
+        assert len(stats.map_task_seconds) == 3
+        serial_outputs, serial_stats = LocalEngine().run(PartialSumJob(), inputs)
+        assert serial_stats.n_map_chunks == 10
+        assert outputs == serial_outputs
+
+    def test_auto_chunking_scales_with_workers(self):
+        inputs = [(k, [k]) for k in range(64)]
+        engine = LocalEngine(n_workers=4, executor="thread", map_chunk_size="auto")
+        _, stats = engine.run(PartialSumJob(), inputs)
+        # ceil(64 / (4 workers * 4 tasks-per-worker)) = 4 inputs per chunk.
+        assert stats.n_map_chunks == 16
+        serial = LocalEngine(map_chunk_size="auto")
+        _, serial_stats = serial.run(PartialSumJob(), inputs)
+        assert serial_stats.n_map_chunks == 64  # auto is a no-op when serial
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(MapReduceError):
+            LocalEngine(map_chunk_size=0)
+        with pytest.raises(MapReduceError):
+            LocalEngine(map_chunk_size="huge")

@@ -19,6 +19,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode"])
 
+    def test_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["query", "--data", "/tmp/x", "--workers", "4",
+             "--executor", "thread"]
+        )
+        assert args.workers == 4
+        assert args.executor == "thread"
+        args = build_parser().parse_args(["demo"])
+        assert args.workers == 1
+        assert args.executor == "serial"
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["demo", "--executor", "gpu"]
+            )
+
 
 class TestEndToEnd:
     def test_simulate_then_query(self, tmp_path, capsys):
