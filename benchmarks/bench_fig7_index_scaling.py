@@ -5,18 +5,26 @@ the number of edges of the domain graph for the taxi density function at the
 city (1-D) and neighborhood (3-D) resolutions, observing near-linear growth.
 We sweep the same two domain shapes over growing sizes and print the series;
 the largest neighborhood case is the timed benchmark.
+
+Part (c) extends the figure with index *persistence*: the index is meant to
+be built once and queried many times (§5.4 accounts its space overhead for
+exactly that reason), so loading a saved index must be far cheaper than
+rebuilding it, and the on-disk bytes must reconcile with ``IndexStats``.
 """
 
 import time
 
 import numpy as np
 
+from repro.core.corpus import Corpus, CorpusIndex
 from repro.core.features import query_sublevel, query_superlevel
 from repro.core.merge_tree import compute_join_tree, compute_split_tree
 from repro.core.scalar_function import ScalarFunction
 from repro.graph.domain_graph import DomainGraph
+from repro.persist import disk_usage
 from repro.spatial.adjacency import grid_adjacency
 from repro.spatial.resolution import SpatialResolution
+from repro.synth import nyc_urban_collection
 from repro.temporal.resolution import TemporalResolution
 
 
@@ -101,4 +109,60 @@ def test_fig7b_neighborhood_resolution_scaling(benchmark, smoke):
         lambda: index_and_query(make_function(side * side, n_steps)),
         iterations=1,
         rounds=2,
+    )
+
+
+def test_fig7c_persistence_load_vs_rebuild(benchmark, smoke, tmp_path):
+    """Loading a saved corpus index must beat rebuilding it by >= 5x."""
+    n_days, scale = (60, 0.25) if smoke else (120, 0.5)
+    coll = nyc_urban_collection(
+        seed=13, n_days=n_days, scale=scale, subset=("taxi", "weather")
+    )
+    corpus = Corpus(coll.datasets, coll.city)
+    kwargs = dict(
+        spatial=(SpatialResolution.CITY,),
+        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
+    )
+
+    start = time.perf_counter()
+    index = corpus.build_index(**kwargs)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index.save(tmp_path)
+    save_seconds = time.perf_counter() - start
+
+    # Best of three: a single sample is at the mercy of noisy shared CI
+    # runners, and one disk stall must not fail the job.
+    load_samples = []
+    for _ in range(3):
+        start = time.perf_counter()
+        loaded = CorpusIndex.load(tmp_path)
+        load_samples.append(time.perf_counter() - start)
+    load_seconds = min(load_samples)
+
+    usage = disk_usage(tmp_path)
+    print("\nFigure 7(c) — persisted index: load vs. rebuild")
+    print(f"{'build (s)':>10s} {'save (s)':>10s} {'load (s)':>10s} {'speedup':>8s}")
+    print(
+        f"{build_seconds:>10.3f} {save_seconds:>10.3f} {load_seconds:>10.3f} "
+        f"{build_seconds / max(load_seconds, 1e-9):>7.1f}x"
+    )
+    print(
+        f"on disk: {usage.total_bytes:,} B total "
+        f"({usage.function_bytes:,} B functions, "
+        f"{usage.feature_bytes:,} B packed features)"
+    )
+
+    # §5.4 reconciliation: uncompressed on-disk arrays == in-memory counters.
+    assert usage.function_bytes == index.stats.function_bytes
+    assert usage.feature_bytes == index.stats.feature_bytes
+    assert loaded.stats == index.stats
+    # The acceptance bar: persistence must make repeated use cheap.
+    assert load_seconds * 5 <= build_seconds, (
+        f"loading ({load_seconds:.3f}s) must be >= 5x faster than "
+        f"rebuilding ({build_seconds:.3f}s)"
+    )
+    benchmark.pedantic(
+        lambda: CorpusIndex.load(tmp_path), iterations=1, rounds=3
     )

@@ -1,25 +1,30 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the zero-to-discovery path:
+Four commands cover the zero-to-discovery path:
 
 * ``simulate`` — generate the synthetic NYC Urban replica and write it to a
   catalog directory (CSV files + JSON metadata, §5.1's input contract).
-* ``query`` — load a catalog, build the Data Polygamy index, run a
-  relationship query and print the significant relationships.
+* ``index`` — build the Data Polygamy index for a catalog once and persist
+  it to disk (``--out idx/``), so later queries skip re-indexing.
+* ``query`` — run a relationship query against either a catalog
+  (``--data``, index built on the fly) or a persisted index (``--index``)
+  and print the significant relationships.
 * ``demo`` — simulate, index and query in one go (small scale).
 
-``query`` and ``demo`` accept ``--workers N --executor thread`` to fan
-indexing and relationship evaluation out through the map-reduce engine
-(§5.4); results are bit-identical to the serial default under a fixed seed.
+``index``, ``query`` and ``demo`` accept ``--workers N --executor thread``
+to fan indexing, relationship evaluation and index I/O out through the
+map-reduce engine (§5.4); results are bit-identical to the serial default
+under a fixed seed — including queries against a loaded index.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .core.clause import Clause
-from .core.corpus import Corpus
+from .core.corpus import Corpus, CorpusIndex
 from .data.catalog import load_catalog, save_catalog
 from .synth import nyc_urban_collection
 from .temporal.resolution import TemporalResolution
@@ -36,24 +41,85 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _parse_temporal(spec: str) -> tuple[TemporalResolution, ...] | None:
+    if not spec:
+        return None
+    return tuple(TemporalResolution(t.strip()) for t in spec.split(","))
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .persist import disk_usage
+
     datasets, city = load_catalog(args.data)
     print(f"loaded {len(datasets)} data sets from {args.data}")
     corpus = Corpus(datasets, city)
-    temporal = None
-    if args.temporal:
-        temporal = tuple(
-            TemporalResolution(t.strip()) for t in args.temporal.split(",")
-        )
     index = corpus.build_index(
-        temporal=temporal, n_workers=args.workers, executor=args.executor
+        temporal=_parse_temporal(args.temporal),
+        n_workers=args.workers,
+        executor=args.executor,
     )
     print(
         f"indexed {index.stats.n_scalar_functions} scalar functions "
         f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s "
         f"({args.executor}, {args.workers} worker(s))"
     )
-    clause = Clause(min_score=args.min_score, min_strength=args.min_strength)
+    index.save(args.out, n_workers=args.workers, executor=args.executor)
+    usage = disk_usage(args.out)
+    print(
+        f"saved index to {args.out}: {usage.total_bytes:,} bytes on disk "
+        f"({usage.function_bytes:,} functions, {usage.feature_bytes:,} "
+        f"packed features)"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    temporal = _parse_temporal(args.temporal)
+    if args.index:
+        start = time.perf_counter()
+        index = CorpusIndex.load(
+            args.index, n_workers=args.workers, executor=args.executor
+        )
+        print(
+            f"loaded index from {args.index} "
+            f"({index.stats.n_scalar_functions} scalar functions) "
+            f"in {time.perf_counter() - start:.2f}s — re-indexing skipped"
+        )
+        if temporal:
+            # A persisted index only carries the resolutions it was built
+            # with; silently evaluating nothing would look like a real
+            # "no relationships" result.
+            available = {
+                t for ds in index.datasets.values() for (_s, t) in ds.functions
+            }
+            missing = [t.value for t in temporal if t not in available]
+            if missing:
+                have = ", ".join(sorted(t.value for t in available)) or "none"
+                print(
+                    f"error: resolution(s) {', '.join(missing)} are not "
+                    f"materialized in this index (available: {have}); "
+                    "re-run `repro index` with the resolutions you need",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        datasets, city = load_catalog(args.data)
+        print(f"loaded {len(datasets)} data sets from {args.data}")
+        corpus = Corpus(datasets, city)
+        index = corpus.build_index(
+            temporal=temporal, n_workers=args.workers, executor=args.executor
+        )
+        print(
+            f"indexed {index.stats.n_scalar_functions} scalar functions "
+            f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s "
+            f"({args.executor}, {args.workers} worker(s))"
+        )
+        temporal = None  # already applied while building the index
+    clause = Clause(
+        min_score=args.min_score,
+        min_strength=args.min_strength,
+        temporal=temporal,
+    )
     d1 = args.find.split(",") if args.find else None
     result = index.query(
         d1,
@@ -114,8 +180,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.set_defaults(func=_cmd_simulate)
 
-    qry = sub.add_parser("query", help="index a catalog and run a query")
-    qry.add_argument("--data", required=True, help="catalog directory")
+    idx = sub.add_parser("index", help="build an index once and save it to disk")
+    idx.add_argument("--data", required=True, help="catalog directory")
+    idx.add_argument("--out", required=True, help="output index directory")
+    idx.add_argument("--temporal", default="", help="e.g. 'day,week'")
+    _add_parallel_flags(idx)
+    idx.set_defaults(func=_cmd_index)
+
+    qry = sub.add_parser("query", help="run a query (catalog or saved index)")
+    source = qry.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--data", default="", help="catalog directory (index built on the fly)"
+    )
+    source.add_argument(
+        "--index", default="", help="persisted index directory (skips re-indexing)"
+    )
     qry.add_argument("--find", default="", help="comma-separated D1 data sets")
     qry.add_argument("--min-score", type=float, default=0.0)
     qry.add_argument("--min-strength", type=float, default=0.0)

@@ -295,7 +295,9 @@ class Corpus:
             ``n_workers``/``executor``.
         """
         run_engine = _resolve_engine(engine, n_workers, executor)
-        index = CorpusIndex(city=self.city, corpus=self)
+        index = CorpusIndex(
+            city=self.city, corpus=self, extractor=self.extractor, fill=self.fill
+        )
 
         inputs: list[tuple[Any, Any]] = []
         seq = 0
@@ -355,13 +357,21 @@ class Corpus:
 
 @dataclass
 class CorpusIndex:
-    """The indexed corpus: per-data-set function/feature stores + stats."""
+    """The indexed corpus: per-data-set function/feature stores + stats.
+
+    ``corpus`` is the collection the index was built from; it is ``None``
+    for indexes restored from disk (:meth:`load`), which carry everything a
+    query needs — functions, features, ``extractor`` configuration and the
+    city model — without the raw data.
+    """
 
     city: CityModel
-    corpus: Corpus
+    corpus: Corpus | None = None
     datasets: dict[str, DatasetIndex] = field(default_factory=dict)
     stats: IndexStats = field(default_factory=IndexStats)
     job_stats: JobStats | None = None
+    extractor: FeatureExtractor | None = None
+    fill: str = "global_mean"
 
     def dataset_index(self, name: str) -> DatasetIndex:
         """The index of one data set (QueryError if unknown)."""
@@ -430,9 +440,10 @@ class CorpusIndex:
             ):
                 inputs.append(((pair_seq, a, b), (task, base_seed)))
 
-        job = RelationshipPairJob(
-            clause, n_permutations, alternative, self.corpus.extractor
-        )
+        extractor = self.extractor
+        if extractor is None and self.corpus is not None:
+            extractor = self.corpus.extractor
+        job = RelationshipPairJob(clause, n_permutations, alternative, extractor)
         outputs, job_stats = run_engine.run(job, inputs)
         result.job_stats = job_stats
 
@@ -448,3 +459,41 @@ class CorpusIndex:
             result.n_significant += report.n_significant
         result.elapsed_seconds = time.perf_counter() - start
         return result
+
+    def save(
+        self,
+        path: str,
+        n_workers: int = 1,
+        executor: str = "serial",
+        engine: LocalEngine | None = None,
+    ):
+        """Serialize this index to directory ``path`` (see :mod:`repro.persist`).
+
+        Partition files are written through the map-reduce engine, so
+        ``n_workers``/``executor`` (or an explicit ``engine``) parallelize
+        the I/O exactly like :meth:`Corpus.build_index` parallelizes the
+        computation.  Returns the manifest path.
+        """
+        from ..persist.index_io import save_index
+
+        run_engine = _resolve_engine(engine, n_workers, executor)
+        return save_index(self, path, engine=run_engine)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        n_workers: int = 1,
+        executor: str = "serial",
+        engine: LocalEngine | None = None,
+    ) -> "CorpusIndex":
+        """Restore an index saved by :meth:`save`, skipping re-indexing.
+
+        The loaded index answers :meth:`query` bit-identically to the index
+        it was saved from (same seed, serial or parallel).  Corrupt or
+        version-mismatched files raise
+        :class:`repro.utils.errors.PersistError`.
+        """
+        from ..persist.index_io import load_index
+
+        return load_index(path, engine=_resolve_engine(engine, n_workers, executor))

@@ -82,6 +82,17 @@ class BitVector:
         return vec
 
     @classmethod
+    def from_words(cls, length: int, words: np.ndarray) -> "BitVector":
+        """Rebuild a vector from its backing word array (see :attr:`words`).
+
+        This is the deserialization counterpart of :attr:`words`: the word
+        count must match ``ceil(length / 64)`` exactly.  The input is copied,
+        so later mutation of ``words`` cannot corrupt the vector (and the
+        tail-masking never writes into the caller's buffer).
+        """
+        return cls(length, np.asarray(words, dtype=np.uint64).ravel().copy())
+
+    @classmethod
     def ones(cls, length: int) -> "BitVector":
         """Build a vector with every bit set."""
         vec = cls(length)
@@ -109,6 +120,15 @@ class BitVector:
     def length(self) -> int:
         """Number of addressable bits."""
         return self._length
+
+    @property
+    def words(self) -> np.ndarray:
+        """The backing ``uint64`` word array (the Appendix C storage form).
+
+        Returned as a copy so callers (serializers) cannot corrupt the
+        tail-bit invariant; pair with :meth:`from_words` to round-trip.
+        """
+        return self._words.copy()
 
     def set(self, index: int) -> None:
         """Set bit ``index`` to 1."""

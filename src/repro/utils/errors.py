@@ -34,3 +34,7 @@ class QueryError(ReproError):
 
 class MapReduceError(ReproError):
     """A map-reduce job failed or was configured inconsistently."""
+
+
+class PersistError(ReproError):
+    """An on-disk index is missing, corrupt, or from an unsupported format."""

@@ -1,0 +1,29 @@
+"""Shared fixtures: one small multi-resolution index, built and saved once."""
+
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.spatial.resolution import SpatialResolution
+from repro.synth import nyc_urban_collection
+from repro.temporal.resolution import TemporalResolution
+
+
+@pytest.fixture(scope="session")
+def built_index():
+    """A small index spanning 1-D (city) and 3-D (neighborhood) domains."""
+    coll = nyc_urban_collection(
+        seed=5, n_days=12, scale=0.2, subset=("taxi", "weather")
+    )
+    corpus = Corpus(coll.datasets, coll.city)
+    return corpus.build_index(
+        spatial=(SpatialResolution.CITY, SpatialResolution.NEIGHBORHOOD),
+        temporal=(TemporalResolution.DAY, TemporalResolution.HOUR),
+    )
+
+
+@pytest.fixture(scope="session")
+def index_dir(built_index, tmp_path_factory):
+    """The pristine on-disk form of ``built_index`` (do not mutate)."""
+    path = tmp_path_factory.mktemp("corpus-index")
+    built_index.save(path)
+    return path

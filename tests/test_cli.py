@@ -36,6 +36,25 @@ class TestParser:
                 ["demo", "--executor", "gpu"]
             )
 
+    def test_index_verb_requires_data_and_out(self):
+        args = build_parser().parse_args(
+            ["index", "--data", "/tmp/cat", "--out", "/tmp/idx"]
+        )
+        assert args.data == "/tmp/cat"
+        assert args.out == "/tmp/idx"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index", "--data", "/tmp/cat"])
+
+    def test_query_takes_catalog_or_index_not_both(self):
+        args = build_parser().parse_args(["query", "--index", "/tmp/idx"])
+        assert args.index == "/tmp/idx"
+        with pytest.raises(SystemExit):  # neither source given
+            build_parser().parse_args(["query"])
+        with pytest.raises(SystemExit):  # both sources given
+            build_parser().parse_args(
+                ["query", "--data", "/tmp/cat", "--index", "/tmp/idx"]
+            )
+
 
 class TestEndToEnd:
     def test_simulate_then_query(self, tmp_path, capsys):
@@ -72,3 +91,46 @@ class TestEndToEnd:
     def test_demo_runs(self, capsys):
         assert main(["demo", "--seed", "3"]) == 0
         assert "relationships" in capsys.readouterr().out
+
+    def test_index_then_query_skips_reindexing(self, tmp_path, capsys):
+        """`repro index` + `repro query --index` must reproduce the catalog
+        path's relationships exactly, without rebuilding the index."""
+        cat = tmp_path / "cat"
+        idx = tmp_path / "idx"
+        main([
+            "simulate", "--out", str(cat), "--days", "14", "--scale", "0.2",
+            "--datasets", "taxi,weather", "--seed", "5",
+        ])
+        capsys.readouterr()
+
+        assert main([
+            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "saved index" in printed
+        assert (idx / "index.json").exists()
+
+        assert main([
+            "query", "--data", str(cat), "--temporal", "day",
+            "--permutations", "25", "--seed", "0",
+        ]) == 0
+        from_catalog = capsys.readouterr().out
+
+        assert main([
+            "query", "--index", str(idx), "--permutations", "25", "--seed", "0",
+        ]) == 0
+        from_index = capsys.readouterr().out
+        assert "re-indexing skipped" in from_index
+
+        def relationship_lines(text):
+            return [line for line in text.splitlines() if "tau=" in line]
+
+        assert relationship_lines(from_catalog) == relationship_lines(from_index)
+
+        # A resolution the index was not built with must fail loudly, not
+        # return an empty "no relationships" result.
+        assert main([
+            "query", "--index", str(idx), "--temporal", "week",
+            "--permutations", "10",
+        ]) == 2
+        assert "not materialized in this index" in capsys.readouterr().err

@@ -38,6 +38,23 @@ class TestConstruction:
         vec = BitVector.from_bools(flags)
         assert np.array_equal(vec.to_bools(), flags)
 
+    def test_words_round_trip(self):
+        # The serialization contract: words + length rebuild the vector.
+        flags = np.array([True, False, True] * 50)  # 150 bits, odd tail
+        vec = BitVector.from_bools(flags)
+        words = vec.words
+        assert words.dtype == np.uint64
+        assert words.nbytes == vec.nbytes()
+        rebuilt = BitVector.from_words(len(vec), words)
+        assert rebuilt == vec
+        words[:] = 0  # copies both ways: mutation corrupts neither vector
+        assert vec.count() == 100
+        assert rebuilt.count() == 100
+
+    def test_from_words_wrong_word_count_rejected(self):
+        with pytest.raises(DataError):
+            BitVector.from_words(130, np.zeros(1, dtype=np.uint64))
+
     def test_ones_sets_every_bit(self):
         vec = BitVector.ones(130)
         assert vec.count() == 130
