@@ -1,0 +1,18 @@
+"""Host introspection shared by the benchmark modules.
+
+A plain module (not the conftest) on purpose: ``import conftest`` resolves
+to whichever conftest pytest imported first, so a combined
+``pytest tests benchmarks`` run would hand the benchmarks a *tests*
+conftest.  The leading underscore keeps pytest from collecting this file
+(``python_files = test_*.py / bench_*.py``).
+"""
+
+import os
+
+
+def usable_cpus() -> int:
+    """CPUs this run may actually schedule on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

@@ -9,15 +9,22 @@ Open collection feature identification outweighs scalar-function computation.
 ``test_fig8c_parallel_indexing`` re-runs the Urban build through the
 map-reduce engine with four threads and checks the parallel index is
 bit-identical to the serial one (the §5.4 deployment argument).
+``test_fig8d_executor_comparison`` races all three executors on the same
+build — indexing is dominated by the pure-Python merge-tree sweeps, the
+workload the process executor exists for — and records the measured
+speedups as a ``BENCH_*.json`` artifact.
 """
 
 import time
 
 import numpy as np
 
+from _host import usable_cpus
 from repro.core.corpus import Corpus
 from repro.synth import URBAN_DATASETS, nyc_open_collection
 from repro.temporal.resolution import TemporalResolution
+
+COMPARISON_WORKERS = 4
 
 
 def test_fig8a_nyc_urban(benchmark, urban_small, smoke):
@@ -142,4 +149,98 @@ def test_fig8c_parallel_indexing(benchmark, urban_small):
         ),
         iterations=1,
         rounds=2,
+    )
+
+
+def _assert_index_identical(reference, other):
+    assert reference.stats.n_scalar_functions == other.stats.n_scalar_functions
+    for name, ds_ref in reference.datasets.items():
+        ds_other = other.datasets[name]
+        assert list(ds_ref.functions) == list(ds_other.functions)
+        for key, fns in ds_ref.functions.items():
+            for fn_r, fn_o in zip(fns, ds_other.functions[key]):
+                assert fn_r.function_id == fn_o.function_id
+                assert np.array_equal(fn_r.function.values, fn_o.function.values)
+
+
+def test_fig8d_executor_comparison(benchmark, urban_small, write_bench_record):
+    """Serial vs thread vs process indexing: identical index, who is fastest.
+
+    Hour resolution makes the build merge-tree-bound (feature identification
+    is >90% of the wall time), i.e. pure-Python work the thread executor
+    cannot overlap — exactly the gap the process executor closes.  The
+    measured wall times and speedups are recorded to
+    ``BENCH_fig8d_executor_comparison.json`` for the per-commit perf
+    trajectory.
+    """
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    temporal = (TemporalResolution.HOUR,)
+
+    def best_of_two(**kwargs):
+        runs = []
+        for _ in range(2):
+            start = time.perf_counter()
+            index = corpus.build_index(temporal=temporal, **kwargs)
+            runs.append((time.perf_counter() - start, index))
+        return min(runs, key=lambda r: r[0])
+
+    serial_seconds, serial_index = best_of_two()
+    thread_seconds, thread_index = best_of_two(
+        n_workers=COMPARISON_WORKERS, executor="thread"
+    )
+    process_seconds, process_index = best_of_two(
+        n_workers=COMPARISON_WORKERS, executor="process"
+    )
+
+    # Bit-identical indexes regardless of executor.
+    _assert_index_identical(serial_index, thread_index)
+    _assert_index_identical(serial_index, process_index)
+
+    cpus = usable_cpus()
+    record = {
+        "figure": "8d",
+        "workers": COMPARISON_WORKERS,
+        "n_scalar_functions": serial_index.stats.n_scalar_functions,
+        "serial_seconds": round(serial_seconds, 4),
+        "thread_seconds": round(thread_seconds, 4),
+        "process_seconds": round(process_seconds, 4),
+        "thread_speedup": round(serial_seconds / thread_seconds, 3),
+        "process_speedup": round(serial_seconds / process_seconds, 3),
+        "bit_identical": True,
+    }
+    write_bench_record("fig8d_executor_comparison", record)
+
+    print(
+        f"\nFigure 8(d) — executor comparison ({COMPARISON_WORKERS} workers, "
+        f"{cpus} usable CPU(s))"
+    )
+    print(f"{'mode':>10s} {'seconds':>9s} {'speedup':>8s}")
+    for mode, seconds in (
+        ("serial", serial_seconds),
+        ("thread", thread_seconds),
+        ("process", process_seconds),
+    ):
+        print(f"{mode:>10s} {seconds:>9.2f} {serial_seconds / seconds:>7.2f}x")
+
+    # The process executor must beat serial whenever there is any physical
+    # parallelism at all — asserted in smoke mode too, since the merge-tree
+    # work per partition is substantial even on tiny collections.  The
+    # stronger >=1.5x bar needs the worker count actually backed by cores.
+    if cpus >= 2:
+        assert process_seconds < serial_seconds, (
+            f"process executor ({process_seconds:.2f}s) must beat serial "
+            f"({serial_seconds:.2f}s) with {cpus} usable CPUs"
+        )
+    if cpus >= COMPARISON_WORKERS:
+        assert record["process_speedup"] >= 1.5, (
+            "4 process workers on >=4 cores must index >=1.5x faster "
+            f"than serial (got {record['process_speedup']:.2f}x)"
+        )
+
+    benchmark.pedantic(
+        lambda: corpus.build_index(
+            temporal=temporal, n_workers=COMPARISON_WORKERS, executor="process"
+        ),
+        iterations=1,
+        rounds=1,
     )

@@ -9,22 +9,20 @@ growing prefixes of both collections and print the rate series.
 and through the map-reduce engine with ``executor="thread", n_workers=4``:
 results must be bit-identical, and the printed ratio is the measured
 parallel speedup (the paper's Hadoop deployment argument, §5.4).
+``test_fig9d_executor_comparison`` races all three executors on one query —
+bit-identical results asserted, rates recorded to ``BENCH_*.json``.  Query
+work (FFT cross-correlations, permutation tests) is NumPy-bound and
+releases the GIL, so here threads are the natural winner and the process
+executor's job is merely to stay competitive despite pickling the feature
+payloads.
 """
 
-import os
-
+from _host import usable_cpus as _usable_cpus
 from repro.core.corpus import Corpus
 from repro.synth import nyc_open_collection
 from repro.temporal.resolution import TemporalResolution
 
 PARALLEL_WORKERS = 4
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _rate_series(collection, ks, temporal, n_permutations=100):
@@ -150,4 +148,73 @@ def test_fig9c_parallel_query_rate(benchmark, urban_small, smoke):
         ),
         iterations=1,
         rounds=3,
+    )
+
+
+def test_fig9d_executor_comparison(benchmark, urban_small, smoke,
+                                   write_bench_record):
+    """Serial vs thread vs process query: identical results, measured rates."""
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    index = corpus.build_index(
+        temporal=(TemporalResolution.DAY, TemporalResolution.WEEK)
+    )
+    n_permutations = 200 if smoke else 400
+
+    def best_rate(**kwargs):
+        runs = [
+            index.query(n_permutations=n_permutations, seed=0, **kwargs)
+            for _ in range(2)
+        ]
+        return max(runs, key=lambda r: r.evaluations_per_minute)
+
+    serial = best_rate()
+    thread = best_rate(n_workers=PARALLEL_WORKERS, executor="thread")
+    process = best_rate(n_workers=PARALLEL_WORKERS, executor="process")
+
+    for parallel in (thread, process):
+        assert [r.p_value for r in serial.results] == [
+            r.p_value for r in parallel.results
+        ]
+        assert [(r.function1, r.function2, r.score) for r in serial.results] == [
+            (r.function1, r.function2, r.score) for r in parallel.results
+        ]
+        assert serial.n_evaluated == parallel.n_evaluated
+
+    rates = {
+        "serial": serial.evaluations_per_minute,
+        "thread": thread.evaluations_per_minute,
+        "process": process.evaluations_per_minute,
+    }
+    record = {
+        "figure": "9d",
+        "workers": PARALLEL_WORKERS,
+        "n_evaluated": serial.n_evaluated,
+        "n_permutations": n_permutations,
+        "evaluations_per_minute": {k: round(v, 1) for k, v in rates.items()},
+        "thread_speedup": round(rates["thread"] / max(rates["serial"], 1e-9), 3),
+        "process_speedup": round(
+            rates["process"] / max(rates["serial"], 1e-9), 3
+        ),
+        "bit_identical": True,
+    }
+    write_bench_record("fig9d_executor_comparison", record)
+
+    print(
+        f"\nFigure 9(d) — executor comparison ({PARALLEL_WORKERS} workers, "
+        f"{_usable_cpus()} usable CPU(s))"
+    )
+    print(f"{'mode':>10s} {'evals/minute':>13s} {'speedup':>8s}")
+    for mode, rate in rates.items():
+        print(f"{mode:>10s} {rate:>13,.0f} "
+              f"{rate / max(rates['serial'], 1e-9):>7.2f}x")
+
+    benchmark.pedantic(
+        lambda: index.query(
+            n_permutations=n_permutations,
+            seed=0,
+            n_workers=PARALLEL_WORKERS,
+            executor="process",
+        ),
+        iterations=1,
+        rounds=1,
     )

@@ -12,7 +12,13 @@ are relaxed or skipped under smoke; the point of the smoke run is to prove
 every benchmark still executes, not to re-validate the paper's numbers.
 """
 
+import json
+import os
+import platform
+from pathlib import Path
+
 import pytest
+from _host import usable_cpus
 
 from repro.core.corpus import Corpus
 from repro.spatial.resolution import SpatialResolution
@@ -54,6 +60,32 @@ def pytest_collection_modifyitems(config, items):
 def smoke(request):
     """True when the run should use tiny inputs (CI smoke job)."""
     return request.config.getoption("--smoke")
+
+
+@pytest.fixture(scope="session")
+def write_bench_record(smoke):
+    """Writer for ``BENCH_<name>.json`` speedup/throughput records.
+
+    Records land in ``$BENCH_DIR`` (default: the working directory, which is
+    where CI's ``BENCH_*.json`` artifact glob collects them) and carry enough
+    host context — CPU budget, Python version, smoke flag — to interpret a
+    measured speedup per commit.
+    """
+
+    def write(name: str, record: dict) -> Path:
+        payload = {
+            "benchmark": name,
+            "python": platform.python_version(),
+            "usable_cpus": usable_cpus(),
+            "smoke": smoke,
+            **record,
+        }
+        path = Path(os.environ.get("BENCH_DIR", ".")) / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\n[bench-record] wrote {path}")
+        return path
+
+    return write
 
 
 @pytest.fixture(scope="session")

@@ -11,10 +11,14 @@ Four commands cover the zero-to-discovery path:
   and print the significant relationships.
 * ``demo`` — simulate, index and query in one go (small scale).
 
-``index``, ``query`` and ``demo`` accept ``--workers N --executor thread``
-to fan indexing, relationship evaluation and index I/O out through the
-map-reduce engine (§5.4); results are bit-identical to the serial default
-under a fixed seed — including queries against a loaded index.
+``index``, ``query`` and ``demo`` accept ``--workers N`` and
+``--executor {serial,thread,process}`` to fan indexing, relationship
+evaluation and index I/O out through the map-reduce engine (§5.4);
+``thread`` overlaps the NumPy-heavy parts, ``process`` also parallelizes
+the pure-Python merge-tree sweeps (payloads travel through the
+shared-memory plane).  Results are bit-identical to the serial default
+under a fixed seed — including queries against a loaded index.  Flags left
+unset fall back to ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import time
 from .core.clause import Clause
 from .core.corpus import Corpus, CorpusIndex
 from .data.catalog import load_catalog, save_catalog
+from .mapreduce.engine import EXECUTORS, default_engine
 from .synth import nyc_urban_collection
 from .temporal.resolution import TemporalResolution
 
@@ -50,20 +55,19 @@ def _parse_temporal(spec: str) -> tuple[TemporalResolution, ...] | None:
 def _cmd_index(args: argparse.Namespace) -> int:
     from .persist import disk_usage
 
+    engine = default_engine(args.workers, args.executor)
     datasets, city = load_catalog(args.data)
     print(f"loaded {len(datasets)} data sets from {args.data}")
     corpus = Corpus(datasets, city)
     index = corpus.build_index(
-        temporal=_parse_temporal(args.temporal),
-        n_workers=args.workers,
-        executor=args.executor,
+        temporal=_parse_temporal(args.temporal), engine=engine
     )
     print(
         f"indexed {index.stats.n_scalar_functions} scalar functions "
         f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s "
-        f"({args.executor}, {args.workers} worker(s))"
+        f"({engine.executor}, {engine.n_workers} worker(s))"
     )
-    index.save(args.out, n_workers=args.workers, executor=args.executor)
+    index.save(args.out, engine=engine)
     usage = disk_usage(args.out)
     print(
         f"saved index to {args.out}: {usage.total_bytes:,} bytes on disk "
@@ -74,12 +78,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    engine = default_engine(args.workers, args.executor)
     temporal = _parse_temporal(args.temporal)
     if args.index:
         start = time.perf_counter()
-        index = CorpusIndex.load(
-            args.index, n_workers=args.workers, executor=args.executor
-        )
+        index = CorpusIndex.load(args.index, engine=engine)
         print(
             f"loaded index from {args.index} "
             f"({index.stats.n_scalar_functions} scalar functions) "
@@ -106,13 +109,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         datasets, city = load_catalog(args.data)
         print(f"loaded {len(datasets)} data sets from {args.data}")
         corpus = Corpus(datasets, city)
-        index = corpus.build_index(
-            temporal=temporal, n_workers=args.workers, executor=args.executor
-        )
+        index = corpus.build_index(temporal=temporal, engine=engine)
         print(
             f"indexed {index.stats.n_scalar_functions} scalar functions "
             f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s "
-            f"({args.executor}, {args.workers} worker(s))"
+            f"({engine.executor}, {engine.n_workers} worker(s))"
         )
         temporal = None  # already applied while building the index
     clause = Clause(
@@ -126,8 +127,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         clause=clause,
         n_permutations=args.permutations,
         seed=args.seed,
-        n_workers=args.workers,
-        executor=args.executor,
+        engine=engine,
     )
     print(
         f"evaluated {result.n_evaluated} relationships, "
@@ -140,21 +140,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    engine = default_engine(args.workers, args.executor)
     print("Simulating 90 days of taxi + weather data...")
     coll = nyc_urban_collection(
         seed=args.seed, n_days=90, scale=0.5, subset=("taxi", "weather")
     )
     index = Corpus(coll.datasets, coll.city).build_index(
         temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
-        n_workers=args.workers,
-        executor=args.executor,
+        engine=engine,
     )
-    result = index.query(
-        n_permutations=200,
-        seed=args.seed,
-        n_workers=args.workers,
-        executor=args.executor,
-    )
+    result = index.query(n_permutations=200, seed=args.seed, engine=engine)
     print(f"{result.n_significant} significant relationships; strongest:")
     for rel in result.top(6):
         print(" ", rel.describe())
@@ -214,12 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=int, default=1,
-        help="map-reduce worker count (default: 1)",
+        "--workers", type=int, default=None,
+        help="map-reduce worker count (default: $REPRO_WORKERS, else 1)",
     )
     parser.add_argument(
-        "--executor", choices=("serial", "thread"), default="serial",
-        help="map-reduce executor; 'thread' enables parallel execution",
+        "--executor", choices=EXECUTORS, default=None,
+        help="map-reduce executor: 'thread' overlaps NumPy work, 'process' "
+        "also parallelizes pure-Python merge-tree sweeps "
+        "(default: $REPRO_EXECUTOR, else serial)",
     )
 
 

@@ -23,6 +23,11 @@ miniature:
 cores while producing **bit-identical** results to the serial path: map
 outputs are reassembled in canonical order and every significance test
 spawns its own per-pair RNG (see ``operator._pair_rng``).
+``executor="process"`` extends the same guarantee to worker *processes*
+(jobs and payloads are pickle-clean; large matrices travel through the
+shared-memory plane), which also parallelizes the pure-Python merge-tree
+sweeps that dominate indexing.  Knobs left unset fall back to
+``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ from .scalar_function import ScalarFunction
 # Imported after the core modules above: repro.mapreduce.__init__ pulls in
 # pipeline.py, which imports repro.core.operator — already materialized at
 # this point, so the import is cycle-free.
-from ..mapreduce.engine import LocalEngine
+from ..mapreduce.engine import LocalEngine, default_engine
 from ..mapreduce.job import JobStats, MapReduceJob
 
 
@@ -235,12 +240,18 @@ class RelationshipPairJob(MapReduceJob):
 
 
 def _resolve_engine(
-    engine: LocalEngine | None, n_workers: int, executor: str
+    engine: LocalEngine | None, n_workers: int | None, executor: str | None
 ) -> LocalEngine:
-    """An explicit engine wins; otherwise build one from the simple knobs."""
+    """An explicit engine wins; otherwise build one from the simple knobs.
+
+    Knobs left at ``None`` fall back to the ``REPRO_EXECUTOR`` /
+    ``REPRO_WORKERS`` environment variables (see
+    :func:`repro.mapreduce.engine.default_engine`), which is how CI replays
+    entire test suites under the process executor.
+    """
     if engine is not None:
         return engine
-    return LocalEngine(
+    return default_engine(
         n_workers=n_workers, executor=executor, map_chunk_size="auto"
     )
 
@@ -270,8 +281,8 @@ class Corpus:
         spatial: tuple[SpatialResolution, ...] | None = None,
         temporal: tuple[TemporalResolution, ...] | None = None,
         specs: dict[str, list[FunctionSpec]] | None = None,
-        n_workers: int = 1,
-        executor: str = "serial",
+        n_workers: int | None = None,
+        executor: str | None = None,
         engine: LocalEngine | None = None,
     ) -> "CorpusIndex":
         """Materialize scalar functions and features for every data set.
@@ -287,9 +298,12 @@ class Corpus:
             count + attribute functions).
         n_workers, executor:
             Parallel-execution knobs forwarded to the map-reduce engine:
-            ``executor="thread"`` with ``n_workers > 1`` fans the
-            (data set, resolution) partitions out across a thread pool.
-            Results are bit-identical to the serial default.
+            ``executor="thread"`` or ``"process"`` with ``n_workers > 1``
+            fans the (data set, resolution) partitions out across a worker
+            pool ("process" also parallelizes the pure-Python merge-tree
+            sweeps; its payloads travel through the shared-memory plane).
+            Results are bit-identical to the serial default.  ``None`` falls
+            back to ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``, then serial.
         engine:
             Optional pre-configured :class:`LocalEngine`; overrides
             ``n_workers``/``executor``.
@@ -388,8 +402,8 @@ class CorpusIndex:
         n_permutations: int = 1000,
         alternative: str = "two-sided",
         seed: RngLike = 0,
-        n_workers: int = 1,
-        executor: str = "serial",
+        n_workers: int | None = None,
+        executor: str | None = None,
         engine: LocalEngine | None = None,
     ) -> QueryResult:
         """Find relationships between D1 and D2 satisfying ``clause`` (§5.3).
@@ -401,8 +415,9 @@ class CorpusIndex:
         ``n_workers``/``executor`` (or an explicit ``engine``) fan the
         function-pair evaluations out through the map-reduce engine; per-pair
         RNGs are spawned via ``SeedSequence`` from deterministic pair seeds,
-        so ``executor="thread", n_workers=4`` returns results bit-identical
-        to the serial default under the same ``seed``.
+        so ``executor="thread"`` or ``"process"`` with ``n_workers=4``
+        returns results bit-identical to the serial default under the same
+        ``seed``.
         """
         if clause is None:
             clause = Clause()
@@ -463,8 +478,8 @@ class CorpusIndex:
     def save(
         self,
         path: str,
-        n_workers: int = 1,
-        executor: str = "serial",
+        n_workers: int | None = None,
+        executor: str | None = None,
         engine: LocalEngine | None = None,
     ):
         """Serialize this index to directory ``path`` (see :mod:`repro.persist`).
@@ -483,8 +498,8 @@ class CorpusIndex:
     def load(
         cls,
         path: str,
-        n_workers: int = 1,
-        executor: str = "serial",
+        n_workers: int | None = None,
+        executor: str | None = None,
         engine: LocalEngine | None = None,
     ) -> "CorpusIndex":
         """Restore an index saved by :meth:`save`, skipping re-indexing.

@@ -1,8 +1,9 @@
 """Map-reduce substrate: local engine, simulated cluster, framework jobs."""
 
 from .cluster import greedy_makespan, job_makespan, speedup_curve, straggler_ratio
-from .engine import LocalEngine
+from .engine import LocalEngine, auto_chunk_size, default_engine
 from .job import JobStats, MapReduceJob
+from .shm import SharedArrayPlane
 from .pipeline import (
     FeatureIdentificationJob,
     PipelineRun,
@@ -13,6 +14,9 @@ from .pipeline import (
 
 __all__ = [
     "LocalEngine",
+    "SharedArrayPlane",
+    "auto_chunk_size",
+    "default_engine",
     "JobStats",
     "MapReduceJob",
     "greedy_makespan",

@@ -1,48 +1,179 @@
 """Local map-reduce engine (the Hadoop substitute of §5.4 / Appendix C).
 
 Executes :class:`~repro.mapreduce.job.MapReduceJob` instances in process.
-Two executors are provided:
+Three executors are provided:
 
 * ``"serial"`` — tasks run one after another (deterministic; per-task wall
   times are recorded so the simulated-cluster scheduler can replay them).
-* ``"thread"`` — map and reduce tasks run on a thread pool.  The framework's
-  heavy lifting happens inside NumPy (which releases the GIL), so threads
-  give real overlap without pickling overheads.
+* ``"thread"`` — map and reduce tasks run on a thread pool.  Overlap is real
+  wherever the heavy lifting happens inside NumPy (which releases the GIL);
+  pure-Python task bodies stay serialized by the interpreter lock.
+* ``"process"`` — tasks run on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Each worker is a separate interpreter, so pure-Python work (the merge-tree
+  sweep dominating feature identification) parallelizes too.  Task payloads
+  are pickled, with large NumPy matrices detoured through the shared-memory
+  data plane (:mod:`repro.mapreduce.shm`) so the same value matrix is shipped
+  once per run instead of once per task.
 
 Determinism.  Every intermediate pair is tagged with its provenance
 ``(input_index, emit_index)`` before the shuffle; the shuffle sorts by that
 tag, so grouped values (and therefore reduce outputs) are identical no
-matter how map tasks were scheduled or in which order their results arrived.
-This is what lets :class:`repro.core.Corpus` promise bit-identical serial
-and parallel indexes/queries.
+matter how map tasks were scheduled, on which worker they ran, or in which
+order their results arrived.  This is what lets :class:`repro.core.Corpus`
+promise bit-identical serial, threaded and process-parallel indexes/queries.
 
-Chunked map partitions.  One thread task per map input is wasteful when a
-job has many tiny inputs (thread dispatch dominates).  ``map_chunk_size``
-groups consecutive inputs into one schedulable task: pass an ``int``, or
-``"auto"`` to size chunks so each worker receives a few tasks.  The shuffle
-groups intermediate pairs by key with a plain dictionary — the in-process
-analogue of Hadoop's sort/partition phase.
+Chunked map partitions.  One pool task per map input is wasteful when a job
+has many tiny inputs (dispatch dominates).  ``map_chunk_size`` groups
+consecutive inputs into one schedulable task: pass an ``int``, or ``"auto"``
+to size chunks per executor (see :func:`auto_chunk_size` — process workers
+get larger chunks, amortizing the per-task pickle/IPC round trip that
+threads do not pay).  The shuffle groups intermediate pairs by key with a
+plain dictionary — the in-process analogue of Hadoop's sort/partition phase.
+
+Environment defaults.  :func:`default_engine` resolves unset knobs from
+``REPRO_EXECUTOR`` / ``REPRO_WORKERS``, which is how CI re-runs whole test
+suites under the process executor without touching a single call site.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
+import pickle
+import sys
 import time
+import traceback
 from collections.abc import Hashable, Iterable
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-from ..utils.errors import MapReduceError
+from ..utils.errors import MapReduceError, ReproError
+from . import shm
 from .job import JobStats, MapReduceJob
 
-_EXECUTORS = ("serial", "thread")
+#: The valid ``executor`` values, in documentation order.
+EXECUTORS = ("serial", "thread", "process")
 
-#: ``"auto"`` chunking targets this many map tasks per worker, keeping the
-#: pool busy (work stealing across uneven tasks) without per-input dispatch.
-_AUTO_TASKS_PER_WORKER = 4
+
+def _start_method() -> str:
+    """Start method for process-executor workers.
+
+    Pinned explicitly so behavior does not drift with the platform default
+    (CPython is migrating it): fork on Linux — cheapest startup, and workers
+    inherit the loaded corpus read-only — spawn everywhere else.  The
+    shared-memory plane is agnostic either way (attachments are untracked by
+    construction, see :mod:`repro.mapreduce.shm`).
+    """
+    if sys.platform.startswith("linux"):
+        return "fork"
+    return "spawn"  # pragma: no cover - non-Linux platforms
+
+
+#: ``"auto"`` chunking targets this many map tasks per worker: enough tasks
+#: to keep the pool busy (work stealing across uneven tasks) without
+#: per-input dispatch.  Process workers get fewer, larger chunks because
+#: every task also pays a pickle/IPC round trip.
+_AUTO_TASKS_PER_WORKER = {"thread": 4, "process": 2}
 
 #: A tagged intermediate pair: ((input_index, emit_index), key, value).
 TaggedPair = tuple[tuple[int, int], Hashable, Any]
+
+
+def auto_chunk_size(n_inputs: int, n_workers: int, executor: str) -> int:
+    """Map-chunk size chosen by ``map_chunk_size="auto"``.
+
+    ``ceil(n_inputs / (n_workers * tasks_per_worker))`` with a per-executor
+    ``tasks_per_worker``: 4 for threads (dispatch is cheap, favor work
+    stealing) and 2 for processes (every task ships its payload through
+    pickle/IPC, favor amortization).  Serial execution keeps one input per
+    task so per-task timings stay maximally informative for the
+    simulated-cluster replay.
+    """
+    if executor not in EXECUTORS:
+        raise MapReduceError(
+            f"unknown executor {executor!r} (valid executors: "
+            f"{', '.join(EXECUTORS)})"
+        )
+    if executor == "serial" or n_workers <= 1 or n_inputs <= 0:
+        return 1
+    per_worker = _AUTO_TASKS_PER_WORKER[executor]
+    return max(1, math.ceil(n_inputs / (n_workers * per_worker)))
+
+
+def default_engine(
+    n_workers: int | None = None,
+    executor: str | None = None,
+    map_chunk_size: int | str | None = "auto",
+) -> "LocalEngine":
+    """Build an engine, resolving unset knobs from the environment.
+
+    ``executor=None`` falls back to ``$REPRO_EXECUTOR`` (default
+    ``"serial"``); ``n_workers=None`` falls back to ``$REPRO_WORKERS``
+    (default: 1).  Explicit arguments always win, so only call sites that
+    pass nothing become environment-steerable — this is how the CI process
+    job replays the whole mapreduce/persist test suites under
+    ``REPRO_EXECUTOR=process`` without editing them.
+    """
+    if executor is None:
+        executor = os.environ.get("REPRO_EXECUTOR") or "serial"
+    if n_workers is None:
+        raw = os.environ.get("REPRO_WORKERS")
+        if raw is None or raw == "":
+            n_workers = 1
+        else:
+            try:
+                n_workers = int(raw)
+            except ValueError:
+                raise MapReduceError(
+                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                ) from None
+    return LocalEngine(
+        n_workers=n_workers, executor=executor, map_chunk_size=map_chunk_size
+    )
+
+
+def _map_chunk(job: MapReduceJob, chunk: list) -> list[TaggedPair]:
+    """Run one chunk of map inputs, tagging every emitted pair.
+
+    Module-level (not a closure) so the process executor can run it inside a
+    worker after unpickling the payload.
+    """
+    tagged: list[TaggedPair] = []
+    for input_index, (key, value) in chunk:
+        for emit_index, (k, v) in enumerate(job.map(key, value)):
+            tagged.append(((input_index, emit_index), k, v))
+    return tagged
+
+
+def _process_task(payload: bytes) -> tuple:
+    """Worker entry point of the process executor.
+
+    Decodes one shm-pickled task, runs it, and reports
+    ``("ok", result, seconds)`` — or ``("err", traceback_text, original)``
+    so the parent can surface the failure itself (library errors re-raised
+    as-is, everything else as a :class:`MapReduceError` carrying the
+    *original* traceback) instead of the executor's opaque
+    ``BrokenProcessPool`` path.  ``original`` is the exception instance when
+    it survives a pickle round trip, else ``None``.
+    """
+    start = time.perf_counter()
+    try:
+        kind, job, data = shm.loads(payload)
+        if kind == "map":
+            result: list = _map_chunk(job, data)
+        else:
+            key, values = data
+            result = list(job.reduce(key, values))
+        return ("ok", result, time.perf_counter() - start)
+    except BaseException as exc:
+        original: BaseException | None
+        try:
+            original = pickle.loads(pickle.dumps(exc))
+        except Exception:
+            original = None
+        return ("err", traceback.format_exc(), original)
 
 
 class LocalEngine:
@@ -51,15 +182,18 @@ class LocalEngine:
     Parameters
     ----------
     n_workers:
-        Thread-pool width for the ``"thread"`` executor (ignored by
-        ``"serial"``).
+        Pool width for the ``"thread"`` and ``"process"`` executors (ignored
+        by ``"serial"``).
     executor:
-        ``"serial"`` (default) or ``"thread"``.
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.
     map_chunk_size:
         Number of consecutive map inputs grouped into one schedulable task.
         ``None`` (default) keeps one task per input; ``"auto"`` sizes chunks
-        to ``ceil(n_inputs / (n_workers * 4))`` under the thread executor so
-        dispatch overhead does not dominate small workloads.
+        per executor via :func:`auto_chunk_size`.
+    shm_min_bytes:
+        Arrays at least this large are shipped to process workers through
+        the shared-memory plane instead of per-task pickling (ignored by
+        the in-process executors, which share objects by reference).
     """
 
     def __init__(
@@ -67,34 +201,41 @@ class LocalEngine:
         n_workers: int = 1,
         executor: str = "serial",
         map_chunk_size: int | str | None = None,
+        shm_min_bytes: int = shm.DEFAULT_MIN_BYTES,
     ) -> None:
-        if executor not in _EXECUTORS:
-            raise MapReduceError(f"unknown executor {executor!r}")
-        if n_workers < 1:
-            raise MapReduceError("n_workers must be >= 1")
+        if executor not in EXECUTORS:
+            raise MapReduceError(
+                f"unknown executor {executor!r} (valid executors: "
+                f"{', '.join(EXECUTORS)})"
+            )
+        if not isinstance(n_workers, int) or n_workers < 1:
+            raise MapReduceError(
+                f"n_workers must be an integer >= 1, got {n_workers!r}"
+            )
         if map_chunk_size is not None and map_chunk_size != "auto":
             if not isinstance(map_chunk_size, int) or map_chunk_size < 1:
                 raise MapReduceError(
                     "map_chunk_size must be a positive int, 'auto' or None"
                 )
+        if shm_min_bytes < 1:
+            raise MapReduceError("shm_min_bytes must be >= 1")
         self.n_workers = n_workers
         self.executor = executor
         self.map_chunk_size = map_chunk_size
+        self.shm_min_bytes = shm_min_bytes
 
     @property
     def is_parallel(self) -> bool:
-        """True when tasks actually run on a thread pool."""
-        return self.executor == "thread" and self.n_workers > 1
+        """True when tasks actually run on a thread or process pool."""
+        return self.executor in ("thread", "process") and self.n_workers > 1
 
     def _resolve_chunk_size(self, n_inputs: int) -> int:
         if self.map_chunk_size is None:
             return 1
         if self.map_chunk_size == "auto":
-            if not self.is_parallel or n_inputs == 0:
+            if not self.is_parallel:
                 return 1
-            return max(
-                1, math.ceil(n_inputs / (self.n_workers * _AUTO_TASKS_PER_WORKER))
-            )
+            return auto_chunk_size(n_inputs, self.n_workers, self.executor)
         return self.map_chunk_size
 
     def run(
@@ -103,7 +244,6 @@ class LocalEngine:
         """Execute ``job`` over ``inputs``; returns (outputs, stats)."""
         stats = JobStats()
 
-        # -- map phase -------------------------------------------------------
         input_list = list(inputs)
         chunk_size = self._resolve_chunk_size(len(input_list))
         indexed = list(enumerate(input_list))
@@ -113,22 +253,20 @@ class LocalEngine:
         ]
         stats.n_map_chunks = len(chunks)
 
-        def map_chunk(chunk: list[tuple[int, tuple[Any, Any]]]) -> list[TaggedPair]:
-            tagged: list[TaggedPair] = []
-            for input_index, (key, value) in chunk:
-                for emit_index, (k, v) in enumerate(job.map(key, value)):
-                    tagged.append(((input_index, emit_index), k, v))
-            return tagged
+        if self.executor == "process" and self.is_parallel:
+            return self._run_process(job, chunks, stats)
 
+        # -- map phase -------------------------------------------------------
         if self.is_parallel:
-            map_results = self._run_tasks(
-                [(map_chunk, chunk) for chunk in chunks], stats.map_task_seconds
+            map_results = self._run_thread_tasks(
+                [(_map_chunk, job, chunk) for chunk in chunks],
+                stats.map_task_seconds,
             )
         else:
             map_results = []
             for chunk in chunks:
                 start = time.perf_counter()
-                map_results.append(map_chunk(chunk))
+                map_results.append(_map_chunk(job, chunk))
                 stats.map_task_seconds.append(time.perf_counter() - start)
 
         # -- shuffle -----------------------------------------------------------
@@ -139,7 +277,7 @@ class LocalEngine:
         # -- reduce phase ------------------------------------------------------
         items = list(groups.items())
         if self.is_parallel:
-            reduce_results = self._run_tasks(
+            reduce_results = self._run_thread_tasks(
                 [(job.reduce, k, vs) for k, vs in items],
                 stats.reduce_task_seconds,
             )
@@ -170,7 +308,9 @@ class LocalEngine:
             groups.setdefault(key, []).append(value)
         return groups
 
-    def _run_tasks(
+    # -- thread executor -----------------------------------------------------
+
+    def _run_thread_tasks(
         self,
         tasks: list[tuple],
         timings: list[float],
@@ -189,4 +329,102 @@ class LocalEngine:
         for out, seconds in results:
             outputs.append(out)
             timings.append(seconds)
+        return outputs
+
+    # -- process executor ----------------------------------------------------
+
+    def _run_process(
+        self, job: MapReduceJob, chunks: list[list], stats: JobStats
+    ) -> tuple[list[tuple[Any, Any]], JobStats]:
+        """Map + shuffle + reduce with one process pool and one shm plane.
+
+        The pool and the shared-memory plane span both task phases, so a
+        value matrix referenced by a map chunk *and* a reduce group is still
+        registered only once.  The plane is closed in ``finally`` — success,
+        task failure or pool breakage all release every segment.
+        """
+        plane = shm.SharedArrayPlane(min_bytes=self.shm_min_bytes)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=multiprocessing.get_context(_start_method()),
+            ) as pool:
+                map_results = self._submit_process_phase(
+                    pool,
+                    plane,
+                    [("map", job, chunk) for chunk in chunks],
+                    stats.map_task_seconds,
+                    phase="map",
+                )
+
+                start = time.perf_counter()
+                groups = self.shuffle(
+                    pair for emitted in map_results for pair in emitted
+                )
+                stats.shuffle_seconds = time.perf_counter() - start
+
+                items = list(groups.items())
+                reduce_results = self._submit_process_phase(
+                    pool,
+                    plane,
+                    [("reduce", job, item) for item in items],
+                    stats.reduce_task_seconds,
+                    phase="reduce",
+                )
+        finally:
+            plane.close()
+
+        outputs = [pair for emitted in reduce_results for pair in emitted]
+        stats.n_outputs = len(outputs)
+        return outputs, stats
+
+    def _submit_process_phase(
+        self,
+        pool: ProcessPoolExecutor,
+        plane: shm.SharedArrayPlane,
+        tasks: list[tuple],
+        timings: list[float],
+        phase: str,
+    ) -> list[list]:
+        """Ship one phase's tasks to the pool; results in submission order."""
+        try:
+            futures: list[Future] = [
+                pool.submit(_process_task, shm.dumps(task, plane))
+                for task in tasks
+            ]
+        except BrokenProcessPool as exc:  # pragma: no cover - races only
+            raise MapReduceError(
+                f"process pool broke while submitting {phase} tasks: {exc}"
+            ) from exc
+
+        outputs: list[list] = []
+        try:
+            for future in futures:
+                result = future.result()
+                if result[0] == "err":
+                    _status, remote_tb, original = result
+                    if isinstance(original, ReproError):
+                        # Library errors keep their type and message —
+                        # serial, thread and process execution all raise the
+                        # same exception; the worker traceback rides along
+                        # as the cause.
+                        raise original from MapReduceError(
+                            f"raised in a {phase} worker process; original "
+                            f"traceback:\n{remote_tb}"
+                        )
+                    raise MapReduceError(
+                        f"{phase} task failed in a worker process; original "
+                        f"traceback:\n{remote_tb}"
+                    )
+                _status, out, seconds = result
+                outputs.append(out)
+                timings.append(seconds)
+        except BrokenProcessPool as exc:
+            raise MapReduceError(
+                f"a worker process died during the {phase} phase (killed or "
+                f"crashed before reporting a result): {exc}"
+            ) from exc
+        finally:
+            for future in futures:
+                future.cancel()
         return outputs

@@ -33,7 +33,7 @@ from ..spatial.city import CityModel
 from ..spatial.resolution import SpatialResolution, viable_spatial_resolutions
 from ..temporal.resolution import TemporalResolution, viable_temporal_resolutions
 from ..utils.errors import MapReduceError
-from .engine import LocalEngine
+from .engine import LocalEngine, default_engine
 from .job import JobStats, MapReduceJob
 
 
@@ -265,7 +265,7 @@ class PolygamyPipeline:
         fill: str = "global_mean",
     ) -> None:
         self.city = city
-        self.engine = engine or LocalEngine()
+        self.engine = engine or default_engine()
         self.extractor = extractor or FeatureExtractor()
         self.chunks_per_dataset = chunks_per_dataset
         self.fill = fill

@@ -32,7 +32,7 @@ from ..core.corpus import CorpusIndex, IndexStats
 from ..core.features import FeatureExtractor
 from ..core.operator import DatasetIndex, IndexedFunction
 from ..data.catalog import city_from_dict, city_to_dict
-from ..mapreduce.engine import LocalEngine
+from ..mapreduce.engine import LocalEngine, default_engine
 from ..mapreduce.job import MapReduceJob
 from ..spatial.resolution import SpatialResolution
 from ..temporal.resolution import TemporalResolution
@@ -155,7 +155,7 @@ def save_index(
             inputs.append(((seq, name, spatial, temporal), functions))
             seq += 1
 
-    run_engine = engine if engine is not None else LocalEngine()
+    run_engine = engine if engine is not None else default_engine()
     outputs, _ = run_engine.run(PartitionSaveJob(staging), inputs)
     records = outputs[0][1] if outputs else []
 
@@ -209,7 +209,7 @@ def load_index(path: str | Path, engine: LocalEngine | None = None) -> CorpusInd
         ((record["seq"], record["dataset"]), record)
         for record in manifest["partitions"]
     ]
-    run_engine = engine if engine is not None else LocalEngine()
+    run_engine = engine if engine is not None else default_engine()
     outputs, job_stats = run_engine.run(PartitionLoadJob(directory), inputs)
     loaded = dict(outputs)
 

@@ -1,9 +1,12 @@
 """Parallel/serial equivalence of the map-reduce-backed core pipeline.
 
 The contract under test: ``Corpus.build_index`` and ``CorpusIndex.query``
-with ``executor="thread", n_workers=4`` must produce **bit-identical**
-results to the serial path under a fixed seed, and the engine's shuffle must
-be deterministic no matter in which order intermediate pairs arrive.
+with ``executor="thread"`` or ``executor="process"`` (``n_workers=4``) must
+produce **bit-identical** results to the serial path under a fixed seed, and
+the engine's shuffle must be deterministic no matter in which order
+intermediate pairs arrive.  For the process executor this additionally
+proves every framework job and its payloads pickle cleanly and survive the
+shared-memory detour.
 """
 
 import random
@@ -99,6 +102,9 @@ def assert_query_results_identical(r1, r2):
     assert rows1 == rows2
 
 
+PARALLEL_EXECUTORS = ("thread", "process")
+
+
 class TestCorpusParallelEquivalence:
     @pytest.fixture(scope="class")
     def corpus(self):
@@ -108,9 +114,12 @@ class TestCorpusParallelEquivalence:
     def serial_index(self, corpus):
         return corpus.build_index(temporal=(TemporalResolution.HOUR,))
 
-    def test_build_index_thread_matches_serial(self, corpus, serial_index):
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
+    def test_build_index_parallel_matches_serial(
+        self, corpus, serial_index, executor
+    ):
         parallel = corpus.build_index(
-            temporal=(TemporalResolution.HOUR,), n_workers=4, executor="thread"
+            temporal=(TemporalResolution.HOUR,), n_workers=4, executor=executor
         )
         assert_indexes_identical(serial_index, parallel)
         assert (
@@ -122,23 +131,33 @@ class TestCorpusParallelEquivalence:
         assert serial_index.stats.feature_bytes == parallel.stats.feature_bytes
         assert serial_index.stats.raw_bytes == parallel.stats.raw_bytes
 
-    def test_query_thread_matches_serial(self, corpus, serial_index):
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
+    def test_query_parallel_matches_serial(self, corpus, serial_index, executor):
         serial = serial_index.query(n_permutations=150, seed=0)
         parallel = serial_index.query(
-            n_permutations=150, seed=0, n_workers=4, executor="thread"
+            n_permutations=150, seed=0, n_workers=4, executor=executor
         )
         assert_query_results_identical(serial, parallel)
         assert serial.n_significant >= 1  # the planted pair survives
 
-    def test_query_on_parallel_index_matches(self, corpus, serial_index):
+    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
+    def test_query_on_parallel_index_matches(self, corpus, serial_index, executor):
         parallel_index = corpus.build_index(
-            temporal=(TemporalResolution.HOUR,), n_workers=4, executor="thread"
+            temporal=(TemporalResolution.HOUR,), n_workers=4, executor=executor
         )
         serial = serial_index.query(n_permutations=60, seed=3)
         parallel = parallel_index.query(
-            n_permutations=60, seed=3, n_workers=4, executor="thread"
+            n_permutations=60, seed=3, n_workers=4, executor=executor
         )
         assert_query_results_identical(serial, parallel)
+
+    def test_process_index_shares_no_segments_afterwards(self, corpus):
+        from repro.mapreduce import shm
+
+        corpus.build_index(
+            temporal=(TemporalResolution.HOUR,), n_workers=2, executor="process"
+        )
+        assert shm.live_segments() == frozenset()
 
     def test_generator_seed_parity(self, serial_index):
         serial = serial_index.query(

@@ -1,0 +1,136 @@
+"""Unit tests for the shared-memory data plane (repro.mapreduce.shm)."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import shm
+from repro.utils.errors import MapReduceError
+
+
+@pytest.fixture(autouse=True)
+def clean_attachments():
+    """Each test starts and ends with no cached attachments."""
+    shm.detach_all()
+    yield
+    shm.detach_all()
+
+
+class TestSharedArrayPlane:
+    def test_register_attach_roundtrip(self):
+        array = np.arange(9000, dtype=np.float64).reshape(90, 100)
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            ref = plane.register(array)
+            view = shm.attach(ref)
+            assert np.array_equal(view, array)
+            assert view.dtype == array.dtype
+            assert view.shape == array.shape
+
+    def test_registration_deduplicates_by_identity(self):
+        array = np.ones(4096, dtype=np.float64)
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            ref1 = plane.register(array)
+            ref2 = plane.register(array)
+            assert ref1 == ref2
+            assert plane.n_segments == 1
+            # An equal-valued but distinct array gets its own segment.
+            other = np.ones(4096, dtype=np.float64)
+            assert plane.register(other) != ref1
+            assert plane.n_segments == 2
+
+    def test_small_and_object_arrays_not_eligible(self):
+        plane = shm.SharedArrayPlane(min_bytes=1024)
+        try:
+            assert not plane.eligible(np.zeros(8))  # below threshold
+            assert not plane.eligible(np.array([object()] * 2000))
+            assert not plane.eligible([1.0] * 5000)  # not an ndarray
+            assert plane.eligible(np.zeros(1024 // 8))
+        finally:
+            plane.close()
+
+    def test_attached_view_is_readonly(self):
+        array = np.zeros(2048, dtype=np.float64)
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            view = shm.attach(plane.register(array))
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+
+    def test_non_contiguous_source_roundtrips(self):
+        base = np.arange(20000, dtype=np.float64).reshape(100, 200)
+        strided = base[::2, ::2]
+        assert not strided.flags.c_contiguous
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            view = shm.attach(plane.register(strided))
+            assert np.array_equal(view, strided)
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        plane = shm.SharedArrayPlane(min_bytes=1024)
+        refs = [plane.register(np.zeros(1000, dtype=np.float64) + i) for i in range(3)]
+        names = {ref[0] for ref in refs}
+        assert names <= shm.live_segments()
+        plane.close()
+        plane.close()
+        assert not (names & shm.live_segments())
+        shm.detach_all()  # drop cached views before the segment vanishes
+        with pytest.raises(MapReduceError):
+            shm.attach(refs[0])
+
+    def test_register_after_close_rejected(self):
+        plane = shm.SharedArrayPlane(min_bytes=1024)
+        plane.close()
+        with pytest.raises(MapReduceError):
+            plane.register(np.zeros(2048, dtype=np.float64))
+
+    def test_invalid_min_bytes_rejected(self):
+        with pytest.raises(MapReduceError):
+            shm.SharedArrayPlane(min_bytes=0)
+
+    def test_shared_bytes_accounting(self):
+        array = np.zeros(4096, dtype=np.float64)
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            plane.register(array)
+            assert plane.shared_bytes >= array.nbytes
+
+
+class TestShmPickle:
+    def test_dumps_loads_substitutes_large_arrays(self):
+        big = np.arange(5000, dtype=np.float64)
+        small = np.arange(4, dtype=np.float64)
+        payload_obj = {"big": big, "small": small, "n": 7}
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            data = shm.dumps(payload_obj, plane)
+            assert plane.n_segments == 1  # only `big` was promoted
+            restored = shm.loads(data)
+            assert np.array_equal(restored["big"], big)
+            assert np.array_equal(restored["small"], small)
+            assert restored["n"] == 7
+            # The large array is a shared view, the small one a plain copy.
+            assert not restored["big"].flags.writeable
+            assert restored["small"].flags.writeable
+
+    def test_shared_identity_preserved_within_payload(self):
+        big = np.arange(5000, dtype=np.float64)
+        with shm.SharedArrayPlane(min_bytes=1024) as plane:
+            restored = shm.loads(shm.dumps((big, big), plane))
+            assert restored[0] is restored[1]
+            assert plane.n_segments == 1
+
+    def test_dumps_without_plane_is_plain_pickle(self):
+        big = np.arange(5000, dtype=np.float64)
+        restored = shm.loads(shm.dumps(big))
+        assert np.array_equal(restored, big)
+        assert restored.flags.writeable
+
+    def test_foreign_persistent_id_rejected(self):
+        import io
+        import pickle
+
+        class EvilPickler(pickle.Pickler):
+            def persistent_id(self, obj):
+                if isinstance(obj, float):
+                    return "not-our-pid"
+                return None
+
+        buffer = io.BytesIO()
+        EvilPickler(buffer).dump(3.14)
+        with pytest.raises(pickle.UnpicklingError):
+            shm.loads(buffer.getvalue())

@@ -139,6 +139,33 @@ class TestRoundTrip:
         loaded = CorpusIndex.load(tmp_path, engine=engine)
         assert_indexes_equal(built_index, loaded)
 
+    def test_save_and_load_through_process_engine(self, built_index, tmp_path):
+        """Persist jobs must pickle cleanly into worker processes, and the
+        round trip must stay bit-identical — including follow-up queries."""
+        from repro.mapreduce import shm
+
+        built_index.save(tmp_path, n_workers=2, executor="process")
+        loaded = CorpusIndex.load(tmp_path, n_workers=2, executor="process")
+        assert_indexes_equal(built_index, loaded)
+        fresh = built_index.query(n_permutations=40, seed=0)
+        processed = loaded.query(
+            n_permutations=40, seed=0, n_workers=2, executor="process"
+        )
+        assert_query_results_equal(fresh, processed)
+        assert shm.live_segments() == frozenset()
+
+    def test_persist_jobs_pickle_roundtrip(self, tmp_path):
+        """The save/load jobs themselves survive pickling (process workers
+        receive them by value inside every task payload)."""
+        import pickle
+
+        from repro.persist.index_io import PartitionLoadJob, PartitionSaveJob
+
+        for job in (PartitionSaveJob(tmp_path), PartitionLoadJob(tmp_path)):
+            clone = pickle.loads(pickle.dumps(job))
+            assert type(clone) is type(job)
+            assert clone.directory == job.directory
+
 
 class TestOnDiskLayout:
     def test_manifest_structure(self, built_index, index_dir):

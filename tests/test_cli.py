@@ -26,9 +26,25 @@ class TestParser:
         )
         assert args.workers == 4
         assert args.executor == "thread"
+        args = build_parser().parse_args(["demo", "--executor", "process"])
+        assert args.executor == "process"
+        # Unset flags stay None so $REPRO_EXECUTOR / $REPRO_WORKERS can
+        # supply the defaults at engine-resolution time.
         args = build_parser().parse_args(["demo"])
-        assert args.workers == 1
-        assert args.executor == "serial"
+        assert args.workers is None
+        assert args.executor is None
+
+    def test_parallel_flag_env_defaults(self, monkeypatch):
+        from repro.mapreduce.engine import default_engine
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        args = build_parser().parse_args(["demo"])
+        engine = default_engine(args.workers, args.executor)
+        assert (engine.executor, engine.n_workers) == ("process", 3)
+        # Explicit flags beat the environment.
+        args = build_parser().parse_args(["demo", "--executor", "serial"])
+        assert default_engine(args.workers, args.executor).executor == "serial"
 
     def test_bad_executor_rejected(self):
         with pytest.raises(SystemExit):
