@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the zero-to-discovery path:
+Five commands cover the zero-to-discovery path:
 
 * ``simulate`` — generate the synthetic NYC Urban replica and write it to a
   catalog directory (CSV files + JSON metadata, §5.1's input contract).
@@ -10,15 +10,21 @@ Four commands cover the zero-to-discovery path:
   (``--data``, index built on the fly) or a persisted index (``--index``)
   and print the significant relationships.
 * ``demo`` — simulate, index and query in one go (small scale).
+* ``worker`` — run one cluster worker daemon
+  (``repro worker --connect HOST:PORT``); a driver started with
+  ``--executor cluster`` coordinates every connected worker.
 
 ``index``, ``query`` and ``demo`` accept ``--workers N`` and
-``--executor {serial,thread,process}`` to fan indexing, relationship
-evaluation and index I/O out through the map-reduce engine (§5.4);
-``thread`` overlaps the NumPy-heavy parts, ``process`` also parallelizes
-the pure-Python merge-tree sweeps (payloads travel through the
-shared-memory plane).  Results are bit-identical to the serial default
-under a fixed seed — including queries against a loaded index.  Flags left
-unset fall back to ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``.
+``--executor {serial,thread,process,cluster}`` to fan indexing,
+relationship evaluation and index I/O out through the map-reduce engine
+(§5.4); ``thread`` overlaps the NumPy-heavy parts, ``process`` also
+parallelizes the pure-Python merge-tree sweeps (payloads travel through
+the shared-memory plane), and ``cluster`` dispatches to ``repro worker``
+daemons over TCP (the coordinator binds ``$REPRO_CLUSTER``, default
+``127.0.0.1:7077``; large arrays travel through the spool/socket artifact
+plane).  Results are bit-identical to the serial default under a fixed
+seed — including queries against a loaded index.  Flags left unset fall
+back to ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import time
 from .core.clause import Clause
 from .core.corpus import Corpus, CorpusIndex
 from .data.catalog import load_catalog, save_catalog
-from .mapreduce.engine import EXECUTORS, default_engine
+from .mapreduce.engine import ALL_EXECUTORS, default_engine
 from .synth import nyc_urban_collection
 from .temporal.resolution import TemporalResolution
 
@@ -204,18 +210,55 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=7)
     _add_parallel_flags(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run one cluster worker daemon (dial a coordinator and "
+        "execute map/reduce tasks until shut down)",
+    )
+    wrk.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (a driver run with --executor cluster, "
+        "binding $REPRO_CLUSTER)",
+    )
+    wrk.add_argument(
+        "--id", default=None,
+        help="worker id shown in coordinator errors (default: host-pid)",
+    )
+    wrk.add_argument(
+        "--retry", type=float, default=60.0, metavar="SECONDS",
+        help="keep dialing this long without a successful connection "
+        "before giving up (default: 60)",
+    )
+    wrk.add_argument(
+        "--quiet", action="store_true", help="suppress status lines"
+    )
+    wrk.set_defaults(func=_cmd_worker)
     return parser
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distributed.worker import run_worker
+
+    return run_worker(
+        args.connect,
+        worker_id=args.id,
+        retry_seconds=args.retry,
+        quiet=args.quiet,
+    )
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="map-reduce worker count (default: $REPRO_WORKERS, else 1)",
+        help="map-reduce worker count (default: $REPRO_WORKERS, else 1); "
+        "for --executor cluster: how many connected workers to wait for",
     )
     parser.add_argument(
-        "--executor", choices=EXECUTORS, default=None,
+        "--executor", choices=ALL_EXECUTORS, default=None,
         help="map-reduce executor: 'thread' overlaps NumPy work, 'process' "
-        "also parallelizes pure-Python merge-tree sweeps "
+        "also parallelizes pure-Python merge-tree sweeps, 'cluster' "
+        "dispatches to `repro worker` daemons over TCP "
         "(default: $REPRO_EXECUTOR, else serial)",
     )
 

@@ -58,8 +58,8 @@ from .scalar_function import ScalarFunction
 # Imported after the core modules above: repro.mapreduce.__init__ pulls in
 # pipeline.py, which imports repro.core.operator — already materialized at
 # this point, so the import is cycle-free.
-from ..mapreduce.engine import LocalEngine, default_engine
-from ..mapreduce.job import JobStats, MapReduceJob
+from ..mapreduce.engine import default_engine
+from ..mapreduce.job import Engine, JobStats, MapReduceJob
 
 
 @dataclass
@@ -240,14 +240,16 @@ class RelationshipPairJob(MapReduceJob):
 
 
 def _resolve_engine(
-    engine: LocalEngine | None, n_workers: int | None, executor: str | None
-) -> LocalEngine:
+    engine: Engine | None, n_workers: int | None, executor: str | None
+) -> Engine:
     """An explicit engine wins; otherwise build one from the simple knobs.
 
     Knobs left at ``None`` fall back to the ``REPRO_EXECUTOR`` /
     ``REPRO_WORKERS`` environment variables (see
     :func:`repro.mapreduce.engine.default_engine`), which is how CI replays
-    entire test suites under the process executor.
+    entire test suites under the process and cluster executors.  Any backend
+    satisfying the :class:`~repro.mapreduce.job.Engine` contract works —
+    ``executor="cluster"`` resolves to the distributed one.
     """
     if engine is not None:
         return engine
@@ -283,7 +285,7 @@ class Corpus:
         specs: dict[str, list[FunctionSpec]] | None = None,
         n_workers: int | None = None,
         executor: str | None = None,
-        engine: LocalEngine | None = None,
+        engine: Engine | None = None,
     ) -> "CorpusIndex":
         """Materialize scalar functions and features for every data set.
 
@@ -305,7 +307,9 @@ class Corpus:
             Results are bit-identical to the serial default.  ``None`` falls
             back to ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``, then serial.
         engine:
-            Optional pre-configured :class:`LocalEngine`; overrides
+            Optional pre-configured engine (a
+            :class:`~repro.mapreduce.engine.LocalEngine` or a
+            :class:`~repro.distributed.ClusterEngine`); overrides
             ``n_workers``/``executor``.
         """
         run_engine = _resolve_engine(engine, n_workers, executor)
@@ -404,7 +408,7 @@ class CorpusIndex:
         seed: RngLike = 0,
         n_workers: int | None = None,
         executor: str | None = None,
-        engine: LocalEngine | None = None,
+        engine: Engine | None = None,
     ) -> QueryResult:
         """Find relationships between D1 and D2 satisfying ``clause`` (§5.3).
 
@@ -480,7 +484,7 @@ class CorpusIndex:
         path: str,
         n_workers: int | None = None,
         executor: str | None = None,
-        engine: LocalEngine | None = None,
+        engine: Engine | None = None,
     ):
         """Serialize this index to directory ``path`` (see :mod:`repro.persist`).
 
@@ -500,7 +504,7 @@ class CorpusIndex:
         path: str,
         n_workers: int | None = None,
         executor: str | None = None,
-        engine: LocalEngine | None = None,
+        engine: Engine | None = None,
     ) -> "CorpusIndex":
         """Restore an index saved by :meth:`save`, skipping re-indexing.
 

@@ -1,0 +1,40 @@
+"""Distributed map-reduce backend: coordinator, workers, cluster engine.
+
+The real multi-host counterpart of the simulated cluster (Fig. 10).  A
+:class:`ClusterEngine` drives worker daemons (``repro worker --connect
+HOST:PORT``) over a length-prefixed TCP protocol, implementing the exact
+``run(job, inputs)`` contract of the local engine — indexing, querying and
+index persistence run unchanged and bit-identically on a cluster.
+
+Entry points:
+
+* :class:`ClusterEngine` — the engine; also reachable as
+  ``executor="cluster"`` through
+  :func:`repro.mapreduce.engine.default_engine` and the
+  ``REPRO_EXECUTOR`` / ``REPRO_CLUSTER`` environment variables.
+* :func:`local_cluster` — test/CI harness spawning localhost workers.
+* :func:`repro.distributed.worker.run_worker` — the daemon body behind
+  ``repro worker``.
+"""
+
+from .coordinator import (
+    ClusterEngine,
+    Coordinator,
+    local_cluster,
+    shared_coordinator,
+)
+from .dataplane import ArtifactCache, ArtifactPlane
+from .protocol import WireError, parse_address
+from .worker import run_worker
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactPlane",
+    "ClusterEngine",
+    "Coordinator",
+    "WireError",
+    "local_cluster",
+    "parse_address",
+    "run_worker",
+    "shared_coordinator",
+]

@@ -1,0 +1,768 @@
+"""Coordinator and :class:`ClusterEngine`: real multi-host map-reduce.
+
+The coordinator is the cluster's driver side.  It listens on a TCP port;
+worker daemons (``repro worker --connect HOST:PORT``) dial in and register.
+:class:`ClusterEngine` implements the same ``run(job, inputs)`` contract as
+:class:`repro.mapreduce.engine.LocalEngine` on top of it:
+
+* map inputs are chunked exactly like the local engine's (``"auto"`` sizes
+  chunks for the cluster's per-task dispatch cost),
+* each phase's tasks are dispatched to idle workers, one task per worker at
+  a time (the paper's one-slot-per-node Hadoop deployment); large arrays in
+  a payload travel through the artifact data plane instead of the task
+  pickle (:mod:`repro.distributed.dataplane`),
+* the shuffle is the local engine's deterministic tag-sorted shuffle,
+  executed coordinator-side between the two waves, so grouped values — and
+  therefore reduce outputs — are bit-identical to serial no matter which
+  host ran which task or in which order results arrived,
+* a worker that dies mid-task (socket loss or heartbeat silence) has its
+  task retried on another worker, up to :data:`MAX_TASK_ATTEMPTS` hosts;
+  a task that *fails* (raises) is a deterministic job bug and fails the run
+  with the original traceback, library errors keeping their type — the
+  exact error contract of the process executor.
+
+``local_cluster(n_hosts)`` is the test/CI harness: it binds an ephemeral
+port, spawns ``n_hosts`` localhost worker daemons, waits for registration,
+and tears everything down leak-free (workers shut down, listener closed,
+spool directory removed).
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import secrets
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
+
+from ..mapreduce.engine import LocalEngine, auto_chunk_size
+from ..mapreduce.job import JobStats, MapReduceJob
+from ..utils.errors import MapReduceError, ReproError
+from . import protocol
+from .dataplane import DEFAULT_MIN_BYTES, ArtifactPlane, dumps
+from .protocol import (
+    Artifact,
+    ArtifactRequest,
+    Heartbeat,
+    Hello,
+    Shutdown,
+    Task,
+    TaskResult,
+    Welcome,
+    WireError,
+)
+
+#: A task is retried on this many distinct workers before the run fails
+#: (a task whose *input* reliably kills its host must not take the whole
+#: cluster down one worker at a time).
+MAX_TASK_ATTEMPTS = 3
+
+#: Seconds between worker heartbeats (announced in the Welcome message).
+HEARTBEAT_INTERVAL = 1.0
+
+#: Receive timeout while a dispatched task is outstanding: if the worker's
+#: socket stays completely silent (no heartbeat, no artifact request, no
+#: result) this long, the worker is declared dead and its task is retried
+#: elsewhere.  Heartbeats keep flowing *during* task execution, so long
+#: tasks do not trip this — only a hung or vanished worker does.
+HEARTBEAT_TIMEOUT = 30.0
+
+#: Default wait for the requested number of workers to register.
+CONNECT_TIMEOUT = 60.0
+
+#: Default coordinator address when ``REPRO_CLUSTER`` is unset.
+DEFAULT_BIND = "127.0.0.1:7077"
+
+
+class WorkerHandle:
+    """Coordinator-side state of one registered worker connection."""
+
+    def __init__(
+        self, sock: socket.socket, worker_id: str, pid: int, host: str
+    ) -> None:
+        self.sock = sock
+        self.worker_id = worker_id
+        self.pid = pid
+        self.host = host
+        self.alive = True
+        self._send_lock = threading.Lock()
+
+    def send(self, message: Any) -> None:
+        with self._send_lock:
+            protocol.send_msg(self.sock, message)
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+class _PhaseState:
+    """Shared bookkeeping of one phase's dispatch (guarded by ``cond``)."""
+
+    def __init__(self, payloads: list[bytes]) -> None:
+        self.payloads = payloads
+        self.n = len(payloads)
+        self.results: list[Any] = [None] * self.n
+        self.seconds: list[float] = [0.0] * self.n
+        self.completed = 0
+        self.pending: deque[int] = deque(range(self.n))
+        self.attempts = [0] * self.n
+        self.retries = 0
+        self.error: BaseException | None = None
+        self.runners = 0
+        self.last_loss = ""
+        self.cond = threading.Condition()
+
+
+class Coordinator:
+    """Listens for workers and dispatches task phases to them."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spool_dir: str | Path | None = None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+    ) -> None:
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._owns_spool = spool_dir is None
+        if spool_dir is None:
+            self.spool_dir = Path(
+                tempfile.mkdtemp(prefix="repro-cluster-spool-")
+            )
+        else:
+            self.spool_dir = Path(spool_dir)
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._workers: list[WorkerHandle] = []
+        self._cond = threading.Condition()
+        # One phase at a time: each phase's dispatch threads own their
+        # worker sockets exclusively; concurrent runs on one coordinator
+        # (two application threads querying through the same shared engine)
+        # take turns per phase instead of interleaving frames on a socket.
+        self._phase_lock = threading.Lock()
+        self.closed = False
+        self.total_retries = 0
+        self._run_seq = 0
+        try:
+            self._listener = socket.create_server(
+                (host, port), reuse_port=False
+            )
+        except OSError as exc:
+            raise MapReduceError(
+                f"cannot bind cluster coordinator to {host}:{port}: {exc} "
+                "(is another coordinator already running there?)"
+            ) from exc
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-coordinator"
+        )
+        self._accept_thread.start()
+
+    # -- registration --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            threading.Thread(
+                target=self._register, args=(conn,), daemon=True
+            ).start()
+
+    def _register(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(10.0)
+            protocol.recv_preamble(conn)
+            protocol.send_preamble(conn)
+            hello = protocol.recv_msg(conn)
+            if not isinstance(hello, Hello):
+                raise WireError(
+                    f"expected Hello, got {type(hello).__name__}"
+                )
+            protocol.send_msg(
+                conn,
+                Welcome(
+                    heartbeat_interval=self.heartbeat_interval,
+                    spool_dir=str(self.spool_dir),
+                ),
+            )
+            conn.settimeout(None)
+        except (WireError, OSError):
+            with contextlib.suppress(OSError):
+                conn.close()
+            return
+        handle = WorkerHandle(conn, hello.worker_id, hello.pid, hello.host)
+        with self._cond:
+            if self.closed:
+                handle.close()
+                return
+            self._workers.append(handle)
+            self._cond.notify_all()
+
+    def alive_workers(self) -> list[WorkerHandle]:
+        with self._cond:
+            return [w for w in self._workers if w.alive]
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the currently registered, alive workers."""
+        return [w.pid for w in self.alive_workers()]
+
+    def wait_for_workers(self, n: int, timeout: float) -> None:
+        """Block until ``n`` workers are registered and alive."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len([w for w in self._workers if w.alive]) < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    alive = len([w for w in self._workers if w.alive])
+                    raise MapReduceError(
+                        f"cluster coordinator at {self.address[0]}:"
+                        f"{self.address[1]} has {alive} worker(s) after "
+                        f"{timeout:.0f}s, needs {n} — start workers with "
+                        f"`repro worker --connect "
+                        f"{self.address[0]}:{self.address[1]}`"
+                    )
+                self._cond.wait(min(remaining, 0.25))
+
+    def next_run_id(self) -> str:
+        with self._cond:
+            self._run_seq += 1
+            return f"run{self._run_seq:04d}-{secrets.token_hex(4)}"
+
+    # -- phase dispatch ------------------------------------------------------
+
+    def run_phase(
+        self, phase: str, payloads: list[bytes], plane: ArtifactPlane
+    ) -> tuple[list[Any], list[float], int]:
+        """Dispatch one wave of tasks; returns (results, seconds, retries).
+
+        Results come back indexed by task id, i.e. in submission order —
+        scheduling order never leaks into the output (the same discipline as
+        the local engine's pools).
+        """
+        if not payloads:
+            return [], [], 0
+        with self._phase_lock:
+            return self._run_phase_locked(phase, payloads, plane)
+
+    def _run_phase_locked(
+        self, phase: str, payloads: list[bytes], plane: ArtifactPlane
+    ) -> tuple[list[Any], list[float], int]:
+        state = _PhaseState(payloads)
+        workers = self.alive_workers()
+        if not workers:
+            raise MapReduceError(
+                f"no cluster workers connected for the {phase} phase"
+            )
+        threads = []
+        with state.cond:
+            state.runners = len(workers)
+        for handle in workers:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(handle, state, plane, phase),
+                daemon=True,
+                name=f"repro-dispatch-{handle.worker_id}",
+            )
+            threads.append(thread)
+            thread.start()
+        with state.cond:
+            state.cond.wait_for(lambda: state.runners == 0)
+        for thread in threads:
+            thread.join(timeout=self.heartbeat_timeout)
+        with self._cond:
+            self.total_retries += state.retries
+        if state.error is not None:
+            raise state.error
+        if state.completed < state.n:
+            raise MapReduceError(
+                f"all cluster workers died during the {phase} phase "
+                f"({state.completed}/{state.n} tasks finished"
+                + (f"; last loss: {state.last_loss}" if state.last_loss else "")
+                + ")"
+            )
+        return state.results, state.seconds, state.retries
+
+    def _worker_loop(
+        self,
+        handle: WorkerHandle,
+        state: _PhaseState,
+        plane: ArtifactPlane,
+        phase: str,
+    ) -> None:
+        try:
+            while True:
+                with state.cond:
+                    while (
+                        not state.pending
+                        and state.completed < state.n
+                        and state.error is None
+                    ):
+                        state.cond.wait()
+                    if state.error is not None or state.completed >= state.n:
+                        return
+                    task_id = state.pending.popleft()
+                try:
+                    result = self._dispatch(handle, task_id, state, plane)
+                except (WireError, OSError, TimeoutError) as exc:
+                    self._mark_dead(handle)
+                    with state.cond:
+                        state.last_loss = (
+                            f"worker {handle.worker_id!r} (pid {handle.pid}) "
+                            f"lost during {phase} task {task_id}: {exc}"
+                        )
+                        state.attempts[task_id] += 1
+                        if state.attempts[task_id] >= MAX_TASK_ATTEMPTS:
+                            state.error = MapReduceError(
+                                f"{phase} task {task_id} lost "
+                                f"{state.attempts[task_id]} workers in a row "
+                                f"(killed or crashed before reporting a "
+                                f"result); last: {state.last_loss}"
+                            )
+                        else:
+                            state.retries += 1
+                            state.pending.appendleft(task_id)
+                        state.cond.notify_all()
+                    return
+                if result.status == "err":
+                    error = self._job_error(result, handle, phase)
+                    with state.cond:
+                        if state.error is None:
+                            state.error = error
+                        state.cond.notify_all()
+                    return
+                with state.cond:
+                    if state.results[task_id] is None:
+                        state.results[task_id] = result.result
+                        state.seconds[task_id] = result.seconds
+                        state.completed += 1
+                    state.cond.notify_all()
+        finally:
+            with state.cond:
+                state.runners -= 1
+                state.cond.notify_all()
+
+    def _dispatch(
+        self,
+        handle: WorkerHandle,
+        task_id: int,
+        state: _PhaseState,
+        plane: ArtifactPlane,
+    ) -> TaskResult:
+        """Send one task and pump messages until its result arrives."""
+        handle.send(Task(task_id=task_id, payload=state.payloads[task_id]))
+        handle.sock.settimeout(self.heartbeat_timeout)
+        while True:
+            message = protocol.recv_msg(handle.sock)
+            if message is None:
+                raise WireError("worker closed the connection")
+            if isinstance(message, Heartbeat):
+                continue
+            if isinstance(message, ArtifactRequest):
+                handle.send(
+                    Artifact(name=message.name, data=plane.payload(message.name))
+                )
+                continue
+            if isinstance(message, TaskResult) and message.task_id == task_id:
+                return message
+            raise WireError(
+                f"unexpected {type(message).__name__} while waiting for "
+                f"task {task_id}"
+            )
+
+    def _mark_dead(self, handle: WorkerHandle) -> None:
+        handle.close()
+        with self._cond:
+            self._cond.notify_all()
+
+    @staticmethod
+    def _job_error(
+        result: TaskResult, handle: WorkerHandle, phase: str
+    ) -> BaseException:
+        """Build the caller-facing exception for a failed (not lost) task.
+
+        Same contract as the process executor: :class:`ReproError`
+        subclasses re-raise as themselves with the worker traceback as the
+        cause; everything else becomes a :class:`MapReduceError` carrying
+        the original traceback.
+        """
+        context = MapReduceError(
+            f"{phase} task failed on cluster worker "
+            f"{handle.worker_id!r} (host {handle.host}); original "
+            f"traceback:\n{result.traceback}"
+        )
+        if isinstance(result.original, ReproError):
+            result.original.__cause__ = context
+            return result.original
+        return context
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def end_run(self, run_id: str) -> None:
+        """Tell every live worker to drop the run's cached artifacts."""
+        for handle in self.alive_workers():
+            try:
+                handle.send(protocol.EndRun(run_id=run_id))
+            except (WireError, OSError):
+                self._mark_dead(handle)
+
+    def close(self, shutdown_workers: bool = False) -> None:
+        """Stop listening; optionally tell workers to exit for good.
+
+        Without ``shutdown_workers`` the daemons merely lose this
+        coordinator and keep redialing the address for their retry window —
+        that is what lets `repro index` and a later `repro query` share one
+        set of workers.
+        """
+        with self._cond:
+            if self.closed:
+                return
+            self.closed = True
+            workers = list(self._workers)
+            self._workers.clear()
+        # shutdown() before close(): a blocked accept() keeps the listening
+        # socket's file description alive past close() on Linux, leaving the
+        # port accepting ghost connections; shutdown unblocks it (EINVAL)
+        # so the join below guarantees the port is actually released.
+        with contextlib.suppress(OSError):
+            self._listener.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        self._accept_thread.join(timeout=5.0)
+        for handle in workers:
+            if shutdown_workers and handle.alive:
+                with contextlib.suppress(WireError, OSError):
+                    handle.send(Shutdown(reason="coordinator closing"))
+            handle.close()
+        if self._owns_spool:
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+
+# -- shared coordinators (env-steered engines) -------------------------------
+
+_SHARED: dict[tuple[str, int], Coordinator] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def _close_shared() -> None:  # pragma: no cover - interpreter exit
+    with _SHARED_LOCK:
+        coordinators = list(_SHARED.values())
+        _SHARED.clear()
+    for coordinator in coordinators:
+        coordinator.close(shutdown_workers=False)
+
+
+atexit.register(_close_shared)
+
+
+def shared_coordinator(host: str, port: int) -> Coordinator:
+    """The process-wide coordinator for one bind address.
+
+    Environment-steered engines (``REPRO_EXECUTOR=cluster``) are created
+    per call site; sharing the coordinator keeps one listener (and one pool
+    of connected workers) per address per process, exactly like the shm
+    plane keeps one segment per array.  Closed coordinators are replaced.
+    """
+    key = (host, port)
+    with _SHARED_LOCK:
+        coordinator = _SHARED.get(key)
+        if coordinator is None or coordinator.closed:
+            coordinator = Coordinator(host=host, port=port)
+            _SHARED[key] = coordinator
+        return coordinator
+
+
+# -- the engine --------------------------------------------------------------
+
+
+class ClusterEngine:
+    """Runs map-reduce jobs on a coordinator/worker cluster over TCP.
+
+    Implements the same ``run(job, inputs) -> (outputs, stats)`` contract as
+    :class:`~repro.mapreduce.engine.LocalEngine`, so ``Corpus.build_index``,
+    ``CorpusIndex.query`` and the persist jobs work unchanged — outputs are
+    bit-identical to serial execution under a fixed seed.
+
+    Parameters
+    ----------
+    bind:
+        ``HOST:PORT`` the coordinator listens on.  Port ``0`` binds an
+        ephemeral port (read it back from :attr:`address`).
+    n_workers:
+        Minimum number of registered workers to wait for before the first
+        dispatch.  All connected workers are used.
+    map_chunk_size:
+        As for :class:`LocalEngine`; ``"auto"`` sizes chunks for the
+        cluster's per-task dispatch cost.
+    min_artifact_bytes:
+        Arrays at least this large ship through the artifact data plane
+        instead of the per-task pickle.
+    shared:
+        Reuse the process-wide coordinator for ``bind`` (how env-steered
+        engines share one listener); ``False`` gives this engine a private
+        coordinator that :meth:`close` fully owns.
+    """
+
+    executor = "cluster"
+
+    def __init__(
+        self,
+        bind: str = DEFAULT_BIND,
+        n_workers: int = 1,
+        map_chunk_size: int | str | None = "auto",
+        min_artifact_bytes: int = DEFAULT_MIN_BYTES,
+        connect_timeout: float = CONNECT_TIMEOUT,
+        shared: bool = False,
+    ) -> None:
+        self._bind_host, self._bind_port = protocol.parse_address(
+            bind, variable="bind"
+        )
+        if not isinstance(n_workers, int) or n_workers < 1:
+            raise MapReduceError(
+                f"n_workers must be an integer >= 1, got {n_workers!r}"
+            )
+        if map_chunk_size is not None and map_chunk_size != "auto":
+            if not isinstance(map_chunk_size, int) or map_chunk_size < 1:
+                raise MapReduceError(
+                    "map_chunk_size must be a positive int, 'auto' or None"
+                )
+        if min_artifact_bytes < 1:
+            raise MapReduceError("min_artifact_bytes must be >= 1")
+        self.n_workers = n_workers
+        self.map_chunk_size = map_chunk_size
+        self.min_artifact_bytes = min_artifact_bytes
+        self.connect_timeout = connect_timeout
+        self.shared = shared
+        self._coordinator: Coordinator | None = None
+        self._assembled = False
+        self.last_run_retries = 0
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when more than one host executes tasks."""
+        return self.n_workers > 1
+
+    @property
+    def coordinator(self) -> Coordinator:
+        """The live coordinator, binding the listener on first use."""
+        if self._coordinator is None or self._coordinator.closed:
+            if self.shared:
+                self._coordinator = shared_coordinator(
+                    self._bind_host, self._bind_port
+                )
+            else:
+                self._coordinator = Coordinator(
+                    host=self._bind_host, port=self._bind_port
+                )
+        return self._coordinator
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The coordinator's actual (host, port) — resolves port 0."""
+        return self.coordinator.address
+
+    def start(self) -> "ClusterEngine":
+        """Bind the listener now (otherwise it happens on first run)."""
+        _ = self.coordinator
+        return self
+
+    def wait_for_workers(
+        self, n: int | None = None, timeout: float | None = None
+    ) -> None:
+        self.coordinator.wait_for_workers(
+            n if n is not None else self.n_workers,
+            timeout if timeout is not None else self.connect_timeout,
+        )
+
+    def _resolve_chunk_size(self, n_inputs: int) -> int:
+        if self.map_chunk_size is None:
+            return 1
+        if self.map_chunk_size == "auto":
+            # Size for the workers actually registered, not just the minimum
+            # waited for — every connected worker gets dispatch threads, and
+            # extra hosts must not be starved by too-coarse chunks.
+            n_hosts = max(
+                self.n_workers, len(self.coordinator.alive_workers())
+            )
+            return auto_chunk_size(n_inputs, n_hosts, "cluster")
+        return self.map_chunk_size
+
+    def run(
+        self, job: MapReduceJob, inputs: Iterable[tuple[Any, Any]]
+    ) -> tuple[list[tuple[Any, Any]], JobStats]:
+        """Execute ``job`` over ``inputs`` on the cluster."""
+        stats = JobStats()
+        input_list = list(inputs)
+        coordinator = self.coordinator
+        if input_list:
+            # Full-strength barrier on first assembly only: a worker lost
+            # mid-session (killed, host down) must not stall every later
+            # run for the whole connect timeout — the cluster keeps going
+            # on the survivors, exactly as it finishes the run the worker
+            # died in.
+            needed = self.n_workers if not self._assembled else 1
+            coordinator.wait_for_workers(needed, self.connect_timeout)
+            self._assembled = True
+        # Chunked after the worker barrier, so "auto" sees the real host
+        # count (every registered worker, not just the minimum waited for).
+        chunk_size = self._resolve_chunk_size(len(input_list))
+        indexed = list(enumerate(input_list))
+        chunks = [
+            indexed[lo : lo + chunk_size]
+            for lo in range(0, len(indexed), chunk_size)
+        ]
+        stats.n_map_chunks = len(chunks)
+        run_id = coordinator.next_run_id()
+        plane = ArtifactPlane(
+            coordinator.spool_dir, run_id, min_bytes=self.min_artifact_bytes
+        )
+        retries = 0
+        try:
+            payloads = [dumps(("map", job, chunk), plane) for chunk in chunks]
+            map_results, map_seconds, lost = coordinator.run_phase(
+                "map", payloads, plane
+            )
+            retries += lost
+            stats.map_task_seconds.extend(map_seconds)
+
+            start = time.perf_counter()
+            groups = LocalEngine.shuffle(
+                pair for emitted in map_results for pair in emitted
+            )
+            stats.shuffle_seconds = time.perf_counter() - start
+
+            items = list(groups.items())
+            payloads = [dumps(("reduce", job, item), plane) for item in items]
+            reduce_results, reduce_seconds, lost = coordinator.run_phase(
+                "reduce", payloads, plane
+            )
+            retries += lost
+            stats.reduce_task_seconds.extend(reduce_seconds)
+        finally:
+            plane.close()
+            coordinator.end_run(run_id)
+        self.last_run_retries = retries
+
+        outputs = [pair for emitted in reduce_results for pair in emitted]
+        stats.n_outputs = len(outputs)
+        return outputs, stats
+
+    def close(self, shutdown_workers: bool = False) -> None:
+        """Release the coordinator (private ones only, unless shared=False).
+
+        Shared coordinators belong to the process (closed at interpreter
+        exit) so that sequential env-steered engines keep reusing the same
+        listener and workers.
+        """
+        coordinator = self._coordinator
+        self._coordinator = None
+        if coordinator is not None and not self.shared:
+            coordinator.close(shutdown_workers=shutdown_workers)
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# -- localhost harness -------------------------------------------------------
+
+
+def _worker_environment() -> dict[str, str]:
+    """Environment for spawned localhost workers.
+
+    The current ``sys.path`` is propagated through ``PYTHONPATH`` so the
+    worker can unpickle jobs by reference no matter where they were defined
+    — the installed ``repro`` package, a source checkout, or a test module
+    pytest imported from a bare directory.
+    """
+    env = dict(os.environ)
+    paths = [p for p in sys.path if p]
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    # A localhost cluster is a determinism harness, not a parallelism
+    # benchmark by default; keep each worker's BLAS single-threaded so
+    # n_hosts workers do not oversubscribe the machine.
+    env.setdefault("OMP_NUM_THREADS", "1")
+    return env
+
+
+@contextlib.contextmanager
+def local_cluster(
+    n_hosts: int,
+    map_chunk_size: int | str | None = "auto",
+    min_artifact_bytes: int = DEFAULT_MIN_BYTES,
+    retry_seconds: float = 30.0,
+    startup_timeout: float = 60.0,
+):
+    """Spawn ``n_hosts`` localhost workers around a private coordinator.
+
+    Yields a ready :class:`ClusterEngine` (workers registered).  On exit the
+    workers are shut down (escalating to kill if they ignore it), the
+    listener is closed, and the spool directory is removed — tests assert
+    this teardown is leak-free.
+    """
+    if n_hosts < 1:
+        raise MapReduceError("local_cluster needs at least one host")
+    engine = ClusterEngine(
+        bind="127.0.0.1:0",
+        n_workers=n_hosts,
+        map_chunk_size=map_chunk_size,
+        min_artifact_bytes=min_artifact_bytes,
+        shared=False,
+    ).start()
+    host, port = engine.address
+    env = _worker_environment()
+    processes: list[subprocess.Popen] = []
+    try:
+        for index in range(n_hosts):
+            processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--id",
+                        f"host{index}",
+                        "--retry",
+                        str(retry_seconds),
+                        "--quiet",
+                    ],
+                    env=env,
+                )
+            )
+        engine.wait_for_workers(n_hosts, timeout=startup_timeout)
+        yield engine
+    finally:
+        engine.close(shutdown_workers=True)
+        deadline = time.monotonic() + 10.0
+        for process in processes:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                process.kill()
+                process.wait(timeout=10.0)

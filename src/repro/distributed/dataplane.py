@@ -1,0 +1,259 @@
+"""Artifact data plane: ship each large array once per (worker, run).
+
+The remote counterpart of the shared-memory plane
+(:mod:`repro.mapreduce.shm`).  Both planes solve the same problem — task
+payloads that reference the same large NumPy matrix over and over (every
+function pair of a query references its two value matrices) must not
+serialize it per task — and both solve it the same way: a pickler detours
+eligible arrays into out-of-band *artifacts*, replacing them with tiny
+references; an unpickler on the other side resolves references back into
+read-only arrays.
+
+Where the shm plane uses ``multiprocessing.shared_memory`` segments, this
+plane uses **persisted-partition artifacts**: each distinct array is written
+once per run as a ``.npy`` file in the coordinator's spool directory (the
+same dedup-by-identity discipline, keyed on ``id(array)`` with a keepalive
+pin).  Workers resolve a reference through two transports, cheapest first:
+
+1. **Spool directory** — when the worker shares a filesystem with the
+   coordinator (localhost clusters, NFS), it memory-maps the spool file
+   directly.  The array is then shipped *once per run*, not even once per
+   worker, and never crosses the socket at all.
+2. **Socket** — otherwise the worker pulls the ``.npy`` bytes over its
+   coordinator connection (an :class:`~repro.distributed.protocol.ArtifactRequest`
+   / :class:`~repro.distributed.protocol.Artifact` exchange) and caches the
+   decoded array for the rest of the run: once per (worker, run).
+
+Resolved arrays are read-only (memory-maps are opened ``mmap_mode="r"``,
+fetched arrays have ``writeable`` cleared), mirroring the shm plane: map
+tasks must treat inputs as immutable, and an accidental in-place mutation
+must be a loud error rather than a silent cross-host divergence.
+
+The plane is transport only — it never changes *what* is computed — so the
+engine's bit-identical serial/cluster guarantee rests on ``np.save`` /
+``np.load`` round-tripping array bytes exactly, which they do.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..utils.errors import MapReduceError
+
+#: Arrays below this many bytes travel inside the task pickle: a spool file
+#: and a potential socket round trip only pay off for matrices of real size.
+#: Matches the shm plane's threshold so the two executors promote the same
+#: arrays.
+DEFAULT_MIN_BYTES = 32 * 1024
+
+#: Tag marking a persistent id as one of ours (defensive: ``persistent_load``
+#: must reject foreign pids instead of fabricating arrays from garbage).
+_PID_TAG = "repro.distributed.dataplane"
+
+
+class ArtifactPlane:
+    """Coordinator-side owner of one run's artifacts.
+
+    Registers each distinct eligible array once (dedup by ``id``, with a
+    keepalive pin so a freed array's id cannot be recycled into a stale
+    cache hit), writing it to ``spool_dir`` as ``<run_id>-aNNNNN.npy``.
+    ``close()`` deletes every file; the engine calls it in a ``finally``
+    block, so failed runs clean up too.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | Path,
+        run_id: str,
+        min_bytes: int = DEFAULT_MIN_BYTES,
+    ) -> None:
+        if min_bytes < 1:
+            raise MapReduceError("artifact min_bytes must be >= 1")
+        self.spool_dir = Path(spool_dir)
+        self.run_id = run_id
+        self.min_bytes = min_bytes
+        self._refs: dict[int, tuple] = {}
+        self._paths: dict[str, Path] = {}
+        self._keepalive: list[np.ndarray] = []
+        self.closed = False
+
+    @property
+    def n_artifacts(self) -> int:
+        """Number of distinct arrays promoted to artifacts."""
+        return len(self._paths)
+
+    def eligible(self, obj: Any) -> bool:
+        """True when ``obj`` is an array worth promoting to an artifact."""
+        return (
+            isinstance(obj, np.ndarray)
+            and obj.dtype != object
+            and not obj.dtype.hasobject
+            and obj.nbytes >= self.min_bytes
+        )
+
+    def register(self, array: np.ndarray) -> tuple:
+        """Write ``array`` to the spool (once) and return its reference.
+
+        The reference is a small picklable tuple
+        ``(name, dtype_str, shape, spool_path)``.
+        """
+        if self.closed:
+            raise MapReduceError("artifact plane is already closed")
+        key = id(array)
+        ref = self._refs.get(key)
+        if ref is not None:
+            return ref
+        name = f"{self.run_id}-a{len(self._paths):05d}"
+        path = self.spool_dir / f"{name}.npy"
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        # ``np.save`` writes the canonical .npy container; the same bytes
+        # serve the socket transport via :meth:`payload`.
+        with open(path, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(array))
+        self._paths[name] = path
+        ref = (name, array.dtype.str, array.shape, str(path))
+        self._refs[key] = ref
+        self._keepalive.append(array)
+        return ref
+
+    def payload(self, name: str) -> bytes:
+        """The ``.npy`` bytes of one artifact (the socket transport)."""
+        path = self._paths.get(name)
+        if path is None:
+            raise MapReduceError(f"unknown artifact {name!r} requested")
+        return path.read_bytes()
+
+    def close(self) -> None:
+        """Delete every spool file; idempotent, never raises partway."""
+        if self.closed:
+            return
+        self.closed = True
+        for path in self._paths.values():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone / perms
+                pass
+        self._paths.clear()
+        self._refs.clear()
+        self._keepalive.clear()
+
+    def __enter__(self) -> "ArtifactPlane":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class ArtifactCache:
+    """Worker-side resolver: one materialization per artifact per run.
+
+    ``resolve`` tries the spool path first (shared filesystem: zero-copy
+    memory map), then falls back to ``fetch`` (socket pull).  Entries live
+    until the coordinator's ``EndRun`` clears them.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self.n_fetched = 0
+        self.n_mapped = 0
+
+    def resolve(
+        self, ref: tuple, fetch: Callable[[str], bytes]
+    ) -> np.ndarray:
+        name, dtype_str, shape, spool_path = ref
+        cached = self._arrays.get(name)
+        if cached is not None:
+            return cached
+        array = self._from_spool(spool_path, dtype_str, tuple(shape))
+        if array is None:
+            array = decode_artifact(fetch(name))
+            self.n_fetched += 1
+        else:
+            self.n_mapped += 1
+        if array.dtype.str != dtype_str or array.shape != tuple(shape):
+            raise MapReduceError(
+                f"artifact {name!r} decoded as {array.dtype.str}{array.shape}, "
+                f"reference says {dtype_str}{tuple(shape)}"
+            )
+        self._arrays[name] = array
+        return array
+
+    @staticmethod
+    def _from_spool(
+        spool_path: str, dtype_str: str, shape: tuple
+    ) -> np.ndarray | None:
+        if not spool_path or not os.path.isfile(spool_path):
+            return None
+        try:
+            # mmap_mode="r" is read-only by construction: the OS shares the
+            # pages and a write attempt raises, exactly like the shm plane's
+            # read-only views.
+            return np.load(spool_path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError):  # pragma: no cover - racing cleanup
+            return None
+
+    def clear(self, run_id: str | None = None) -> None:
+        """Drop cached arrays (of one run, or everything)."""
+        if run_id is None:
+            self._arrays.clear()
+            return
+        prefix = f"{run_id}-a"
+        for name in [n for n in self._arrays if n.startswith(prefix)]:
+            del self._arrays[name]
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+
+def decode_artifact(data: bytes) -> np.ndarray:
+    """Decode ``.npy`` bytes into a read-only array."""
+    array = np.load(io.BytesIO(data), allow_pickle=False)
+    array.flags.writeable = False
+    return array
+
+
+class _PlanePickler(pickle.Pickler):
+    """Pickler that detours eligible arrays through the plane."""
+
+    def __init__(self, file: io.BytesIO, plane: ArtifactPlane | None) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._plane = plane
+
+    def persistent_id(self, obj: Any) -> Any:
+        plane = self._plane
+        if plane is not None and plane.eligible(obj):
+            return (_PID_TAG, plane.register(obj))
+        return None
+
+
+class _PlaneUnpickler(pickle.Unpickler):
+    """Unpickler that resolves artifact references via a resolver."""
+
+    def __init__(
+        self, file: io.BytesIO, resolver: Callable[[tuple], np.ndarray]
+    ) -> None:
+        super().__init__(file)
+        self._resolver = resolver
+
+    def persistent_load(self, pid: Any) -> Any:
+        if isinstance(pid, tuple) and len(pid) == 2 and pid[0] == _PID_TAG:
+            return self._resolver(pid[1])
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def dumps(obj: Any, plane: ArtifactPlane | None = None) -> bytes:
+    """Pickle ``obj``, detouring large arrays through ``plane`` (if given)."""
+    buffer = io.BytesIO()
+    _PlanePickler(buffer, plane).dump(obj)
+    return buffer.getvalue()
+
+
+def loads(payload: bytes, resolver: Callable[[tuple], np.ndarray]) -> Any:
+    """Inverse of :func:`dumps`; artifact refs go through ``resolver``."""
+    return _PlaneUnpickler(io.BytesIO(payload), resolver).load()

@@ -1,0 +1,235 @@
+"""Length-prefixed wire protocol of the cluster backend.
+
+Every connection between a worker daemon and the coordinator speaks the
+same framing: a fixed 5-byte preamble (magic + protocol version) exchanged
+once at connect time, then a stream of frames, each an 8-byte big-endian
+length followed by that many bytes of pickled message.  The preamble lets
+both ends reject foreign connections (a port scanner, an old worker build)
+before any pickle bytes are interpreted; the version byte makes a protocol
+bump an explicit handshake failure instead of an unpickling crash.
+
+Messages are the small dataclasses below.  They pickle by reference, so a
+worker only needs ``repro`` importable — no schema registry.  Task payloads
+and artifact bytes are opaque ``bytes`` fields produced by the data plane
+(:mod:`repro.distributed.dataplane`), which keeps the framing layer free of
+NumPy concerns.
+
+Trust model: pickle over a socket executes arbitrary code by design, which
+is the standard posture of cluster compute planes (Spark, Dask, Ray all
+ship pickled closures).  Workers must only ever be pointed at a coordinator
+on a trusted network — the preamble is a liveness/compatibility check, not
+authentication.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from ..utils.errors import MapReduceError
+
+#: Connection preamble: 4 magic bytes + 1 version byte.
+MAGIC = b"RPDC"
+PROTOCOL_VERSION = 1
+PREAMBLE = MAGIC + bytes([PROTOCOL_VERSION])
+
+#: Frame header: payload length as an unsigned 64-bit big-endian integer.
+_HEADER = struct.Struct("!Q")
+
+#: Upper bound on a single frame.  Generous (an artifact frame carries one
+#: whole value matrix) but finite, so a corrupted length prefix fails fast
+#: instead of attempting a petabyte allocation.
+MAX_FRAME_BYTES = 1 << 38  # 256 GiB
+
+
+class WireError(MapReduceError):
+    """A connection died or spoke garbage mid-conversation.
+
+    Distinct from a job failure: the coordinator treats :class:`WireError`
+    (and plain ``OSError``) as *worker loss* — the task is retried on
+    another worker — whereas an error reported inside a
+    :class:`TaskResult` is a deterministic job bug and fails the run.
+    """
+
+
+# -- messages ----------------------------------------------------------------
+
+
+@dataclass
+class Hello:
+    """Worker -> coordinator, once per connection, after the preamble."""
+
+    worker_id: str
+    pid: int
+    host: str
+
+
+@dataclass
+class Welcome:
+    """Coordinator -> worker: registration accepted, here is the contract."""
+
+    heartbeat_interval: float
+    spool_dir: str
+
+
+@dataclass
+class Task:
+    """Coordinator -> worker: run one map chunk or reduce group."""
+
+    task_id: int
+    payload: bytes  # dataplane-pickled ("map"|"reduce", job, data)
+
+
+@dataclass
+class TaskResult:
+    """Worker -> coordinator: outcome of one task.
+
+    ``status`` is ``"ok"`` (``result`` holds the emitted list) or ``"err"``
+    (``traceback`` holds the remote traceback text and ``original`` the
+    exception instance when it survived a pickle round trip).
+    """
+
+    task_id: int
+    status: str
+    result: Any = None
+    seconds: float = 0.0
+    traceback: str = ""
+    original: BaseException | None = None
+
+
+@dataclass
+class ArtifactRequest:
+    """Worker -> coordinator: send me the bytes of this artifact."""
+
+    name: str
+
+
+@dataclass
+class Artifact:
+    """Coordinator -> worker: one artifact, as ``.npy`` bytes."""
+
+    name: str
+    data: bytes
+
+
+@dataclass
+class Heartbeat:
+    """Worker -> coordinator: still alive (sent during tasks too)."""
+
+    worker_id: str
+
+
+@dataclass
+class EndRun:
+    """Coordinator -> worker: a run finished; drop its cached artifacts."""
+
+    run_id: str
+
+
+@dataclass
+class Shutdown:
+    """Coordinator -> worker: exit cleanly (do not reconnect)."""
+
+    reason: str = ""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def send_preamble(sock: socket.socket) -> None:
+    sock.sendall(PREAMBLE)
+
+
+def recv_preamble(sock: socket.socket) -> None:
+    """Read and verify the 5-byte preamble; raises :class:`WireError`."""
+    raw = _recv_exact(sock, len(PREAMBLE), eof_ok=False)
+    if raw[:4] != MAGIC:
+        raise WireError(
+            f"peer is not a repro cluster endpoint (got {raw[:4]!r})"
+        )
+    if raw[4] != PROTOCOL_VERSION:
+        raise WireError(
+            f"protocol version mismatch: peer speaks {raw[4]}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+
+
+def send_msg(sock: socket.socket, message: Any) -> None:
+    """Send one framed, pickled message."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise WireError(f"connection lost while sending: {exc}") from exc
+
+
+def recv_msg(sock: socket.socket) -> Any | None:
+    """Receive one message; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the middle of a frame, an oversized length prefix, or an
+    unpicklable payload raise :class:`WireError` — the caller cannot trust
+    anything further on this connection.
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap "
+            "(corrupt stream?)"
+        )
+    payload = _recv_exact(sock, length, eof_ok=False)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise WireError(f"could not unpickle a frame: {exc}") from exc
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, eof_ok: bool
+) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on immediate EOF when allowed."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise WireError(f"connection lost while receiving: {exc}") from exc
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise WireError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(spec: str, variable: str = "address") -> tuple[str, int]:
+    """Parse ``HOST:PORT`` into a ``(host, port)`` pair.
+
+    ``variable`` names the source in the error message (e.g. the
+    ``REPRO_CLUSTER`` environment variable, or the ``--connect`` flag).
+    """
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise MapReduceError(
+            f"{variable} must be HOST:PORT (e.g. 127.0.0.1:7077), got {spec!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise MapReduceError(
+            f"{variable} must be HOST:PORT with an integer port, got {spec!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise MapReduceError(
+            f"{variable} port must be in [0, 65535], got {port}"
+        )
+    return host, port

@@ -1,0 +1,288 @@
+"""Cluster worker daemon: ``repro worker --connect HOST:PORT``.
+
+One worker is one "host" of the cluster (capacity: one task at a time,
+matching the paper's one-slot-per-node Hadoop deployment).  The daemon
+
+* dials the coordinator (retrying while it is not up yet, so workers can be
+  started before the driver process — the CI recipe),
+* executes the map chunks and reduce groups it is handed, reporting
+  ``("ok", result, seconds)`` or the original traceback on failure — the
+  same contract as the process executor's worker entry point, so the
+  coordinator can re-raise library errors with their real type,
+* resolves artifact references through the data plane (spool memory-map
+  first, socket pull second; see :mod:`repro.distributed.dataplane`),
+* sends heartbeats from a background thread — also *during* long tasks —
+  so the coordinator can tell a straggler from a corpse, and
+* reconnects after losing the coordinator (a driver exits between
+  ``repro index`` and ``repro query``) until its ``--retry`` window runs
+  out without a successful connection.
+
+A task that raises is reported and the worker lives on; only ``Shutdown``
+from the coordinator, an exhausted retry window, or process death end the
+daemon.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+import traceback
+
+from ..mapreduce.engine import _map_chunk
+from ..utils.errors import MapReduceError
+from . import protocol
+from .dataplane import ArtifactCache, loads
+from .protocol import (
+    Artifact,
+    ArtifactRequest,
+    EndRun,
+    Heartbeat,
+    Hello,
+    Shutdown,
+    Task,
+    TaskResult,
+    WireError,
+)
+
+#: How long a worker waits for the coordinator's side of the handshake.
+HANDSHAKE_TIMEOUT = 30.0
+
+#: How long a worker waits for an artifact it asked for.
+FETCH_TIMEOUT = 120.0
+
+#: Delay between reconnection attempts.
+RECONNECT_DELAY = 0.5
+
+
+def execute_task(payload: bytes, cache: ArtifactCache, fetch) -> TaskResult:
+    """Run one dataplane-pickled task; never raises for job errors.
+
+    Mirrors the process executor's worker entry point: job exceptions come
+    back as ``status="err"`` with the original traceback text, plus the
+    exception instance itself when it survives a pickle round trip (so
+    ``ReproError`` subclasses keep their type across the host boundary).
+    """
+    start = time.perf_counter()
+    try:
+        kind, job, data = loads(
+            payload, lambda ref: cache.resolve(ref, fetch)
+        )
+        if kind == "map":
+            result: list = _map_chunk(job, data)
+        elif kind == "reduce":
+            key, values = data
+            result = list(job.reduce(key, values))
+        else:
+            raise MapReduceError(f"unknown task kind {kind!r}")
+        return TaskResult(
+            task_id=-1,
+            status="ok",
+            result=result,
+            seconds=time.perf_counter() - start,
+        )
+    except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
+        raise
+    except BaseException as exc:
+        original: BaseException | None
+        try:
+            original = pickle.loads(pickle.dumps(exc))
+        except Exception:
+            original = None
+        return TaskResult(
+            task_id=-1,
+            status="err",
+            traceback=traceback.format_exc(),
+            original=original,
+        )
+
+
+class _Connection:
+    """One registered coordinator connection of a worker."""
+
+    def __init__(self, sock: socket.socket, worker_id: str) -> None:
+        self.sock = sock
+        self.worker_id = worker_id
+        self.send_lock = threading.Lock()
+        self.heartbeat_interval = 1.0
+        self.spool_dir = ""
+        self._stop = threading.Event()
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            protocol.send_msg(self.sock, message)
+
+    def handshake(self, timeout: float = HANDSHAKE_TIMEOUT) -> None:
+        self.sock.settimeout(timeout)
+        protocol.send_preamble(self.sock)
+        protocol.recv_preamble(self.sock)
+        self.send(
+            Hello(
+                worker_id=self.worker_id,
+                pid=os.getpid(),
+                host=socket.gethostname(),
+            )
+        )
+        welcome = protocol.recv_msg(self.sock)
+        if not isinstance(welcome, protocol.Welcome):
+            raise WireError(f"expected Welcome, got {type(welcome).__name__}")
+        self.heartbeat_interval = welcome.heartbeat_interval
+        self.spool_dir = welcome.spool_dir
+        self.sock.settimeout(None)
+
+    def start_heartbeats(self) -> None:
+        thread = threading.Thread(
+            target=self._heartbeat_loop, daemon=True, name="repro-heartbeat"
+        )
+        thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self.send(Heartbeat(worker_id=self.worker_id))
+            except (WireError, OSError):
+                # The connection is gone; unblock the main recv loop too.
+                self.close()
+                return
+
+    def fetch_artifact(self, name: str) -> bytes:
+        """Pull one artifact over the connection (called mid-unpickle).
+
+        Safe because the worker is strictly single-tasked: while it is
+        deserializing a task, the only coordinator->worker traffic is the
+        reply to this request.
+        """
+        self.send(ArtifactRequest(name=name))
+        self.sock.settimeout(FETCH_TIMEOUT)
+        try:
+            while True:
+                message = protocol.recv_msg(self.sock)
+                if message is None:
+                    raise WireError("coordinator vanished mid-artifact-fetch")
+                if isinstance(message, Artifact) and message.name == name:
+                    return message.data
+                if isinstance(message, Shutdown):
+                    raise WireError("coordinator shut down mid-artifact-fetch")
+                # Anything else here is a protocol violation.
+                raise WireError(
+                    f"unexpected {type(message).__name__} while fetching "
+                    f"artifact {name!r}"
+                )
+        finally:
+            self.sock.settimeout(None)
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+def _serve(connection: _Connection, cache: ArtifactCache) -> str:
+    """Message loop of one connection; returns "shutdown" or "lost"."""
+    connection.start_heartbeats()
+    while True:
+        try:
+            message = protocol.recv_msg(connection.sock)
+        except (WireError, OSError):
+            return "lost"
+        if message is None:
+            return "lost"
+        if isinstance(message, Shutdown):
+            return "shutdown"
+        if isinstance(message, EndRun):
+            cache.clear(message.run_id)
+            continue
+        if isinstance(message, Task):
+            result = execute_task(
+                message.payload, cache, connection.fetch_artifact
+            )
+            result.task_id = message.task_id
+            try:
+                connection.send(result)
+            except (WireError, OSError):
+                return "lost"
+            continue
+        # Unknown message: protocol drift; drop the connection loudly.
+        print(
+            f"[repro-worker {connection.worker_id}] unexpected "
+            f"{type(message).__name__}; dropping connection",
+            flush=True,
+        )
+        return "lost"
+
+
+def run_worker(
+    connect: str,
+    worker_id: str | None = None,
+    retry_seconds: float = 60.0,
+    quiet: bool = False,
+) -> int:
+    """Run the worker daemon until shutdown; returns a process exit code.
+
+    ``retry_seconds`` bounds how long the worker keeps dialing without a
+    successful connection — both at startup (coordinator not up yet) and
+    after losing an established coordinator (driver exited; a new one may
+    start).  ``0`` means a single attempt.
+    """
+    host, port = protocol.parse_address(connect, variable="--connect")
+    wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    cache = ArtifactCache()
+
+    def log(text: str) -> None:
+        if not quiet:
+            print(f"[repro-worker {wid}] {text}", flush=True)
+
+    window_start = time.monotonic()
+
+    def window_exhausted(reason: str) -> bool:
+        if time.monotonic() - window_start > retry_seconds:
+            log(f"{reason} for {retry_seconds:.0f}s; exiting")
+            return True
+        time.sleep(RECONNECT_DELAY)
+        return False
+
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            if window_exhausted(f"no coordinator at {host}:{port}"):
+                return 1
+            continue
+
+        connection = _Connection(sock, wid)
+        try:
+            # A peer that accepts TCP but never answers (wrong service on
+            # the port) must not stall past the retry window: clamp the
+            # handshake timeout to what is left of it.
+            remaining = retry_seconds - (time.monotonic() - window_start)
+            connection.handshake(
+                timeout=min(HANDSHAKE_TIMEOUT, max(1.0, remaining + 1.0))
+            )
+        except (WireError, OSError) as exc:
+            # A failed handshake (wrong service on the port, version skew)
+            # burns the same retry window as a refused connect — only a
+            # completed registration resets it.
+            log(f"handshake failed: {exc}")
+            connection.close()
+            if window_exhausted(f"no usable coordinator at {host}:{port}"):
+                return 1
+            continue
+
+        log(f"connected to coordinator {host}:{port}")
+        window_start = time.monotonic()  # successful registration resets it
+        outcome = _serve(connection, cache)
+        connection.close()
+        cache.clear()
+        if outcome == "shutdown":
+            log("shutdown requested by coordinator; exiting")
+            return 0
+        log("lost coordinator; retrying")
+        window_start = time.monotonic()

@@ -11,6 +11,10 @@ Hadoop-like greedy scheduler (each task goes to the earliest-free node, in
 submission order).  The speedup on n nodes is the single-node sequential time
 divided by the scheduled makespan — stragglers emerge naturally from the
 heterogeneous task times.
+
+Since the :mod:`repro.distributed` backend exists, the simulation has a
+measured counterpart: ``bench_fig10_speedup.py`` runs the same workload on
+real ``local_cluster`` hosts and reports both curves side by side.
 """
 
 from __future__ import annotations
@@ -45,11 +49,17 @@ def greedy_makespan(task_seconds: list[float], n_nodes: int) -> float:
 
 
 def job_makespan(stats: JobStats, n_nodes: int) -> float:
-    """Scheduled makespan of one job: map wave, then shuffle, then reduce wave.
+    """Scheduled makespan of one job: map wave + shuffle + reduce wave.
 
-    The map phase must finish before reducers start (a synchronization
-    barrier, as in Hadoop), so the makespans add.  Shuffle time is treated as
-    sequential coordination overhead.
+    The model is a hard barrier *between the two waves*: no reduce task is
+    scheduled until the slowest map task has finished, and the shuffle runs
+    serially on the coordinator in between — so the three terms simply add.
+    (Real Hadoop is slightly more optimistic: reducers start *fetching* map
+    output while late maps still run.  The barrier model matches what both
+    our local engine and the distributed coordinator actually do — shuffle
+    happens driver-side after the whole map wave returns — and is the
+    conservative choice for the Fig. 10 replay: it can only understate,
+    never overstate, cluster speedup.)
     """
     return (
         greedy_makespan(stats.map_task_seconds, n_nodes)
@@ -61,14 +71,22 @@ def job_makespan(stats: JobStats, n_nodes: int) -> float:
 def speedup_curve(stats: JobStats, node_counts: list[int]) -> dict[int, float]:
     """Speedup (T1 / Tn) of one job for each cluster size.
 
-    T1 is the scheduled makespan on a single node (= sequential time plus
+    The public helper behind the Fig. 10 benchmark (simulated curves) and
+    the measured-vs-simulated comparison of the cluster backend.  T1 is the
+    scheduled makespan on a single node (= sequential task time plus
     shuffle), Tn the makespan on n nodes.
+
+    Edge cases are defined, not NaN: a zero-duration workload (no tasks, or
+    all tasks measuring 0.0s) reports a speedup of exactly 1.0 for every
+    cluster size — there is nothing to speed up, and callers plotting or
+    asserting on curves must not trip over division by zero.  More nodes
+    than tasks is fine (extra nodes idle; the curve plateaus).
     """
     t1 = job_makespan(stats, 1)
     curve: dict[int, float] = {}
     for n in node_counts:
         tn = job_makespan(stats, n)
-        curve[n] = t1 / tn if tn > 0 else float("nan")
+        curve[n] = t1 / tn if tn > 0 else 1.0
     return curve
 
 

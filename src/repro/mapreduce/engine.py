@@ -32,7 +32,11 @@ plain dictionary — the in-process analogue of Hadoop's sort/partition phase.
 
 Environment defaults.  :func:`default_engine` resolves unset knobs from
 ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``, which is how CI re-runs whole test
-suites under the process executor without touching a single call site.
+suites under the process executor without touching a single call site.  A
+fourth executor, ``"cluster"``, lives outside this module: it resolves to
+:class:`repro.distributed.ClusterEngine` (real multi-host workers over TCP,
+``REPRO_CLUSTER`` names the coordinator address) behind the same
+``run(job, inputs)`` contract.
 """
 
 from __future__ import annotations
@@ -53,8 +57,13 @@ from ..utils.errors import MapReduceError, ReproError
 from . import shm
 from .job import JobStats, MapReduceJob
 
-#: The valid ``executor`` values, in documentation order.
+#: The executors :class:`LocalEngine` itself runs, in documentation order.
 EXECUTORS = ("serial", "thread", "process")
+
+#: Every executor :func:`default_engine` can build — the local three plus
+#: the distributed backend (``executor="cluster"`` returns a
+#: :class:`repro.distributed.ClusterEngine` behind the same contract).
+ALL_EXECUTORS = EXECUTORS + ("cluster",)
 
 
 def _start_method() -> str:
@@ -74,8 +83,9 @@ def _start_method() -> str:
 #: ``"auto"`` chunking targets this many map tasks per worker: enough tasks
 #: to keep the pool busy (work stealing across uneven tasks) without
 #: per-input dispatch.  Process workers get fewer, larger chunks because
-#: every task also pays a pickle/IPC round trip.
-_AUTO_TASKS_PER_WORKER = {"thread": 4, "process": 2}
+#: every task also pays a pickle/IPC round trip; cluster workers pay the
+#: same pickle cost plus a socket hop, so they match the process sizing.
+_AUTO_TASKS_PER_WORKER = {"thread": 4, "process": 2, "cluster": 2}
 
 #: A tagged intermediate pair: ((input_index, emit_index), key, value).
 TaggedPair = tuple[tuple[int, int], Hashable, Any]
@@ -86,15 +96,15 @@ def auto_chunk_size(n_inputs: int, n_workers: int, executor: str) -> int:
 
     ``ceil(n_inputs / (n_workers * tasks_per_worker))`` with a per-executor
     ``tasks_per_worker``: 4 for threads (dispatch is cheap, favor work
-    stealing) and 2 for processes (every task ships its payload through
-    pickle/IPC, favor amortization).  Serial execution keeps one input per
-    task so per-task timings stay maximally informative for the
-    simulated-cluster replay.
+    stealing) and 2 for processes and cluster hosts (every task ships its
+    payload through pickle/IPC or a socket, favor amortization).  Serial
+    execution keeps one input per task so per-task timings stay maximally
+    informative for the simulated-cluster replay.
     """
-    if executor not in EXECUTORS:
+    if executor not in ALL_EXECUTORS:
         raise MapReduceError(
             f"unknown executor {executor!r} (valid executors: "
-            f"{', '.join(EXECUTORS)})"
+            f"{', '.join(ALL_EXECUTORS)})"
         )
     if executor == "serial" or n_workers <= 1 or n_inputs <= 0:
         return 1
@@ -106,18 +116,35 @@ def default_engine(
     n_workers: int | None = None,
     executor: str | None = None,
     map_chunk_size: int | str | None = "auto",
-) -> "LocalEngine":
+):
     """Build an engine, resolving unset knobs from the environment.
 
     ``executor=None`` falls back to ``$REPRO_EXECUTOR`` (default
     ``"serial"``); ``n_workers=None`` falls back to ``$REPRO_WORKERS``
     (default: 1).  Explicit arguments always win, so only call sites that
     pass nothing become environment-steerable — this is how the CI process
-    job replays the whole mapreduce/persist test suites under
-    ``REPRO_EXECUTOR=process`` without editing them.
+    and cluster jobs replay the whole mapreduce/persist test suites under
+    ``REPRO_EXECUTOR=process``/``cluster`` without editing them.
+
+    Environment values are validated *here*, up front: a typo in
+    ``REPRO_EXECUTOR`` or ``REPRO_WORKERS`` raises a
+    :class:`MapReduceError` naming the variable and the accepted values at
+    engine-construction time, instead of surfacing as a raw ``ValueError``
+    (or a late failure) deep inside the first job.
+
+    ``executor="cluster"`` returns a
+    :class:`repro.distributed.ClusterEngine` whose coordinator binds the
+    ``$REPRO_CLUSTER`` address (default ``127.0.0.1:7077``) — the same
+    ``run(job, inputs)`` contract, executed by ``repro worker`` daemons.
     """
     if executor is None:
-        executor = os.environ.get("REPRO_EXECUTOR") or "serial"
+        raw_executor = os.environ.get("REPRO_EXECUTOR") or "serial"
+        if raw_executor not in ALL_EXECUTORS:
+            raise MapReduceError(
+                f"REPRO_EXECUTOR must be one of {', '.join(ALL_EXECUTORS)}; "
+                f"got {raw_executor!r}"
+            )
+        executor = raw_executor
     if n_workers is None:
         raw = os.environ.get("REPRO_WORKERS")
         if raw is None or raw == "":
@@ -127,8 +154,26 @@ def default_engine(
                 n_workers = int(raw)
             except ValueError:
                 raise MapReduceError(
-                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                    f"REPRO_WORKERS must be an integer >= 1, got {raw!r}"
                 ) from None
+            if n_workers < 1:
+                raise MapReduceError(
+                    f"REPRO_WORKERS must be an integer >= 1, got {raw!r}"
+                )
+    if executor == "cluster":
+        # Imported lazily: repro.distributed builds on this module.
+        from ..distributed import ClusterEngine
+
+        bind = os.environ.get("REPRO_CLUSTER") or "127.0.0.1:7077"
+        from ..distributed.protocol import parse_address
+
+        parse_address(bind, variable="REPRO_CLUSTER")  # validate up front
+        return ClusterEngine(
+            bind=bind,
+            n_workers=n_workers,
+            map_chunk_size=map_chunk_size,
+            shared=True,
+        )
     return LocalEngine(
         n_workers=n_workers, executor=executor, map_chunk_size=map_chunk_size
     )
@@ -203,6 +248,12 @@ class LocalEngine:
         map_chunk_size: int | str | None = None,
         shm_min_bytes: int = shm.DEFAULT_MIN_BYTES,
     ) -> None:
+        if executor == "cluster":
+            raise MapReduceError(
+                "executor 'cluster' is the distributed backend — build it "
+                "with default_engine(executor='cluster') or "
+                "repro.distributed.ClusterEngine, not LocalEngine"
+            )
         if executor not in EXECUTORS:
             raise MapReduceError(
                 f"unknown executor {executor!r} (valid executors: "

@@ -11,7 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 
 class MapReduceJob(ABC):
@@ -24,6 +24,28 @@ class MapReduceJob(ABC):
     @abstractmethod
     def reduce(self, key: Hashable, values: list[Any]) -> Iterable[tuple[Any, Any]]:
         """Emit output pairs for one intermediate key and its value group."""
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The engine contract every backend implements.
+
+    :class:`repro.mapreduce.engine.LocalEngine` (serial / thread / process)
+    and :class:`repro.distributed.ClusterEngine` (multi-host over TCP) are
+    interchangeable behind this protocol: ``run`` executes one job over its
+    inputs and returns ``(outputs, stats)``, bit-identically for a
+    deterministic job regardless of backend.  Corpus indexing, querying and
+    index persistence only ever depend on this surface.
+    """
+
+    n_workers: int
+    executor: str
+
+    def run(
+        self, job: "MapReduceJob", inputs: Iterable[tuple[Any, Any]]
+    ) -> tuple[list[tuple[Any, Any]], "JobStats"]:
+        """Execute ``job`` over ``inputs``; returns (outputs, stats)."""
+        ...  # pragma: no cover - protocol stub
 
 
 @dataclass

@@ -33,8 +33,8 @@ from ..spatial.city import CityModel
 from ..spatial.resolution import SpatialResolution, viable_spatial_resolutions
 from ..temporal.resolution import TemporalResolution, viable_temporal_resolutions
 from ..utils.errors import MapReduceError
-from .engine import LocalEngine, default_engine
-from .job import JobStats, MapReduceJob
+from .engine import default_engine
+from .job import Engine, JobStats, MapReduceJob
 
 
 def _chunk_dataset(dataset: Dataset, n_chunks: int) -> list[Dataset]:
@@ -155,7 +155,18 @@ def _partial_unique_pairs(
     regions,
     step_range: tuple[int, int],
 ) -> np.ndarray:
-    """Deduplicated (cell, identifier-hash) code pairs for one chunk."""
+    """Deduplicated (cell, identifier-hash) code pairs for one chunk.
+
+    The identifier hash must be *process-independent*: chunks of one data
+    set are mapped on different workers — separate interpreters under the
+    process executor, separate hosts under the cluster executor — and the
+    reducer merges their pairs by exact value.  Python's ``hash()`` is
+    randomized per interpreter (``PYTHONHASHSEED``), which fork-based
+    workers survive only by inheriting the parent's seed; ``crc32`` gives
+    the same 31-bit code for the same identifier everywhere.
+    """
+    from zlib import crc32
+
     from ..data.aggregation import _assign_regions
 
     region_idx, n_regions = _assign_regions(chunk, s_res, regions)
@@ -164,7 +175,10 @@ def _partial_unique_pairs(
     keep = (region_idx >= 0) & (buckets >= first) & (buckets <= last)
     cells = (buckets[keep] - first) * n_regions + region_idx[keep]
     ids = chunk.keys[attribute][keep]
-    hashes = np.array([hash(str(v)) & 0x7FFFFFFF for v in ids], dtype=np.int64)
+    hashes = np.array(
+        [crc32(str(v).encode("utf-8")) & 0x7FFFFFFF for v in ids],
+        dtype=np.int64,
+    )
     pairs = cells.astype(np.int64) * (2**31) + hashes
     return np.unique(pairs)
 
@@ -259,7 +273,7 @@ class PolygamyPipeline:
     def __init__(
         self,
         city: CityModel,
-        engine: LocalEngine | None = None,
+        engine: Engine | None = None,
         extractor: FeatureExtractor | None = None,
         chunks_per_dataset: int = 4,
         fill: str = "global_mean",

@@ -32,8 +32,8 @@ from ..core.corpus import CorpusIndex, IndexStats
 from ..core.features import FeatureExtractor
 from ..core.operator import DatasetIndex, IndexedFunction
 from ..data.catalog import city_from_dict, city_to_dict
-from ..mapreduce.engine import LocalEngine, default_engine
-from ..mapreduce.job import MapReduceJob
+from ..mapreduce.engine import default_engine
+from ..mapreduce.job import Engine, MapReduceJob
 from ..spatial.resolution import SpatialResolution
 from ..temporal.resolution import TemporalResolution
 from ..utils.errors import PersistError
@@ -128,9 +128,15 @@ class PartitionLoadJob(MapReduceJob):
 
 
 def save_index(
-    index: CorpusIndex, path: str | Path, engine: LocalEngine | None = None
+    index: CorpusIndex, path: str | Path, engine: Engine | None = None
 ) -> Path:
     """Serialize ``index`` to directory ``path``; returns the manifest path.
+
+    ``path`` is resolved to an absolute path before any job runs: partition
+    files are written by engine tasks, and cluster workers are separate
+    processes whose working directory is not the caller's.  (Cluster saves
+    and loads additionally assume the workers share the caller's
+    filesystem, as on a localhost cluster or NFS.)
 
     Overwriting an existing index is all-or-nothing up to the final rename
     pair: the new index is written into a ``.<name>.tmp`` sibling and only
@@ -141,7 +147,7 @@ def save_index(
     rather than at ``path``.  Both leftover siblings are cleaned up by the
     next successful save.
     """
-    directory = Path(path)
+    directory = Path(path).expanduser().resolve()
     staging = directory.parent / f".{directory.name}.tmp"
     retired = directory.parent / f".{directory.name}.old"
     if staging.exists():
@@ -187,15 +193,17 @@ def save_index(
     return directory / INDEX_MANIFEST
 
 
-def load_index(path: str | Path, engine: LocalEngine | None = None) -> CorpusIndex:
+def load_index(path: str | Path, engine: Engine | None = None) -> CorpusIndex:
     """Rebuild a :class:`CorpusIndex` from a directory written by
     :func:`save_index`, skipping re-indexing entirely.
 
     The loaded index has no backing :class:`~repro.core.corpus.Corpus` (raw
     data is not part of the format); everything a query needs — functions,
     features, extractor configuration, city model — is restored from disk.
+    ``path`` is resolved to an absolute path up front so engine tasks read
+    the right files from any working directory (cluster workers included).
     """
-    directory = Path(path)
+    directory = Path(path).expanduser().resolve()
     manifest = read_manifest(directory)
 
     city = city_from_dict(manifest["city"])

@@ -1,0 +1,18 @@
+"""Shared fixtures for the unit/integration suite."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def cluster_engine():
+    """A 2-host localhost cluster shared by the whole session.
+
+    Lazy: the workers are only spawned when the first cluster-parametrized
+    test runs.  Torn down (leak-free) at session end.  Tests that *break*
+    their cluster on purpose (fault injection) must spawn their own via
+    :func:`repro.distributed.local_cluster` instead of using this one.
+    """
+    from repro.distributed import local_cluster
+
+    with local_cluster(2) as engine:
+        yield engine

@@ -1,0 +1,144 @@
+"""Artifact data plane: dedup, spool/socket transports, read-only views."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.dataplane import (
+    ArtifactCache,
+    ArtifactPlane,
+    decode_artifact,
+    dumps,
+    loads,
+)
+from repro.utils.errors import MapReduceError
+
+
+@pytest.fixture
+def plane(tmp_path):
+    plane = ArtifactPlane(tmp_path / "spool", run_id="runX", min_bytes=1024)
+    yield plane
+    plane.close()
+
+
+def no_fetch(name):  # a resolver transport that must not be used
+    raise AssertionError(f"unexpected socket fetch of {name!r}")
+
+
+class TestPlaneRegistration:
+    def test_same_array_registers_once(self, plane):
+        array = np.arange(4096, dtype=np.float64)
+        ref1 = plane.register(array)
+        ref2 = plane.register(array)
+        assert ref1 == ref2
+        assert plane.n_artifacts == 1
+
+    def test_distinct_arrays_get_distinct_artifacts(self, plane):
+        a = np.arange(4096, dtype=np.float64)
+        b = np.arange(4096, dtype=np.float64)  # equal values, distinct object
+        assert plane.register(a) != plane.register(b)
+        assert plane.n_artifacts == 2
+
+    def test_eligibility(self, plane):
+        assert plane.eligible(np.zeros(4096))
+        assert not plane.eligible(np.zeros(4))  # below min_bytes
+        assert not plane.eligible("not an array")
+        assert not plane.eligible(np.array([object()], dtype=object))
+
+    def test_close_removes_spool_files_idempotently(self, tmp_path):
+        plane = ArtifactPlane(tmp_path, run_id="r", min_bytes=1)
+        plane.register(np.arange(100))
+        files = list(tmp_path.glob("*.npy"))
+        assert len(files) == 1
+        plane.close()
+        plane.close()
+        assert list(tmp_path.glob("*.npy")) == []
+        with pytest.raises(MapReduceError):
+            plane.register(np.arange(100))
+
+    def test_non_contiguous_arrays_round_trip(self, plane, tmp_path):
+        base = np.arange(10000, dtype=np.float64).reshape(100, 100)
+        strided = base[::2, ::3]
+        payload = dumps({"x": strided}, plane)
+        cache = ArtifactCache()
+        out = loads(payload, lambda ref: cache.resolve(ref, no_fetch))
+        assert np.array_equal(out["x"], strided)
+
+
+class TestRoundTrip:
+    def test_spool_transport_preferred_and_cached(self, plane):
+        big = np.random.default_rng(0).normal(size=5000)  # 40 KB
+        payloads = [dumps((i, big), plane) for i in range(4)]
+        cache = ArtifactCache()
+        resolver = lambda ref: cache.resolve(ref, no_fetch)  # noqa: E731
+        for i, payload in enumerate(payloads):
+            index, array = loads(payload, resolver)
+            assert index == i
+            assert np.array_equal(array, big)
+        # One artifact, memory-mapped once, never fetched over the socket.
+        assert plane.n_artifacts == 1
+        assert cache.n_mapped == 1
+        assert cache.n_fetched == 0
+        assert len(cache) == 1
+
+    def test_socket_fallback_fetches_once(self, plane):
+        big = np.arange(4096, dtype=np.float64)
+        payloads = [dumps((i, big), plane) for i in range(3)]
+        # Break the spool path (the worker is on another host).
+        fetched = []
+
+        def resolver(ref):
+            name, dtype, shape, _path = ref
+            broken = (name, dtype, shape, "/nonexistent/spool/gone.npy")
+
+            def fetch(artifact_name):
+                fetched.append(artifact_name)
+                return plane.payload(artifact_name)
+
+            return cache.resolve(broken, fetch)
+
+        cache = ArtifactCache()
+        for payload in payloads:
+            _i, array = loads(payload, resolver)
+            assert np.array_equal(array, big)
+        assert fetched == [plane.register(big)[0]]  # exactly one fetch
+        assert cache.n_fetched == 1
+
+    def test_resolved_arrays_are_read_only(self, plane):
+        big = np.arange(4096, dtype=np.float64)
+        payload = dumps(big, plane)
+        cache = ArtifactCache()
+        spooled = loads(payload, lambda ref: cache.resolve(ref, no_fetch))
+        with pytest.raises(ValueError):
+            spooled[0] = 99.0
+        fetched = decode_artifact(plane.payload(plane.register(big)[0]))
+        with pytest.raises(ValueError):
+            fetched[0] = 99.0
+
+    def test_small_arrays_stay_inline(self, plane):
+        small = np.arange(8, dtype=np.float64)  # 64 bytes < min_bytes
+        payload = dumps(small, plane)
+        out = loads(payload, no_fetch)  # resolver never consulted
+        assert np.array_equal(out, small)
+        assert plane.n_artifacts == 0
+
+    def test_shape_dtype_mismatch_rejected(self, plane):
+        big = np.arange(4096, dtype=np.float64)
+        name, _dtype, _shape, path = plane.register(big)
+        cache = ArtifactCache()
+        with pytest.raises(MapReduceError, match="reference says"):
+            cache.resolve((name, "<f8", (7,), path), no_fetch)
+
+    def test_unknown_artifact_payload_rejected(self, plane):
+        with pytest.raises(MapReduceError, match="unknown artifact"):
+            plane.payload("never-registered")
+
+
+class TestCacheLifecycle:
+    def test_clear_by_run_id(self):
+        cache = ArtifactCache()
+        cache._arrays["runA-a00000"] = np.zeros(1)
+        cache._arrays["runB-a00000"] = np.zeros(1)
+        cache.clear("runA")
+        assert list(cache._arrays) == ["runB-a00000"]
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,149 @@
+"""Coordinator fault handling: worker death mid-task, retry, containment.
+
+The contract (ISSUE satellite): kill a worker mid-map and the task must be
+retried on another worker, the run must complete **bit-identically** to
+serial, and teardown must leak neither spool files nor sockets.  A task
+whose input reliably kills every host it touches must fail the run with a
+:class:`MapReduceError` (never hang), and a worker death must never be
+confused with a job bug.
+
+Each test spawns its own cluster — fault injection leaves corpses behind,
+and the shared session cluster must stay healthy for other tests.
+"""
+
+import os
+import socket
+
+import pytest
+
+from repro.distributed import local_cluster
+from repro.mapreduce.engine import LocalEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.utils.errors import MapReduceError
+
+
+class DieOnceMidMapJob(MapReduceJob):
+    """Kills its host the first time the marked input is mapped.
+
+    The sentinel file makes the kill happen exactly once across the whole
+    cluster: the first worker to map input 2 writes the flag and dies
+    (``os._exit`` — no exception, no result, a real SIGKILL-like loss);
+    the retry on another worker sees the flag and proceeds normally.
+    """
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def map(self, key, value):
+        if key == 2 and not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w") as handle:
+                handle.write("died here")
+            os._exit(23)
+        yield key % 2, (key, value)
+
+    def reduce(self, key, values):
+        yield key, tuple(values)
+
+
+class AlwaysDieJob(MapReduceJob):
+    """Every map task kills its host — no cluster can finish this."""
+
+    def map(self, key, value):
+        os._exit(17)
+
+    def reduce(self, key, values):  # pragma: no cover - never reached
+        yield key, values
+
+
+class DieOnceInReduceJob(MapReduceJob):
+    """Same die-once discipline, but in the reduce phase."""
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def map(self, key, value):
+        yield key % 2, (key, value)
+
+    def reduce(self, key, values):
+        if key == 0 and not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w") as handle:
+                handle.write("died here")
+            os._exit(23)
+        yield key, tuple(values)
+
+
+INPUTS = [(i, f"record {i}") for i in range(6)]
+
+
+def serial_reference(job_factory):
+    """Serial output of a die-once job with its trigger pre-disarmed."""
+    disarmed = job_factory("/dev/null")  # exists, so the trigger never fires
+    outputs, _ = LocalEngine().run(disarmed, INPUTS)
+    return outputs
+
+
+class TestWorkerDeathMidRun:
+    def test_map_task_retried_on_another_worker(self, tmp_path):
+        expected = serial_reference(DieOnceMidMapJob)
+        with local_cluster(3) as engine:
+            before = set(engine.coordinator.worker_pids())
+            assert len(before) == 3
+            outputs, stats = engine.run(
+                DieOnceMidMapJob(tmp_path / "map-died"), INPUTS
+            )
+            # Bit-identical completion despite losing a worker mid-map.
+            assert outputs == expected
+            assert (tmp_path / "map-died").exists()
+            # The task really was retried elsewhere: one retry recorded,
+            # one worker gone, the survivors carried the run.
+            assert engine.last_run_retries == 1
+            assert engine.coordinator.total_retries == 1
+            after = set(engine.coordinator.worker_pids())
+            assert after < before and len(after) == 2
+            # Per-task accounting stayed consistent (no double counting).
+            assert len(stats.map_task_seconds) == stats.n_map_chunks
+
+    def test_reduce_task_retried_on_another_worker(self, tmp_path):
+        expected = serial_reference(DieOnceInReduceJob)
+        with local_cluster(3) as engine:
+            outputs, _ = engine.run(
+                DieOnceInReduceJob(tmp_path / "reduce-died"), INPUTS
+            )
+            assert outputs == expected
+            assert engine.last_run_retries == 1
+            assert len(engine.coordinator.alive_workers()) == 2
+
+    def test_cluster_keeps_serving_after_a_death(self, tmp_path):
+        expected = serial_reference(DieOnceMidMapJob)
+        with local_cluster(2) as engine:
+            outputs, _ = engine.run(
+                DieOnceMidMapJob(tmp_path / "died"), INPUTS
+            )
+            assert outputs == expected
+            # A fresh run on the surviving worker, no full-strength barrier.
+            again, _ = engine.run(
+                DieOnceMidMapJob(tmp_path / "died"), INPUTS
+            )
+            assert again == expected
+
+    def test_task_that_kills_every_host_fails_the_run(self):
+        with local_cluster(2) as engine:
+            with pytest.raises(MapReduceError) as excinfo:
+                engine.run(AlwaysDieJob(), INPUTS)
+            message = str(excinfo.value)
+            assert "died" in message or "lost" in message
+
+    def test_fault_runs_leak_nothing(self, tmp_path):
+        with local_cluster(3) as engine:
+            engine.run(DieOnceMidMapJob(tmp_path / "died"), INPUTS)
+            spool = engine.coordinator.spool_dir
+            host, port = engine.address
+            survivors = engine.coordinator.worker_pids()
+            assert spool.exists()
+            assert list(spool.glob("*.npy")) == []  # plane drained per run
+        assert not spool.exists()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=2.0).close()
+        for pid in survivors:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

@@ -1,0 +1,138 @@
+"""Wire-protocol framing: round trips, EOF discipline, garbage rejection."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.distributed import protocol
+from repro.distributed.protocol import (
+    Heartbeat,
+    Hello,
+    Task,
+    TaskResult,
+    WireError,
+    parse_address,
+)
+from repro.utils.errors import MapReduceError
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_message_round_trip(self, pair):
+        a, b = pair
+        sent = Task(task_id=7, payload=b"x" * 1000)
+        protocol.send_msg(a, sent)
+        received = protocol.recv_msg(b)
+        assert isinstance(received, Task)
+        assert received.task_id == 7
+        assert received.payload == sent.payload
+
+    def test_multiple_messages_keep_boundaries(self, pair):
+        a, b = pair
+        messages = [Heartbeat(worker_id=f"w{i}") for i in range(5)]
+        for message in messages:
+            protocol.send_msg(a, message)
+        received = [protocol.recv_msg(b) for _ in messages]
+        assert [m.worker_id for m in received] == [m.worker_id for m in messages]
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert protocol.recv_msg(b) is None
+
+    def test_mid_frame_eof_raises(self, pair):
+        a, b = pair
+        # A length prefix promising bytes that never arrive.
+        a.sendall((1000).to_bytes(8, "big") + b"only-a-little")
+        a.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            protocol.recv_msg(b)
+
+    def test_oversized_length_prefix_rejected(self, pair):
+        a, b = pair
+        a.sendall((protocol.MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+        with pytest.raises(WireError, match="cap"):
+            protocol.recv_msg(b)
+
+    def test_garbage_payload_rejected(self, pair):
+        a, b = pair
+        junk = b"this is not a pickle"
+        a.sendall(len(junk).to_bytes(8, "big") + junk)
+        with pytest.raises(WireError, match="unpickle"):
+            protocol.recv_msg(b)
+
+    def test_large_frame_round_trip(self, pair):
+        a, b = pair
+        payload = bytes(range(256)) * 8192  # 2 MiB, bigger than one recv
+        done = []
+
+        def sender():
+            protocol.send_msg(a, Task(task_id=1, payload=payload))
+            done.append(True)
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        received = protocol.recv_msg(b)
+        thread.join(timeout=10)
+        assert done and received.payload == payload
+
+
+class TestPreamble:
+    def test_round_trip(self, pair):
+        a, b = pair
+        protocol.send_preamble(a)
+        protocol.recv_preamble(b)  # no raise
+
+    def test_wrong_magic_rejected(self, pair):
+        a, b = pair
+        a.sendall(b"HTTP/")
+        with pytest.raises(WireError, match="not a repro cluster"):
+            protocol.recv_preamble(b)
+
+    def test_version_mismatch_rejected(self, pair):
+        a, b = pair
+        a.sendall(protocol.MAGIC + bytes([protocol.PROTOCOL_VERSION + 1]))
+        with pytest.raises(WireError, match="version"):
+            protocol.recv_preamble(b)
+
+
+class TestResultMessage:
+    def test_error_result_carries_original_exception(self, pair):
+        a, b = pair
+        original = ValueError("planted")
+        protocol.send_msg(
+            a,
+            TaskResult(
+                task_id=3, status="err", traceback="tb-text", original=original
+            ),
+        )
+        received = protocol.recv_msg(b)
+        assert received.status == "err"
+        assert isinstance(received.original, ValueError)
+        assert str(received.original) == "planted"
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7077") == ("127.0.0.1", 7077)
+        assert parse_address("node-3.cluster:0") == ("node-3.cluster", 0)
+
+    @pytest.mark.parametrize(
+        "bad", ["7077", "host:", ":7077", "host:port", "host:-1", "host:70777"]
+    )
+    def test_bad_addresses_name_the_source(self, bad):
+        with pytest.raises(MapReduceError) as excinfo:
+            parse_address(bad, variable="REPRO_CLUSTER")
+        assert "REPRO_CLUSTER" in str(excinfo.value)
+
+    def test_hello_is_picklable_dataclass(self):
+        hello = Hello(worker_id="w", pid=1, host="h")
+        assert hello.worker_id == "w"

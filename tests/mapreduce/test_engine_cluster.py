@@ -111,6 +111,56 @@ class TestSpeedupCurve:
         stats.shuffle_seconds = 0.5
         assert job_makespan(stats, 2) == pytest.approx(1.0 + 0.5 + 1.0)
 
+    def test_map_reduce_barrier_makespans_add(self):
+        """The reduce wave starts only after the slowest map task: the two
+        wave makespans add instead of overlapping (the model job_makespan's
+        docstring pins down)."""
+        stats = self.make_stats([4.0, 1.0, 1.0], [3.0, 1.0])
+        # 2 nodes: map wave = 4.0 (straggler), reduce wave = 3.0.
+        assert job_makespan(stats, 2) == pytest.approx(4.0 + 3.0)
+        # Were the phases overlapped, 2 nodes could finish sooner; the
+        # barrier model must never report that.
+        assert job_makespan(stats, 2) > max(4.0, 3.0)
+
+
+class TestSpeedupCurveEdgeCases:
+    """The cases the fig10 benchmark (and its measured twin) can feed in."""
+
+    def make_stats(self, map_times, reduce_times, shuffle=0.0):
+        stats = JobStats()
+        stats.map_task_seconds = map_times
+        stats.reduce_task_seconds = reduce_times
+        stats.shuffle_seconds = shuffle
+        return stats
+
+    def test_single_node_is_exactly_one(self):
+        stats = self.make_stats([0.5, 1.5, 2.5], [1.0], shuffle=0.25)
+        curve = speedup_curve(stats, [1])
+        assert curve[1] == pytest.approx(1.0)
+
+    def test_more_nodes_than_tasks_plateaus(self):
+        stats = self.make_stats([1.0, 1.0], [])
+        curve = speedup_curve(stats, [2, 4, 64])
+        # Two tasks can use at most two nodes; extra nodes idle.
+        assert curve[2] == pytest.approx(2.0)
+        assert curve[4] == pytest.approx(2.0)
+        assert curve[64] == pytest.approx(2.0)
+
+    def test_zero_duration_tasks_report_unit_speedup(self):
+        stats = self.make_stats([0.0, 0.0, 0.0], [0.0])
+        curve = speedup_curve(stats, [1, 2, 8])
+        assert curve == {1: 1.0, 2: 1.0, 8: 1.0}
+
+    def test_empty_stats_report_unit_speedup(self):
+        curve = speedup_curve(JobStats(), [1, 4])
+        assert curve == {1: 1.0, 4: 1.0}
+
+    def test_shuffle_only_stats_are_flat(self):
+        # Pure coordinator time cannot be sped up by adding nodes.
+        stats = self.make_stats([], [], shuffle=2.0)
+        curve = speedup_curve(stats, [1, 2, 16])
+        assert all(v == pytest.approx(1.0) for v in curve.values())
+
 
 class TestStragglerRatio:
     def test_uniform_tasks(self):

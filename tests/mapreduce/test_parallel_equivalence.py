@@ -1,12 +1,14 @@
 """Parallel/serial equivalence of the map-reduce-backed core pipeline.
 
 The contract under test: ``Corpus.build_index`` and ``CorpusIndex.query``
-with ``executor="thread"`` or ``executor="process"`` (``n_workers=4``) must
-produce **bit-identical** results to the serial path under a fixed seed, and
-the engine's shuffle must be deterministic no matter in which order
+with ``executor="thread"``/``"process"`` (``n_workers=4``) or
+``executor="cluster"`` (a real 2-host localhost cluster) must produce
+**bit-identical** results to the serial path under a fixed seed, and the
+engine's shuffle must be deterministic no matter in which order
 intermediate pairs arrive.  For the process executor this additionally
 proves every framework job and its payloads pickle cleanly and survive the
-shared-memory detour.
+shared-memory detour; for the cluster executor, that they survive a socket
+hop to another OS process and the spool/socket artifact plane.
 """
 
 import random
@@ -102,7 +104,23 @@ def assert_query_results_identical(r1, r2):
     assert rows1 == rows2
 
 
-PARALLEL_EXECUTORS = ("thread", "process")
+#: The parallel backends every equivalence test runs against.  "cluster"
+#: resolves to the session-scoped 2-host localhost cluster (real worker
+#: processes over TCP, see tests/conftest.py).
+PARALLEL_EXECUTORS = ("thread", "process", "cluster")
+
+
+@pytest.fixture(params=PARALLEL_EXECUTORS)
+def parallel_kwargs(request):
+    """Engine kwargs for one parallel backend.
+
+    Thread/process engines are built per call from the simple knobs; the
+    cluster executor needs live workers, so it passes the shared
+    ``cluster_engine`` explicitly (lazily instantiated on first use).
+    """
+    if request.param == "cluster":
+        return {"engine": request.getfixturevalue("cluster_engine")}
+    return {"n_workers": 4, "executor": request.param}
 
 
 class TestCorpusParallelEquivalence:
@@ -114,12 +132,11 @@ class TestCorpusParallelEquivalence:
     def serial_index(self, corpus):
         return corpus.build_index(temporal=(TemporalResolution.HOUR,))
 
-    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
     def test_build_index_parallel_matches_serial(
-        self, corpus, serial_index, executor
+        self, corpus, serial_index, parallel_kwargs
     ):
         parallel = corpus.build_index(
-            temporal=(TemporalResolution.HOUR,), n_workers=4, executor=executor
+            temporal=(TemporalResolution.HOUR,), **parallel_kwargs
         )
         assert_indexes_identical(serial_index, parallel)
         assert (
@@ -131,23 +148,25 @@ class TestCorpusParallelEquivalence:
         assert serial_index.stats.feature_bytes == parallel.stats.feature_bytes
         assert serial_index.stats.raw_bytes == parallel.stats.raw_bytes
 
-    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
-    def test_query_parallel_matches_serial(self, corpus, serial_index, executor):
+    def test_query_parallel_matches_serial(
+        self, corpus, serial_index, parallel_kwargs
+    ):
         serial = serial_index.query(n_permutations=150, seed=0)
         parallel = serial_index.query(
-            n_permutations=150, seed=0, n_workers=4, executor=executor
+            n_permutations=150, seed=0, **parallel_kwargs
         )
         assert_query_results_identical(serial, parallel)
         assert serial.n_significant >= 1  # the planted pair survives
 
-    @pytest.mark.parametrize("executor", PARALLEL_EXECUTORS)
-    def test_query_on_parallel_index_matches(self, corpus, serial_index, executor):
+    def test_query_on_parallel_index_matches(
+        self, corpus, serial_index, parallel_kwargs
+    ):
         parallel_index = corpus.build_index(
-            temporal=(TemporalResolution.HOUR,), n_workers=4, executor=executor
+            temporal=(TemporalResolution.HOUR,), **parallel_kwargs
         )
         serial = serial_index.query(n_permutations=60, seed=3)
         parallel = parallel_index.query(
-            n_permutations=60, seed=3, n_workers=4, executor=executor
+            n_permutations=60, seed=3, **parallel_kwargs
         )
         assert_query_results_identical(serial, parallel)
 

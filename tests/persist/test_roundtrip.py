@@ -154,6 +154,24 @@ class TestRoundTrip:
         assert_query_results_equal(fresh, processed)
         assert shm.live_segments() == frozenset()
 
+    def test_save_and_load_through_cluster_engine(
+        self, built_index, tmp_path, cluster_engine
+    ):
+        """Persist jobs run on real cluster workers (separate OS processes
+        over TCP): partition files land where the caller asked despite the
+        workers' different working directory, and the round trip — plus a
+        follow-up query on the cluster — stays bit-identical."""
+        built_index.save(tmp_path / "idx", engine=cluster_engine)
+        loaded = CorpusIndex.load(tmp_path / "idx", engine=cluster_engine)
+        assert_indexes_equal(built_index, loaded)
+        fresh = built_index.query(n_permutations=40, seed=0)
+        clustered = loaded.query(
+            n_permutations=40, seed=0, engine=cluster_engine
+        )
+        assert_query_results_equal(fresh, clustered)
+        # No artifact spool files survive the runs.
+        assert list(cluster_engine.coordinator.spool_dir.glob("*.npy")) == []
+
     def test_persist_jobs_pickle_roundtrip(self, tmp_path):
         """The save/load jobs themselves survive pickling (process workers
         receive them by value inside every task payload)."""

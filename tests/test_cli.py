@@ -28,6 +28,8 @@ class TestParser:
         assert args.executor == "thread"
         args = build_parser().parse_args(["demo", "--executor", "process"])
         assert args.executor == "process"
+        args = build_parser().parse_args(["demo", "--executor", "cluster"])
+        assert args.executor == "cluster"
         # Unset flags stay None so $REPRO_EXECUTOR / $REPRO_WORKERS can
         # supply the defaults at engine-resolution time.
         args = build_parser().parse_args(["demo"])
@@ -51,6 +53,49 @@ class TestParser:
             build_parser().parse_args(
                 ["demo", "--executor", "gpu"]
             )
+
+    def test_worker_verb(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "10.0.0.5:7077", "--id", "host3",
+             "--retry", "120", "--quiet"]
+        )
+        assert args.connect == "10.0.0.5:7077"
+        assert args.id == "host3"
+        assert args.retry == 120.0
+        assert args.quiet is True
+        args = build_parser().parse_args(["worker", "--connect", "c:7077"])
+        assert args.id is None and args.retry == 60.0 and not args.quiet
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])  # --connect is required
+
+    def test_worker_rejects_bad_address_at_startup(self):
+        from repro.utils.errors import MapReduceError
+
+        with pytest.raises(MapReduceError, match="--connect"):
+            main(["worker", "--connect", "not-an-address"])
+
+    def test_worker_gives_up_when_no_coordinator(self):
+        # An unused port and a zero retry window: one failed dial, exit 1.
+        assert main(["worker", "--connect", "127.0.0.1:1", "--retry", "0",
+                     "--quiet"]) == 1
+
+    def test_worker_gives_up_on_a_silent_non_coordinator(self):
+        """A peer that accepts TCP but never completes the handshake (wrong
+        service on the port) must exhaust the retry window, not hang."""
+        import socket
+        import time
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            host, port = listener.getsockname()[:2]
+            start = time.monotonic()
+            code = main(["worker", "--connect", f"{host}:{port}",
+                         "--retry", "1", "--quiet"])
+            elapsed = time.monotonic() - start
+            assert code == 1
+            assert elapsed < 30  # bounded by the window, not the handshake
+        finally:
+            listener.close()
 
     def test_index_verb_requires_data_and_out(self):
         args = build_parser().parse_args(
