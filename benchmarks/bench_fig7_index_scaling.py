@@ -10,6 +10,11 @@ Part (c) extends the figure with index *persistence*: the index is meant to
 be built once and queried many times (§5.4 accounts its space overhead for
 exactly that reason), so loading a saved index must be far cheaper than
 rebuilding it, and the on-disk bytes must reconcile with ``IndexStats``.
+
+Part (d) extends it with index *maintenance*: when a small fraction of the
+catalog changes (one data set gains a few days of records), `repro update`
+must beat a from-scratch rebuild decisively, because it re-indexes only the
+changed (data set, resolution) partitions and splices the rest from disk.
 """
 
 import time
@@ -174,4 +179,102 @@ def test_fig7c_persistence_load_vs_rebuild(benchmark, smoke, tmp_path):
     )
     benchmark.pedantic(
         lambda: CorpusIndex.load(tmp_path), iterations=1, rounds=3
+    )
+
+
+def test_fig7d_incremental_update_vs_rebuild(smoke, tmp_path, write_bench_record):
+    """`repro update` vs. from-scratch rebuild when <25% of partitions change.
+
+    Six data sets, city resolution, hour + day: 12 partitions.  One data set
+    (calls_911) gains extra days — 2/12 ≈ 17% of partitions change — and the
+    incremental update must be >= 3x faster than rebuild + save at full
+    scale (>= 1.5x under --smoke, where fixed planning/linking overheads
+    weigh more).  The updated index is also verified to carry the same §5.4
+    counters as the rebuilt one, so the speedup is never bought with drift.
+    """
+    from repro.incremental import apply_update
+
+    n_days, scale = (45, 0.25) if smoke else (120, 0.5)
+    subset = (
+        "collisions", "complaints_311", "calls_911",
+        "citibike", "weather", "taxi",
+    )
+    coll = nyc_urban_collection(seed=21, n_days=n_days, scale=scale, subset=subset)
+    extended = nyc_urban_collection(
+        seed=21, n_days=n_days + max(7, n_days // 8), scale=scale,
+        subset=("calls_911",),
+    )
+    kwargs = dict(
+        spatial=(SpatialResolution.CITY,),
+        temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
+    )
+    index_dir = tmp_path / "idx"
+
+    start = time.perf_counter()
+    corpus = Corpus(coll.datasets, coll.city)
+    index = corpus.build_index(**kwargs)
+    index.save(index_dir)
+    initial_seconds = time.perf_counter() - start
+
+    mutated = [
+        extended.dataset("calls_911") if ds.name == "calls_911" else ds
+        for ds in coll.datasets
+    ]
+    corpus2 = Corpus(mutated, coll.city)
+
+    start = time.perf_counter()
+    report = apply_update(index_dir, corpus2, **kwargs)
+    update_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rebuilt = corpus2.build_index(**kwargs)
+    rebuilt.save(tmp_path / "scratch")
+    rebuild_seconds = time.perf_counter() - start
+
+    n_partitions = report.n_reused + report.n_rebuilt + report.n_added
+    changed_fraction = (report.n_rebuilt + report.n_added) / n_partitions
+    speedup = rebuild_seconds / max(update_seconds, 1e-9)
+
+    print("\nFigure 7(d) — incremental update vs. from-scratch rebuild")
+    print(
+        f"{'initial (s)':>12s} {'rebuild (s)':>12s} {'update (s)':>11s} "
+        f"{'changed':>8s} {'speedup':>8s}"
+    )
+    print(
+        f"{initial_seconds:>12.3f} {rebuild_seconds:>12.3f} "
+        f"{update_seconds:>11.3f} {changed_fraction:>7.0%} {speedup:>7.1f}x"
+    )
+    print(
+        f"reused {report.n_reused} partition(s) "
+        f"({report.bytes_reused:,} B untouched), "
+        f"rewrote {report.bytes_rewritten:,} B"
+    )
+
+    write_bench_record(
+        "fig7d_incremental",
+        {
+            "n_partitions": n_partitions,
+            "changed_fraction": changed_fraction,
+            "initial_build_seconds": initial_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "update_seconds": update_seconds,
+            "speedup": speedup,
+            "partitions_reused": report.n_reused,
+            "bytes_reused": report.bytes_reused,
+            "bytes_rewritten": report.bytes_rewritten,
+        },
+    )
+
+    # Correctness alongside speed: the spliced index carries exactly the
+    # §5.4 counters of the rebuilt one.
+    updated = CorpusIndex.load(index_dir)
+    assert updated.stats.n_scalar_functions == rebuilt.stats.n_scalar_functions
+    assert updated.stats.function_bytes == rebuilt.stats.function_bytes
+    assert updated.stats.feature_bytes == rebuilt.stats.feature_bytes
+
+    assert changed_fraction < 0.25, "scenario must change <25% of partitions"
+    required = 1.5 if smoke else 3.0
+    assert speedup >= required, (
+        f"incremental update ({update_seconds:.3f}s) must be >= {required}x "
+        f"faster than rebuilding ({rebuild_seconds:.3f}s)"
     )

@@ -1,0 +1,175 @@
+"""CI incremental-maintenance scenario: update must equal a from-scratch build.
+
+One self-contained run (executed twice by CI, under ``REPRO_EXECUTOR=process``
+and ``=cluster``) that walks the whole maintenance lifecycle through the real
+CLI verbs:
+
+1. simulate a base catalog (taxi + weather + citibike) and ``repro index`` it;
+2. mutate the catalog: taxi gains a week of records, citibike is dropped;
+3. ``repro update`` the index against the mutated catalog — the engine comes
+   from ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS`` / ``$REPRO_CLUSTER``, so the
+   same script exercises the process pool or a live worker cluster;
+4. ``repro index --force`` the mutated catalog into a second directory
+   (the from-scratch reference, same env-steered engine);
+5. assert the two directories are bit-identical — manifests up to wall-clock
+   timings, partition files byte for byte — and that both answer the
+   reference query identically.  Reuse is asserted too: weather's partitions
+   must survive the update untouched (same inode, same mtime).
+
+Any mismatch exits non-zero, failing the workflow.
+
+Usage::
+
+    REPRO_EXECUTOR=process REPRO_WORKERS=4 PYTHONPATH=src \
+        python scripts/ci_incremental.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.__main__ import main as repro_main
+from repro.core.corpus import CorpusIndex
+from repro.data.catalog import load_catalog, save_catalog
+
+BASE_SIM = ["--days", "21", "--scale", "0.2", "--seed", "11"]
+EXTENDED_SIM = ["--days", "28", "--scale", "0.2", "--seed", "11"]
+QUERY_KWARGS = dict(n_permutations=60, seed=0)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        sys.exit(f"incremental scenario FAILED: {message}")
+
+
+def run_cli(*argv: str) -> None:
+    code = repro_main(list(argv))
+    check(code == 0, f"`repro {' '.join(argv)}` exited {code}")
+
+
+def normalized_manifest(path: Path) -> dict:
+    manifest = json.loads((path / "index.json").read_text())
+    manifest.pop("manifest_sha256")
+    for stats in [manifest["stats"]] + [
+        r["stats"] for r in manifest["partitions"] if "stats" in r
+    ]:
+        stats["scalar_seconds"] = 0.0
+        stats["feature_seconds"] = 0.0
+    return manifest
+
+
+def file_identities(index_dir: Path) -> dict:
+    manifest = json.loads((index_dir / "index.json").read_text())
+    return {
+        (r["dataset"], r["spatial"], r["temporal"]): (
+            (index_dir / r["file"]).stat().st_ino,
+            (index_dir / r["file"]).stat().st_mtime_ns,
+        )
+        for r in manifest["partitions"]
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default="", help="scratch directory (default: a temp dir)"
+    )
+    args = parser.parse_args()
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="ci-incremental-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    cat, cat2 = workdir / "cat", workdir / "cat2"
+    idx, scratch = workdir / "idx", workdir / "scratch"
+    for stale in (cat, cat2, idx, scratch):
+        if stale.exists():
+            shutil.rmtree(stale)
+
+    executor = os.environ.get("REPRO_EXECUTOR", "serial")
+    print(f"== incremental scenario under executor={executor!r}")
+
+    # 1. Base catalog + index.
+    run_cli(
+        "simulate", "--out", str(cat), *BASE_SIM, "--datasets", "taxi,weather,citibike"
+    )
+    run_cli("index", "--data", str(cat), "--out", str(idx), "--temporal", "day")
+
+    # 2. Mutated catalog: taxi gains a week of records (the extended
+    #    simulation shares the seed and city, so weather's records — taken
+    #    from the *base* catalog — stay bit-identical), citibike is dropped.
+    run_cli(
+        "simulate", "--out", str(workdir / "ext"), *EXTENDED_SIM, "--datasets", "taxi"
+    )
+    ext_datasets, city = load_catalog(workdir / "ext")
+    base_datasets, _city = load_catalog(cat)
+    mutated = [ds for ds in ext_datasets if ds.name == "taxi"]
+    mutated += [ds for ds in base_datasets if ds.name == "weather"]
+    save_catalog(cat2, mutated, city)
+    print(f"mutated catalog: {[ds.name for ds in mutated]} (citibike dropped)")
+
+    # 3. Incremental update (plan first, so reuse can be asserted).
+    before = file_identities(idx)
+    run_cli("update", "--data", str(cat2), "--index", str(idx))
+
+    # 4. From-scratch reference (--force exercises the clobber satellite).
+    (scratch / "partitions").mkdir(parents=True)
+    (scratch / "index.json").write_text("{}")
+    code = repro_main(["index", "--data", str(cat2), "--out", str(scratch)])
+    check(code == 2, "`repro index` onto an existing index must refuse")
+    run_cli(
+        "index",
+        "--data",
+        str(cat2),
+        "--out",
+        str(scratch),
+        "--temporal",
+        "day",
+        "--force",
+    )
+
+    # 5a. Bit-identical directories.
+    m_updated, m_scratch = normalized_manifest(idx), normalized_manifest(scratch)
+    check(m_updated == m_scratch, "manifests differ (beyond timings)")
+    for record in m_updated["partitions"]:
+        check(
+            (idx / record["file"]).read_bytes()
+            == (scratch / record["file"]).read_bytes(),
+            f"partition bytes differ: {record['file']}",
+        )
+    print(f"bit-identical: {len(m_updated['partitions'])} partitions")
+
+    # 5b. Weather reused untouched (same inode + mtime), taxi rebuilt,
+    #     citibike gone.
+    after = file_identities(idx)
+    weather_keys = [k for k in before if k[0] == "weather"]
+    check(bool(weather_keys), "scenario must contain weather partitions")
+    for key in weather_keys:
+        check(key in after, f"weather partition {key} vanished")
+        check(before[key] == after[key], f"weather partition {key} was rewritten")
+    check(all(k[0] != "citibike" for k in after), "citibike partitions remain")
+    print(f"reuse proven: {len(weather_keys)} weather partition(s) untouched")
+
+    # 5c. Identical query answers.
+    updated, rebuilt = CorpusIndex.load(idx), CorpusIndex.load(scratch)
+    r1 = updated.query(**QUERY_KWARGS)
+    r2 = rebuilt.query(**QUERY_KWARGS)
+    check(
+        r1.n_evaluated == r2.n_evaluated and r1.n_evaluated > 0,
+        "evaluation counts differ",
+    )
+    rows1 = [(x.function1, x.function2, x.score, x.p_value) for x in r1.results]
+    rows2 = [(x.function1, x.function2, x.score, x.p_value) for x in r2.results]
+    check(rows1 == rows2, "query results differ")
+    print(
+        f"queries identical: {r1.n_evaluated} evaluations, {len(rows1)} significant"
+    )
+    print("incremental scenario OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

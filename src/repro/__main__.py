@@ -1,11 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the zero-to-discovery path:
+Six commands cover the zero-to-discovery path:
 
 * ``simulate`` — generate the synthetic NYC Urban replica and write it to a
   catalog directory (CSV files + JSON metadata, §5.1's input contract).
 * ``index`` — build the Data Polygamy index for a catalog once and persist
-  it to disk (``--out idx/``), so later queries skip re-indexing.
+  it to disk (``--out idx/``), so later queries skip re-indexing.  Refuses
+  to clobber an existing index unless ``--force`` is given.
+* ``update`` — incrementally reconcile an existing index with a catalog:
+  fingerprint the catalog, rebuild only the (data set, resolution)
+  partitions whose inputs changed, splice in the rest untouched.
+  ``--dry-run`` prints the keep/rebuild/add/drop plan without writing.
 * ``query`` — run a relationship query against either a catalog
   (``--data``, index built on the fly) or a persisted index (``--index``)
   and print the significant relationships.
@@ -14,7 +19,7 @@ Five commands cover the zero-to-discovery path:
   (``repro worker --connect HOST:PORT``); a driver started with
   ``--executor cluster`` coordinates every connected worker.
 
-``index``, ``query`` and ``demo`` accept ``--workers N`` and
+``index``, ``update``, ``query`` and ``demo`` accept ``--workers N`` and
 ``--executor {serial,thread,process,cluster}`` to fan indexing,
 relationship evaluation and index I/O out through the map-reduce engine
 (§5.4); ``thread`` overlaps the NumPy-heavy parts, ``process`` also
@@ -59,8 +64,24 @@ def _parse_temporal(spec: str) -> tuple[TemporalResolution, ...] | None:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    from .persist import disk_usage
+    from pathlib import Path
 
+    from .persist import INDEX_MANIFEST, disk_usage
+
+    # Resolve exactly as save_index will, so "~/idx" cannot slip past the
+    # guard and then clobber $HOME/idx.
+    out = Path(args.out).expanduser().resolve()
+    if (out / INDEX_MANIFEST).exists() and not args.force:
+        # Clobbering an index that took hours to build should never be the
+        # silent default; the incremental path is almost always what's meant.
+        print(
+            f"error: {args.out} already contains an index; run "
+            f"`repro update --data {args.data} --index {args.out}` to "
+            "update it incrementally, or pass --force to rebuild from "
+            "scratch",
+            file=sys.stderr,
+        )
+        return 2
     engine = default_engine(args.workers, args.executor)
     datasets, city = load_catalog(args.data)
     print(f"loaded {len(datasets)} data sets from {args.data}")
@@ -80,6 +101,68 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"({usage.function_bytes:,} functions, {usage.feature_bytes:,} "
         f"packed features)"
     )
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .core.corpus import scope_whitelists
+    from .incremental import apply_update, plan_update
+    from .persist import read_manifest
+    from .spatial.resolution import SpatialResolution
+
+    datasets, city = load_catalog(args.data)
+    print(f"loaded {len(datasets)} data sets from {args.data}")
+    corpus = Corpus(datasets, city)
+
+    # Unless told otherwise, maintain the scope the index was built with —
+    # recorded in the manifest since format v2, so "all viable" survives as
+    # "all viable" (newly viable resolutions join, exactly like a fresh
+    # build) and a `--temporal day` restriction survives as itself.  Older
+    # manifests have no scope record; fall back to the resolutions present,
+    # which is the best reconstruction available.
+    manifest = read_manifest(args.index)
+    temporal = _parse_temporal(args.temporal)
+    if manifest.get("scope") is not None:
+        spatial, recorded_temporal = scope_whitelists(manifest["scope"])
+        if temporal is None:
+            temporal = recorded_temporal
+    else:
+        if temporal is None:
+            present = {
+                TemporalResolution(r["temporal"]) for r in manifest["partitions"]
+            }
+            temporal = tuple(sorted(present, key=lambda t: t.rank)) or None
+        spatial = (
+            tuple(
+                sorted(
+                    {SpatialResolution(r["spatial"]) for r in manifest["partitions"]},
+                    key=lambda s: s.rank,
+                )
+            )
+            or None
+        )
+    spatial_label = ", ".join(s.value for s in spatial) if spatial else "all viable"
+    temporal_label = ", ".join(t.value for t in temporal) if temporal else "all viable"
+    print(
+        f"maintaining resolutions: spatial={spatial_label}; "
+        f"temporal={temporal_label}"
+    )
+
+    plan = plan_update(args.index, corpus, spatial=spatial, temporal=temporal)
+    if args.dry_run:
+        print(plan.describe())
+        return 0
+    counts = plan.counts
+    print(
+        f"update plan: {counts['keep']} keep, {counts['rebuild']} rebuild, "
+        f"{counts['add']} add, {counts['drop']} drop"
+    )
+    engine = default_engine(args.workers, args.executor)
+    report = apply_update(
+        args.index, corpus, spatial=spatial, temporal=temporal,
+        engine=engine, plan=plan,
+    )
+    print(report.describe())
     return 0
 
 
@@ -185,8 +268,32 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--data", required=True, help="catalog directory")
     idx.add_argument("--out", required=True, help="output index directory")
     idx.add_argument("--temporal", default="", help="e.g. 'day,week'")
+    idx.add_argument(
+        "--force", action="store_true",
+        help="rebuild from scratch even if --out already holds an index "
+        "(default: refuse and suggest `repro update`)",
+    )
     _add_parallel_flags(idx)
     idx.set_defaults(func=_cmd_index)
+
+    upd = sub.add_parser(
+        "update",
+        help="incrementally reconcile an existing index with a catalog "
+        "(rebuild only the partitions whose inputs changed)",
+    )
+    upd.add_argument("--data", required=True, help="catalog directory")
+    upd.add_argument("--index", required=True, help="existing index directory")
+    upd.add_argument(
+        "--dry-run", action="store_true",
+        help="print the keep/rebuild/add/drop plan and exit without writing",
+    )
+    upd.add_argument(
+        "--temporal", default="",
+        help="temporal resolutions to maintain, e.g. 'day,week' "
+        "(default: the resolutions already in the index)",
+    )
+    _add_parallel_flags(upd)
+    upd.set_defaults(func=_cmd_update)
 
     qry = sub.add_parser("query", help="run a query (catalog or saved index)")
     source = qry.add_mutually_exclusive_group(required=True)

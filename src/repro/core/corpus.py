@@ -183,12 +183,15 @@ class IndexPartitionJob(MapReduceJob):
         yield dataset_name, IndexPartition(seq, (s_res, t_res), indexed, stats)
 
     def reduce(self, key: Any, values: list[Any]):
+        # Per-partition stats are kept apart (not merged here): incremental
+        # updates splice single partitions, so their IndexStats contribution
+        # must stay attributable to one (data set, resolution).
         ds_index = DatasetIndex(dataset=key)
-        stats = IndexStats()
+        stats_by_resolution: dict[Any, IndexStats] = {}
         for part in sorted(values, key=lambda p: p.seq):
             ds_index.functions[part.resolution] = part.functions
-            stats.merge(part.stats)
-        yield key, (ds_index, stats)
+            stats_by_resolution[part.resolution] = part.stats
+        yield key, (ds_index, stats_by_resolution)
 
 
 class RelationshipPairJob(MapReduceJob):
@@ -258,6 +261,38 @@ def _resolve_engine(
     )
 
 
+def resolution_scope(
+    spatial: tuple[SpatialResolution, ...] | None,
+    temporal: tuple[TemporalResolution, ...] | None,
+) -> dict:
+    """JSON-serializable form of a pair of resolution whitelists.
+
+    ``None`` per axis means "every viable resolution" — a meaningful scope
+    of its own (new resolutions join on update), distinct from *unknown*
+    (a v1 index, whose whole scope is ``None``).
+    """
+    return {
+        "spatial": None if spatial is None else [s.value for s in spatial],
+        "temporal": None if temporal is None else [t.value for t in temporal],
+    }
+
+
+def scope_whitelists(
+    scope: dict | None,
+) -> tuple[
+    tuple[SpatialResolution, ...] | None, tuple[TemporalResolution, ...] | None
+]:
+    """Inverse of :func:`resolution_scope`; ``None`` scope -> (None, None)."""
+    if not scope:
+        return None, None
+    spatial = scope.get("spatial")
+    temporal = scope.get("temporal")
+    return (
+        None if spatial is None else tuple(SpatialResolution(s) for s in spatial),
+        None if temporal is None else tuple(TemporalResolution(t) for t in temporal),
+    )
+
+
 class Corpus:
     """A collection of data sets over one city, ready for indexing."""
 
@@ -316,11 +351,54 @@ class Corpus:
         index = CorpusIndex(
             city=self.city, corpus=self, extractor=self.extractor, fill=self.fill
         )
+        for dataset in self.datasets.values():
+            index.stats.raw_bytes += dataset.nbytes()
 
+        inputs = self.partition_inputs(spatial=spatial, temporal=temporal, specs=specs)
+        job = IndexPartitionJob(self.extractor, self.fill)
+        outputs, job_stats = run_engine.run(job, inputs)
+        index.job_stats = job_stats
+
+        reduced = dict(outputs)
+        for name in self.datasets:
+            if name in reduced:
+                ds_index, stats_by_resolution = reduced[name]
+                for (s_res, t_res), stats in stats_by_resolution.items():
+                    index.stats.merge(stats)
+                    index.partition_stats[(name, s_res, t_res)] = stats
+            else:  # data set with no viable resolution under the whitelists
+                ds_index = DatasetIndex(dataset=name)
+            index.datasets[name] = ds_index
+
+        # Content fingerprints per (data set, resolution) partition: persisted
+        # with the index (format v2) so `repro update` can later prove which
+        # partitions are reusable.  Lazy import: repro.incremental imports
+        # this module at its own top level.
+        from ..incremental.fingerprint import fingerprints_for_inputs
+
+        index.partition_fingerprints = fingerprints_for_inputs(
+            inputs, self.city, self.extractor, self.fill
+        )
+        index.scope = resolution_scope(spatial, temporal)
+        return index
+
+    def partition_inputs(
+        self,
+        spatial: tuple[SpatialResolution, ...] | None = None,
+        temporal: tuple[TemporalResolution, ...] | None = None,
+        specs: dict[str, list[FunctionSpec]] | None = None,
+    ) -> list[tuple[Any, Any]]:
+        """The canonical :class:`IndexPartitionJob` input list.
+
+        One entry per viable (data set, resolution) partition, in the serial
+        indexing order; ``seq`` numbers are assigned in that order.  Shared
+        by :meth:`build_index` and the incremental update planner
+        (:func:`repro.incremental.plan.plan_update`), so both enumerate —
+        and fingerprint — exactly the same partitions.
+        """
         inputs: list[tuple[Any, Any]] = []
         seq = 0
         for dataset in self.datasets.values():
-            index.stats.raw_bytes += dataset.nbytes()
             ds_specs = (specs or {}).get(dataset.name) or default_specs(dataset)
             for s_res in self._spatial_for(dataset, spatial):
                 regions = (
@@ -337,20 +415,7 @@ class Corpus:
                         )
                     )
                     seq += 1
-
-        job = IndexPartitionJob(self.extractor, self.fill)
-        outputs, job_stats = run_engine.run(job, inputs)
-        index.job_stats = job_stats
-
-        reduced = dict(outputs)
-        for name in self.datasets:
-            if name in reduced:
-                ds_index, stats = reduced[name]
-                index.stats.merge(stats)
-            else:  # data set with no viable resolution under the whitelists
-                ds_index = DatasetIndex(dataset=name)
-            index.datasets[name] = ds_index
-        return index
+        return inputs
 
     # -- internals -----------------------------------------------------------
 
@@ -390,6 +455,20 @@ class CorpusIndex:
     job_stats: JobStats | None = None
     extractor: FeatureExtractor | None = None
     fill: str = "global_mean"
+    #: Per-partition §5.4 bookkeeping, keyed ``(dataset, spatial, temporal)``:
+    #: each partition's own IndexStats contribution (``raw_bytes`` excluded —
+    #: that is per data set) and its content fingerprint.  Persisted with the
+    #: index (format v2) and restored by :meth:`load`; empty for indexes
+    #: loaded from v1 directories.
+    partition_stats: dict[Any, IndexStats] = field(default_factory=dict)
+    partition_fingerprints: dict[Any, str] = field(default_factory=dict)
+    #: The resolution whitelists the index was built with, as
+    #: ``{"spatial": [values]|None, "temporal": [values]|None}`` (None =
+    #: every viable resolution).  Persisted (format v2) so ``repro update``
+    #: maintains exactly the scope that was asked for — including "all
+    #: viable", under which newly viable resolutions are *added* on update
+    #: just as a fresh build would include them.  None for v1 indexes.
+    scope: dict | None = None
 
     def dataset_index(self, name: str) -> DatasetIndex:
         """The index of one data set (QueryError if unknown)."""
@@ -516,3 +595,43 @@ class CorpusIndex:
         from ..persist.index_io import load_index
 
         return load_index(path, engine=_resolve_engine(engine, n_workers, executor))
+
+    @classmethod
+    def update(
+        cls,
+        path: str,
+        corpus: Corpus,
+        spatial: tuple[SpatialResolution, ...] | None = None,
+        temporal: tuple[TemporalResolution, ...] | None = None,
+        specs: dict[str, list[FunctionSpec]] | None = None,
+        dry_run: bool = False,
+        n_workers: int | None = None,
+        executor: str | None = None,
+        engine: Engine | None = None,
+    ):
+        """Incrementally reconcile the index at ``path`` with ``corpus``.
+
+        Compares the saved index's content fingerprints against the live
+        corpus, rebuilds only the (data set, resolution) partitions whose
+        inputs changed, splices them with the untouched partition files on
+        disk, and atomically rewrites the manifest.  The result is
+        bit-identical to ``corpus.build_index(...).save(path)`` at a
+        fraction of the cost when most partitions are unchanged.  Returns an
+        :class:`~repro.incremental.update.UpdateReport`; with
+        ``dry_run=True`` nothing is written and the report just carries the
+        plan.  See :mod:`repro.incremental`.
+        """
+        from ..incremental.update import update_index
+
+        # A dry run never executes jobs — don't build an engine for it
+        # (under $REPRO_EXECUTOR=cluster that would dial the coordinator).
+        run_engine = None if dry_run else _resolve_engine(engine, n_workers, executor)
+        return update_index(
+            path,
+            corpus,
+            spatial=spatial,
+            temporal=temporal,
+            specs=specs,
+            dry_run=dry_run,
+            engine=run_engine,
+        )

@@ -13,6 +13,8 @@ from .format import (
     FORMAT_VERSION,
     INDEX_MANIFEST,
     PARTITION_DIR,
+    SUPPORTED_VERSIONS,
+    deterministic_savez,
     partition_filename,
     read_partition,
     write_partition,
@@ -24,6 +26,7 @@ from .index_io import (
     disk_usage,
     load_index,
     read_manifest,
+    replace_directory,
     save_index,
 )
 
@@ -32,6 +35,8 @@ __all__ = [
     "FORMAT_VERSION",
     "INDEX_MANIFEST",
     "PARTITION_DIR",
+    "SUPPORTED_VERSIONS",
+    "deterministic_savez",
     "partition_filename",
     "read_partition",
     "write_partition",
@@ -41,5 +46,6 @@ __all__ = [
     "disk_usage",
     "load_index",
     "read_manifest",
+    "replace_directory",
     "save_index",
 ]

@@ -1,4 +1,4 @@
-"""On-disk format of a persisted corpus index (version 1).
+"""On-disk format of a persisted corpus index (version 2; version 1 readable).
 
 An index directory is a JSON manifest plus one NPZ file per indexed
 (data set, resolution) partition::
@@ -13,15 +13,32 @@ An index directory is a JSON manifest plus one NPZ file per indexed
 
 The partition files are the unit of serialization and correspond 1:1 with
 the map outputs of :class:`repro.core.corpus.IndexPartitionJob`, so
-incremental indexing can later rewrite individual partitions without
-touching the rest.  Each NPZ stores, per scalar function: the raw value
-matrix (float64, the §5.4 ``function_bytes`` payload), the step labels, the
-four feature masks in the packed ``uint64`` bit-vector form of Appendix C
-(the ``feature_bytes`` payload), and the per-interval salient extremum
-values; the partition's region adjacency is stored once.  Arrays are written
-uncompressed (:func:`numpy.savez`) so the on-disk byte counts reconcile
-exactly with the in-memory :class:`~repro.core.corpus.IndexStats`
-accounting.
+incremental maintenance (:mod:`repro.incremental`) can rewrite individual
+partitions without touching the rest.  Each NPZ stores, per scalar function:
+the raw value matrix (float64, the §5.4 ``function_bytes`` payload), the
+step labels, the four feature masks in the packed ``uint64`` bit-vector form
+of Appendix C (the ``feature_bytes`` payload), and the per-interval salient
+extremum values; the partition's region adjacency is stored once.  Arrays
+are written uncompressed so the on-disk byte counts reconcile exactly with
+the in-memory :class:`~repro.core.corpus.IndexStats` accounting.
+
+Determinism.  Partition files are byte-deterministic: the NPZ container is
+written with pinned zip timestamps (:func:`deterministic_savez`), so the
+same functions always serialize to the same bytes.  This is the property
+that makes incremental updates *verifiable* — an updated index can be
+compared bit-for-bit against a from-scratch rebuild.
+
+Version 2 additions (version 1 files still load):
+
+* each partition record may carry a ``fingerprint`` — a SHA-256 content
+  fingerprint of the raw inputs that produced the partition (data set
+  schema + columns, function specs, city model, extractor config, fill
+  policy) — and a ``stats`` record, the partition's own
+  :class:`~repro.core.corpus.IndexStats` contribution, so partial rebuilds
+  can merge bookkeeping without re-deriving it;
+* the manifest may carry a top-level ``fingerprints`` object with the
+  ``config`` (extractor + fill) and ``city`` digests, letting the update
+  planner report *why* everything is being rebuilt.
 
 Integrity.  The manifest records a SHA-256 digest per partition file and a
 digest of its own payload (``manifest_sha256`` over the canonical JSON of
@@ -58,9 +75,17 @@ from ..utils.bitvector import BitVector
 from ..utils.errors import PersistError
 
 FORMAT_NAME = "repro-corpus-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :func:`repro.persist.index_io.read_manifest` accepts.  Version 1
+#: predates fingerprints/per-partition stats; its partitions load fine, but
+#: the update planner cannot prove reuse and schedules full rebuilds.
+SUPPORTED_VERSIONS = (1, 2)
 INDEX_MANIFEST = "index.json"
 PARTITION_DIR = "partitions"
+
+#: Pinned zip member timestamp (the zip epoch): partition bytes must depend
+#: on array content only, never on the wall clock at save time.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 #: NPZ key suffixes of the four packed feature-mask channels, in a fixed
 #: order shared by the writer, the reader, and the disk-usage accounting.
@@ -71,6 +96,25 @@ def manifest_digest(payload: dict) -> str:
     """SHA-256 of the canonical JSON rendering of a manifest payload."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def deterministic_savez(buffer, arrays: dict[str, np.ndarray]) -> None:
+    """``np.savez`` with byte-deterministic output.
+
+    ``np.savez`` stamps each zip member with the current local time, so two
+    saves of identical arrays differ on disk.  Incremental maintenance needs
+    the converse guarantee — same content, same bytes — so the members are
+    written with a pinned timestamp (and, like ``np.savez``, stored
+    uncompressed: §5.4 byte reconciliation).
+    """
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_STORED) as archive:
+        for name, array in arrays.items():
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.external_attr = 0o600 << 16  # fixed mode bits, not umask
+            with archive.open(info, "w", force_zip64=True) as member:
+                np.lib.format.write_array(
+                    member, np.asanyarray(array), allow_pickle=False
+                )
 
 
 def partition_filename(
@@ -178,7 +222,7 @@ def write_partition(path: Path, functions: list[IndexedFunction]) -> dict:
     # Uncompressed on purpose: on-disk array bytes == IndexStats accounting.
     # Serialized to memory first so the checksum never re-reads the file.
     buffer = io.BytesIO()
-    np.savez(buffer, **arrays)
+    deterministic_savez(buffer, arrays)
     payload = buffer.getvalue()
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_bytes(payload)

@@ -42,6 +42,7 @@ from .format import (
     FORMAT_VERSION,
     INDEX_MANIFEST,
     PARTITION_DIR,
+    SUPPORTED_VERSIONS,
     extractor_from_dict,
     extractor_to_dict,
     manifest_digest,
@@ -165,22 +166,97 @@ def save_index(
     outputs, _ = run_engine.run(PartitionSaveJob(staging), inputs)
     records = outputs[0][1] if outputs else []
 
-    extractor = index.extractor if index.extractor is not None else FeatureExtractor()
+    # v2 enrichment: per-partition content fingerprints and IndexStats
+    # contributions, when the index carries them (freshly built or loaded
+    # from a v2 directory).  A v1-loaded index has neither — its records
+    # stay bare, and a later `repro update` schedules full rebuilds.
+    for record in records:
+        key = (
+            record["dataset"],
+            SpatialResolution(record["spatial"]),
+            TemporalResolution(record["temporal"]),
+        )
+        stats = index.partition_stats.get(key)
+        if stats is not None:
+            record["stats"] = asdict(stats)
+        fingerprint = index.partition_fingerprints.get(key)
+        if fingerprint is not None:
+            record["fingerprint"] = fingerprint
+
+    manifest = build_manifest(
+        city=index.city,
+        extractor=index.extractor,
+        fill=index.fill,
+        datasets=list(index.datasets),
+        stats=index.stats,
+        records=records,
+        scope=index.scope,
+    )
+    write_manifest(staging / INDEX_MANIFEST, manifest)
+
+    replace_directory(staging, directory, retired)
+    return directory / INDEX_MANIFEST
+
+
+def build_manifest(
+    city,
+    extractor: FeatureExtractor | None,
+    fill: str,
+    datasets: list[str],
+    stats: IndexStats,
+    records: list[dict],
+    scope: dict | None = None,
+) -> dict:
+    """Assemble and sign a format-v2 manifest.
+
+    The single source of truth for manifest layout: :func:`save_index` and
+    the incremental applier (:func:`repro.incremental.update.apply_update`)
+    both call this, which is what makes an incrementally updated manifest
+    byte-compatible with a from-scratch save of the same content.
+
+    ``scope`` records the resolution whitelists the index was built with
+    (see :func:`repro.core.corpus.resolution_scope`); ``None`` = unknown
+    (an index loaded from a v1 directory and re-saved).
+    """
+    from ..incremental.fingerprint import city_digest, config_digest
+
+    extractor = extractor if extractor is not None else FeatureExtractor()
     payload = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
-        "city": city_to_dict(index.city),
+        "city": city_to_dict(city),
         "extractor": extractor_to_dict(extractor),
-        "fill": index.fill,
-        "datasets": list(index.datasets),
-        "stats": asdict(index.stats),
+        "fill": fill,
+        "fingerprints": {
+            "config": config_digest(extractor, fill),
+            "city": city_digest(city),
+        },
+        "scope": scope,
+        "datasets": datasets,
+        "stats": asdict(stats),
         "partitions": records,
     }
     manifest = dict(payload)
     manifest["manifest_sha256"] = manifest_digest(payload)
-    with open(staging / INDEX_MANIFEST, "w") as handle:
+    return manifest
+
+
+def write_manifest(path: Path, manifest: dict) -> None:
+    """Write a manifest exactly as :func:`save_index` does (stable layout)."""
+    with open(path, "w") as handle:
         json.dump(manifest, handle, indent=2)
 
+
+def replace_directory(staging: Path, directory: Path, retired: Path) -> None:
+    """Atomically swap ``staging`` into place at ``directory``.
+
+    The previous content (if any) is retired to ``retired`` before the new
+    directory moves in; a crash in that narrow window leaves the data in the
+    retired sibling rather than at ``directory``.  The retired sibling —
+    including orphans of an interrupted earlier swap — is removed on the way
+    out.  Shared by :func:`save_index` and
+    :func:`repro.incremental.update.apply_update`.
+    """
     if directory.exists():
         if retired.exists():
             shutil.rmtree(retired)
@@ -188,9 +264,8 @@ def save_index(
         staging.rename(directory)
     else:
         staging.rename(directory)
-    if retired.exists():  # also collects orphans of an interrupted swap
+    if retired.exists():
         shutil.rmtree(retired)
-    return directory / INDEX_MANIFEST
 
 
 def load_index(path: str | Path, engine: Engine | None = None) -> CorpusIndex:
@@ -226,6 +301,27 @@ def load_index(path: str | Path, engine: Engine | None = None) -> CorpusIndex:
         # Data sets with no viable partition stay indexed-but-empty, exactly
         # as Corpus.build_index leaves them.
         datasets[name] = loaded.get(name) or DatasetIndex(dataset=name)
+
+    # v2 bookkeeping survives the round trip, so a loaded index can be
+    # re-saved (or incrementally updated) without losing reuse evidence.
+    partition_stats = {}
+    partition_fingerprints = {}
+    for record in manifest["partitions"]:
+        key = (
+            record["dataset"],
+            SpatialResolution(record["spatial"]),
+            TemporalResolution(record["temporal"]),
+        )
+        if "stats" in record:
+            try:
+                partition_stats[key] = IndexStats(**record["stats"])
+            except TypeError as exc:
+                raise PersistError(
+                    f"{record['file']!r}: malformed stats record: {exc}"
+                ) from exc
+        if "fingerprint" in record:
+            partition_fingerprints[key] = record["fingerprint"]
+
     return CorpusIndex(
         city=city,
         corpus=None,
@@ -234,6 +330,9 @@ def load_index(path: str | Path, engine: Engine | None = None) -> CorpusIndex:
         job_stats=job_stats,
         extractor=extractor,
         fill=manifest["fill"],
+        partition_stats=partition_stats,
+        partition_fingerprints=partition_fingerprints,
+        scope=manifest.get("scope"),
     )
 
 
@@ -246,8 +345,19 @@ def read_manifest(path: str | Path) -> dict:
             f"{directory}: no {INDEX_MANIFEST} found (not an index directory?)"
         )
     try:
-        manifest = json.loads(manifest_path.read_text())
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        text = manifest_path.read_text()
+    except UnicodeDecodeError as exc:
+        raise PersistError(
+            f"{manifest_path}: manifest is not valid JSON "
+            f"(truncated or corrupt): {exc}"
+        ) from exc
+    except OSError as exc:
+        raise PersistError(f"{manifest_path}: cannot read manifest: {exc}") from exc
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        # The cause is chained (`from exc`) so callers see the parser's own
+        # line/column diagnosis, not just that *something* was wrong.
         raise PersistError(
             f"{manifest_path}: manifest is not valid JSON "
             f"(truncated or corrupt): {exc}"
@@ -255,10 +365,11 @@ def read_manifest(path: str | Path) -> dict:
     if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
         raise PersistError(f"{manifest_path}: not a {FORMAT_NAME} manifest")
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
         raise PersistError(
             f"unsupported index format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {supported})"
         )
     claimed = manifest.get("manifest_sha256")
     payload = {k: v for k, v in manifest.items() if k != "manifest_sha256"}

@@ -1,0 +1,68 @@
+"""Plain helpers shared by the incremental-maintenance tests."""
+
+import json
+
+from repro.spatial.resolution import SpatialResolution
+from repro.temporal.resolution import TemporalResolution
+
+#: Resolution scope of every index in this suite (2 partitions per data set).
+RES_KWARGS = dict(
+    spatial=(SpatialResolution.CITY,),
+    temporal=(TemporalResolution.DAY, TemporalResolution.HOUR),
+)
+
+
+def normalized_manifest(path) -> dict:
+    """The manifest with run-specific wall-clock timings zeroed.
+
+    Everything else — partition records, checksums, fingerprints, byte and
+    function counts, city/extractor/fill — must be bit-identical between an
+    incremental update and a from-scratch rebuild; only the two timing
+    counters (and the digest signing them) legitimately differ between two
+    runs of the *same* build.
+    """
+    manifest = json.loads((path / "index.json").read_text())
+    manifest.pop("manifest_sha256")
+    for stats in [manifest["stats"]] + [
+        r["stats"] for r in manifest["partitions"] if "stats" in r
+    ]:
+        stats["scalar_seconds"] = 0.0
+        stats["feature_seconds"] = 0.0
+    return manifest
+
+
+def assert_index_dirs_bit_identical(updated, rebuilt):
+    """Updated index == from-scratch rebuild: manifest and partition bytes."""
+    assert normalized_manifest(updated) == normalized_manifest(rebuilt)
+    manifest = json.loads((updated / "index.json").read_text())
+    for record in manifest["partitions"]:
+        assert (updated / record["file"]).read_bytes() == (
+            rebuilt / record["file"]
+        ).read_bytes(), f"partition bytes differ: {record['file']}"
+
+
+def assert_query_results_equal(r1, r2):
+    """Two query results carry exactly the same relationships and counters."""
+    assert (r1.n_evaluated, r1.n_candidates, r1.n_significant) == (
+        r2.n_evaluated,
+        r2.n_candidates,
+        r2.n_significant,
+    )
+
+    def rows(result):
+        return [
+            (x.function1, x.function2, x.feature_type, x.score, x.strength,
+             x.p_value, x.n_related, x.precision, x.recall)
+            for x in result.results
+        ]
+
+    assert rows(r1) == rows(r2)
+
+
+def file_identities(index_dir, files) -> dict:
+    """``{file: (inode, mtime_ns)}`` — proof material for untouched reuse."""
+    out = {}
+    for name in files:
+        stat = (index_dir / name).stat()
+        out[name] = (stat.st_ino, stat.st_mtime_ns)
+    return out

@@ -1,0 +1,126 @@
+"""Content fingerprints: stable for identical inputs, sensitive to any change."""
+
+import numpy as np
+from _helpers import RES_KWARGS
+
+from repro.core.corpus import Corpus
+from repro.core.features import FeatureExtractor
+from repro.data.aggregation import FunctionSpec
+from repro.incremental import (
+    city_digest,
+    config_digest,
+    dataset_digest,
+    fingerprints_for_inputs,
+    specs_digest,
+)
+from repro.spatial.city import CityModel
+from repro.synth import nyc_urban_collection
+
+
+class TestDatasetDigest:
+    def test_identical_generations_hash_alike(self, base_collection):
+        again = nyc_urban_collection(
+            seed=5, n_days=10, scale=0.15, subset=("taxi", "weather")
+        )
+        for name in ("taxi", "weather"):
+            assert dataset_digest(base_collection.dataset(name)) == dataset_digest(
+                again.dataset(name)
+            )
+
+    def test_appended_records_change_the_digest(self, base_collection,
+                                                extended_taxi):
+        assert dataset_digest(base_collection.dataset("taxi")) != dataset_digest(
+            extended_taxi
+        )
+
+    def test_single_value_edit_changes_the_digest(self, base_collection):
+        taxi = base_collection.dataset("taxi")
+        digest = dataset_digest(taxi)
+        column = next(iter(taxi.numerics))
+        original = taxi.numerics[column][0]
+        taxi.numerics[column][0] = original + 1.0
+        try:
+            assert dataset_digest(taxi) != digest
+        finally:
+            taxi.numerics[column][0] = original
+        assert dataset_digest(taxi) == digest
+
+    def test_different_datasets_hash_differently(self, base_collection):
+        assert dataset_digest(base_collection.dataset("taxi")) != dataset_digest(
+            base_collection.dataset("weather")
+        )
+
+
+class TestConfigAndCityDigests:
+    def test_extractor_knobs_and_fill_are_config(self):
+        base = config_digest(FeatureExtractor(), "global_mean")
+        assert config_digest(FeatureExtractor(), "global_mean") == base
+        assert config_digest(FeatureExtractor(extreme_fence=2.5),
+                             "global_mean") != base
+        assert config_digest(FeatureExtractor(), "zero") != base
+
+    def test_city_digest_sees_layout_changes(self, base_collection):
+        base = city_digest(base_collection.city)
+        assert city_digest(base_collection.city) == base
+        assert city_digest(CityModel.synthetic(nbhd_grid=(6, 6))) != base
+
+    def test_specs_digest_is_order_sensitive(self):
+        # Spec order fixes function order inside the partition file, so a
+        # reorder is a content change, not a cosmetic one.
+        a = FunctionSpec(dataset="taxi", kind="density")
+        b = FunctionSpec(dataset="taxi", kind="attribute", attribute="fare")
+        assert specs_digest([a, b]) != specs_digest([b, a])
+        assert specs_digest([a, b]) == specs_digest([a, b])
+
+
+class TestPartitionFingerprints:
+    def test_covers_every_partition_input(self, base_corpus):
+        inputs = base_corpus.partition_inputs(**RES_KWARGS)
+        fingerprints = fingerprints_for_inputs(
+            inputs, base_corpus.city, base_corpus.extractor, base_corpus.fill
+        )
+        assert set(fingerprints) == {key for key, _value in inputs}
+        assert all(len(f) == 64 for f in fingerprints.values())
+        # Same data set, different resolution -> different fingerprint.
+        assert len(set(fingerprints.values())) == len(fingerprints)
+
+    def test_build_index_records_matching_fingerprints(self, base_corpus):
+        index = base_corpus.build_index(**RES_KWARGS)
+        inputs = base_corpus.partition_inputs(**RES_KWARGS)
+        assert index.partition_fingerprints == fingerprints_for_inputs(
+            inputs, base_corpus.city, base_corpus.extractor, base_corpus.fill
+        )
+
+    def test_config_change_moves_every_fingerprint(self, base_collection):
+        corpus1 = Corpus(base_collection.datasets, base_collection.city)
+        corpus2 = Corpus(
+            base_collection.datasets,
+            base_collection.city,
+            extractor=FeatureExtractor(extreme_fence=2.5),
+        )
+        f1 = fingerprints_for_inputs(
+            corpus1.partition_inputs(**RES_KWARGS), corpus1.city,
+            corpus1.extractor, corpus1.fill,
+        )
+        f2 = fingerprints_for_inputs(
+            corpus2.partition_inputs(**RES_KWARGS), corpus2.city,
+            corpus2.extractor, corpus2.fill,
+        )
+        assert set(f1) == set(f2)
+        assert all(f1[key] != f2[key] for key in f1)
+
+    def test_object_dtype_columns_hash_stably(self):
+        # Ragged identifier columns degrade to dtype=object; hashing must
+        # not crash, must stay content-sensitive, and must see *type*
+        # changes (1 vs "1") that str() would erase.
+        from repro.incremental.fingerprint import _column_bytes
+
+        col = np.array([("a", 1), "b", "c"], dtype=object)
+        again = np.array([("a", 1), "b", "c"], dtype=object)
+        other = np.array([("a", 2), "b", "c"], dtype=object)
+        assert _column_bytes("k", col) == _column_bytes("k", again)
+        assert _column_bytes("k", col) != _column_bytes("k", other)
+
+        ints = np.array([1, 2, 3], dtype=object)
+        strs = np.array(["1", "2", "3"], dtype=object)
+        assert _column_bytes("k", ints) != _column_bytes("k", strs)

@@ -1,0 +1,137 @@
+"""The diff planner: keep/rebuild/add/drop detection and dry-run rendering."""
+
+import pytest
+from _helpers import RES_KWARGS
+
+from repro.core.corpus import Corpus
+from repro.core.features import FeatureExtractor
+from repro.incremental import plan_update
+from repro.spatial.city import CityModel
+from repro.utils.errors import PersistError
+
+
+def _actions(plan):
+    return {
+        (e.dataset, e.spatial.value, e.temporal.value): e.action
+        for e in plan.entries
+    }
+
+
+class TestPlanActions:
+    def test_unchanged_catalog_is_a_noop(self, index_copy, base_corpus):
+        plan = plan_update(index_copy, base_corpus, **RES_KWARGS)
+        assert plan.counts == {"keep": 4, "rebuild": 0, "add": 0, "drop": 0}
+        assert plan.is_noop
+        assert all(e.reason == "fingerprint match" for e in plan.entries)
+
+    def test_changed_dataset_rebuilds_only_its_partitions(
+        self, index_copy, base_collection, extended_taxi
+    ):
+        corpus = Corpus(
+            [extended_taxi, base_collection.dataset("weather")],
+            base_collection.city,
+        )
+        plan = plan_update(index_copy, corpus, **RES_KWARGS)
+        actions = _actions(plan)
+        assert actions[("taxi", "city", "day")] == "rebuild"
+        assert actions[("taxi", "city", "hour")] == "rebuild"
+        assert actions[("weather", "city", "day")] == "keep"
+        assert actions[("weather", "city", "hour")] == "keep"
+        rebuilds = plan.by_action("rebuild")
+        assert all(
+            e.reason == "data set content or specs changed" for e in rebuilds
+        )
+        assert not plan.is_noop
+
+    def test_new_dataset_adds_and_removed_dataset_drops(
+        self, index_copy, base_collection, citibike
+    ):
+        corpus = Corpus(
+            [base_collection.dataset("taxi"), citibike], base_collection.city
+        )
+        plan = plan_update(index_copy, corpus, **RES_KWARGS)
+        actions = _actions(plan)
+        assert actions[("citibike", "city", "day")] == "add"
+        assert actions[("weather", "city", "day")] == "drop"
+        assert actions[("taxi", "city", "day")] == "keep"
+        assert plan.counts == {"keep": 2, "rebuild": 0, "add": 2, "drop": 2}
+
+    def test_extractor_change_forces_full_rebuild(
+        self, index_copy, base_collection
+    ):
+        corpus = Corpus(
+            base_collection.datasets,
+            base_collection.city,
+            extractor=FeatureExtractor(extreme_fence=2.5),
+        )
+        plan = plan_update(index_copy, corpus, **RES_KWARGS)
+        assert plan.counts["rebuild"] == 4
+        assert all(
+            e.reason == "extractor/fill configuration changed"
+            for e in plan.by_action("rebuild")
+        )
+
+    def test_city_change_forces_full_rebuild(self, index_copy, base_collection):
+        corpus = Corpus(
+            base_collection.datasets, CityModel.synthetic(nbhd_grid=(6, 6))
+        )
+        plan = plan_update(index_copy, corpus, **RES_KWARGS)
+        assert plan.counts["rebuild"] == 4
+        assert all(
+            e.reason == "city model changed" for e in plan.by_action("rebuild")
+        )
+
+    def test_seq_shift_alone_is_not_a_noop(
+        self, index_copy, base_collection
+    ):
+        # Reversing the data set order keeps every fingerprint but moves
+        # every partition to a new slot: the manifest (and file names) must
+        # be rewritten, so the plan cannot claim no-op.
+        corpus = Corpus(
+            [base_collection.dataset("weather"), base_collection.dataset("taxi")],
+            base_collection.city,
+        )
+        plan = plan_update(index_copy, corpus, **RES_KWARGS)
+        assert plan.counts == {"keep": 4, "rebuild": 0, "add": 0, "drop": 0}
+        assert not plan.is_noop
+
+    def test_narrowed_whitelist_drop_names_the_real_reason(
+        self, index_copy, base_corpus
+    ):
+        """`--temporal day` on a day+hour index deletes the hour
+        partitions; the plan must say the resolution was narrowed, not
+        pretend the data set left the catalog."""
+        plan = plan_update(
+            index_copy,
+            base_corpus,
+            spatial=RES_KWARGS["spatial"],
+            temporal=(RES_KWARGS["temporal"][0],),  # day only
+        )
+        drops = plan.by_action("drop")
+        assert {e.temporal.value for e in drops} == {"hour"}
+        assert all(
+            e.reason == "resolution no longer maintained" for e in drops
+        )
+
+    def test_missing_index_raises_persist_error(self, tmp_path, base_corpus):
+        with pytest.raises(PersistError, match="no index.json"):
+            plan_update(tmp_path / "nowhere", base_corpus, **RES_KWARGS)
+
+
+class TestPlanRendering:
+    def test_describe_lists_every_partition_and_counts(
+        self, index_copy, base_collection, citibike
+    ):
+        corpus = Corpus(
+            [base_collection.dataset("taxi"), citibike], base_collection.city
+        )
+        text = plan_update(index_copy, corpus, **RES_KWARGS).describe()
+        assert str(index_copy) in text
+        for verb in ("keep", "add", "drop"):
+            assert verb in text
+        assert "citibike" in text and "weather" in text
+        assert "6 partitions: 2 keep, 0 rebuild, 2 add, 2 drop" in text
+
+    def test_noop_describe_says_up_to_date(self, index_copy, base_corpus):
+        text = plan_update(index_copy, base_corpus, **RES_KWARGS).describe()
+        assert "nothing to do" in text

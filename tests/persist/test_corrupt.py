@@ -53,8 +53,12 @@ class TestManifestFailures:
         path = broken_dir / INDEX_MANIFEST
         text = path.read_text()
         path.write_text(text[: len(text) // 2])
-        with pytest.raises(PersistError, match="truncated or corrupt"):
+        with pytest.raises(PersistError, match="truncated or corrupt") as excinfo:
             CorpusIndex.load(broken_dir)
+        # The error must name the offending file and chain the parser's own
+        # diagnosis (line/column), not swallow it.
+        assert str(path) in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
 
     def test_non_json_manifest(self, broken_dir):
         (broken_dir / INDEX_MANIFEST).write_text("definitely { not json")
@@ -76,6 +80,15 @@ class TestManifestFailures:
         path.write_text(json.dumps(manifest))
         with pytest.raises(PersistError, match="unsupported index format version"):
             CorpusIndex.load(broken_dir)
+
+    def test_undecodable_manifest_chains_cause(self, broken_dir):
+        # Binary garbage where the manifest should be: the decode error is
+        # chained, the message still says truncated-or-corrupt.
+        path = broken_dir / INDEX_MANIFEST
+        path.write_bytes(b"\xff\xfe\x00garbage\x80")
+        with pytest.raises(PersistError, match="truncated or corrupt") as excinfo:
+            CorpusIndex.load(broken_dir)
+        assert isinstance(excinfo.value.__cause__, UnicodeDecodeError)
 
     def test_tampered_payload_fails_integrity_check(self, broken_dir):
         path = broken_dir / INDEX_MANIFEST

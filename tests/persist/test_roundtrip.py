@@ -201,6 +201,64 @@ class TestOnDiskLayout:
             assert path.stat().st_size == record["nbytes"]
             assert len(record["sha256"]) == 64
 
+    def test_v2_manifest_carries_fingerprints_and_partition_stats(
+        self, built_index, index_dir
+    ):
+        """Format v2: every partition record holds a content fingerprint and
+        its own IndexStats contribution; the manifest holds the config/city
+        digests — the reuse evidence `repro update` plans from."""
+        manifest = json.loads((index_dir / INDEX_MANIFEST).read_text())
+        assert set(manifest["fingerprints"]) == {"config", "city"}
+        partition_totals = {"n_scalar_functions": 0, "function_bytes": 0}
+        for record in manifest["partitions"]:
+            assert len(record["fingerprint"]) == 64
+            for counter in partition_totals:
+                partition_totals[counter] += record["stats"][counter]
+        # Partition stats sum back to the whole-index counters.
+        assert (
+            partition_totals["n_scalar_functions"]
+            == built_index.stats.n_scalar_functions
+        )
+        assert partition_totals["function_bytes"] == built_index.stats.function_bytes
+
+    def test_v2_bookkeeping_survives_load_and_resave(
+        self, built_index, index_dir, tmp_path
+    ):
+        loaded = CorpusIndex.load(index_dir)
+        assert loaded.partition_fingerprints == built_index.partition_fingerprints
+        assert set(loaded.partition_stats) == set(built_index.partition_stats)
+        # A loaded index re-saves with its reuse evidence intact.
+        loaded.save(tmp_path / "again")
+        manifest = json.loads((tmp_path / "again" / INDEX_MANIFEST).read_text())
+        for record in manifest["partitions"]:
+            assert "fingerprint" in record and "stats" in record
+
+    def test_build_scope_is_recorded_and_survives_roundtrip(
+        self, built_index, index_dir
+    ):
+        """The resolution whitelists an index was built with are part of
+        the manifest, so `repro update` maintains the *requested* scope —
+        not a reconstruction from whatever partitions survive."""
+        manifest = json.loads((index_dir / INDEX_MANIFEST).read_text())
+        assert manifest["scope"] == {
+            "spatial": ["city", "neighborhood"],
+            "temporal": ["day", "hour"],
+        }
+        loaded = CorpusIndex.load(index_dir)
+        assert loaded.scope == manifest["scope"]
+
+    def test_partition_files_are_byte_deterministic(self, built_index, tmp_path):
+        """Same content, same bytes: the property that lets incremental
+        updates be compared bit-for-bit against from-scratch rebuilds."""
+        built_index.save(tmp_path / "a")
+        built_index.save(tmp_path / "b")
+        manifest = json.loads((tmp_path / "a" / INDEX_MANIFEST).read_text())
+        assert manifest["partitions"], "fixture index must have partitions"
+        for record in manifest["partitions"]:
+            assert (tmp_path / "a" / record["file"]).read_bytes() == (
+                tmp_path / "b" / record["file"]
+            ).read_bytes()
+
     def test_disk_usage_reconciles_with_index_stats(self, built_index, index_dir):
         usage = disk_usage(index_dir)
         # Arrays are stored uncompressed, so the §5.4 counters must match

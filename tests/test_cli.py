@@ -103,8 +103,25 @@ class TestParser:
         )
         assert args.data == "/tmp/cat"
         assert args.out == "/tmp/idx"
+        assert args.force is False
         with pytest.raises(SystemExit):
             build_parser().parse_args(["index", "--data", "/tmp/cat"])
+
+    def test_update_verb_flags(self):
+        args = build_parser().parse_args(
+            ["update", "--data", "/tmp/cat", "--index", "/tmp/idx",
+             "--dry-run", "--temporal", "day", "--workers", "2",
+             "--executor", "thread"]
+        )
+        assert args.data == "/tmp/cat"
+        assert args.index == "/tmp/idx"
+        assert args.dry_run is True
+        assert args.temporal == "day"
+        assert (args.workers, args.executor) == (2, "thread")
+        with pytest.raises(SystemExit):  # both sources are required
+            build_parser().parse_args(["update", "--data", "/tmp/cat"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["update", "--index", "/tmp/idx"])
 
     def test_query_takes_catalog_or_index_not_both(self):
         args = build_parser().parse_args(["query", "--index", "/tmp/idx"])
@@ -195,3 +212,135 @@ class TestEndToEnd:
             "--permutations", "10",
         ]) == 2
         assert "not materialized in this index" in capsys.readouterr().err
+
+    def test_index_refuses_to_clobber_without_force(self, tmp_path, capsys):
+        """Satellite: `repro index` onto an existing index must refuse and
+        point at `repro update`, unless --force is given."""
+        cat = tmp_path / "cat"
+        idx = tmp_path / "idx"
+        main([
+            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
+            "--datasets", "taxi,weather", "--seed", "5",
+        ])
+        assert main([
+            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+        ]) == 0
+        manifest_before = (idx / "index.json").read_bytes()
+        capsys.readouterr()
+
+        assert main([
+            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro update" in err and "--force" in err
+        assert (idx / "index.json").read_bytes() == manifest_before
+
+        assert main([
+            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+            "--force",
+        ]) == 0
+
+    def test_update_maintains_all_viable_spatial_scope(self, tmp_path, capsys):
+        """An index built without a spatial whitelist records scope
+        spatial=None ("all viable"); when a later catalog adds a data set
+        viable at *more* spatial resolutions than any existing partition,
+        `repro update` must include them — exactly like a fresh build."""
+        import json
+
+        cat, cat2 = tmp_path / "cat", tmp_path / "cat2"
+        idx = tmp_path / "idx"
+        # weather is city-viable only, so the index has only city partitions.
+        main([
+            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
+            "--datasets", "weather", "--seed", "5",
+        ])
+        assert main([
+            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+        ]) == 0
+        main([
+            "simulate", "--out", str(cat2), "--days", "10", "--scale", "0.15",
+            "--datasets", "taxi,weather", "--seed", "5",
+        ])
+        capsys.readouterr()
+        assert main(["update", "--data", str(cat2), "--index", str(idx)]) == 0
+        manifest = json.loads((idx / "index.json").read_text())
+        assert manifest["scope"] == {"spatial": None, "temporal": ["day"]}
+        taxi_spatials = {
+            r["spatial"] for r in manifest["partitions"] if r["dataset"] == "taxi"
+        }
+        assert taxi_spatials == {"zip", "neighborhood", "city"}
+        # weather's records are identical across the two simulations, so its
+        # partition rode through the update untouched.
+        assert "1 keep" in capsys.readouterr().out
+
+    def test_index_clobber_guard_resolves_like_save(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """The guard must expanduser/resolve --out exactly as save_index
+        does, so `~/idx` cannot slip past it and clobber $HOME/idx."""
+        monkeypatch.setenv("HOME", str(tmp_path))
+        cat = tmp_path / "cat"
+        main([
+            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
+            "--datasets", "taxi", "--seed", "5",
+        ])
+        assert main([
+            "index", "--data", str(cat), "--out", str(tmp_path / "idx"),
+            "--temporal", "day",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "index", "--data", str(cat), "--out", "~/idx", "--temporal", "day",
+        ]) == 2
+        assert "repro update" in capsys.readouterr().err
+
+    def test_update_verb_dry_run_and_apply(self, tmp_path, capsys):
+        cat = tmp_path / "cat"
+        cat2 = tmp_path / "cat2"
+        idx = tmp_path / "idx"
+        main([
+            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
+            "--datasets", "taxi,weather", "--seed", "5",
+        ])
+        main([
+            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+        ])
+        capsys.readouterr()
+
+        # Dry run against the unchanged catalog: a no-op plan, no writes.
+        manifest_before = (idx / "index.json").read_bytes()
+        assert main([
+            "update", "--data", str(cat), "--index", str(idx), "--dry-run",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "nothing to do" in printed
+        assert (idx / "index.json").read_bytes() == manifest_before
+
+        # Mutate the catalog (append days + add a data set) and apply.
+        main([
+            "simulate", "--out", str(cat2), "--days", "14", "--scale", "0.15",
+            "--datasets", "taxi,weather,citibike", "--seed", "5",
+        ])
+        capsys.readouterr()
+        assert main([
+            "update", "--data", str(cat2), "--index", str(idx),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "update plan:" in printed and "updated" in printed
+
+        # The updated index answers exactly like an index built from the
+        # mutated catalog directly.
+        assert main([
+            "query", "--data", str(cat2), "--temporal", "day",
+            "--permutations", "25", "--seed", "0",
+        ]) == 0
+        from_catalog = capsys.readouterr().out
+        assert main([
+            "query", "--index", str(idx), "--permutations", "25", "--seed", "0",
+        ]) == 0
+        from_index = capsys.readouterr().out
+
+        def relationship_lines(text):
+            return [line for line in text.splitlines() if "tau=" in line]
+
+        assert relationship_lines(from_catalog) == relationship_lines(from_index)
