@@ -58,9 +58,7 @@ def test_ablation_threshold_selection(benchmark):
     kmeans_features = FeatureExtractor().extract(sf).salient
 
     def hit_rate(fs):
-        hits = sum(
-            1 for e in events if fs.union()[e : e + 4, 0].any()
-        )
+        hits = sum(1 for e in events if fs.union()[e : e + 4, 0].any())
         return hits / len(events)
 
     print("\nAblation — threshold selection (20 planted events)")
@@ -84,9 +82,7 @@ def test_ablation_threshold_selection(benchmark):
     # parameter at all: the paper's §3.3 motivation.
     assert max(quantile_counts) / max(min(quantile_counts), 1) > 5
 
-    benchmark.pedantic(
-        lambda: FeatureExtractor().extract(sf), iterations=1, rounds=3
-    )
+    benchmark.pedantic(lambda: FeatureExtractor().extract(sf), iterations=1, rounds=3)
 
 
 def test_ablation_restricted_vs_naive_mc(benchmark):
@@ -115,7 +111,9 @@ def test_ablation_restricted_vs_naive_mc(benchmark):
         fs2 = blocky(seed * 2 + 1)
         if not evaluate_features(fs1, fs2).is_related:
             continue
-        if significance_test(fs1, fs2, graph, 99, method="naive", seed=seed).is_significant():
+        if significance_test(
+            fs1, fs2, graph, 99, method="naive", seed=seed
+        ).is_significant():
             naive_fp += 1
         if significance_test(fs1, fs2, graph, 99, seed=seed).is_significant():
             restricted_fp += 1

@@ -68,10 +68,7 @@ def test_fig10_speedup_curves(pipeline_run, benchmark, smoke):
     print("\nFigure 10 — speedup vs. number of nodes (simulated cluster)")
     print(f"{'component':>24s} " + " ".join(f"n={n:<5d}" for n in NODE_COUNTS))
     for name, curve in curves.items():
-        print(
-            f"{name:>24s} "
-            + " ".join(f"{curve[n]:<7.2f}" for n in NODE_COUNTS)
-        )
+        print(f"{name:>24s} " + " ".join(f"{curve[n]:<7.2f}" for n in NODE_COUNTS))
     print(
         "straggler ratios: "
         f"scalar={straggler_ratio(pipeline_run.scalar_stats.map_task_seconds):.1f}, "
@@ -90,9 +87,7 @@ def test_fig10_speedup_curves(pipeline_run, benchmark, smoke):
     # scalar-function computation because straggler reducers dominate.
     # (Skipped under smoke: tiny task times make the comparison jittery.)
     if not smoke:
-        assert (
-            curves["scalar functions"][20] >= curves["relationships"][20] - 1e-9
-        )
+        assert curves["scalar functions"][20] >= curves["relationships"][20] - 1e-9
 
     benchmark.pedantic(
         lambda: speedup_curve(pipeline_run.feature_stats, NODE_COUNTS),
@@ -145,9 +140,7 @@ def test_fig10b_measured_cluster_speedup(smoke, write_bench_record):
             measured_seconds[n_hosts] = time.perf_counter() - start
         _assert_index_identical(serial_index, cluster_index)
 
-    measured = {
-        n: measured_seconds[1] / measured_seconds[n] for n in MEASURED_HOSTS
-    }
+    measured = {n: measured_seconds[1] / measured_seconds[n] for n in MEASURED_HOSTS}
     cpus = usable_cpus()
     print(
         f"\nFigure 10(b) — measured cluster speedup vs. simulated "

@@ -12,9 +12,7 @@ from repro.spatial.resolution import SpatialResolution
 from repro.synth import nyc_open_collection
 from repro.temporal.resolution import TemporalResolution
 
-WEEK_CITY = dict(
-    spatial=(SpatialResolution.CITY,), temporal=(TemporalResolution.WEEK,)
-)
+WEEK_CITY = dict(spatial=(SpatialResolution.CITY,), temporal=(TemporalResolution.WEEK,))
 
 
 def _pruning_series(collection, ks, n_permutations=150):

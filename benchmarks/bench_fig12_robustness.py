@@ -58,9 +58,7 @@ def test_fig12_taxi_density_robustness(urban_year_index, benchmark, smoke):
         assert by_level[0.01][1] > 0.5, "strength stays high at small noise"
 
     extractor = FeatureExtractor()
-    benchmark.pedantic(
-        lambda: robustness_sweep(fn, extractor), iterations=1, rounds=2
-    )
+    benchmark.pedantic(lambda: robustness_sweep(fn, extractor), iterations=1, rounds=2)
 
 
 @pytest.mark.parametrize(
@@ -71,14 +69,11 @@ def test_fig12_taxi_density_robustness(urban_year_index, benchmark, smoke):
         ("taxi.avg.fare", "Figure III"),
     ],
 )
-def test_appendix_robustness(urban_year_index, benchmark, function_id, figure,
-                             smoke):
+def test_appendix_robustness(urban_year_index, benchmark, function_id, figure, smoke):
     fn = _function(urban_year_index, "taxi", function_id)
     rows = robustness_sweep(fn)
     _print(f"{function_id} ({figure})", rows)
     if not smoke:
         assert rows[0][1] > 0.8, "tau stays near 1 at 1% noise"
-        assert all(
-            tau > 0.0 for _, tau, _ in rows
-        ), "positive throughout the sweep"
+        assert all(tau > 0.0 for _, tau, _ in rows), "positive throughout the sweep"
     benchmark.pedantic(lambda: robustness_sweep(fn), iterations=1, rounds=1)

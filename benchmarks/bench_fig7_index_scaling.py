@@ -177,9 +177,7 @@ def test_fig7c_persistence_load_vs_rebuild(benchmark, smoke, tmp_path):
         f"loading ({load_seconds:.3f}s) must be >= {required}x faster than "
         f"rebuilding ({build_seconds:.3f}s)"
     )
-    benchmark.pedantic(
-        lambda: CorpusIndex.load(tmp_path), iterations=1, rounds=3
-    )
+    benchmark.pedantic(lambda: CorpusIndex.load(tmp_path), iterations=1, rounds=3)
 
 
 def test_fig7d_incremental_update_vs_rebuild(smoke, tmp_path, write_bench_record):
@@ -196,12 +194,18 @@ def test_fig7d_incremental_update_vs_rebuild(smoke, tmp_path, write_bench_record
 
     n_days, scale = (45, 0.25) if smoke else (120, 0.5)
     subset = (
-        "collisions", "complaints_311", "calls_911",
-        "citibike", "weather", "taxi",
+        "collisions",
+        "complaints_311",
+        "calls_911",
+        "citibike",
+        "weather",
+        "taxi",
     )
     coll = nyc_urban_collection(seed=21, n_days=n_days, scale=scale, subset=subset)
     extended = nyc_urban_collection(
-        seed=21, n_days=n_days + max(7, n_days // 8), scale=scale,
+        seed=21,
+        n_days=n_days + max(7, n_days // 8),
+        scale=scale,
         subset=("calls_911",),
     )
     kwargs = dict(

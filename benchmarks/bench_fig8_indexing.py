@@ -44,7 +44,10 @@ def test_fig8a_nyc_urban(benchmark, urban_small, smoke):
             )
         )
     print("\nFigure 8(a) — NYC Urban: indexing time vs. number of data sets")
-    print(f"{'#data sets':>10s} {'#functions':>11s} {'scalar (s)':>11s} {'features (s)':>13s}")
+    print(
+        f"{'#data sets':>10s} {'#functions':>11s}"
+        f" {'scalar (s)':>11s} {'features (s)':>13s}"
+    )
     for k, n_fns, scalar_s, feature_s in rows:
         print(f"{k:>10d} {n_fns:>11d} {scalar_s:>11.3f} {feature_s:>13.3f}")
 
@@ -98,7 +101,10 @@ def test_fig8b_nyc_open(benchmark, smoke):
             )
         )
     print("\nFigure 8(b) — NYC Open: indexing time vs. number of data sets")
-    print(f"{'#data sets':>10s} {'#functions':>11s} {'scalar (s)':>11s} {'features (s)':>13s}")
+    print(
+        f"{'#data sets':>10s} {'#functions':>11s}"
+        f" {'scalar (s)':>11s} {'features (s)':>13s}"
+    )
     for k, n_fns, scalar_s, feature_s in rows:
         print(f"{k:>10d} {n_fns:>11d} {scalar_s:>11.3f} {feature_s:>13.3f}")
 
@@ -123,9 +129,7 @@ def test_fig8c_parallel_indexing(benchmark, urban_small):
     serial = corpus.build_index(temporal=temporal)
     serial_seconds = time.perf_counter() - start
     start = time.perf_counter()
-    parallel = corpus.build_index(
-        temporal=temporal, n_workers=4, executor="thread"
-    )
+    parallel = corpus.build_index(temporal=temporal, n_workers=4, executor="thread")
     parallel_seconds = time.perf_counter() - start
 
     assert serial.stats.n_scalar_functions == parallel.stats.n_scalar_functions

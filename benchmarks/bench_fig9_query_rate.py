@@ -15,6 +15,12 @@ work (FFT cross-correlations, permutation tests) is NumPy-bound and
 releases the GIL, so here threads are the natural winner and the process
 executor's job is merely to stay competitive despite pickling the feature
 payloads.
+``test_fig9e_significance_modes`` races the three significance modes on a
+single core — batched must reproduce exact's p-values bit-for-bit,
+adaptive must reproduce every significance decision at α, and both must
+beat exact by the asserted floors (the CI ``query-throughput`` job runs
+this in smoke mode per commit and archives the ``BENCH_fig9e_*.json``
+record).
 """
 
 from _host import usable_cpus as _usable_cpus
@@ -44,7 +50,8 @@ def _print(label, rows):
 
 def test_fig9a_nyc_urban_rate(benchmark, urban_small, smoke):
     rows = _rate_series(
-        urban_small, ks=(3, 5, 7, 9),
+        urban_small,
+        ks=(3, 5, 7, 9),
         temporal=(TemporalResolution.DAY, TemporalResolution.WEEK),
         n_permutations=30 if smoke else 100,
     )
@@ -69,8 +76,7 @@ def test_fig9b_nyc_open_rate(benchmark, smoke):
     else:
         coll = nyc_open_collection(n_datasets=24, seed=11, n_days=120)
         ks = (6, 12, 24)
-    rows = _rate_series(coll, ks=ks, temporal=None,
-                        n_permutations=30 if smoke else 100)
+    rows = _rate_series(coll, ks=ks, temporal=None, n_permutations=30 if smoke else 100)
     _print("(b) — NYC Open", rows)
     rates = [r[2] for r in rows if r[1] > 0]
     if not smoke:
@@ -105,17 +111,13 @@ def test_fig9c_parallel_query_rate(benchmark, urban_small, smoke):
     parallel = best_rate(n_workers=PARALLEL_WORKERS, executor="thread")
 
     # Bit-identical outcome regardless of scheduling.
-    assert [r.p_value for r in serial.results] == [
-        r.p_value for r in parallel.results
-    ]
+    assert [r.p_value for r in serial.results] == [r.p_value for r in parallel.results]
     assert [(r.function1, r.function2, r.score) for r in serial.results] == [
         (r.function1, r.function2, r.score) for r in parallel.results
     ]
     assert serial.n_evaluated == parallel.n_evaluated
 
-    ratio = parallel.evaluations_per_minute / max(
-        serial.evaluations_per_minute, 1e-9
-    )
+    ratio = parallel.evaluations_per_minute / max(serial.evaluations_per_minute, 1e-9)
     print(
         f"\nFigure 9(c) — parallel query rate ({PARALLEL_WORKERS} threads, "
         f"{_usable_cpus()} usable CPU(s))"
@@ -151,8 +153,7 @@ def test_fig9c_parallel_query_rate(benchmark, urban_small, smoke):
     )
 
 
-def test_fig9d_executor_comparison(benchmark, urban_small, smoke,
-                                   write_bench_record):
+def test_fig9d_executor_comparison(benchmark, urban_small, smoke, write_bench_record):
     """Serial vs thread vs process query: identical results, measured rates."""
     corpus = Corpus(urban_small.datasets, urban_small.city)
     index = corpus.build_index(
@@ -192,9 +193,7 @@ def test_fig9d_executor_comparison(benchmark, urban_small, smoke,
         "n_permutations": n_permutations,
         "evaluations_per_minute": {k: round(v, 1) for k, v in rates.items()},
         "thread_speedup": round(rates["thread"] / max(rates["serial"], 1e-9), 3),
-        "process_speedup": round(
-            rates["process"] / max(rates["serial"], 1e-9), 3
-        ),
+        "process_speedup": round(rates["process"] / max(rates["serial"], 1e-9), 3),
         "bit_identical": True,
     }
     write_bench_record("fig9d_executor_comparison", record)
@@ -217,4 +216,90 @@ def test_fig9d_executor_comparison(benchmark, urban_small, smoke,
         ),
         iterations=1,
         rounds=1,
+    )
+
+
+def test_fig9e_significance_modes(benchmark, urban_small, smoke, write_bench_record):
+    """Exact vs batched vs adaptive significance on a single core.
+
+    Batched must be bit-identical to exact (same p-values, same results);
+    adaptive must agree with exact on every significance decision at α.
+    The speedups are the tentpole claim: batched vectorizes the permutation
+    tests across chunks of pairs, adaptive additionally stops each test
+    once its decision is settled.
+    """
+    corpus = Corpus(urban_small.datasets, urban_small.city)
+    index = corpus.build_index(
+        temporal=(TemporalResolution.DAY, TemporalResolution.WEEK)
+    )
+    n_permutations = 200 if smoke else 400
+
+    def best_rate(mode):
+        runs = [
+            index.query(n_permutations=n_permutations, seed=0, significance_mode=mode)
+            for _ in range(2)
+        ]
+        return max(runs, key=lambda r: r.evaluations_per_minute)
+
+    exact = best_rate("exact")
+    batched = best_rate("batched")
+    adaptive = best_rate("adaptive")
+
+    # Batched mode is bit-identical to the exact reference.
+    assert [r.p_value for r in exact.results] == [r.p_value for r in batched.results]
+    assert [(r.function1, r.function2, r.score) for r in exact.results] == [
+        (r.function1, r.function2, r.score) for r in batched.results
+    ]
+    # Adaptive mode reports different p-values (fewer permutations) but must
+    # reach the identical set of significant relationships.
+    assert [(r.function1, r.function2, r.score) for r in exact.results] == [
+        (r.function1, r.function2, r.score) for r in adaptive.results
+    ]
+    for other in (batched, adaptive):
+        assert exact.n_evaluated == other.n_evaluated
+        assert exact.n_candidates == other.n_candidates
+        assert exact.n_significant == other.n_significant
+
+    rates = {
+        "exact": exact.evaluations_per_minute,
+        "batched": batched.evaluations_per_minute,
+        "adaptive": adaptive.evaluations_per_minute,
+    }
+    batched_speedup = rates["batched"] / max(rates["exact"], 1e-9)
+    adaptive_speedup = rates["adaptive"] / max(rates["exact"], 1e-9)
+    record = {
+        "figure": "9e",
+        "n_evaluated": exact.n_evaluated,
+        "n_candidates": exact.n_candidates,
+        "n_significant": exact.n_significant,
+        "n_permutations": n_permutations,
+        "evaluations_per_minute": {k: round(v, 1) for k, v in rates.items()},
+        "batched_speedup": round(batched_speedup, 3),
+        "adaptive_speedup": round(adaptive_speedup, 3),
+        "batched_bit_identical": True,
+        "adaptive_decision_identical": True,
+    }
+    write_bench_record("fig9e_significance_modes", record)
+
+    print("\nFigure 9(e) — significance modes (single core)")
+    print(f"{'mode':>10s} {'evals/minute':>13s} {'speedup':>8s}")
+    for mode, rate in rates.items():
+        print(f"{mode:>10s} {rate:>13,.0f} "
+              f"{rate / max(rates['exact'], 1e-9):>7.2f}x")
+
+    # The perf gate: the smoke floor holds the line per commit in CI; the
+    # full run asserts the tentpole's >=10x single-core target.
+    if smoke:
+        assert batched_speedup >= 3.0, "batched must beat exact by >=3x"
+        assert adaptive_speedup >= 3.0, "adaptive must beat exact by >=3x"
+    else:
+        assert batched_speedup >= 5.0, "batched must beat exact by >=5x"
+        assert adaptive_speedup >= 10.0, "adaptive must beat exact by >=10x"
+
+    benchmark.pedantic(
+        lambda: index.query(
+            n_permutations=n_permutations, seed=0, significance_mode="adaptive"
+        ),
+        iterations=1,
+        rounds=3,
     )

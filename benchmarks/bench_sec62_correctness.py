@@ -29,8 +29,11 @@ def yearly_density(seed, n_days, spatial, city):
     taxi = coll.dataset("taxi")
     regions = None if spatial is SpatialResolution.CITY else city.region_set(spatial)
     (agg,) = aggregate(
-        taxi, spatial, TemporalResolution.HOUR,
-        regions=regions, specs=[FunctionSpec("taxi", "density")],
+        taxi,
+        spatial,
+        TemporalResolution.HOUR,
+        regions=regions,
+        specs=[FunctionSpec("taxi", "density")],
     )
     pairs = city.spatial_pairs(spatial)
     graph = DomainGraph(agg.n_regions, agg.n_steps, pairs,
@@ -61,9 +64,7 @@ def test_sec62_two_years_city(benchmark):
     assert measures.strength > 0.5
     assert sig.p_value <= 0.05
 
-    benchmark.pedantic(
-        lambda: evaluate_features(fs1, fs2), iterations=3, rounds=3
-    )
+    benchmark.pedantic(lambda: evaluate_features(fs1, fs2), iterations=3, rounds=3)
 
 
 def test_sec62_two_years_neighborhood(benchmark):

@@ -34,48 +34,93 @@ class ExpectedRelationship:
 
 ROWS = [
     ExpectedRelationship(
-        "taxi", "taxi.density", "weather", "weather.avg.precipitation",
-        TemporalResolution.HOUR, "salient", -1,
+        "taxi",
+        "taxi.density",
+        "weather",
+        "weather.avg.precipitation",
+        TemporalResolution.HOUR,
+        "salient",
+        -1,
         "taxis ~ precipitation: tau=-0.62 rho=0.75 (hour, city)",
     ),
     ExpectedRelationship(
-        "taxi", "taxi.avg.fare", "weather", "weather.avg.precipitation",
-        TemporalResolution.HOUR, "extreme", +1,
+        "taxi",
+        "taxi.avg.fare",
+        "weather",
+        "weather.avg.precipitation",
+        TemporalResolution.HOUR,
+        "extreme",
+        +1,
         "fare ~ precipitation: tau=+0.73 rho=0.70 (hour, city)",
     ),
     ExpectedRelationship(
-        "taxi", "taxi.density", "weather", "weather.avg.wind_speed",
-        TemporalResolution.HOUR, "extreme", -1,
+        "taxi",
+        "taxi.density",
+        "weather",
+        "weather.avg.wind_speed",
+        TemporalResolution.HOUR,
+        "extreme",
+        -1,
         "trips ~ wind speed (extreme): tau=-1.0 rho=0.13",
     ),
     ExpectedRelationship(
-        "taxi", "taxi.unique.medallion", "weather", "weather.avg.precipitation",
-        TemporalResolution.DAY, "salient", -1,
+        "taxi",
+        "taxi.unique.medallion",
+        "weather",
+        "weather.avg.precipitation",
+        TemporalResolution.DAY,
+        "salient",
+        -1,
         "unique taxis ~ precipitation: tau=-0.81 (day, city)",
     ),
     ExpectedRelationship(
-        "citibike", "citibike.avg.trip_duration", "weather", "weather.avg.snow",
-        TemporalResolution.HOUR, "salient", +1,
+        "citibike",
+        "citibike.avg.trip_duration",
+        "weather",
+        "weather.avg.snow",
+        TemporalResolution.HOUR,
+        "salient",
+        +1,
         "bike trip duration ~ snow: tau=+0.61 rho=0.16 (hour, city)",
     ),
     ExpectedRelationship(
-        "citibike", "citibike.unique.station_id", "weather",
-        "weather.avg.snow_depth", TemporalResolution.DAY, "salient", -1,
+        "citibike",
+        "citibike.unique.station_id",
+        "weather",
+        "weather.avg.snow_depth",
+        TemporalResolution.DAY,
+        "salient",
+        -1,
         "active stations ~ snow: tau=-0.88 rho=0.65 (day, city)",
     ),
     ExpectedRelationship(
-        "collisions", "collisions.avg.motorists_killed", "weather",
-        "weather.avg.precipitation", TemporalResolution.DAY, "extreme", +1,
+        "collisions",
+        "collisions.avg.motorists_killed",
+        "weather",
+        "weather.avg.precipitation",
+        TemporalResolution.DAY,
+        "extreme",
+        +1,
         "motorists killed ~ rainfall: tau=+0.90 rho=0.95",
     ),
     ExpectedRelationship(
-        "collisions", "collisions.avg.pedestrians_injured", "weather",
-        "weather.avg.precipitation", TemporalResolution.DAY, "extreme", +1,
+        "collisions",
+        "collisions.avg.pedestrians_injured",
+        "weather",
+        "weather.avg.precipitation",
+        TemporalResolution.DAY,
+        "extreme",
+        +1,
         "pedestrians injured ~ rainfall: tau=+0.75 rho=0.66",
     ),
     ExpectedRelationship(
-        "taxi", "taxi.density", "traffic_speed", "traffic_speed.avg.speed",
-        TemporalResolution.HOUR, "salient", -1,
+        "taxi",
+        "taxi.density",
+        "traffic_speed",
+        "traffic_speed.avg.speed",
+        TemporalResolution.HOUR,
+        "salient",
+        -1,
         "taxi trips ~ traffic speed: tau=-0.90 rho=0.65 (hour, city)",
     ),
 ]
@@ -112,8 +157,14 @@ def test_sec63_relationship(urban_year_index, benchmark, row):
 def test_sec63_no_collision_count_rain_relationship(urban_year_index, benchmark):
     """Paper: accident *counts* are not related to rainfall — severity is."""
     row = ExpectedRelationship(
-        "collisions", "collisions.density", "weather",
-        "weather.avg.precipitation", TemporalResolution.HOUR, "salient", 0, "",
+        "collisions",
+        "collisions.density",
+        "weather",
+        "weather.avg.precipitation",
+        TemporalResolution.HOUR,
+        "salient",
+        0,
+        "",
     )
     fs1, fs2, n = _feature_sets(urban_year_index, row)
     measures = evaluate_features(fs1, fs2)
@@ -143,10 +194,7 @@ def test_sec63_spatial_collisions_311(urban_small, benchmark):
         temporal=(TemporalResolution.DAY,),
     )
     key = (SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY)
-    coll = {
-        f.function_id: f
-        for f in index.dataset_index("collisions").functions[key]
-    }
+    coll = {f.function_id: f for f in index.dataset_index("collisions").functions[key]}
     complaints = {
         f.function_id: f
         for f in index.dataset_index("complaints_311").functions[key]

@@ -58,16 +58,31 @@ def test_sec64_standard_technique_comparison(urban_year_index, benchmark):
     index = urban_year_index
     rows = {
         "snow ~ bike duration (global)": _row(
-            index, "citibike", "citibike.avg.trip_duration",
-            "weather", "weather.avg.snow", KEY_DAY, "salient",
+            index,
+            "citibike",
+            "citibike.avg.trip_duration",
+            "weather",
+            "weather.avg.snow",
+            KEY_DAY,
+            "salient",
         ),
         "trips ~ traffic speed (global)": _row(
-            index, "taxi", "taxi.density",
-            "traffic_speed", "traffic_speed.avg.speed", KEY_HOUR, "salient",
+            index,
+            "taxi",
+            "taxi.density",
+            "traffic_speed",
+            "traffic_speed.avg.speed",
+            KEY_HOUR,
+            "salient",
         ),
         "wind ~ taxi trips (conditional)": _row(
-            index, "taxi", "taxi.density",
-            "weather", "weather.avg.wind_speed", KEY_HOUR, "extreme",
+            index,
+            "taxi",
+            "taxi.density",
+            "weather",
+            "weather.avg.wind_speed",
+            KEY_HOUR,
+            "extreme",
         ),
     }
 
@@ -93,8 +108,13 @@ def test_sec64_standard_technique_comparison(urban_year_index, benchmark):
 
     benchmark.pedantic(
         lambda: _row(
-            index, "taxi", "taxi.density",
-            "weather", "weather.avg.wind_speed", KEY_HOUR, "extreme",
+            index,
+            "taxi",
+            "taxi.density",
+            "weather",
+            "weather.avg.wind_speed",
+            KEY_HOUR,
+            "extreme",
         ),
         iterations=1,
         rounds=2,

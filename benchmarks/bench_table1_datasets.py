@@ -65,9 +65,7 @@ def test_table1_dataset_properties(urban_year, benchmark, smoke):
             d.n_records for d in urban_year.datasets
         ), "gas prices is the smallest data set"
         records = np.array([d.n_records for d in urban_year.datasets])
-        assert (
-            records.max() / records.min() > 100
-        ), "volumes span orders of magnitude"
+        assert (records.max() / records.min() > 100), "volumes span orders of magnitude"
 
 
 def test_table1_persisted_index_footprint(urban_year, urban_year_index, tmp_path):

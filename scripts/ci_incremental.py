@@ -164,9 +164,7 @@ def main() -> int:
     rows1 = [(x.function1, x.function2, x.score, x.p_value) for x in r1.results]
     rows2 = [(x.function1, x.function2, x.score, x.p_value) for x in r2.results]
     check(rows1 == rows2, "query results differ")
-    print(
-        f"queries identical: {r1.n_evaluated} evaluations, {len(rows1)} significant"
-    )
+    print(f"queries identical: {r1.n_evaluated} evaluations, {len(rows1)} significant")
     print("incremental scenario OK")
     return 0
 

@@ -20,6 +20,7 @@ paper-vs-measured record of every reproduced table and figure.
 """
 
 from .core import (
+    SIGNIFICANCE_MODES,
     Clause,
     Corpus,
     CorpusIndex,
@@ -31,11 +32,13 @@ from .core import (
     RelationshipMeasures,
     RelationshipResult,
     ScalarFunction,
+    SignificanceRequest,
     SignificanceResult,
     compute_join_tree,
     compute_split_tree,
     evaluate_features,
     relation,
+    significance_batch,
     significance_test,
 )
 from .data import Dataset, DatasetSchema, FunctionSpec, aggregate
@@ -57,11 +60,14 @@ __all__ = [
     "RelationshipMeasures",
     "RelationshipResult",
     "ScalarFunction",
+    "SIGNIFICANCE_MODES",
+    "SignificanceRequest",
     "SignificanceResult",
     "compute_join_tree",
     "compute_split_tree",
     "evaluate_features",
     "relation",
+    "significance_batch",
     "significance_test",
     "Dataset",
     "DatasetSchema",

@@ -30,6 +30,13 @@ daemons over TCP (the coordinator binds ``$REPRO_CLUSTER``, default
 plane).  Results are bit-identical to the serial default under a fixed
 seed — including queries against a loaded index.  Flags left unset fall
 back to ``$REPRO_EXECUTOR`` / ``$REPRO_WORKERS``.
+
+``query`` and ``demo`` also accept ``--significance-mode
+{exact,batched,adaptive}`` (default ``adaptive``): the fast modes batch
+the Monte Carlo permutation tests across function pairs and, for
+``adaptive``, stop each test as soon as its significance decision at α is
+settled — same decisions as ``exact``, an order of magnitude faster (see
+:mod:`repro.core.significance`).
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ import time
 
 from .core.clause import Clause
 from .core.corpus import Corpus, CorpusIndex
+from .core.significance import SIGNIFICANCE_MODES
 from .data.catalog import load_catalog, save_catalog
 from .mapreduce.engine import ALL_EXECUTORS, default_engine
 from .synth import nyc_urban_collection
@@ -86,9 +94,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
     datasets, city = load_catalog(args.data)
     print(f"loaded {len(datasets)} data sets from {args.data}")
     corpus = Corpus(datasets, city)
-    index = corpus.build_index(
-        temporal=_parse_temporal(args.temporal), engine=engine
-    )
+    index = corpus.build_index(temporal=_parse_temporal(args.temporal), engine=engine)
     print(
         f"indexed {index.stats.n_scalar_functions} scalar functions "
         f"in {index.stats.scalar_seconds + index.stats.feature_seconds:.1f}s "
@@ -159,8 +165,12 @@ def _cmd_update(args: argparse.Namespace) -> int:
     )
     engine = default_engine(args.workers, args.executor)
     report = apply_update(
-        args.index, corpus, spatial=spatial, temporal=temporal,
-        engine=engine, plan=plan,
+        args.index,
+        corpus,
+        spatial=spatial,
+        temporal=temporal,
+        engine=engine,
+        plan=plan,
     )
     print(report.describe())
     return 0
@@ -217,11 +227,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         n_permutations=args.permutations,
         seed=args.seed,
         engine=engine,
+        significance_mode=args.significance_mode,
     )
     print(
         f"evaluated {result.n_evaluated} relationships, "
         f"{result.n_significant} significant "
-        f"({result.evaluations_per_minute:,.0f} evaluations/minute)\n"
+        f"({result.evaluations_per_minute:,.0f} evaluations/minute, "
+        f"{result.significance_mode} significance)\n"
     )
     for rel in result.top(args.top):
         print(" ", rel.describe())
@@ -238,7 +250,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         temporal=(TemporalResolution.HOUR, TemporalResolution.DAY),
         engine=engine,
     )
-    result = index.query(n_permutations=200, seed=args.seed, engine=engine)
+    result = index.query(
+        n_permutations=200,
+        seed=args.seed,
+        engine=engine,
+        significance_mode=args.significance_mode,
+    )
     print(f"{result.n_significant} significant relationships; strongest:")
     for rel in result.top(6):
         print(" ", rel.describe())
@@ -259,7 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--scale", type=float, default=0.5)
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument(
-        "--datasets", default="",
+        "--datasets",
+        default="",
         help="comma-separated subset of data sets (default: all nine)",
     )
     sim.set_defaults(func=_cmd_simulate)
@@ -269,7 +287,8 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--out", required=True, help="output index directory")
     idx.add_argument("--temporal", default="", help="e.g. 'day,week'")
     idx.add_argument(
-        "--force", action="store_true",
+        "--force",
+        action="store_true",
         help="rebuild from scratch even if --out already holds an index "
         "(default: refuse and suggest `repro update`)",
     )
@@ -284,11 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     upd.add_argument("--data", required=True, help="catalog directory")
     upd.add_argument("--index", required=True, help="existing index directory")
     upd.add_argument(
-        "--dry-run", action="store_true",
+        "--dry-run",
+        action="store_true",
         help="print the keep/rebuild/add/drop plan and exit without writing",
     )
     upd.add_argument(
-        "--temporal", default="",
+        "--temporal",
+        default="",
         help="temporal resolutions to maintain, e.g. 'day,week' "
         "(default: the resolutions already in the index)",
     )
@@ -310,11 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--temporal", default="", help="e.g. 'day,week'")
     qry.add_argument("--top", type=int, default=15)
     qry.add_argument("--seed", type=int, default=0)
+    _add_significance_mode_flag(qry)
     _add_parallel_flags(qry)
     qry.set_defaults(func=_cmd_query)
 
     demo = sub.add_parser("demo", help="end-to-end demo on synthetic data")
     demo.add_argument("--seed", type=int, default=7)
+    _add_significance_mode_flag(demo)
     _add_parallel_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
@@ -324,22 +347,26 @@ def build_parser() -> argparse.ArgumentParser:
         "execute map/reduce tasks until shut down)",
     )
     wrk.add_argument(
-        "--connect", required=True, metavar="HOST:PORT",
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
         help="coordinator address (a driver run with --executor cluster, "
         "binding $REPRO_CLUSTER)",
     )
     wrk.add_argument(
-        "--id", default=None,
+        "--id",
+        default=None,
         help="worker id shown in coordinator errors (default: host-pid)",
     )
     wrk.add_argument(
-        "--retry", type=float, default=60.0, metavar="SECONDS",
+        "--retry",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
         help="keep dialing this long without a successful connection "
         "before giving up (default: 60)",
     )
-    wrk.add_argument(
-        "--quiet", action="store_true", help="suppress status lines"
-    )
+    wrk.add_argument("--quiet", action="store_true", help="suppress status lines")
     wrk.set_defaults(func=_cmd_worker)
     return parser
 
@@ -355,14 +382,30 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
 
 
+def _add_significance_mode_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--significance-mode",
+        choices=SIGNIFICANCE_MODES,
+        default="adaptive",
+        help="permutation-test evaluation: 'adaptive' (default) batches "
+        "pairs and stops each test once its decision at alpha is settled, "
+        "'batched' runs all permutations vectorized (bit-identical "
+        "p-values), 'exact' is the per-pair reference path",
+    )
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="map-reduce worker count (default: $REPRO_WORKERS, else 1); "
         "for --executor cluster: how many connected workers to wait for",
     )
     parser.add_argument(
-        "--executor", choices=ALL_EXECUTORS, default=None,
+        "--executor",
+        choices=ALL_EXECUTORS,
+        default=None,
         help="map-reduce executor: 'thread' overlaps NumPy work, 'process' "
         "also parallelizes pure-Python merge-tree sweeps, 'cluster' "
         "dispatches to `repro worker` daemons over TCP "

@@ -18,9 +18,7 @@ from ..stats.descriptive import z_normalize
 from ..utils.errors import DataError
 
 
-def dtw_distance(
-    x: np.ndarray, y: np.ndarray, window: int | None = None
-) -> float:
+def dtw_distance(x: np.ndarray, y: np.ndarray, window: int | None = None) -> float:
     """DTW distance with absolute-difference local cost.
 
     ``window`` optionally applies a Sakoe–Chiba band of that half-width,

@@ -46,14 +46,17 @@ from ..utils.rng import RngLike, ensure_rng
 from .clause import Clause
 from .features import FeatureExtractor
 from .operator import (
+    SIGNIFICANCE_CHUNK_TASKS,
     DatasetIndex,
     IndexedFunction,
+    PairTask,
     RelationReport,
     RelationshipResult,
     enumerate_pair_tasks,
-    evaluate_pair_task,
+    evaluate_pair_chunk,
 )
 from .scalar_function import ScalarFunction
+from .significance import SIGNIFICANCE_MODES
 
 # Imported after the core modules above: repro.mapreduce.__init__ pulls in
 # pipeline.py, which imports repro.core.operator — already materialized at
@@ -107,6 +110,7 @@ class QueryResult:
     n_significant: int = 0
     elapsed_seconds: float = 0.0
     job_stats: JobStats | None = None
+    significance_mode: str = "exact"
 
     @property
     def evaluations_per_minute(self) -> float:
@@ -197,11 +201,13 @@ class IndexPartitionJob(MapReduceJob):
 class RelationshipPairJob(MapReduceJob):
     """One map task per function pair; one reducer per data set pair.
 
-    Map input: ``((pair_seq, name1, name2), (task, base_seed))`` where
-    ``task`` is a :class:`~repro.core.operator.PairTask`.  The mapper runs
-    the feature comparison and (when the clause admits it) the restricted
-    Monte Carlo significance test; the reducer sorts outcomes back into
-    serial order and assembles the pair's :class:`RelationReport`.
+    Map input: ``((pair_seq, name1, name2), (payload, base_seed))`` where
+    ``payload`` is one :class:`~repro.core.operator.PairTask` (exact mode)
+    or a list of them (batched/adaptive modes, which amortize the stacked
+    significance passes across the chunk).  The mapper runs the feature
+    comparison and (when the clause admits it) the restricted Monte Carlo
+    significance test; the reducer sorts outcomes back into serial order
+    and assembles the pair's :class:`RelationReport`.
     """
 
     def __init__(
@@ -210,17 +216,20 @@ class RelationshipPairJob(MapReduceJob):
         n_permutations: int,
         alternative: str,
         extractor: FeatureExtractor | None,
+        significance_mode: str = "exact",
     ) -> None:
         self.clause = clause
         self.n_permutations = n_permutations
         self.alternative = alternative
         self.extractor = extractor
+        self.significance_mode = significance_mode
 
     def map(self, key: Any, value: Any):
         _pair_seq, name1, name2 = key
-        task, base_seed = value
-        outcome = evaluate_pair_task(
-            task,
+        payload, base_seed = value
+        tasks = [payload] if isinstance(payload, PairTask) else list(payload)
+        for outcome in evaluate_pair_chunk(
+            tasks,
             name1,
             name2,
             self.clause,
@@ -228,8 +237,9 @@ class RelationshipPairJob(MapReduceJob):
             self.alternative,
             base_seed,
             self.extractor,
-        )
-        yield key, outcome
+            self.significance_mode,
+        ):
+            yield key, outcome
 
     def reduce(self, key: Any, values: list[Any]):
         _pair_seq, name1, name2 = key
@@ -256,9 +266,7 @@ def _resolve_engine(
     """
     if engine is not None:
         return engine
-    return default_engine(
-        n_workers=n_workers, executor=executor, map_chunk_size="auto"
-    )
+    return default_engine(n_workers=n_workers, executor=executor, map_chunk_size="auto")
 
 
 def resolution_scope(
@@ -280,7 +288,8 @@ def resolution_scope(
 def scope_whitelists(
     scope: dict | None,
 ) -> tuple[
-    tuple[SpatialResolution, ...] | None, tuple[TemporalResolution, ...] | None
+    tuple[SpatialResolution, ...] | None,
+    tuple[TemporalResolution, ...] | None,
 ]:
     """Inverse of :func:`resolution_scope`; ``None`` scope -> (None, None)."""
     if not scope:
@@ -488,6 +497,7 @@ class CorpusIndex:
         n_workers: int | None = None,
         executor: str | None = None,
         engine: Engine | None = None,
+        significance_mode: str = "exact",
     ) -> QueryResult:
         """Find relationships between D1 and D2 satisfying ``clause`` (§5.3).
 
@@ -501,9 +511,19 @@ class CorpusIndex:
         so ``executor="thread"`` or ``"process"`` with ``n_workers=4``
         returns results bit-identical to the serial default under the same
         ``seed``.
+
+        ``significance_mode`` selects the permutation-test evaluation mode
+        (see :mod:`repro.core.significance`): ``"exact"`` keeps one map task
+        per function pair; ``"batched"`` and ``"adaptive"`` group tasks into
+        chunks of :data:`~repro.core.operator.SIGNIFICANCE_CHUNK_TASKS` so
+        whole chunks share stacked NumPy significance passes.  Batched
+        results are bit-identical to exact's, adaptive ones are
+        decision-identical at the clause's α — under every executor.
         """
         if clause is None:
             clause = Clause()
+        if significance_mode not in SIGNIFICANCE_MODES:
+            raise QueryError(f"unknown significance mode {significance_mode!r}")
         d1 = list(datasets1) if datasets1 else list(self.datasets)
         d2 = list(datasets2) if datasets2 else list(self.datasets)
         for name in d1 + d2:
@@ -525,7 +545,7 @@ class CorpusIndex:
                 pairs.append(key)
 
         run_engine = _resolve_engine(engine, n_workers, executor)
-        result = QueryResult()
+        result = QueryResult(significance_mode=significance_mode)
         start = time.perf_counter()
 
         inputs: list[tuple[Any, Any]] = []
@@ -533,15 +553,23 @@ class CorpusIndex:
             # Mirrors relation(): a fresh draw per pair, so an int seed gives
             # every pair the same base and a Generator advances in pair order.
             base_seed = int(ensure_rng(seed).integers(2**62))
-            for task in enumerate_pair_tasks(
-                self.datasets[a], self.datasets[b], clause
-            ):
-                inputs.append(((pair_seq, a, b), (task, base_seed)))
+            tasks = enumerate_pair_tasks(self.datasets[a], self.datasets[b], clause)
+            if significance_mode == "exact":
+                for task in tasks:
+                    inputs.append(((pair_seq, a, b), (task, base_seed)))
+            else:
+                # Chunked map tasks: the batched/adaptive modes win by
+                # amortizing stacked NumPy passes across a whole chunk.
+                for lo in range(0, len(tasks), SIGNIFICANCE_CHUNK_TASKS):
+                    chunk = tasks[lo : lo + SIGNIFICANCE_CHUNK_TASKS]
+                    inputs.append(((pair_seq, a, b), (chunk, base_seed)))
 
         extractor = self.extractor
         if extractor is None and self.corpus is not None:
             extractor = self.corpus.extractor
-        job = RelationshipPairJob(clause, n_permutations, alternative, extractor)
+        job = RelationshipPairJob(
+            clause, n_permutations, alternative, extractor, significance_mode
+        )
         outputs, job_stats = run_engine.run(job, inputs)
         result.job_stats = job_stats
 

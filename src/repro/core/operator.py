@@ -22,7 +22,16 @@ from .clause import Clause
 from .features import FeatureExtractor, FeatureSet, FunctionFeatures
 from .relationship import evaluate_features
 from .scalar_function import ScalarFunction
-from .significance import significance_test
+from .significance import (
+    SIGNIFICANCE_MODES,
+    SignificanceRequest,
+    significance_batch,
+    significance_test,
+)
+
+#: Pair tasks batched per :func:`evaluate_pair_chunk` call.  Large enough to
+#: amortize the stacked NumPy passes, small enough to keep map tasks granular.
+SIGNIFICANCE_CHUNK_TASKS = 64
 
 
 @dataclass
@@ -186,9 +195,7 @@ def enumerate_pair_tasks(
 ) -> list[PairTask]:
     """All function-pair tasks of ``relation(index1, index2)``, serial order."""
     tasks: list[PairTask] = []
-    common = [
-        key for key in index1.resolutions() if key in set(index2.resolutions())
-    ]
+    common = [key for key in index1.resolutions() if key in set(index2.resolutions())]
     for key in common:
         spatial, temporal = key
         if not clause.admits_resolution(spatial, temporal):
@@ -274,6 +281,128 @@ def evaluate_pair_task(
     return outcome
 
 
+def evaluate_pair_chunk(
+    tasks: list[PairTask],
+    dataset1: str,
+    dataset2: str,
+    clause: Clause,
+    n_permutations: int,
+    alternative: str,
+    base_seed: int,
+    extractor: FeatureExtractor | None,
+    significance_mode: str = "exact",
+) -> list[PairOutcome]:
+    """Evaluate a chunk of pair tasks with batched significance testing.
+
+    The chunk is where the fast modes pay off: candidate pairs across all
+    tasks are queued into one :func:`significance_batch` call (stacked FFT /
+    co-occurrence passes instead of per-pair Python loops), and domain
+    graphs are built once per (graph, overlap) instead of once per task.
+    ``significance_mode="exact"`` simply delegates to
+    :func:`evaluate_pair_task` per task, so the reference path stays
+    untouched.  Outcomes are returned in task order, one per task, and are
+    identical (batched) or decision-identical (adaptive) to exact mode's.
+    """
+    if significance_mode == "exact":
+        return [
+            evaluate_pair_task(
+                task,
+                dataset1,
+                dataset2,
+                clause,
+                n_permutations,
+                alternative,
+                base_seed,
+                extractor,
+            )
+            for task in tasks
+        ]
+
+    graphs: dict[tuple[int, int, int, int], DomainGraph] = {}
+    outcomes: list[PairOutcome] = []
+    requests: list[SignificanceRequest] = []
+    holders: list[tuple[PairOutcome, PairTask, str, object]] = []
+    for task in tasks:
+        fn1, fn2 = task.fn1, task.fn2
+        outcome = PairOutcome(seq=task.seq)
+        outcomes.append(outcome)
+        slices = _overlap_slices(fn1.function, fn2.function)
+        if slices is None:
+            continue
+        s1, s2 = slices
+        graph_key = (
+            id(fn1.function.graph.spatial_pairs),
+            id(fn1.function.graph.step_labels),
+            s1.start,
+            s1.stop,
+        )
+        graph = graphs.get(graph_key)
+        if graph is None:
+            graph = DomainGraph(
+                n_regions=fn1.function.n_regions,
+                n_steps=s1.stop - s1.start,
+                spatial_pairs=fn1.function.graph.spatial_pairs,
+                step_labels=fn1.function.graph.step_labels[s1],
+            )
+            graphs[graph_key] = graph
+        for feature_type in clause.feature_types:
+            outcome.n_evaluated += 1
+            fs1 = _resolve_features(fn1, feature_type, clause, extractor)
+            fs2 = _resolve_features(fn2, feature_type, clause, extractor)
+            fs1 = fs1.slice_steps(s1.start, s1.stop)
+            fs2 = fs2.slice_steps(s2.start, s2.stop)
+            measures = evaluate_features(fs1, fs2)
+            if not measures.is_related or not clause.admits_measures(measures):
+                continue
+            outcome.n_candidates += 1
+            requests.append(
+                SignificanceRequest(
+                    fs1,
+                    fs2,
+                    graph,
+                    seed=_pair_rng(
+                        base_seed,
+                        fn1.function_id,
+                        fn2.function_id,
+                        task.spatial.value,
+                        task.temporal.value,
+                        feature_type,
+                    ),
+                    observed=measures.score,
+                )
+            )
+            holders.append((outcome, task, feature_type, measures))
+
+    sigs = significance_batch(
+        requests,
+        n_permutations=n_permutations,
+        alternative=alternative,
+        mode=significance_mode,
+        alpha=clause.alpha,
+    )
+    for (outcome, task, feature_type, measures), sig in zip(holders, sigs):
+        if not sig.is_significant(clause.alpha):
+            continue
+        outcome.results.append(
+            RelationshipResult(
+                dataset1=dataset1,
+                dataset2=dataset2,
+                function1=task.fn1.function_id,
+                function2=task.fn2.function_id,
+                spatial=task.spatial,
+                temporal=task.temporal,
+                feature_type=feature_type,
+                score=measures.score,
+                strength=measures.strength,
+                p_value=sig.p_value,
+                n_related=measures.n_related,
+                precision=measures.precision,
+                recall=measures.recall,
+            )
+        )
+    return outcomes
+
+
 def relation(
     index1: DatasetIndex,
     index2: DatasetIndex,
@@ -282,6 +411,7 @@ def relation(
     alternative: str = "two-sided",
     seed: RngLike = 0,
     extractor: FeatureExtractor | None = None,
+    significance_mode: str = "exact",
 ) -> RelationReport:
     """Evaluate all relationships between two indexed data sets.
 
@@ -300,6 +430,11 @@ def relation(
     extractor:
         Only needed when the clause pins custom thresholds (to recompute
         features for those functions).
+    significance_mode:
+        ``"exact"`` (default), ``"batched"`` or ``"adaptive"`` — see
+        :mod:`repro.core.significance`.  Batched and adaptive evaluate
+        tasks in chunks of :data:`SIGNIFICANCE_CHUNK_TASKS` through
+        :func:`significance_batch`.
 
     ``relation`` runs the tasks serially; ``CorpusIndex.query`` routes the
     same :func:`evaluate_pair_task` units through the map-reduce engine, so
@@ -309,13 +444,16 @@ def relation(
         clause = Clause()
     if index1.dataset == index2.dataset:
         raise DataError("relation() requires two distinct data sets")
+    if significance_mode not in SIGNIFICANCE_MODES:
+        raise DataError(f"unknown significance mode {significance_mode!r}")
     rng = ensure_rng(seed)
     base_seed = int(rng.integers(2**62))
 
     report = RelationReport(dataset1=index1.dataset, dataset2=index2.dataset)
-    for task in enumerate_pair_tasks(index1, index2, clause):
-        outcome = evaluate_pair_task(
-            task,
+    tasks = enumerate_pair_tasks(index1, index2, clause)
+    for lo in range(0, len(tasks), SIGNIFICANCE_CHUNK_TASKS):
+        for outcome in evaluate_pair_chunk(
+            tasks[lo : lo + SIGNIFICANCE_CHUNK_TASKS],
             report.dataset1,
             report.dataset2,
             clause,
@@ -323,10 +461,11 @@ def relation(
             alternative,
             base_seed,
             extractor,
-        )
-        report.n_evaluated += outcome.n_evaluated
-        report.n_candidates += outcome.n_candidates
-        report.results.extend(outcome.results)
+            significance_mode,
+        ):
+            report.n_evaluated += outcome.n_evaluated
+            report.n_candidates += outcome.n_candidates
+            report.results.extend(outcome.results)
     report.n_significant = len(report.results)
     return report
 

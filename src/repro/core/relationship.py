@@ -60,9 +60,7 @@ def score_from_masks(
     positive and a negative feature of the same function.
     """
     if pos1.shape != pos2.shape:
-        raise DataError(
-            f"feature masks must align, got {pos1.shape} vs {pos2.shape}"
-        )
+        raise DataError(f"feature masks must align, got {pos1.shape} vs {pos2.shape}")
     union1 = pos1 | neg1
     union2 = pos2 | neg2
     n1 = int(np.count_nonzero(union1))

@@ -69,7 +69,9 @@ def salient_cluster(persistence: np.ndarray) -> np.ndarray:
     return result.labels == 1
 
 
-def salient_thresholds(join_tree: MergeTree, split_tree: MergeTree) -> SalientThresholds:
+def salient_thresholds(
+    join_tree: MergeTree, split_tree: MergeTree
+) -> SalientThresholds:
     """Salient θ⁺/θ⁻ for one seasonal interval from its merge trees."""
     max_mask = salient_cluster(join_tree.persistence_values())
     min_mask = salient_cluster(split_tree.persistence_values())

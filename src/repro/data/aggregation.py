@@ -119,7 +119,8 @@ def default_specs(dataset: Dataset, aggregator: str = "mean") -> list[FunctionSp
     """All scalar functions the paper derives from a data set (§5.1)."""
     specs = [FunctionSpec(dataset.name, "density")]
     specs.extend(
-        FunctionSpec(dataset.name, "unique", key) for key in dataset.schema.key_attributes
+        FunctionSpec(dataset.name, "unique", key)
+        for key in dataset.schema.key_attributes
     )
     specs.extend(
         FunctionSpec(dataset.name, "attribute", attr, aggregator)

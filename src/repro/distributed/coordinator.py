@@ -146,9 +146,7 @@ class Coordinator:
         self.heartbeat_timeout = heartbeat_timeout
         self._owns_spool = spool_dir is None
         if spool_dir is None:
-            self.spool_dir = Path(
-                tempfile.mkdtemp(prefix="repro-cluster-spool-")
-            )
+            self.spool_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-spool-"))
         else:
             self.spool_dir = Path(spool_dir)
             self.spool_dir.mkdir(parents=True, exist_ok=True)
@@ -163,9 +161,7 @@ class Coordinator:
         self.total_retries = 0
         self._run_seq = 0
         try:
-            self._listener = socket.create_server(
-                (host, port), reuse_port=False
-            )
+            self._listener = socket.create_server((host, port), reuse_port=False)
         except OSError as exc:
             raise MapReduceError(
                 f"cannot bind cluster coordinator to {host}:{port}: {exc} "
@@ -185,9 +181,7 @@ class Coordinator:
                 conn, _addr = self._listener.accept()
             except OSError:  # listener closed
                 return
-            threading.Thread(
-                target=self._register, args=(conn,), daemon=True
-            ).start()
+            threading.Thread(target=self._register, args=(conn,), daemon=True).start()
 
     def _register(self, conn: socket.socket) -> None:
         try:
@@ -196,9 +190,7 @@ class Coordinator:
             protocol.send_preamble(conn)
             hello = protocol.recv_msg(conn)
             if not isinstance(hello, Hello):
-                raise WireError(
-                    f"expected Hello, got {type(hello).__name__}"
-                )
+                raise WireError(f"expected Hello, got {type(hello).__name__}")
             protocol.send_msg(
                 conn,
                 Welcome(
@@ -271,9 +263,7 @@ class Coordinator:
         state = _PhaseState(payloads)
         workers = self.alive_workers()
         if not workers:
-            raise MapReduceError(
-                f"no cluster workers connected for the {phase} phase"
-            )
+            raise MapReduceError(f"no cluster workers connected for the {phase} phase")
         threads = []
         with state.cond:
             state.runners = len(workers)
@@ -534,9 +524,7 @@ class ClusterEngine:
         connect_timeout: float = CONNECT_TIMEOUT,
         shared: bool = False,
     ) -> None:
-        self._bind_host, self._bind_port = protocol.parse_address(
-            bind, variable="bind"
-        )
+        self._bind_host, self._bind_port = protocol.parse_address(bind, variable="bind")
         if not isinstance(n_workers, int) or n_workers < 1:
             raise MapReduceError(
                 f"n_workers must be an integer >= 1, got {n_workers!r}"
@@ -567,9 +555,7 @@ class ClusterEngine:
         """The live coordinator, binding the listener on first use."""
         if self._coordinator is None or self._coordinator.closed:
             if self.shared:
-                self._coordinator = shared_coordinator(
-                    self._bind_host, self._bind_port
-                )
+                self._coordinator = shared_coordinator(self._bind_host, self._bind_port)
             else:
                 self._coordinator = Coordinator(
                     host=self._bind_host, port=self._bind_port
@@ -601,9 +587,7 @@ class ClusterEngine:
             # Size for the workers actually registered, not just the minimum
             # waited for — every connected worker gets dispatch threads, and
             # extra hosts must not be starved by too-coarse chunks.
-            n_hosts = max(
-                self.n_workers, len(self.coordinator.alive_workers())
-            )
+            n_hosts = max(self.n_workers, len(self.coordinator.alive_workers()))
             return auto_chunk_size(n_inputs, n_hosts, "cluster")
         return self.map_chunk_size
 

@@ -163,9 +163,7 @@ class ArtifactCache:
         self.n_fetched = 0
         self.n_mapped = 0
 
-    def resolve(
-        self, ref: tuple, fetch: Callable[[str], bytes]
-    ) -> np.ndarray:
+    def resolve(self, ref: tuple, fetch: Callable[[str], bytes]) -> np.ndarray:
         name, dtype_str, shape, spool_path = ref
         cached = self._arrays.get(name)
         if cached is not None:
@@ -185,9 +183,7 @@ class ArtifactCache:
         return array
 
     @staticmethod
-    def _from_spool(
-        spool_path: str, dtype_str: str, shape: tuple
-    ) -> np.ndarray | None:
+    def _from_spool(spool_path: str, dtype_str: str, shape: tuple) -> np.ndarray | None:
         if not spool_path or not os.path.isfile(spool_path):
             return None
         try:

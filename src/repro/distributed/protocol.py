@@ -147,9 +147,7 @@ def recv_preamble(sock: socket.socket) -> None:
     """Read and verify the 5-byte preamble; raises :class:`WireError`."""
     raw = _recv_exact(sock, len(PREAMBLE), eof_ok=False)
     if raw[:4] != MAGIC:
-        raise WireError(
-            f"peer is not a repro cluster endpoint (got {raw[:4]!r})"
-        )
+        raise WireError(f"peer is not a repro cluster endpoint (got {raw[:4]!r})")
     if raw[4] != PROTOCOL_VERSION:
         raise WireError(
             f"protocol version mismatch: peer speaks {raw[4]}, "
@@ -189,9 +187,7 @@ def recv_msg(sock: socket.socket) -> Any | None:
         raise WireError(f"could not unpickle a frame: {exc}") from exc
 
 
-def _recv_exact(
-    sock: socket.socket, n: int, eof_ok: bool
-) -> bytes | None:
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> bytes | None:
     """Read exactly ``n`` bytes; ``None`` on immediate EOF when allowed."""
     chunks: list[bytes] = []
     remaining = n
@@ -229,7 +225,5 @@ def parse_address(spec: str, variable: str = "address") -> tuple[str, int]:
             f"{variable} must be HOST:PORT with an integer port, got {spec!r}"
         ) from None
     if not 0 <= port <= 65535:
-        raise MapReduceError(
-            f"{variable} port must be in [0, 65535], got {port}"
-        )
+        raise MapReduceError(f"{variable} port must be in [0, 65535], got {port}")
     return host, port

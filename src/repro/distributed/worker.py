@@ -67,9 +67,7 @@ def execute_task(payload: bytes, cache: ArtifactCache, fetch) -> TaskResult:
     """
     start = time.perf_counter()
     try:
-        kind, job, data = loads(
-            payload, lambda ref: cache.resolve(ref, fetch)
-        )
+        kind, job, data = loads(payload, lambda ref: cache.resolve(ref, fetch))
         if kind == "map":
             result: list = _map_chunk(job, data)
         elif kind == "reduce":
@@ -201,9 +199,7 @@ def _serve(connection: _Connection, cache: ArtifactCache) -> str:
             cache.clear(message.run_id)
             continue
         if isinstance(message, Task):
-            result = execute_task(
-                message.payload, cache, connection.fetch_artifact
-            )
+            result = execute_task(message.payload, cache, connection.fetch_artifact)
             result.task_id = message.task_id
             try:
                 connection.send(result)

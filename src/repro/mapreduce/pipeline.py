@@ -81,8 +81,11 @@ class ScalarFunctionJob(MapReduceJob):
         # Density and attribute functions aggregate additively: compute
         # sums/counts on the chunk.  Unique functions need global dedup.
         aggs = aggregate(
-            chunk, s_res, t_res,
-            regions=regions, step_range=step_range,
+            chunk,
+            s_res,
+            t_res,
+            regions=regions,
+            step_range=step_range,
             specs=[FunctionSpec(dataset_name, "density")],
             fill="zero",
         )
@@ -228,11 +231,13 @@ class RelationshipJob(MapReduceJob):
         n_permutations: int = 1000,
         alternative: str = "two-sided",
         seed: int = 0,
+        significance_mode: str = "exact",
     ) -> None:
         self.clause = clause or Clause()
         self.n_permutations = n_permutations
         self.alternative = alternative
         self.seed = seed
+        self.significance_mode = significance_mode
 
     def map(self, key: Any, value: Any):
         # key: (name1, name2); value: (DatasetIndex, DatasetIndex).
@@ -247,6 +252,7 @@ class RelationshipJob(MapReduceJob):
             n_permutations=self.n_permutations,
             alternative=self.alternative,
             seed=self.seed,
+            significance_mode=self.significance_mode,
         )
         yield key, report
 
@@ -368,6 +374,7 @@ class PolygamyPipeline:
         clause: Clause | None = None,
         n_permutations: int = 1000,
         seed: int = 0,
+        significance_mode: str = "exact",
     ) -> tuple[list[RelationReport], JobStats]:
         """Job 3: evaluate every unordered data set pair."""
         names = sorted(indexes)
@@ -375,7 +382,12 @@ class PolygamyPipeline:
         for i, a in enumerate(names):
             for b in names[i + 1 :]:
                 inputs.append(((a, b), (indexes[a], indexes[b])))
-        job = RelationshipJob(clause, n_permutations=n_permutations, seed=seed)
+        job = RelationshipJob(
+            clause,
+            n_permutations=n_permutations,
+            seed=seed,
+            significance_mode=significance_mode,
+        )
         outputs, stats = self.engine.run(job, inputs)
         return [report for _, report in outputs], stats
 
@@ -389,6 +401,7 @@ class PolygamyPipeline:
         spatial: tuple[SpatialResolution, ...] | None = None,
         temporal: tuple[TemporalResolution, ...] | None = None,
         seed: int = 0,
+        significance_mode: str = "exact",
     ) -> PipelineRun:
         """All three jobs back to back."""
         run = PipelineRun()
@@ -397,7 +410,11 @@ class PolygamyPipeline:
         )
         run.indexes, run.feature_stats = self.run_feature_identification(functions)
         run.reports, run.relationship_stats = self.run_relationships(
-            run.indexes, clause=clause, n_permutations=n_permutations, seed=seed
+            run.indexes,
+            clause=clause,
+            n_permutations=n_permutations,
+            seed=seed,
+            significance_mode=significance_mode,
         )
         return run
 

@@ -157,9 +157,7 @@ class SharedArrayPlane:
         if ref is not None:
             return ref
         name = SEGMENT_PREFIX + secrets.token_hex(8)
-        segment = shared_memory.SharedMemory(
-            create=True, size=array.nbytes, name=name
-        )
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes, name=name)
         _LIVE_SEGMENTS.add(name)
         self._segments.append(segment)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
@@ -253,11 +251,7 @@ class _ShmUnpickler(pickle.Unpickler):
     """Unpickler that resolves plane references back into shared views."""
 
     def persistent_load(self, pid: Any) -> Any:
-        if (
-            isinstance(pid, tuple)
-            and len(pid) == 2
-            and pid[0] == _PID_TAG
-        ):
+        if isinstance(pid, tuple) and len(pid) == 2 and pid[0] == _PID_TAG:
             return attach(pid[1])
         raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
 

@@ -76,12 +76,24 @@ class CityModel:
         """
         xmin, ymin, xmax, ymax = extent
         nbhd = grid_partition(
-            nbhd_grid[0], nbhd_grid[1], xmin, ymin, xmax, ymax,
-            name="neighborhood", prefix="nbhd",
+            nbhd_grid[0],
+            nbhd_grid[1],
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+            name="neighborhood",
+            prefix="nbhd",
         )
         zips = grid_partition(
-            zip_grid[0], zip_grid[1], xmin, ymin, xmax, ymax,
-            name="zip", prefix="zip",
+            zip_grid[0],
+            zip_grid[1],
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+            name="zip",
+            prefix="zip",
         )
         city = city_partition(xmin, ymin, xmax, ymax)
         return cls(

@@ -56,7 +56,9 @@ class RegionSet:
         try:
             return self._id_to_index[region_id]
         except KeyError:
-            raise DataError(f"unknown region id {region_id!r} in {self.name!r}") from None
+            raise DataError(
+                f"unknown region id {region_id!r} in {self.name!r}"
+            ) from None
 
     def indices_of(self, region_ids: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`index_of`; unknown ids map to ``-1``."""

@@ -36,7 +36,9 @@ def bike_hourly_rate(sim: CitySimulation) -> np.ndarray:
     return rate
 
 
-def bike_dataset(sim: CitySimulation, n_stations: int = 80, n_bikes: int = 400) -> Dataset:
+def bike_dataset(
+    sim: CitySimulation, n_stations: int = 80, n_bikes: int = 400
+) -> Dataset:
     """The Citi Bike data set: trips with station and bike identifiers."""
     cfg = sim.config
     w = sim.weather
@@ -53,9 +55,7 @@ def bike_dataset(sim: CitySimulation, n_stations: int = 80, n_bikes: int = 400) 
     depth = w.snow_depth[hour_idx]
     station = rng.integers(0, n_stations, n)
     closed = depth > clear_threshold[station]
-    open_count = np.maximum(
-        1, np.searchsorted(-clear_threshold, -depth, side="right")
-    )
+    open_count = np.maximum(1, np.searchsorted(-clear_threshold, -depth, side="right"))
     # Closed stations push the trip to a random open station instead.
     station[closed] = rng.integers(0, open_count[closed])
 

@@ -143,8 +143,12 @@ def nyc_open_collection(
     datasets: list[Dataset] = []
     for i in range(n_datasets):
         name = f"open_{i:03d}"
-        spatial = SpatialResolution.ZIP if rng.uniform() < 0.5 else SpatialResolution.CITY
-        temporal = TemporalResolution.DAY if rng.uniform() < 0.7 else TemporalResolution.WEEK
+        spatial = (
+            SpatialResolution.ZIP if rng.uniform() < 0.5 else SpatialResolution.CITY
+        )
+        temporal = (
+            TemporalResolution.DAY if rng.uniform() < 0.7 else TemporalResolution.WEEK
+        )
         n_attrs = int(rng.integers(1, max_attributes + 1))
 
         if temporal is TemporalResolution.DAY:
@@ -168,8 +172,10 @@ def nyc_open_collection(
         for a in range(n_attrs):
             if rng.uniform() < related_fraction:
                 latent = latents[int(rng.integers(len(latents)))]
-                slot_signal = latent[:n_slots] if temporal is TemporalResolution.DAY else (
-                    latent[: n_slots * 7].reshape(n_slots, 7).mean(axis=1)
+                slot_signal = (
+                    latent[:n_slots]
+                    if temporal is TemporalResolution.DAY
+                    else latent[: n_slots * 7].reshape(n_slots, 7).mean(axis=1)
                 )
                 values = np.repeat(slot_signal, n_regions)
                 values = values * rng.uniform(0.5, 2.0) + rng.normal(

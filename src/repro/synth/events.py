@@ -122,9 +122,7 @@ def simulate_weather(cfg: SimulationConfig, seed_offset: int = 1) -> WeatherTime
     visibility = 10.0 - 0.45 * precipitation - 0.9 * snow + rng.normal(0, 0.4, h)
     visibility = np.clip(visibility, 0.2, 10.0)
 
-    humidity = np.clip(
-        55.0 + 3.0 * precipitation + rng.normal(0, 6.0, h), 10.0, 100.0
-    )
+    humidity = np.clip(55.0 + 3.0 * precipitation + rng.normal(0, 6.0, h), 10.0, 100.0)
     pressure = 1013.0 + rng.normal(0, 4.0, h) - 0.3 * precipitation
 
     return WeatherTimeline(

@@ -48,6 +48,4 @@ def gas_prices_dataset(sim: CitySimulation) -> Dataset:
         numeric_attributes=("price",),
         description="Average gasoline price in dollars per gallon",
     )
-    return Dataset(
-        schema, timestamps=timestamps, numerics={"price": weekly[:n_weeks]}
-    )
+    return Dataset(schema, timestamps=timestamps, numerics={"price": weekly[:n_weeks]})

@@ -43,11 +43,12 @@ def twitter_dataset(sim: CitySimulation) -> Dataset:
         numeric_attributes=("retweets", "followers"),
         description="Geo-tagged public tweets (synthetic)",
     )
+    user_ids = np.char.add("U", rng.integers(0, max(10, n // 3), n).astype(str))
     return Dataset(
         schema,
         timestamps=timestamps,
         x=x,
         y=y,
-        keys={"user_id": np.char.add("U", rng.integers(0, max(10, n // 3), n).astype(str))},
+        keys={"user_id": user_ids},
         numerics={"retweets": retweets, "followers": followers},
     )

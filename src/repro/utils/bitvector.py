@@ -63,7 +63,9 @@ class BitVector:
         if idx.min() < 0 or idx.max() >= length:
             raise DataError("bit index out of range")
         np.bitwise_or.at(
-            vec._words, idx // _WORD_BITS, np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64)
+            vec._words,
+            idx // _WORD_BITS,
+            np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64),
         )
         return vec
 
@@ -76,7 +78,9 @@ class BitVector:
             return vec
         padded = np.zeros(vec._words.size * _WORD_BITS, dtype=bool)
         padded[: flags.size] = flags
-        packed = np.packbits(padded.reshape(-1, _WORD_BITS)[:, ::-1], axis=1, bitorder="big")
+        packed = np.packbits(
+            padded.reshape(-1, _WORD_BITS)[:, ::-1], axis=1, bitorder="big"
+        )
         vec._words = packed.view(np.uint64).byteswap().ravel()
         vec._mask_tail()
         return vec
@@ -134,7 +138,9 @@ class BitVector:
         """Set bit ``index`` to 1."""
         if not 0 <= index < self._length:
             raise DataError(f"bit index {index} out of range [0, {self._length})")
-        self._words[index // _WORD_BITS] |= np.uint64(1) << np.uint64(index % _WORD_BITS)
+        self._words[index // _WORD_BITS] |= np.uint64(1) << np.uint64(
+            index % _WORD_BITS
+        )
 
     def clear(self, index: int) -> None:
         """Set bit ``index`` to 0."""

@@ -20,7 +20,9 @@ HOUR = 3600
 class TestCategoryFunctions:
     def make_dataset(self):
         schema = DatasetSchema(
-            "svc", SpatialResolution.CITY, TemporalResolution.SECOND,
+            "svc",
+            SpatialResolution.CITY,
+            TemporalResolution.SECOND,
             key_attributes=("complaint_type",),
         )
         return Dataset(
@@ -35,10 +37,12 @@ class TestCategoryFunctions:
 
     def test_category_counts(self):
         ds = self.make_dataset()
+        spec = FunctionSpec("svc", "category", "complaint_type", category="noise")
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
-            specs=[FunctionSpec("svc", "category", "complaint_type",
-                                category="noise")],
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
+            specs=[spec],
         )
         assert out.values[:, 0].tolist() == [2.0, 1.0]
         assert out.spec.function_id == "svc.count.complaint_type=noise"
@@ -46,7 +50,9 @@ class TestCategoryFunctions:
     def test_category_counts_sum_to_density(self):
         ds = self.make_dataset()
         outs = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[
                 FunctionSpec("svc", "density"),
                 FunctionSpec("svc", "category", "complaint_type", category="noise"),
@@ -62,15 +68,17 @@ class TestCategoryFunctions:
 
     def test_category_needs_key_column(self):
         schema = DatasetSchema(
-            "n", SpatialResolution.CITY, TemporalResolution.SECOND,
+            "n",
+            SpatialResolution.CITY,
+            TemporalResolution.SECOND,
             numeric_attributes=("v",),
         )
-        ds = Dataset(
-            schema, timestamps=np.array([0]), numerics={"v": np.array([1.0])}
-        )
+        ds = Dataset(schema, timestamps=np.array([0]), numerics={"v": np.array([1.0])})
         with pytest.raises(DataError):
             aggregate(
-                ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+                ds,
+                SpatialResolution.CITY,
+                TemporalResolution.HOUR,
                 specs=[FunctionSpec("n", "category", "v", category="1")],
             )
 
@@ -92,8 +100,12 @@ class TestSpatioTemporalTorus:
     def test_aligned_features_significant(self):
         fs1, fs2, graph = self.make_pair(related=True)
         result = significance_test(
-            fs1, fs2, graph, n_permutations=150,
-            method="spatiotemporal_torus", seed=0,
+            fs1,
+            fs2,
+            graph,
+            n_permutations=150,
+            method="spatiotemporal_torus",
+            seed=0,
         )
         assert result.method == "spatiotemporal_torus"
         assert result.observed_score == pytest.approx(1.0)
@@ -102,8 +114,12 @@ class TestSpatioTemporalTorus:
     def test_independent_features_not_significant(self):
         fs1, fs2, graph = self.make_pair(related=False, seed=4)
         result = significance_test(
-            fs1, fs2, graph, n_permutations=150,
-            method="spatiotemporal_torus", seed=0,
+            fs1,
+            fs2,
+            graph,
+            n_permutations=150,
+            method="spatiotemporal_torus",
+            seed=0,
         )
         assert not result.is_significant()
 
@@ -113,7 +129,11 @@ class TestSpatioTemporalTorus:
         fs = FeatureSet(mask, np.zeros_like(mask))
         graph = DomainGraph(1, 200)
         result = significance_test(
-            fs, fs, graph, n_permutations=50,
-            method="spatiotemporal_torus", seed=0,
+            fs,
+            fs,
+            graph,
+            n_permutations=50,
+            method="spatiotemporal_torus",
+            seed=0,
         )
         assert 0.0 < result.p_value <= 1.0

@@ -34,8 +34,11 @@ class TestDegenerateFunctions:
     def test_single_step_function(self):
         graph = DomainGraph(4, 1, np.array([[0, 1], [1, 2], [2, 3]]))
         sf = ScalarFunction(
-            "s.v", np.array([[1.0, 5.0, 2.0, 4.0]]), graph,
-            SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
+            "s.v",
+            np.array([[1.0, 5.0, 2.0, 4.0]]),
+            graph,
+            SpatialResolution.NEIGHBORHOOD,
+            TemporalResolution.DAY,
         )
         features = FeatureExtractor().extract(sf)
         assert features.salient.shape == (1, 4)
@@ -50,8 +53,11 @@ class TestDegenerateFunctions:
         for bad in (np.nan, np.inf, -np.inf):
             with pytest.raises(DataError):
                 ScalarFunction(
-                    "bad.v", np.array([[1.0], [bad]]), graph,
-                    SpatialResolution.CITY, TemporalResolution.HOUR,
+                    "bad.v",
+                    np.array([[1.0], [bad]]),
+                    graph,
+                    SpatialResolution.CITY,
+                    TemporalResolution.HOUR,
                 )
 
     def test_two_point_significance(self):
@@ -88,7 +94,9 @@ class TestMismatchedCollections:
     def test_disjoint_time_ranges_yield_no_evaluations(self):
         early = self.make_dataset("early", TemporalResolution.DAY, 20, 86400)
         schema = DatasetSchema(
-            "late", SpatialResolution.CITY, TemporalResolution.DAY,
+            "late",
+            SpatialResolution.CITY,
+            TemporalResolution.DAY,
             numeric_attributes=("v",),
         )
         late = Dataset(

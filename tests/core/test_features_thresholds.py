@@ -230,7 +230,8 @@ class TestFeatureExtractor:
         # adapt, global thresholds cannot.
         n = 24 * 90  # three months of hourly steps
         t = np.arange(n)
-        values = 10 + 6 * np.sin(2 * np.pi * t / (24 * 60)) + np.random.default_rng(0).normal(0, 0.3, n)
+        noise = np.random.default_rng(0).normal(0, 0.3, n)
+        values = 10 + 6 * np.sin(2 * np.pi * t / (24 * 60)) + noise
         sf = series(values)
         seasonal = FeatureExtractor(seasonal=True).extract(sf)
         global_ = FeatureExtractor(seasonal=False).extract(sf)

@@ -39,7 +39,10 @@ class TestGradientMagnitude:
         graph = DomainGraph(2, 3, pairs)
         values = np.array([[0.0, 5.0], [0.0, 5.0], [0.0, 5.0]])
         sf = ScalarFunction(
-            "g.v", values, graph, SpatialResolution.NEIGHBORHOOD,
+            "g.v",
+            values,
+            graph,
+            SpatialResolution.NEIGHBORHOOD,
             TemporalResolution.HOUR,
         )
         grad = gradient_magnitude(sf)
@@ -67,7 +70,9 @@ class TestGradientFeatures:
         n_steps = 24 * 40
         rng = np.random.default_rng(1)
         t = np.arange(n_steps)
-        values = 30 + 15 * np.sin(2 * np.pi * (t - 6) / 24) + rng.normal(0, 0.5, n_steps)
+        values = (
+            30 + 15 * np.sin(2 * np.pi * (t - 6) / 24) + rng.normal(0, 0.5, n_steps)
+        )
         # Surge at 3am on day 20: baseline ~15 jumps to ~25 for 4 hours.
         surge_start = 20 * 24 + 3
         surge = slice(surge_start, surge_start + 4)

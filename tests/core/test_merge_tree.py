@@ -160,7 +160,9 @@ class TestGridDomains:
         values[5, 0] += 5.0
         values[20, 1] += 4.0
         sf = ScalarFunction(
-            "g.f", values, graph,
+            "g.f",
+            values,
+            graph,
             spatial=SpatialResolution.NEIGHBORHOOD,
             temporal=TemporalResolution.HOUR,
         )
@@ -176,7 +178,10 @@ class TestGridDomains:
         graph = DomainGraph(5, 1, pairs)
         values = np.array([[0.0, 5.0, 5.0, 5.0, 5.0]])
         sf = ScalarFunction(
-            "star.f", values, graph, SpatialResolution.NEIGHBORHOOD,
+            "star.f",
+            values,
+            graph,
+            SpatialResolution.NEIGHBORHOOD,
             TemporalResolution.HOUR,
         )
         tree = compute_join_tree(sf.graph, sf.flat_values())

@@ -20,7 +20,9 @@ HOUR = 3600
 
 def make_indexed(name, values, temporal=TemporalResolution.HOUR, step_offset=0):
     sf = ScalarFunction.time_series(
-        f"{name}.v", np.asarray(values, dtype=float), temporal,
+        f"{name}.v",
+        np.asarray(values, dtype=float),
+        temporal,
         step_labels=np.arange(step_offset, step_offset + len(values)),
     )
     features = FeatureExtractor().extract(sf)
@@ -108,8 +110,11 @@ class TestRelation:
         a, b = correlated_series()
         strict = Clause(min_score=0.99)
         report = relation(
-            make_indexed("da", a), make_indexed("db", b),
-            clause=strict, n_permutations=99, seed=0,
+            make_indexed("da", a),
+            make_indexed("db", b),
+            clause=strict,
+            n_permutations=99,
+            seed=0,
         )
         for result in report.results:
             assert abs(result.score) >= 0.99
@@ -135,7 +140,11 @@ class TestRelation:
         idx_b = make_indexed("db", b)
         clause = Clause(thresholds={"da.v": (14.0, 6.0), "db.v": (8.0, 2.0)})
         report = relation(
-            idx_a, idx_b, clause=clause, n_permutations=150, seed=0,
+            idx_a,
+            idx_b,
+            clause=clause,
+            n_permutations=150,
+            seed=0,
             extractor=FeatureExtractor(),
         )
         assert report.n_significant >= 1
@@ -151,7 +160,9 @@ def build_corpus(seed=0, n_hours=1200):
 
     def city_dataset(name, values):
         schema = DatasetSchema(
-            name, SpatialResolution.CITY, TemporalResolution.HOUR,
+            name,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             numeric_attributes=("v",),
         )
         return Dataset(schema, timestamps=ts, numerics={"v": values})
@@ -182,9 +193,7 @@ class TestCorpus:
         assert all(k[0] is SpatialResolution.CITY for k in keys)
 
     def test_resolution_whitelist(self):
-        index = build_corpus().build_index(
-            temporal=(TemporalResolution.HOUR,)
-        )
+        index = build_corpus().build_index(temporal=(TemporalResolution.HOUR,))
         keys = set(index.dataset_index("alpha").functions)
         assert keys == {(SpatialResolution.CITY, TemporalResolution.HOUR)}
 

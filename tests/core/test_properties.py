@@ -70,9 +70,7 @@ def test_property_density_mass_conserved_across_resolutions(seed):
 
     rng = np.random.default_rng(seed)
     n = int(rng.integers(10, 300))
-    schema = DatasetSchema(
-        "d", SpatialResolution.GPS, TemporalResolution.SECOND
-    )
+    schema = DatasetSchema("d", SpatialResolution.GPS, TemporalResolution.SECOND)
     ds = Dataset(
         schema,
         timestamps=rng.integers(0, 10 * 86400, n),
@@ -82,8 +80,11 @@ def test_property_density_mass_conserved_across_resolutions(seed):
     grid = grid_partition(4, 4, 0, 0, 4, 4)
     spec = [FunctionSpec("d", "density")]
     (hour_nbhd,) = aggregate(
-        ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.HOUR,
-        regions=grid, specs=spec,
+        ds,
+        SpatialResolution.NEIGHBORHOOD,
+        TemporalResolution.HOUR,
+        regions=grid,
+        specs=spec,
     )
     (day_city,) = aggregate(
         ds, SpatialResolution.CITY, TemporalResolution.DAY, specs=spec

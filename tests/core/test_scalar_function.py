@@ -18,16 +18,22 @@ class TestConstruction:
         graph = DomainGraph(2, 3, np.array([[0, 1]]))
         with pytest.raises(DataError):
             ScalarFunction(
-                "f", np.zeros((3, 3)), graph,
-                SpatialResolution.NEIGHBORHOOD, TemporalResolution.HOUR,
+                "f",
+                np.zeros((3, 3)),
+                graph,
+                SpatialResolution.NEIGHBORHOOD,
+                TemporalResolution.HOUR,
             )
 
     def test_nan_rejected(self):
         graph = DomainGraph(1, 2)
         with pytest.raises(DataError):
             ScalarFunction(
-                "f", np.array([[1.0], [np.nan]]), graph,
-                SpatialResolution.CITY, TemporalResolution.HOUR,
+                "f",
+                np.array([[1.0], [np.nan]]),
+                graph,
+                SpatialResolution.CITY,
+                TemporalResolution.HOUR,
             )
 
     def test_time_series_constructor(self):
@@ -39,11 +45,15 @@ class TestConstruction:
 
     def test_from_aggregated(self):
         schema = DatasetSchema(
-            "d", SpatialResolution.CITY, TemporalResolution.HOUR,
+            "d",
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
         )
         ds = Dataset(schema, timestamps=np.array([0, 3600, 7200]))
         (agg,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("d", "density")],
         )
         sf = ScalarFunction.from_aggregated(agg)

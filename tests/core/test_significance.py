@@ -50,7 +50,9 @@ class TestRotationScores:
         rng = np.random.default_rng(0)
         n = 60
         fs1 = FeatureSet(rng.uniform(size=(n, 2)) < 0.3, rng.uniform(size=(n, 2)) < 0.2)
-        fs2 = FeatureSet(rng.uniform(size=(n, 2)) < 0.25, rng.uniform(size=(n, 2)) < 0.3)
+        fs2 = FeatureSet(
+            rng.uniform(size=(n, 2)) < 0.25, rng.uniform(size=(n, 2)) < 0.3
+        )
         fft_scores = rotation_scores_all(fs1, fs2)
         for k in range(1, n):
             rolled = FeatureSet(
@@ -118,8 +120,12 @@ class TestSignificanceTemporal:
 
     def test_deterministic_given_seed(self):
         rng = np.random.default_rng(2)
-        f1 = FeatureSet(rng.uniform(size=(400, 1)) < 0.1, rng.uniform(size=(400, 1)) < 0.1)
-        f2 = FeatureSet(rng.uniform(size=(400, 1)) < 0.1, rng.uniform(size=(400, 1)) < 0.1)
+        f1 = FeatureSet(
+            rng.uniform(size=(400, 1)) < 0.1, rng.uniform(size=(400, 1)) < 0.1
+        )
+        f2 = FeatureSet(
+            rng.uniform(size=(400, 1)) < 0.1, rng.uniform(size=(400, 1)) < 0.1
+        )
         graph = DomainGraph(1, 400)
         a = significance_test(f1, f2, graph, n_permutations=50, seed=9)
         b = significance_test(f1, f2, graph, n_permutations=50, seed=9)
@@ -232,11 +238,11 @@ class TestRestrictedVsNaive:
             fs2 = blocky(seed * 2 + 1)
             if not evaluate_features(fs1, fs2).is_related:
                 continue
-            p_rotation.append(
-                significance_test(fs1, fs2, graph, 99, seed=seed).p_value
-            )
+            p_rotation.append(significance_test(fs1, fs2, graph, 99, seed=seed).p_value)
             p_naive.append(
-                significance_test(fs1, fs2, graph, 99, method="naive", seed=seed).p_value
+                significance_test(
+                    fs1, fs2, graph, 99, method="naive", seed=seed
+                ).p_value
             )
         # The naive test's p-values are systematically smaller (anti-
         # conservative) than the restricted ones on dependent data.

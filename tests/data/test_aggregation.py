@@ -67,7 +67,9 @@ class TestDensityAndUnique:
     def test_density_conserves_records_at_city(self):
         ds, _ = make_gps_dataset(500)
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("taxi", "density")],
         )
         assert out.values.sum() == 500
@@ -77,8 +79,11 @@ class TestDensityAndUnique:
         ds, _ = make_gps_dataset(300)
         grid = grid_partition(3, 3, 0, 0, 3, 3)
         (out,) = aggregate(
-            ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
-            regions=grid, specs=[FunctionSpec("taxi", "density")],
+            ds,
+            SpatialResolution.NEIGHBORHOOD,
+            TemporalResolution.DAY,
+            regions=grid,
+            specs=[FunctionSpec("taxi", "density")],
         )
         # Brute force per cell.
         regions = grid.locate(ds.x, ds.y)
@@ -90,7 +95,9 @@ class TestDensityAndUnique:
 
     def test_unique_counts_distinct_ids(self):
         schema = DatasetSchema(
-            "d", SpatialResolution.CITY, TemporalResolution.HOUR,
+            "d",
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             key_attributes=("k",),
         )
         ds = Dataset(
@@ -99,7 +106,9 @@ class TestDensityAndUnique:
             keys={"k": np.array(["a", "a", "b", "a", "a"])},
         )
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("d", "unique", "k")],
         )
         assert out.values[:, 0].tolist() == [2.0, 1.0]
@@ -116,7 +125,9 @@ class TestDensityAndUnique:
 class TestAttributeAggregators:
     def make_city_dataset(self, values, timestamps):
         schema = DatasetSchema(
-            "d", SpatialResolution.CITY, TemporalResolution.SECOND,
+            "d",
+            SpatialResolution.CITY,
+            TemporalResolution.SECOND,
             numeric_attributes=("v",),
         )
         return Dataset(
@@ -128,7 +139,9 @@ class TestAttributeAggregators:
     def test_mean(self):
         ds = self.make_city_dataset([1.0, 3.0, 10.0], [0, 10, HOUR])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("d", "attribute", "v")],
         )
         assert out.values[:, 0].tolist() == [2.0, 10.0]
@@ -139,7 +152,9 @@ class TestAttributeAggregators:
     def test_other_aggregators(self, agg, expected):
         ds = self.make_city_dataset([1.0, 3.0], [0, 10])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("d", "attribute", "v", agg)],
         )
         assert out.values[0, 0] == expected
@@ -147,7 +162,9 @@ class TestAttributeAggregators:
     def test_nan_values_ignored_in_mean(self):
         ds = self.make_city_dataset([2.0, np.nan], [0, 5])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("d", "attribute", "v")],
         )
         assert out.values[0, 0] == 2.0
@@ -156,8 +173,11 @@ class TestAttributeAggregators:
     def test_fill_global_mean(self):
         ds = self.make_city_dataset([4.0, 8.0], [0, 2 * HOUR])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
-            specs=[FunctionSpec("d", "attribute", "v")], fill="global_mean",
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")],
+            fill="global_mean",
         )
         assert out.values[1, 0] == pytest.approx(6.0)
         assert not out.observed[1, 0]
@@ -165,30 +185,36 @@ class TestAttributeAggregators:
     def test_fill_zero(self):
         ds = self.make_city_dataset([4.0, 8.0], [0, 2 * HOUR])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
-            specs=[FunctionSpec("d", "attribute", "v")], fill="zero",
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")],
+            fill="zero",
         )
         assert out.values[1, 0] == 0.0
 
     def test_fill_interpolate(self):
         ds = self.make_city_dataset([4.0, 8.0], [0, 2 * HOUR])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
-            specs=[FunctionSpec("d", "attribute", "v")], fill="interpolate",
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
+            specs=[FunctionSpec("d", "attribute", "v")],
+            fill="interpolate",
         )
         assert out.values[1, 0] == pytest.approx(6.0)
 
     def test_unknown_fill_rejected(self):
         ds = self.make_city_dataset([1.0], [0])
         with pytest.raises(DataError):
-            aggregate(
-                ds, SpatialResolution.CITY, TemporalResolution.HOUR, fill="magic"
-            )
+            aggregate(ds, SpatialResolution.CITY, TemporalResolution.HOUR, fill="magic")
 
     def test_sum_of_empty_cells_is_zero(self):
         ds = self.make_city_dataset([5.0], [0])
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("d", "attribute", "v", "sum")],
             step_range=(0, 3),
         )
@@ -204,8 +230,7 @@ class TestResolutionHandling:
             aggregate(ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
                       regions=grid)
         with pytest.raises(ResolutionError):
-            aggregate(ds, SpatialResolution.ZIP, TemporalResolution.HOUR,
-                      regions=grid)
+            aggregate(ds, SpatialResolution.ZIP, TemporalResolution.HOUR, regions=grid)
 
     def test_region_native_data_maps_by_id(self):
         grid = grid_partition(2, 1, 0, 0, 2, 1, name="zip", prefix="zip")
@@ -216,8 +241,11 @@ class TestResolutionHandling:
             regions=np.array(["zip_0_0", "zip_1_0", "zip_0_0"]),
         )
         (out,) = aggregate(
-            ds, SpatialResolution.ZIP, TemporalResolution.DAY,
-            regions=grid, specs=[FunctionSpec("z", "density")],
+            ds,
+            SpatialResolution.ZIP,
+            TemporalResolution.DAY,
+            regions=grid,
+            specs=[FunctionSpec("z", "density")],
         )
         assert out.values.tolist() == [[1.0, 1.0], [1.0, 0.0]]
 
@@ -229,8 +257,11 @@ class TestResolutionHandling:
     def test_step_range_filters_records(self):
         ds, _ = make_gps_dataset(200)
         (out,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
-            specs=[FunctionSpec("taxi", "density")], step_range=(0, 9),
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
+            specs=[FunctionSpec("taxi", "density")],
+            step_range=(0, 9),
         )
         assert out.values.shape == (10, 1)
         hours = ds.timestamps // HOUR
@@ -246,7 +277,9 @@ class TestResolutionHandling:
         ds, _ = make_gps_dataset()
         with pytest.raises(DataError):
             aggregate(
-                ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+                ds,
+                SpatialResolution.CITY,
+                TemporalResolution.HOUR,
                 step_range=(5, 2),
             )
 
@@ -254,7 +287,9 @@ class TestResolutionHandling:
         ds, _ = make_gps_dataset()
         with pytest.raises(DataError):
             aggregate(
-                ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+                ds,
+                SpatialResolution.CITY,
+                TemporalResolution.HOUR,
                 specs=[FunctionSpec("other", "density")],
             )
 
@@ -264,12 +299,17 @@ class TestCoarseningConsistency:
         ds, _ = make_gps_dataset(600)
         grid = grid_partition(3, 3, 0, 0, 3, 3)
         (city,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.DAY,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.DAY,
             specs=[FunctionSpec("taxi", "density")],
         )
         (nbhd,) = aggregate(
-            ds, SpatialResolution.NEIGHBORHOOD, TemporalResolution.DAY,
-            regions=grid, specs=[FunctionSpec("taxi", "density")],
+            ds,
+            SpatialResolution.NEIGHBORHOOD,
+            TemporalResolution.DAY,
+            regions=grid,
+            specs=[FunctionSpec("taxi", "density")],
         )
         # All GPS points fall inside the grid, so the region-summed density
         # must equal the city density per day.
@@ -278,11 +318,15 @@ class TestCoarseningConsistency:
     def test_day_density_equals_hour_sum(self):
         ds, _ = make_gps_dataset(600)
         (hourly,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.HOUR,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("taxi", "density")],
         )
         (daily,) = aggregate(
-            ds, SpatialResolution.CITY, TemporalResolution.DAY,
+            ds,
+            SpatialResolution.CITY,
+            TemporalResolution.DAY,
             specs=[FunctionSpec("taxi", "density")],
         )
         assert hourly.values.sum() == daily.values.sum()

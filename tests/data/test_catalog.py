@@ -23,8 +23,11 @@ from repro.utils.errors import DataError
 class TestSchemaRoundTrip:
     def test_full_schema(self):
         schema = DatasetSchema(
-            "taxi", SpatialResolution.GPS, TemporalResolution.SECOND,
-            key_attributes=("medallion",), numeric_attributes=("fare", "tip"),
+            "taxi",
+            SpatialResolution.GPS,
+            TemporalResolution.SECOND,
+            key_attributes=("medallion",),
+            numeric_attributes=("fare", "tip"),
             description="trips",
         )
         assert schema_from_dict(schema_to_dict(schema)) == schema
@@ -49,9 +52,7 @@ class TestCityRoundTrip:
             original = city.region_set(res)
             back = restored.region_set(res)
             assert back.region_ids == original.region_ids
-            assert np.array_equal(
-                restored.spatial_pairs(res), city.spatial_pairs(res)
-            )
+            assert np.array_equal(restored.spatial_pairs(res), city.spatial_pairs(res))
             # Point location behaves identically after the round trip.
             rng = np.random.default_rng(0)
             xs = rng.uniform(0, 16, 50)
@@ -83,9 +84,7 @@ class TestCatalogRoundTrip:
         )
         save_catalog(tmp_path / "cat", coll.datasets, coll.city)
         datasets, city = load_catalog(tmp_path / "cat")
-        index = Corpus(datasets, city).build_index(
-            temporal=(TemporalResolution.DAY,)
-        )
+        index = Corpus(datasets, city).build_index(temporal=(TemporalResolution.DAY,))
         result = index.query(n_permutations=30, seed=0)
         assert result.n_evaluated > 0
 

@@ -13,8 +13,11 @@ from repro.utils.errors import DataError
 
 def test_gps_round_trip(tmp_path):
     schema = DatasetSchema(
-        "taxi", SpatialResolution.GPS, TemporalResolution.SECOND,
-        key_attributes=("medallion",), numeric_attributes=("fare",),
+        "taxi",
+        SpatialResolution.GPS,
+        TemporalResolution.SECOND,
+        key_attributes=("medallion",),
+        numeric_attributes=("fare",),
     )
     rng = np.random.default_rng(0)
     n = 50
@@ -38,7 +41,9 @@ def test_gps_round_trip(tmp_path):
 
 def test_nan_round_trip(tmp_path):
     schema = DatasetSchema(
-        "w", SpatialResolution.CITY, TemporalResolution.HOUR,
+        "w",
+        SpatialResolution.CITY,
+        TemporalResolution.HOUR,
         numeric_attributes=("v",),
     )
     original = Dataset(
@@ -70,7 +75,9 @@ def test_missing_column_rejected(tmp_path):
     path = tmp_path / "bad.csv"
     path.write_text("timestamp\n0\n")
     schema = DatasetSchema(
-        "d", SpatialResolution.CITY, TemporalResolution.HOUR,
+        "d",
+        SpatialResolution.CITY,
+        TemporalResolution.HOUR,
         numeric_attributes=("v",),
     )
     with pytest.raises(DataError):

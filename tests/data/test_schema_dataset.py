@@ -50,7 +50,9 @@ class TestDatasetValidation:
             "weather", SpatialResolution.CITY, TemporalResolution.HOUR
         )
         with pytest.raises(DataError):
-            Dataset(schema, timestamps=np.array([0]), x=np.array([1.0]), y=np.array([1.0]))
+            Dataset(
+                schema, timestamps=np.array([0]), x=np.array([1.0]), y=np.array([1.0])
+            )
 
     def test_region_dataset_needs_region_column(self):
         schema = DatasetSchema("zips", SpatialResolution.ZIP, TemporalResolution.DAY)
@@ -92,9 +94,7 @@ class TestDatasetValidation:
 
 class TestDatasetProperties:
     def make(self, n=5):
-        schema = gps_schema(
-            key_attributes=("id",), numeric_attributes=("v",)
-        )
+        schema = gps_schema(key_attributes=("id",), numeric_attributes=("v",))
         return Dataset(
             schema,
             timestamps=np.arange(n, dtype=np.int64) * 100,

@@ -238,9 +238,7 @@ class TestEngineValidationAndPlumbing:
         assert isinstance(engine, ClusterEngine)
         assert engine.n_workers == 2
 
-    def test_invalid_repro_executor_names_variable_and_values(
-        self, monkeypatch
-    ):
+    def test_invalid_repro_executor_names_variable_and_values(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXECUTOR", "gpu")
         with pytest.raises(MapReduceError) as excinfo:
             default_engine()

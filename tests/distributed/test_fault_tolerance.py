@@ -88,9 +88,7 @@ class TestWorkerDeathMidRun:
         with local_cluster(3) as engine:
             before = set(engine.coordinator.worker_pids())
             assert len(before) == 3
-            outputs, stats = engine.run(
-                DieOnceMidMapJob(tmp_path / "map-died"), INPUTS
-            )
+            outputs, stats = engine.run(DieOnceMidMapJob(tmp_path / "map-died"), INPUTS)
             # Bit-identical completion despite losing a worker mid-map.
             assert outputs == expected
             assert (tmp_path / "map-died").exists()
@@ -116,14 +114,10 @@ class TestWorkerDeathMidRun:
     def test_cluster_keeps_serving_after_a_death(self, tmp_path):
         expected = serial_reference(DieOnceMidMapJob)
         with local_cluster(2) as engine:
-            outputs, _ = engine.run(
-                DieOnceMidMapJob(tmp_path / "died"), INPUTS
-            )
+            outputs, _ = engine.run(DieOnceMidMapJob(tmp_path / "died"), INPUTS)
             assert outputs == expected
             # A fresh run on the surviving worker, no full-strength barrier.
-            again, _ = engine.run(
-                DieOnceMidMapJob(tmp_path / "died"), INPUTS
-            )
+            again, _ = engine.run(DieOnceMidMapJob(tmp_path / "died"), INPUTS)
             assert again == expected
 
     def test_task_that_kills_every_host_fails_the_run(self):

@@ -27,8 +27,7 @@ class TestDatasetDigest:
                 again.dataset(name)
             )
 
-    def test_appended_records_change_the_digest(self, base_collection,
-                                                extended_taxi):
+    def test_appended_records_change_the_digest(self, base_collection, extended_taxi):
         assert dataset_digest(base_collection.dataset("taxi")) != dataset_digest(
             extended_taxi
         )
@@ -55,8 +54,7 @@ class TestConfigAndCityDigests:
     def test_extractor_knobs_and_fill_are_config(self):
         base = config_digest(FeatureExtractor(), "global_mean")
         assert config_digest(FeatureExtractor(), "global_mean") == base
-        assert config_digest(FeatureExtractor(extreme_fence=2.5),
-                             "global_mean") != base
+        assert config_digest(FeatureExtractor(extreme_fence=2.5), "global_mean") != base
         assert config_digest(FeatureExtractor(), "zero") != base
 
     def test_city_digest_sees_layout_changes(self, base_collection):
@@ -99,12 +97,16 @@ class TestPartitionFingerprints:
             extractor=FeatureExtractor(extreme_fence=2.5),
         )
         f1 = fingerprints_for_inputs(
-            corpus1.partition_inputs(**RES_KWARGS), corpus1.city,
-            corpus1.extractor, corpus1.fill,
+            corpus1.partition_inputs(**RES_KWARGS),
+            corpus1.city,
+            corpus1.extractor,
+            corpus1.fill,
         )
         f2 = fingerprints_for_inputs(
-            corpus2.partition_inputs(**RES_KWARGS), corpus2.city,
-            corpus2.extractor, corpus2.fill,
+            corpus2.partition_inputs(**RES_KWARGS),
+            corpus2.city,
+            corpus2.extractor,
+            corpus2.fill,
         )
         assert set(f1) == set(f2)
         assert all(f1[key] != f2[key] for key in f1)

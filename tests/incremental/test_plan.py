@@ -38,9 +38,7 @@ class TestPlanActions:
         assert actions[("weather", "city", "day")] == "keep"
         assert actions[("weather", "city", "hour")] == "keep"
         rebuilds = plan.by_action("rebuild")
-        assert all(
-            e.reason == "data set content or specs changed" for e in rebuilds
-        )
+        assert all(e.reason == "data set content or specs changed" for e in rebuilds)
         assert not plan.is_noop
 
     def test_new_dataset_adds_and_removed_dataset_drops(
@@ -56,9 +54,7 @@ class TestPlanActions:
         assert actions[("taxi", "city", "day")] == "keep"
         assert plan.counts == {"keep": 2, "rebuild": 0, "add": 2, "drop": 2}
 
-    def test_extractor_change_forces_full_rebuild(
-        self, index_copy, base_collection
-    ):
+    def test_extractor_change_forces_full_rebuild(self, index_copy, base_collection):
         corpus = Corpus(
             base_collection.datasets,
             base_collection.city,
@@ -72,18 +68,12 @@ class TestPlanActions:
         )
 
     def test_city_change_forces_full_rebuild(self, index_copy, base_collection):
-        corpus = Corpus(
-            base_collection.datasets, CityModel.synthetic(nbhd_grid=(6, 6))
-        )
+        corpus = Corpus(base_collection.datasets, CityModel.synthetic(nbhd_grid=(6, 6)))
         plan = plan_update(index_copy, corpus, **RES_KWARGS)
         assert plan.counts["rebuild"] == 4
-        assert all(
-            e.reason == "city model changed" for e in plan.by_action("rebuild")
-        )
+        assert all(e.reason == "city model changed" for e in plan.by_action("rebuild"))
 
-    def test_seq_shift_alone_is_not_a_noop(
-        self, index_copy, base_collection
-    ):
+    def test_seq_shift_alone_is_not_a_noop(self, index_copy, base_collection):
         # Reversing the data set order keeps every fingerprint but moves
         # every partition to a new slot: the manifest (and file names) must
         # be rewritten, so the plan cannot claim no-op.
@@ -109,9 +99,7 @@ class TestPlanActions:
         )
         drops = plan.by_action("drop")
         assert {e.temporal.value for e in drops} == {"hour"}
-        assert all(
-            e.reason == "resolution no longer maintained" for e in drops
-        )
+        assert all(e.reason == "resolution no longer maintained" for e in drops)
 
     def test_missing_index_raises_persist_error(self, tmp_path, base_corpus):
         with pytest.raises(PersistError, match="no index.json"):

@@ -76,14 +76,10 @@ def test_randomized_mutations_update_equals_rebuild(
     extractor = FeatureExtractor()
     applied = []
     for name in ops:
-        datasets, extractor, description = _OPS[name](
-            datasets, extractor, material
-        )
+        datasets, extractor, description = _OPS[name](datasets, extractor, material)
         applied.append(description)
 
-    corpus = Corpus(
-        list(datasets.values()), base_collection.city, extractor=extractor
-    )
+    corpus = Corpus(list(datasets.values()), base_collection.city, extractor=extractor)
     index_dir = tmp_path / "idx"
     shutil.copytree(base_index_dir, index_dir)
 
@@ -136,7 +132,11 @@ def test_randomized_mutations_update_equals_rebuild(
 
 
 def test_consecutive_updates_stay_bit_identical(
-    update_engine, base_collection, base_index_dir, extended_taxi, citibike,
+    update_engine,
+    base_collection,
+    base_index_dir,
+    extended_taxi,
+    citibike,
     tmp_path,
 ):
     """Two updates in a row (append days, then add + drop) land exactly
@@ -148,15 +148,11 @@ def test_consecutive_updates_stay_bit_identical(
         [extended_taxi, base_collection.dataset("weather")],
         base_collection.city,
     )
-    report1 = apply_update(
-        index_dir, corpus1, **RES_KWARGS, engine=update_engine
-    )
+    report1 = apply_update(index_dir, corpus1, **RES_KWARGS, engine=update_engine)
     assert report1.n_rebuilt == 2 and report1.n_reused == 2
 
     corpus2 = Corpus([extended_taxi, citibike], base_collection.city)
-    report2 = apply_update(
-        index_dir, corpus2, **RES_KWARGS, engine=update_engine
-    )
+    report2 = apply_update(index_dir, corpus2, **RES_KWARGS, engine=update_engine)
     assert report2.n_added == 2 and report2.n_dropped == 2
     assert report2.n_reused == 2  # taxi partitions survive both rounds
 

@@ -114,9 +114,7 @@ class TestCrashSafety:
     ):
         manifest = json.loads((index_copy / INDEX_MANIFEST).read_text())
         (index_copy / manifest["partitions"][0]["file"]).unlink()
-        corpus = Corpus(
-            base_collection.datasets + [citibike], base_collection.city
-        )
+        corpus = Corpus(base_collection.datasets + [citibike], base_collection.city)
         with pytest.raises(PersistError, match="cannot reuse partition"):
             apply_update(index_copy, corpus, **RES_KWARGS)
 
@@ -154,9 +152,7 @@ class TestFormatV1Compatibility:
         _downgrade_to_v1(index_copy)
         plan = plan_update(index_copy, base_corpus, **RES_KWARGS)
         assert plan.counts["rebuild"] == 4 and plan.counts["keep"] == 0
-        assert all(
-            "format v1" in e.reason for e in plan.by_action("rebuild")
-        )
+        assert all("format v1" in e.reason for e in plan.by_action("rebuild"))
         report = apply_update(index_copy, base_corpus, **RES_KWARGS, plan=plan)
         assert report.applied and report.n_rebuilt == 4
         scratch = index_copy.parent / "scratch"
@@ -165,16 +161,13 @@ class TestFormatV1Compatibility:
 
 
 class TestDryRunAndConvenience:
-    def test_dry_run_writes_nothing(self, index_copy, base_collection,
-                                    extended_taxi):
+    def test_dry_run_writes_nothing(self, index_copy, base_collection, extended_taxi):
         before = file_identities(index_copy, _all_files(index_copy))
         corpus = Corpus(
             [extended_taxi, base_collection.dataset("weather")],
             base_collection.city,
         )
-        report = CorpusIndex.update(
-            index_copy, corpus, **RES_KWARGS, dry_run=True
-        )
+        report = CorpusIndex.update(index_copy, corpus, **RES_KWARGS, dry_run=True)
         assert not report.applied
         assert report.n_rebuilt == 2 and report.n_reused == 2
         assert file_identities(index_copy, _all_files(index_copy)) == before
@@ -208,9 +201,7 @@ class TestDryRunAndConvenience:
         extra = nyc_urban_collection(
             seed=5, n_days=10, scale=0.15, subset=("gas_prices",)
         ).dataset("gas_prices")
-        corpus = Corpus(
-            base_collection.datasets + [extra], base_collection.city
-        )
+        corpus = Corpus(base_collection.datasets + [extra], base_collection.city)
         plan = plan_update(index_copy, corpus, **RES_KWARGS)
         assert plan.counts == {"keep": 4, "rebuild": 0, "add": 0, "drop": 0}
         assert not plan.is_noop  # the data set list changed
@@ -236,15 +227,11 @@ class TestDryRunAndConvenience:
         gas_grown = nyc_urban_collection(
             seed=5, n_days=24, scale=0.15, subset=("gas_prices",)
         ).dataset("gas_prices")
-        corpus = Corpus(
-            base_collection.datasets + [gas], base_collection.city
-        )
+        corpus = Corpus(base_collection.datasets + [gas], base_collection.city)
         index_dir = tmp_path / "idx"
         corpus.build_index(**RES_KWARGS).save(index_dir)
 
-        corpus2 = Corpus(
-            base_collection.datasets + [gas_grown], base_collection.city
-        )
+        corpus2 = Corpus(base_collection.datasets + [gas_grown], base_collection.city)
         plan = plan_update(index_dir, corpus2, **RES_KWARGS)
         assert plan.counts == {"keep": 4, "rebuild": 0, "add": 0, "drop": 0}
         assert not plan.is_noop  # raw_bytes accounting changed
@@ -292,9 +279,7 @@ class TestDryRunAndConvenience:
         plan = plan_update(index_dir, corpus, spatial=None, temporal=temporal)
         assert plan.counts == {"keep": 2, "rebuild": 0, "add": 0, "drop": 0}
         assert not plan.is_noop  # scope spatial=(city,) -> "all viable"
-        apply_update(
-            index_dir, corpus, spatial=None, temporal=temporal, plan=plan
-        )
+        apply_update(index_dir, corpus, spatial=None, temporal=temporal, plan=plan)
         scratch = tmp_path / "scratch"
         corpus.build_index(spatial=None, temporal=temporal).save(scratch)
         assert_index_dirs_bit_identical(index_dir, scratch)
@@ -303,13 +288,9 @@ class TestDryRunAndConvenience:
         self, index_copy, base_index_dir
     ):
         # Guard the test helper itself: identical directories compare equal...
-        assert normalized_manifest(index_copy) == normalized_manifest(
-            base_index_dir
-        )
+        assert normalized_manifest(index_copy) == normalized_manifest(base_index_dir)
         # ...and a genuine content difference is not normalized away.
         manifest = json.loads((index_copy / INDEX_MANIFEST).read_text())
         manifest["stats"]["n_scalar_functions"] += 1
         (index_copy / INDEX_MANIFEST).write_text(json.dumps(manifest))
-        assert normalized_manifest(index_copy) != normalized_manifest(
-            base_index_dir
-        )
+        assert normalized_manifest(index_copy) != normalized_manifest(base_index_dir)

@@ -25,7 +25,9 @@ def urban_index():
     # hurricanes) need a long horizon before rotation nulls lose the chance
     # alignments, just like the paper's 2-5 year data sets.
     coll = nyc_urban_collection(
-        seed=7, n_days=365, scale=1.0,
+        seed=7,
+        n_days=365,
+        scale=1.0,
         subset=("taxi", "weather", "citibike", "collisions", "traffic_speed"),
     )
     corpus = Corpus(coll.datasets, coll.city)
@@ -80,9 +82,7 @@ class TestPlantedRelationshipsRecovered:
         # chance alignments (see EXPERIMENTS.md).
         _, index = urban_index
         key = (SpatialResolution.CITY, TemporalResolution.HOUR)
-        taxi = {
-            f.function_id: f for f in index.dataset_index("taxi").functions[key]
-        }
+        taxi = {f.function_id: f for f in index.dataset_index("taxi").functions[key]}
         weather = {
             f.function_id: f for f in index.dataset_index("weather").functions[key]
         }
@@ -101,9 +101,7 @@ class TestPlantedRelationshipsRecovered:
         # through salient features alone').
         _, index = urban_index
         key = (SpatialResolution.CITY, TemporalResolution.HOUR)
-        taxi = {
-            f.function_id: f for f in index.dataset_index("taxi").functions[key]
-        }
+        taxi = {f.function_id: f for f in index.dataset_index("taxi").functions[key]}
         weather = {
             f.function_id: f for f in index.dataset_index("weather").functions[key]
         }
@@ -164,12 +162,16 @@ class TestCorrectnessTwoYears:
 
             taxi = coll.dataset("taxi")
             (agg,) = aggregate(
-                taxi, SpatialResolution.CITY, TemporalResolution.HOUR,
+                taxi,
+                SpatialResolution.CITY,
+                TemporalResolution.HOUR,
                 specs=[FunctionSpec("taxi", "density")],
             )
             values = agg.values
             return ScalarFunction.time_series(
-                "taxi.density", values[:, 0], TemporalResolution.HOUR,
+                "taxi.density",
+                values[:, 0],
+                TemporalResolution.HOUR,
                 step_labels=np.arange(values.shape[0]),
             )
 
@@ -196,7 +198,9 @@ class TestRobustness:
 
         taxi = coll.dataset("taxi")
         (agg,) = aggregate(
-            taxi, SpatialResolution.CITY, TemporalResolution.HOUR,
+            taxi,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             specs=[FunctionSpec("taxi", "density")],
         )
         sf = ScalarFunction.from_aggregated(agg)

@@ -49,7 +49,9 @@ def correlated_corpus(seed=0, n_hours=1200):
 
     def city_dataset(name, values):
         schema = DatasetSchema(
-            name, SpatialResolution.CITY, TemporalResolution.HOUR,
+            name,
+            SpatialResolution.CITY,
+            TemporalResolution.HOUR,
             numeric_attributes=("v",),
         )
         return Dataset(schema, timestamps=ts, numerics={"v": values})
@@ -148,13 +150,9 @@ class TestCorpusParallelEquivalence:
         assert serial_index.stats.feature_bytes == parallel.stats.feature_bytes
         assert serial_index.stats.raw_bytes == parallel.stats.raw_bytes
 
-    def test_query_parallel_matches_serial(
-        self, corpus, serial_index, parallel_kwargs
-    ):
+    def test_query_parallel_matches_serial(self, corpus, serial_index, parallel_kwargs):
         serial = serial_index.query(n_permutations=150, seed=0)
-        parallel = serial_index.query(
-            n_permutations=150, seed=0, **parallel_kwargs
-        )
+        parallel = serial_index.query(n_permutations=150, seed=0, **parallel_kwargs)
         assert_query_results_identical(serial, parallel)
         assert serial.n_significant >= 1  # the planted pair survives
 
@@ -165,9 +163,7 @@ class TestCorpusParallelEquivalence:
             temporal=(TemporalResolution.HOUR,), **parallel_kwargs
         )
         serial = serial_index.query(n_permutations=60, seed=3)
-        parallel = parallel_index.query(
-            n_permutations=60, seed=3, **parallel_kwargs
-        )
+        parallel = parallel_index.query(n_permutations=60, seed=3, **parallel_kwargs)
         assert_query_results_identical(serial, parallel)
 
     def test_process_index_shares_no_segments_afterwards(self, corpus):
@@ -179,9 +175,7 @@ class TestCorpusParallelEquivalence:
         assert shm.live_segments() == frozenset()
 
     def test_generator_seed_parity(self, serial_index):
-        serial = serial_index.query(
-            n_permutations=40, seed=np.random.default_rng(11)
-        )
+        serial = serial_index.query(n_permutations=40, seed=np.random.default_rng(11))
         parallel = serial_index.query(
             n_permutations=40,
             seed=np.random.default_rng(11),

@@ -15,7 +15,9 @@ from repro.temporal.resolution import TemporalResolution
 @pytest.fixture(scope="module")
 def small_collection():
     return nyc_urban_collection(
-        seed=13, n_days=21, scale=0.3,
+        seed=13,
+        n_days=21,
+        scale=0.3,
         subset=("taxi", "weather", "complaints_311"),
     )
 

@@ -157,9 +157,7 @@ class TestProcessExecutorEquivalence:
 class TestCrashContainment:
     def test_map_failure_carries_original_traceback(self):
         with pytest.raises(MapReduceError) as excinfo:
-            LocalEngine(n_workers=2, executor="process").run(
-                ExplodingMapJob(), DOCS
-            )
+            LocalEngine(n_workers=2, executor="process").run(ExplodingMapJob(), DOCS)
         message = str(excinfo.value)
         assert "ValueError: planted map failure" in message
         assert "Traceback (most recent call last)" in message
@@ -168,9 +166,7 @@ class TestCrashContainment:
 
     def test_reduce_failure_carries_original_traceback(self):
         with pytest.raises(MapReduceError) as excinfo:
-            LocalEngine(n_workers=2, executor="process").run(
-                ExplodingReduceJob(), DOCS
-            )
+            LocalEngine(n_workers=2, executor="process").run(ExplodingReduceJob(), DOCS)
         message = str(excinfo.value)
         assert "RuntimeError: planted reduce failure" in message
         assert "reduce task failed" in message
@@ -183,9 +179,7 @@ class TestCrashContainment:
         from repro.utils.errors import PersistError
 
         with pytest.raises(PersistError, match="checksum mismatch") as excinfo:
-            LocalEngine(n_workers=2, executor="process").run(
-                LibraryErrorJob(), DOCS
-            )
+            LocalEngine(n_workers=2, executor="process").run(LibraryErrorJob(), DOCS)
         cause = excinfo.value.__cause__
         assert isinstance(cause, MapReduceError)
         assert "Traceback (most recent call last)" in str(cause)
@@ -193,9 +187,7 @@ class TestCrashContainment:
 
     def test_worker_death_surfaces_as_mapreduce_error(self):
         with pytest.raises(MapReduceError) as excinfo:
-            LocalEngine(n_workers=2, executor="process").run(
-                DyingWorkerJob(), DOCS
-            )
+            LocalEngine(n_workers=2, executor="process").run(DyingWorkerJob(), DOCS)
         assert "worker process died" in str(excinfo.value)
         assert_no_segment_leaks()
 
@@ -204,9 +196,7 @@ class TestCrashContainment:
         big = rng.normal(0, 1, 50_000)
         inputs = [(i, big) for i in range(4)] + [(2, big)]
         with pytest.raises(MapReduceError):
-            LocalEngine(n_workers=2, executor="process").run(
-                ExplodingMapJob(), inputs
-            )
+            LocalEngine(n_workers=2, executor="process").run(ExplodingMapJob(), inputs)
         assert_no_segment_leaks()
 
     @pytest.mark.skipif(

@@ -104,9 +104,7 @@ class TestRoundTrip:
         assert loaded.extractor.seasonal == original.seasonal
         assert loaded.extractor.use_index == original.use_index
         assert loaded.extractor.extreme_fence == original.extreme_fence
-        assert (
-            loaded.extractor.max_feature_fraction == original.max_feature_fraction
-        )
+        assert loaded.extractor.max_feature_fraction == original.max_feature_fraction
         assert loaded.city.name == built_index.city.name
         assert (
             loaded.city.available_resolutions()
@@ -165,9 +163,7 @@ class TestRoundTrip:
         loaded = CorpusIndex.load(tmp_path / "idx", engine=cluster_engine)
         assert_indexes_equal(built_index, loaded)
         fresh = built_index.query(n_permutations=40, seed=0)
-        clustered = loaded.query(
-            n_permutations=40, seed=0, engine=cluster_engine
-        )
+        clustered = loaded.query(n_permutations=40, seed=0, engine=cluster_engine)
         assert_query_results_equal(fresh, clustered)
         # No artifact spool files survive the runs.
         assert list(cluster_engine.coordinator.spool_dir.glob("*.npy")) == []
@@ -191,9 +187,7 @@ class TestOnDiskLayout:
         assert manifest["format"] == FORMAT_NAME
         assert manifest["format_version"] == FORMAT_VERSION
         assert manifest["datasets"] == list(built_index.datasets)
-        n_partitions = sum(
-            len(ds.functions) for ds in built_index.datasets.values()
-        )
+        n_partitions = sum(len(ds.functions) for ds in built_index.datasets.values())
         assert len(manifest["partitions"]) == n_partitions
         for record in manifest["partitions"]:
             path = index_dir / record["file"]
@@ -297,9 +291,7 @@ class TestPartitionLevel:
         record = write_partition(path, functions)
         assert len(record["functions"]) == len(functions)
         restored = read_partition(path, record, spatial, temporal)
-        assert [f.function_id for f in restored] == [
-            f.function_id for f in functions
-        ]
+        assert [f.function_id for f in restored] == [f.function_id for f in functions]
         for original, loaded in zip(functions, restored):
             assert np.array_equal(original.function.values, loaded.function.values)
             assert np.array_equal(

@@ -90,7 +90,11 @@ def test_property_rectangle_containment_equals_bbox(x0, y0, w, h):
     inside = rect.contains_many(xs, ys)
     # Interior points agree with the bbox test (boundary handling may differ
     # by the half-open rule, so compare strictly interior points only).
-    strict = (xs > x0 + 1e-9) & (xs < x0 + w - 1e-9) & (ys > y0 + 1e-9) & (ys < y0 + h - 1e-9)
+    in_x = (xs > x0 + 1e-9) & (xs < x0 + w - 1e-9)
+    in_y = (ys > y0 + 1e-9) & (ys < y0 + h - 1e-9)
+    strict = in_x & in_y
     assert np.array_equal(inside[strict], np.ones(int(strict.sum()), dtype=bool))
-    outside = (xs < x0 - 1e-9) | (xs > x0 + w + 1e-9) | (ys < y0 - 1e-9) | (ys > y0 + h + 1e-9)
+    out_x = (xs < x0 - 1e-9) | (xs > x0 + w + 1e-9)
+    out_y = (ys < y0 - 1e-9) | (ys > y0 + h + 1e-9)
+    outside = out_x | out_y
     assert not inside[outside].any()

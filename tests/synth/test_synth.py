@@ -53,7 +53,8 @@ class TestWeather:
 
     def test_hurricanes_present_for_long_periods(self, sim):
         assert sim.weather.hurricane_hours.size > 0
-        assert sim.weather.wind_speed[sim.weather.hurricane_hours].max() > HURRICANE_WIND
+        peak = sim.weather.wind_speed[sim.weather.hurricane_hours].max()
+        assert peak > HURRICANE_WIND
 
     def test_snow_depth_nonnegative_and_accumulates(self, sim):
         assert (sim.weather.snow_depth >= 0).all()
@@ -72,9 +73,7 @@ class TestPlantedSignals:
         hurricanes = sim.weather.hurricane_hours
         peak = hurricanes[np.argmax(sim.weather.wind_speed[hurricanes])]
         calm = np.setdiff1d(np.arange(sim.config.n_hours), hurricanes)
-        same_hour = calm[
-            (calm % 24 == peak % 24) & (sim.holidays[calm] == 1.0)
-        ]
+        same_hour = calm[(calm % 24 == peak % 24) & (sim.holidays[calm] == 1.0)]
         assert rate[peak] < 0.2 * rate[same_hour].mean()
 
     def test_holidays_suppress_activity(self, sim):
@@ -162,7 +161,10 @@ class TestCollections:
 
     def test_weather_extra_attributes(self):
         coll = nyc_urban_collection(
-            seed=1, n_days=7, scale=0.2, subset=("weather",),
+            seed=1,
+            n_days=7,
+            scale=0.2,
+            subset=("weather",),
             weather_extra_attributes=5,
         )
         weather = coll.dataset("weather")

@@ -38,8 +38,8 @@ class TestBucketing:
 
     def test_month_buckets_handle_leap_years(self):
         # 1972 was a leap year: Feb has 29 days.
-        feb_1972 = int(np.datetime64("1972-02-29T12:00:00").astype("datetime64[s]").astype(np.int64))
-        mar_1972 = int(np.datetime64("1972-03-01T00:00:00").astype("datetime64[s]").astype(np.int64))
+        feb_1972 = int(np.datetime64("1972-02-29T12:00:00", "s").astype(np.int64))
+        mar_1972 = int(np.datetime64("1972-03-01T00:00:00", "s").astype(np.int64))
         months = TemporalResolution.MONTH.bucket(np.array([feb_1972, mar_1972]))
         assert months[1] == months[0] + 1
 

@@ -50,9 +50,7 @@ class TestParser:
 
     def test_bad_executor_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["demo", "--executor", "gpu"]
-            )
+            build_parser().parse_args(["demo", "--executor", "gpu"])
 
     def test_worker_verb(self):
         args = build_parser().parse_args(
@@ -137,18 +135,36 @@ class TestParser:
 class TestEndToEnd:
     def test_simulate_then_query(self, tmp_path, capsys):
         out = tmp_path / "cat"
-        code = main([
-            "simulate", "--out", str(out), "--days", "21", "--scale", "0.3",
-            "--datasets", "taxi,weather", "--seed", "5",
-        ])
+        argv = [
+            "simulate",
+            "--out",
+            str(out),
+            "--days",
+            "21",
+            "--scale",
+            "0.3",
+            "--datasets",
+            "taxi,weather",
+            "--seed",
+            "5",
+        ]
+        code = main(argv)
         assert code == 0
         assert (out / "catalog.json").exists()
         assert (out / "taxi.csv").exists()
 
-        code = main([
-            "query", "--data", str(out), "--permutations", "30",
-            "--temporal", "day", "--top", "5",
-        ])
+        argv = [
+            "query",
+            "--data",
+            str(out),
+            "--permutations",
+            "30",
+            "--temporal",
+            "day",
+            "--top",
+            "5",
+        ]
+        code = main(argv)
         assert code == 0
         printed = capsys.readouterr().out
         assert "evaluated" in printed
@@ -156,14 +172,30 @@ class TestEndToEnd:
 
     def test_query_with_find_filter(self, tmp_path, capsys):
         out = tmp_path / "cat"
-        main([
-            "simulate", "--out", str(out), "--days", "14", "--scale", "0.2",
-            "--datasets", "taxi,weather,citibike",
-        ])
-        code = main([
-            "query", "--data", str(out), "--find", "taxi",
-            "--permutations", "20", "--temporal", "day",
-        ])
+        argv = [
+            "simulate",
+            "--out",
+            str(out),
+            "--days",
+            "14",
+            "--scale",
+            "0.2",
+            "--datasets",
+            "taxi,weather,citibike",
+        ]
+        main(argv)
+        argv = [
+            "query",
+            "--data",
+            str(out),
+            "--find",
+            "taxi",
+            "--permutations",
+            "20",
+            "--temporal",
+            "day",
+        ]
+        code = main(argv)
         assert code == 0
 
     def test_demo_runs(self, capsys):
@@ -175,28 +207,60 @@ class TestEndToEnd:
         path's relationships exactly, without rebuilding the index."""
         cat = tmp_path / "cat"
         idx = tmp_path / "idx"
-        main([
-            "simulate", "--out", str(cat), "--days", "14", "--scale", "0.2",
-            "--datasets", "taxi,weather", "--seed", "5",
-        ])
+        argv = [
+            "simulate",
+            "--out",
+            str(cat),
+            "--days",
+            "14",
+            "--scale",
+            "0.2",
+            "--datasets",
+            "taxi,weather",
+            "--seed",
+            "5",
+        ]
+        main(argv)
         capsys.readouterr()
 
-        assert main([
-            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
-        ]) == 0
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(idx),
+            "--temporal",
+            "day",
+        ]
+        assert main(argv) == 0
         printed = capsys.readouterr().out
         assert "saved index" in printed
         assert (idx / "index.json").exists()
 
-        assert main([
-            "query", "--data", str(cat), "--temporal", "day",
-            "--permutations", "25", "--seed", "0",
-        ]) == 0
+        argv = [
+            "query",
+            "--data",
+            str(cat),
+            "--temporal",
+            "day",
+            "--permutations",
+            "25",
+            "--seed",
+            "0",
+        ]
+        assert main(argv) == 0
         from_catalog = capsys.readouterr().out
 
-        assert main([
-            "query", "--index", str(idx), "--permutations", "25", "--seed", "0",
-        ]) == 0
+        argv = [
+            "query",
+            "--index",
+            str(idx),
+            "--permutations",
+            "25",
+            "--seed",
+            "0",
+        ]
+        assert main(argv) == 0
         from_index = capsys.readouterr().out
         assert "re-indexing skipped" in from_index
 
@@ -207,10 +271,16 @@ class TestEndToEnd:
 
         # A resolution the index was not built with must fail loudly, not
         # return an empty "no relationships" result.
-        assert main([
-            "query", "--index", str(idx), "--temporal", "week",
-            "--permutations", "10",
-        ]) == 2
+        argv = [
+            "query",
+            "--index",
+            str(idx),
+            "--temporal",
+            "week",
+            "--permutations",
+            "10",
+        ]
+        assert main(argv) == 2
         assert "not materialized in this index" in capsys.readouterr().err
 
     def test_index_refuses_to_clobber_without_force(self, tmp_path, capsys):
@@ -218,27 +288,58 @@ class TestEndToEnd:
         point at `repro update`, unless --force is given."""
         cat = tmp_path / "cat"
         idx = tmp_path / "idx"
-        main([
-            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
-            "--datasets", "taxi,weather", "--seed", "5",
-        ])
-        assert main([
-            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
-        ]) == 0
+        argv = [
+            "simulate",
+            "--out",
+            str(cat),
+            "--days",
+            "10",
+            "--scale",
+            "0.15",
+            "--datasets",
+            "taxi,weather",
+            "--seed",
+            "5",
+        ]
+        main(argv)
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(idx),
+            "--temporal",
+            "day",
+        ]
+        assert main(argv) == 0
         manifest_before = (idx / "index.json").read_bytes()
         capsys.readouterr()
 
-        assert main([
-            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
-        ]) == 2
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(idx),
+            "--temporal",
+            "day",
+        ]
+        assert main(argv) == 2
         err = capsys.readouterr().err
         assert "repro update" in err and "--force" in err
         assert (idx / "index.json").read_bytes() == manifest_before
 
-        assert main([
-            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(idx),
+            "--temporal",
+            "day",
             "--force",
-        ]) == 0
+        ]
+        assert main(argv) == 0
 
     def test_update_maintains_all_viable_spatial_scope(self, tmp_path, capsys):
         """An index built without a spatial whitelist records scope
@@ -250,17 +351,44 @@ class TestEndToEnd:
         cat, cat2 = tmp_path / "cat", tmp_path / "cat2"
         idx = tmp_path / "idx"
         # weather is city-viable only, so the index has only city partitions.
-        main([
-            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
-            "--datasets", "weather", "--seed", "5",
-        ])
-        assert main([
-            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
-        ]) == 0
-        main([
-            "simulate", "--out", str(cat2), "--days", "10", "--scale", "0.15",
-            "--datasets", "taxi,weather", "--seed", "5",
-        ])
+        argv = [
+            "simulate",
+            "--out",
+            str(cat),
+            "--days",
+            "10",
+            "--scale",
+            "0.15",
+            "--datasets",
+            "weather",
+            "--seed",
+            "5",
+        ]
+        main(argv)
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(idx),
+            "--temporal",
+            "day",
+        ]
+        assert main(argv) == 0
+        argv = [
+            "simulate",
+            "--out",
+            str(cat2),
+            "--days",
+            "10",
+            "--scale",
+            "0.15",
+            "--datasets",
+            "taxi,weather",
+            "--seed",
+            "5",
+        ]
+        main(argv)
         capsys.readouterr()
         assert main(["update", "--data", str(cat2), "--index", str(idx)]) == 0
         manifest = json.loads((idx / "index.json").read_text())
@@ -280,64 +408,140 @@ class TestEndToEnd:
         does, so `~/idx` cannot slip past it and clobber $HOME/idx."""
         monkeypatch.setenv("HOME", str(tmp_path))
         cat = tmp_path / "cat"
-        main([
-            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
-            "--datasets", "taxi", "--seed", "5",
-        ])
-        assert main([
-            "index", "--data", str(cat), "--out", str(tmp_path / "idx"),
-            "--temporal", "day",
-        ]) == 0
+        argv = [
+            "simulate",
+            "--out",
+            str(cat),
+            "--days",
+            "10",
+            "--scale",
+            "0.15",
+            "--datasets",
+            "taxi",
+            "--seed",
+            "5",
+        ]
+        main(argv)
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(tmp_path / "idx"),
+            "--temporal",
+            "day",
+        ]
+        assert main(argv) == 0
         capsys.readouterr()
-        assert main([
-            "index", "--data", str(cat), "--out", "~/idx", "--temporal", "day",
-        ]) == 2
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            "~/idx",
+            "--temporal",
+            "day",
+        ]
+        assert main(argv) == 2
         assert "repro update" in capsys.readouterr().err
 
     def test_update_verb_dry_run_and_apply(self, tmp_path, capsys):
         cat = tmp_path / "cat"
         cat2 = tmp_path / "cat2"
         idx = tmp_path / "idx"
-        main([
-            "simulate", "--out", str(cat), "--days", "10", "--scale", "0.15",
-            "--datasets", "taxi,weather", "--seed", "5",
-        ])
-        main([
-            "index", "--data", str(cat), "--out", str(idx), "--temporal", "day",
-        ])
+        argv = [
+            "simulate",
+            "--out",
+            str(cat),
+            "--days",
+            "10",
+            "--scale",
+            "0.15",
+            "--datasets",
+            "taxi,weather",
+            "--seed",
+            "5",
+        ]
+        main(argv)
+        argv = [
+            "index",
+            "--data",
+            str(cat),
+            "--out",
+            str(idx),
+            "--temporal",
+            "day",
+        ]
+        main(argv)
         capsys.readouterr()
 
         # Dry run against the unchanged catalog: a no-op plan, no writes.
         manifest_before = (idx / "index.json").read_bytes()
-        assert main([
-            "update", "--data", str(cat), "--index", str(idx), "--dry-run",
-        ]) == 0
+        argv = [
+            "update",
+            "--data",
+            str(cat),
+            "--index",
+            str(idx),
+            "--dry-run",
+        ]
+        assert main(argv) == 0
         printed = capsys.readouterr().out
         assert "nothing to do" in printed
         assert (idx / "index.json").read_bytes() == manifest_before
 
         # Mutate the catalog (append days + add a data set) and apply.
-        main([
-            "simulate", "--out", str(cat2), "--days", "14", "--scale", "0.15",
-            "--datasets", "taxi,weather,citibike", "--seed", "5",
-        ])
+        argv = [
+            "simulate",
+            "--out",
+            str(cat2),
+            "--days",
+            "14",
+            "--scale",
+            "0.15",
+            "--datasets",
+            "taxi,weather,citibike",
+            "--seed",
+            "5",
+        ]
+        main(argv)
         capsys.readouterr()
-        assert main([
-            "update", "--data", str(cat2), "--index", str(idx),
-        ]) == 0
+        argv = [
+            "update",
+            "--data",
+            str(cat2),
+            "--index",
+            str(idx),
+        ]
+        assert main(argv) == 0
         printed = capsys.readouterr().out
         assert "update plan:" in printed and "updated" in printed
 
         # The updated index answers exactly like an index built from the
         # mutated catalog directly.
-        assert main([
-            "query", "--data", str(cat2), "--temporal", "day",
-            "--permutations", "25", "--seed", "0",
-        ]) == 0
+        argv = [
+            "query",
+            "--data",
+            str(cat2),
+            "--temporal",
+            "day",
+            "--permutations",
+            "25",
+            "--seed",
+            "0",
+        ]
+        assert main(argv) == 0
         from_catalog = capsys.readouterr().out
-        assert main([
-            "query", "--index", str(idx), "--permutations", "25", "--seed", "0",
-        ]) == 0
+        argv = [
+            "query",
+            "--index",
+            str(idx),
+            "--permutations",
+            "25",
+            "--seed",
+            "0",
+        ]
+        assert main(argv) == 0
         from_index = capsys.readouterr().out
 
         def relationship_lines(text):
