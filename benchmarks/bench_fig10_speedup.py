@@ -19,8 +19,10 @@ Two reproductions of that protocol live here:
   reported side by side and recorded to
   ``BENCH_fig10_measured_speedup.json``.  On a single-CPU host the measured
   curve is flat (localhost workers share one core — the honest result); the
-  speedup-beats-serial assertion therefore gates on >= 2 usable CPUs, where
-  real parallelism exists.
+  benchmark then logs a visible notice — "usable_cpus=1 — flat curve
+  expected, speedup floor not asserted" — in both the console output and
+  the JSON record, and only sanity bounds apply.  With >= 2 usable CPUs the
+  speedup floor is asserted: 2 hosts must beat 1 host by more than 1.5x.
 """
 
 import time
@@ -30,7 +32,11 @@ import pytest
 
 from _host import usable_cpus
 from repro.core.corpus import Corpus
-from repro.mapreduce.cluster import speedup_curve, straggler_ratio
+from repro.mapreduce.cluster import (
+    overlapped_makespan,
+    speedup_curve,
+    straggler_ratio,
+)
 from repro.mapreduce.pipeline import PolygamyPipeline
 from repro.synth import nyc_urban_collection
 from repro.temporal.resolution import TemporalResolution
@@ -131,6 +137,11 @@ def test_fig10b_measured_cluster_speedup(smoke, write_bench_record):
     serial_index = corpus.build_index(temporal=temporal)
     serial_seconds = time.perf_counter() - start
     simulated = speedup_curve(serial_index.job_stats, list(MEASURED_HOSTS))
+    # The same replay under the v2 streaming scheduler's model (the shuffle
+    # fold hides behind the map wave) — what the cluster backend actually runs.
+    simulated_overlapped = speedup_curve(
+        serial_index.job_stats, list(MEASURED_HOSTS), makespan=overlapped_makespan
+    )
 
     measured_seconds: dict[int, float] = {}
     for n_hosts in MEASURED_HOSTS:
@@ -142,16 +153,26 @@ def test_fig10b_measured_cluster_speedup(smoke, write_bench_record):
 
     measured = {n: measured_seconds[1] / measured_seconds[n] for n in MEASURED_HOSTS}
     cpus = usable_cpus()
+    notice = (
+        f"usable_cpus={cpus} — flat curve expected, speedup floor not asserted"
+        if cpus < 2
+        else None
+    )
     print(
         f"\nFigure 10(b) — measured cluster speedup vs. simulated "
         f"({cpus} usable CPU(s), serial build {serial_seconds:.2f}s)"
     )
-    print(f"{'hosts':>6s} {'wall (s)':>9s} {'measured':>9s} {'simulated':>10s}")
+    print(
+        f"{'hosts':>6s} {'wall (s)':>9s} {'measured':>9s} "
+        f"{'sim barrier':>12s} {'sim overlap':>12s}"
+    )
     for n in MEASURED_HOSTS:
         print(
             f"{n:>6d} {measured_seconds[n]:>9.2f} {measured[n]:>8.2f}x "
-            f"{simulated[n]:>9.2f}x"
+            f"{simulated[n]:>11.2f}x {simulated_overlapped[n]:>11.2f}x"
         )
+    if notice:
+        print(f"NOTICE: {notice}")
 
     record = {
         "figure": "10b",
@@ -168,8 +189,13 @@ def test_fig10b_measured_cluster_speedup(smoke, write_bench_record):
         "simulated_speedup": {
             str(n): round(simulated[n], 3) for n in MEASURED_HOSTS
         },
+        "simulated_overlapped_speedup": {
+            str(n): round(simulated_overlapped[n], 3) for n in MEASURED_HOSTS
+        },
         "bit_identical": True,
     }
+    if notice:
+        record["notice"] = notice
     write_bench_record("fig10_measured_speedup", record)
 
     # A 1-host cluster is serial execution plus dispatch overhead: it must
@@ -180,12 +206,13 @@ def test_fig10b_measured_cluster_speedup(smoke, write_bench_record):
         f"{serial_seconds:.2f}s serial — dispatch overhead is pathological"
     )
     # Real parallelism needs real cores: with >= 2 usable CPUs, two hosts
-    # must beat one host on the same workload (the acceptance bar).  On one
-    # CPU the curve is honestly flat and only sanity bounds apply.
+    # must beat one host by more than 1.5x on the same workload (the
+    # acceptance bar for the streaming scheduler).  On one CPU the curve is
+    # honestly flat — the NOTICE above says so — and only sanity bounds apply.
     if cpus >= 2:
-        assert measured[2] > 1.0, (
+        assert measured[2] > 1.5, (
             f"2 hosts measured {measured[2]:.2f}x vs 1 host with {cpus} "
-            "usable CPUs — the cluster backend is not parallelizing"
+            "usable CPUs — the streaming scheduler should clear 1.5x"
         )
     else:
         assert measured[2] > 0.5  # no pathological slowdown either

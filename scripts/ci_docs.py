@@ -1,0 +1,104 @@
+"""CI docs gate: every relative link in the documentation must resolve.
+
+The repository's documentation — ``README.md`` and everything under
+``docs/`` — links liberally into the source tree (``src/repro/...``),
+between documents, and at test files.  Those links rot silently when a
+file is moved or renamed; this script walks every markdown link whose
+target is a relative path and exits non-zero if the target does not
+exist, so the ``docs`` CI job fails the commit instead.
+
+What counts as a link: inline markdown ``[text](target)`` and reference
+definitions ``[label]: target``.  External targets (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped; a ``path#fragment`` target is checked as ``path`` (fragment
+resolution would need a markdown parser; existence is the load-bearing
+half).  Targets are resolved against the *linking file's* directory, the
+way GitHub renders them.
+
+Usage::
+
+    python scripts/ci_docs.py            # check README.md + docs/*.md
+    python scripts/ci_docs.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links ``[text](target)``.  Images ``![alt](target)`` match too —
+#: the leading ``!`` is simply not part of the match.  Targets containing
+#: spaces or closing parens need angle brackets in markdown; none of ours do.
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Reference-style definitions ``[label]: target`` at line start.
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_link_targets(text: str):
+    """Yield every link target in a markdown document, in order."""
+    for match in _INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in _REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def check_file(md_path: Path) -> list[str]:
+    """Return one error string per broken relative link in ``md_path``."""
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    for target in iter_link_targets(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            try:
+                shown = md_path.relative_to(REPO_ROOT)
+            except ValueError:  # explicit file outside the repo
+                shown = md_path
+            errors.append(f"{shown}: broken link -> {target}")
+    return errors
+
+
+def default_doc_files() -> list[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_doc_files()
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"ERROR: no such documentation file: {f}", file=sys.stderr)
+        return 2
+
+    all_errors = []
+    n_links = 0
+    for md_path in files:
+        text = md_path.read_text(encoding="utf-8")
+        n_links += sum(1 for _ in iter_link_targets(text))
+        all_errors.extend(check_file(md_path))
+
+    if all_errors:
+        print(f"{len(all_errors)} broken link(s):", file=sys.stderr)
+        for err in all_errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(
+        f"docs OK: {n_links} links across {len(files)} file(s), "
+        "all relative targets resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

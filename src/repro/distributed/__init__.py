@@ -22,6 +22,7 @@ from .coordinator import (
     Coordinator,
     local_cluster,
     shared_coordinator,
+    spawn_local_worker,
 )
 from .dataplane import ArtifactCache, ArtifactPlane
 from .protocol import WireError, parse_address
@@ -37,4 +38,5 @@ __all__ = [
     "parse_address",
     "run_worker",
     "shared_coordinator",
+    "spawn_local_worker",
 ]

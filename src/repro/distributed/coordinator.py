@@ -1,25 +1,35 @@
-"""Coordinator and :class:`ClusterEngine`: real multi-host map-reduce.
+"""Coordinator and :class:`ClusterEngine`: streaming multi-host map-reduce.
 
 The coordinator is the cluster's driver side.  It listens on a TCP port;
 worker daemons (``repro worker --connect HOST:PORT``) dial in and register.
 :class:`ClusterEngine` implements the same ``run(job, inputs)`` contract as
-:class:`repro.mapreduce.engine.LocalEngine` on top of it:
+:class:`repro.mapreduce.engine.LocalEngine` on top of a *streaming,
+work-stealing* scheduler (``docs/ARCHITECTURE.md`` has the full picture,
+``docs/protocol.md`` the wire conversation):
 
-* map inputs are chunked exactly like the local engine's (``"auto"`` sizes
-  chunks for the cluster's per-task dispatch cost),
-* each phase's tasks are dispatched to idle workers, one task per worker at
-  a time (the paper's one-slot-per-node Hadoop deployment); large arrays in
-  a payload travel through the artifact data plane instead of the task
-  pickle (:mod:`repro.distributed.dataplane`),
-* the shuffle is the local engine's deterministic tag-sorted shuffle,
-  executed coordinator-side between the two waves, so grouped values — and
-  therefore reduce outputs — are bit-identical to serial no matter which
-  host ran which task or in which order results arrived,
+* dispatch is pull-based: workers announce queue capacity with
+  ``StealRequest`` and the coordinator grants queued tasks in ``TaskStream``
+  batches — an idle worker steals whatever is queued, so a straggler holds
+  at most its own prefetch pipeline while fast hosts drain the shared queue,
+* steal granularity adapts to measured task throughput: the coordinator
+  keeps a per-job-class estimate of seconds-per-input from previous runs
+  and sizes task chunks toward :data:`TARGET_TASK_SECONDS` apiece,
+* the shuffle is *overlapped*: each map result is folded into per-key,
+  tag-ordered buckets the moment it lands, so by the time the last map task
+  finishes the shuffle is already done and reduce tasks dispatch
+  immediately — no barrier wave.  The fold is order-insensitive (buckets
+  are tag-sorted and keys ordered by minimal tag at finalization), which
+  keeps grouped values — and therefore reduce outputs — bit-identical to
+  serial no matter which host ran which task or in which order results
+  arrived,
+* workers may join mid-run: a daemon that registers while a run is active
+  receives ``JoinRun`` immediately and steals from the same queue,
 * a worker that dies mid-task (socket loss or heartbeat silence) has its
-  task retried on another worker, up to :data:`MAX_TASK_ATTEMPTS` hosts;
-  a task that *fails* (raises) is a deterministic job bug and fails the run
-  with the original traceback, library errors keeping their type — the
-  exact error contract of the process executor.
+  outstanding tasks requeued at the front for other workers, each task up
+  to :data:`MAX_TASK_ATTEMPTS` hosts; a task that *fails* (raises) is a
+  deterministic job bug and fails the run with the original traceback,
+  library errors keeping their type — the exact error contract of the
+  process executor.
 
 ``local_cluster(n_hosts)`` is the test/CI harness: it binds an ephemeral
 port, spawns ``n_hosts`` localhost worker daemons, waits for registration,
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import atexit
 import contextlib
+import math
 import os
 import secrets
 import shutil
@@ -45,7 +56,7 @@ from collections.abc import Iterable
 from pathlib import Path
 from typing import Any
 
-from ..mapreduce.engine import LocalEngine, auto_chunk_size
+from ..mapreduce.engine import LocalEngine
 from ..mapreduce.job import JobStats, MapReduceJob
 from ..utils.errors import MapReduceError, ReproError
 from . import protocol
@@ -55,9 +66,12 @@ from .protocol import (
     ArtifactRequest,
     Heartbeat,
     Hello,
+    JoinRun,
     Shutdown,
+    StealRequest,
     Task,
     TaskResult,
+    TaskStream,
     Welcome,
     WireError,
 )
@@ -70,11 +84,11 @@ MAX_TASK_ATTEMPTS = 3
 #: Seconds between worker heartbeats (announced in the Welcome message).
 HEARTBEAT_INTERVAL = 1.0
 
-#: Receive timeout while a dispatched task is outstanding: if the worker's
-#: socket stays completely silent (no heartbeat, no artifact request, no
-#: result) this long, the worker is declared dead and its task is retried
-#: elsewhere.  Heartbeats keep flowing *during* task execution, so long
-#: tasks do not trip this — only a hung or vanished worker does.
+#: Receive timeout on a worker connection: if the socket stays completely
+#: silent (no heartbeat, no steal request, no result) this long, the worker
+#: is declared dead and its outstanding tasks are requeued for the others.
+#: Heartbeats keep flowing *during* task execution, so long tasks do not
+#: trip this — only a hung or vanished worker does.
 HEARTBEAT_TIMEOUT = 30.0
 
 #: Default wait for the requested number of workers to register.
@@ -83,9 +97,30 @@ CONNECT_TIMEOUT = 60.0
 #: Default coordinator address when ``REPRO_CLUSTER`` is unset.
 DEFAULT_BIND = "127.0.0.1:7077"
 
+#: Tasks a worker keeps in flight by default: one computing plus one whose
+#: payload/artifacts are prefetching, so data-plane transfer overlaps
+#: compute instead of serializing with it.
+DEFAULT_PREFETCH_DEPTH = 2
+
+#: Adaptive steal granularity aims for tasks of about this many seconds:
+#: long enough to amortize dispatch, short enough that work stealing can
+#: rebalance around a straggler before the run ends.
+TARGET_TASK_SECONDS = 0.2
+
+#: Without a throughput measurement for the job class, split the input into
+#: this many tasks per worker — fine-grained enough for stealing to matter.
+AUTO_TASKS_PER_WORKER = 8
+
 
 class WorkerHandle:
-    """Coordinator-side state of one registered worker connection."""
+    """Coordinator-side state of one registered worker connection.
+
+    ``credit`` and ``outstanding`` are scheduler state guarded by the
+    active run's condition (:class:`_RunState.cond`): credit counts
+    unanswered :class:`StealRequest` capacity, ``outstanding`` holds the
+    task ids granted but not yet reported, so a lost worker's tasks can be
+    requeued exactly.
+    """
 
     def __init__(
         self, sock: socket.socket, worker_id: str, pid: int, host: str
@@ -95,6 +130,8 @@ class WorkerHandle:
         self.pid = pid
         self.host = host
         self.alive = True
+        self.credit = 0
+        self.outstanding: set[int] = set()
         self._send_lock = threading.Lock()
 
     def send(self, message: Any) -> None:
@@ -113,26 +150,84 @@ class WorkerHandle:
             pass
 
 
-class _PhaseState:
-    """Shared bookkeeping of one phase's dispatch (guarded by ``cond``)."""
+class _TaskState:
+    """One schedulable task (map chunk or reduce group) of the active run."""
 
-    def __init__(self, payloads: list[bytes]) -> None:
-        self.payloads = payloads
-        self.n = len(payloads)
-        self.results: list[Any] = [None] * self.n
-        self.seconds: list[float] = [0.0] * self.n
-        self.completed = 0
-        self.pending: deque[int] = deque(range(self.n))
-        self.attempts = [0] * self.n
-        self.retries = 0
-        self.error: BaseException | None = None
-        self.runners = 0
-        self.last_loss = ""
+    __slots__ = ("kind", "payload", "n_inputs", "attempts", "done", "seconds")
+
+    def __init__(self, kind: str, payload: bytes, n_inputs: int) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.n_inputs = n_inputs
+        self.attempts = 0
+        self.done = False
+        self.seconds = 0.0
+
+
+class _RunState:
+    """Shared bookkeeping of one run's scheduling (guarded by ``cond``).
+
+    The scheduler has no phase barrier: ``queue`` holds whatever is
+    currently stealable (map tasks, then — the moment the last map result
+    lands — reduce tasks), and ``groups`` accumulates the overlapped
+    shuffle as map results arrive.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        job: MapReduceJob,
+        plane: ArtifactPlane,
+        streaming: bool,
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+    ) -> None:
+        self.run_id = run_id
+        self.job = job
+        self.plane = plane
+        self.streaming = streaming
+        self.prefetch_depth = prefetch_depth
         self.cond = threading.Condition()
+        self.tasks: dict[int, _TaskState] = {}
+        self.queue: deque[int] = deque()
+        self.phase = "map"
+        self.n_map_tasks = 0
+        self.map_remaining = 0
+        self.reduce_remaining = 0
+        #: Reduce task ids in their deterministic (shuffle) order — outputs
+        #: are flattened in this order, never in completion order.
+        self.reduce_order: list[int] = []
+        self.reduce_emitted: dict[int, list] = {}
+        #: Overlapped shuffle: key -> list of (tag, value), appended as map
+        #: results land, tag-sorted at finalization.  Insertion order of
+        #: this dict is arrival order and deliberately never consulted.
+        self.groups: dict[Any, list[tuple[Any, Any]]] = {}
+        #: Barrier mode (``streaming_reduce=False``): raw emitted lists.
+        self.map_raw: list[list] = []
+        self.fold_seconds = 0.0
+        self.map_inputs_done = 0
+        self.map_seconds_done = 0.0
+        self.error: BaseException | None = None
+        self.finished = False
+        #: Worker-loss events (not per-requeued-task): one worker dying with
+        #: several prefetched tasks in flight is one retry, which keeps the
+        #: fault-tolerance accounting deterministic under pipelining.
+        self.retries = 0
+        self.last_loss = ""
+        self.worker_tasks: dict[str, int] = {}
+
+    def completed(self) -> int:
+        return sum(1 for state in self.tasks.values() if state.done)
 
 
 class Coordinator:
-    """Listens for workers and dispatches task phases to them."""
+    """Listens for workers and schedules runs onto them.
+
+    Locking discipline: ``_cond`` guards the worker registry and is a leaf
+    lock — it may be taken while holding a run's ``cond`` but never the
+    other way around.  One persistent reader thread per worker connection
+    handles everything that worker says (heartbeats, steal requests,
+    results, artifact fetches); there are no per-phase dispatch threads.
+    """
 
     def __init__(
         self,
@@ -152,13 +247,20 @@ class Coordinator:
             self.spool_dir.mkdir(parents=True, exist_ok=True)
         self._workers: list[WorkerHandle] = []
         self._cond = threading.Condition()
-        # One phase at a time: each phase's dispatch threads own their
-        # worker sockets exclusively; concurrent runs on one coordinator
-        # (two application threads querying through the same shared engine)
-        # take turns per phase instead of interleaving frames on a socket.
-        self._phase_lock = threading.Lock()
+        # One run at a time: concurrent runs on one coordinator (two
+        # application threads querying through the same shared engine) take
+        # turns instead of interleaving their queues.
+        self._run_lock = threading.Lock()
+        #: The active run, readable by reader threads (guarded by ``_cond``).
+        self._run: _RunState | None = None
+        #: Live artifact planes by run id, for serving ArtifactRequests.
+        self._planes: dict[str, ArtifactPlane] = {}
+        #: Measured seconds-per-map-input by job class, the signal behind
+        #: adaptive steal granularity (EMA across runs).
+        self._throughput: dict[str, float] = {}
         self.closed = False
         self.total_retries = 0
+        self.last_run_worker_tasks: dict[str, int] = {}
         self._run_seq = 0
         try:
             self._listener = socket.create_server((host, port), reuse_port=False)
@@ -198,7 +300,7 @@ class Coordinator:
                     spool_dir=str(self.spool_dir),
                 ),
             )
-            conn.settimeout(None)
+            conn.settimeout(self.heartbeat_timeout)
         except (WireError, OSError):
             with contextlib.suppress(OSError):
                 conn.close()
@@ -209,7 +311,28 @@ class Coordinator:
                 handle.close()
                 return
             self._workers.append(handle)
+            run = self._run
             self._cond.notify_all()
+        threading.Thread(
+            target=self._reader_loop,
+            args=(handle,),
+            daemon=True,
+            name=f"repro-reader-{handle.worker_id}",
+        ).start()
+        # Elastic join: a worker registering mid-run is attached to the
+        # active run immediately — its StealRequest answer starts pulling
+        # queued tasks off the shared queue.
+        if run is not None:
+            try:
+                handle.send(
+                    JoinRun(
+                        run_id=run.run_id,
+                        phase=run.phase,
+                        prefetch_depth=run.prefetch_depth,
+                    )
+                )
+            except (WireError, OSError):
+                self._mark_dead(handle)
 
     def alive_workers(self) -> list[WorkerHandle]:
         with self._cond:
@@ -241,144 +364,349 @@ class Coordinator:
             self._run_seq += 1
             return f"run{self._run_seq:04d}-{secrets.token_hex(4)}"
 
-    # -- phase dispatch ------------------------------------------------------
-
-    def run_phase(
-        self, phase: str, payloads: list[bytes], plane: ArtifactPlane
-    ) -> tuple[list[Any], list[float], int]:
-        """Dispatch one wave of tasks; returns (results, seconds, retries).
-
-        Results come back indexed by task id, i.e. in submission order —
-        scheduling order never leaks into the output (the same discipline as
-        the local engine's pools).
-        """
-        if not payloads:
-            return [], [], 0
-        with self._phase_lock:
-            return self._run_phase_locked(phase, payloads, plane)
-
-    def _run_phase_locked(
-        self, phase: str, payloads: list[bytes], plane: ArtifactPlane
-    ) -> tuple[list[Any], list[float], int]:
-        state = _PhaseState(payloads)
-        workers = self.alive_workers()
-        if not workers:
-            raise MapReduceError(f"no cluster workers connected for the {phase} phase")
-        threads = []
-        with state.cond:
-            state.runners = len(workers)
-        for handle in workers:
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(handle, state, plane, phase),
-                daemon=True,
-                name=f"repro-dispatch-{handle.worker_id}",
-            )
-            threads.append(thread)
-            thread.start()
-        with state.cond:
-            state.cond.wait_for(lambda: state.runners == 0)
-        for thread in threads:
-            thread.join(timeout=self.heartbeat_timeout)
+    def _active_run(self) -> _RunState | None:
         with self._cond:
-            self.total_retries += state.retries
-        if state.error is not None:
-            raise state.error
-        if state.completed < state.n:
-            raise MapReduceError(
-                f"all cluster workers died during the {phase} phase "
-                f"({state.completed}/{state.n} tasks finished"
-                + (f"; last loss: {state.last_loss}" if state.last_loss else "")
-                + ")"
-            )
-        return state.results, state.seconds, state.retries
+            return self._run
 
-    def _worker_loop(
-        self,
-        handle: WorkerHandle,
-        state: _PhaseState,
-        plane: ArtifactPlane,
-        phase: str,
-    ) -> None:
+    # -- per-worker reader ---------------------------------------------------
+
+    def _reader_loop(self, handle: WorkerHandle) -> None:
+        """Pump one worker's connection for the life of the registration."""
         try:
-            while True:
-                with state.cond:
-                    while (
-                        not state.pending
-                        and state.completed < state.n
-                        and state.error is None
-                    ):
-                        state.cond.wait()
-                    if state.error is not None or state.completed >= state.n:
-                        return
-                    task_id = state.pending.popleft()
-                try:
-                    result = self._dispatch(handle, task_id, state, plane)
-                except (WireError, OSError, TimeoutError) as exc:
-                    self._mark_dead(handle)
-                    with state.cond:
-                        state.last_loss = (
-                            f"worker {handle.worker_id!r} (pid {handle.pid}) "
-                            f"lost during {phase} task {task_id}: {exc}"
-                        )
-                        state.attempts[task_id] += 1
-                        if state.attempts[task_id] >= MAX_TASK_ATTEMPTS:
-                            state.error = MapReduceError(
-                                f"{phase} task {task_id} lost "
-                                f"{state.attempts[task_id]} workers in a row "
-                                f"(killed or crashed before reporting a "
-                                f"result); last: {state.last_loss}"
-                            )
-                        else:
-                            state.retries += 1
-                            state.pending.appendleft(task_id)
-                        state.cond.notify_all()
-                    return
-                if result.status == "err":
-                    error = self._job_error(result, handle, phase)
-                    with state.cond:
-                        if state.error is None:
-                            state.error = error
-                        state.cond.notify_all()
-                    return
-                with state.cond:
-                    if state.results[task_id] is None:
-                        state.results[task_id] = result.result
-                        state.seconds[task_id] = result.seconds
-                        state.completed += 1
-                    state.cond.notify_all()
-        finally:
-            with state.cond:
-                state.runners -= 1
-                state.cond.notify_all()
+            while handle.alive:
+                message = protocol.recv_msg(handle.sock)
+                if message is None:
+                    raise WireError("worker closed the connection")
+                if isinstance(message, Heartbeat):
+                    continue
+                if isinstance(message, ArtifactRequest):
+                    self._serve_artifact(handle, message)
+                elif isinstance(message, StealRequest):
+                    self._on_steal(handle, message)
+                elif isinstance(message, TaskResult):
+                    self._on_result(handle, message)
+                else:
+                    raise WireError(
+                        f"unexpected {type(message).__name__} from worker "
+                        f"{handle.worker_id!r}"
+                    )
+        except (WireError, OSError, TimeoutError) as exc:
+            self._on_worker_lost(handle, exc)
 
-    def _dispatch(
-        self,
-        handle: WorkerHandle,
-        task_id: int,
-        state: _PhaseState,
-        plane: ArtifactPlane,
-    ) -> TaskResult:
-        """Send one task and pump messages until its result arrives."""
-        handle.send(Task(task_id=task_id, payload=state.payloads[task_id]))
-        handle.sock.settimeout(self.heartbeat_timeout)
-        while True:
-            message = protocol.recv_msg(handle.sock)
-            if message is None:
-                raise WireError("worker closed the connection")
-            if isinstance(message, Heartbeat):
-                continue
-            if isinstance(message, ArtifactRequest):
-                handle.send(
-                    Artifact(name=message.name, data=plane.payload(message.name))
+    def _serve_artifact(self, handle: WorkerHandle, request: ArtifactRequest) -> None:
+        # Artifact names are "<run_id>-aNNNNN"; route to that run's plane.
+        run_id = request.name.rpartition("-a")[0]
+        plane = self._planes.get(run_id)
+        if plane is None:
+            handle.send(
+                Artifact(
+                    name=request.name,
+                    error=f"artifact {request.name!r} belongs to a finished run",
                 )
-                continue
-            if isinstance(message, TaskResult) and message.task_id == task_id:
-                return message
-            raise WireError(
-                f"unexpected {type(message).__name__} while waiting for "
-                f"task {task_id}"
             )
+            return
+        try:
+            data = plane.payload(request.name)
+        except (MapReduceError, OSError) as exc:
+            handle.send(Artifact(name=request.name, error=str(exc)))
+            return
+        handle.send(Artifact(name=request.name, data=data))
+
+    def _on_steal(self, handle: WorkerHandle, request: StealRequest) -> None:
+        run = self._active_run()
+        if run is None:
+            return
+        with run.cond:
+            handle.credit += max(1, request.capacity)
+            self._grant_locked(run, handle)
+
+    def _on_result(self, handle: WorkerHandle, message: TaskResult) -> None:
+        run = self._active_run()
+        if run is None or message.run_id != run.run_id:
+            return  # stale result from a run that already ended
+        with run.cond:
+            handle.outstanding.discard(message.task_id)
+            state = run.tasks.get(message.task_id)
+            if state is None or state.done:
+                run.cond.notify_all()
+                return
+            if message.status == "err":
+                if run.error is None:
+                    run.error = self._job_error(message, handle, state.kind)
+                run.cond.notify_all()
+                return
+            state.done = True
+            state.seconds = message.seconds
+            run.worker_tasks[handle.worker_id] = (
+                run.worker_tasks.get(handle.worker_id, 0) + 1
+            )
+            if state.kind == "map":
+                run.map_remaining -= 1
+                run.map_inputs_done += state.n_inputs
+                run.map_seconds_done += message.seconds
+                start = time.perf_counter()
+                if run.streaming:
+                    # Overlapped shuffle: fold this map output into the
+                    # per-key buckets now, while other map tasks still run.
+                    for tag, key, value in message.result:
+                        bucket = run.groups.get(key)
+                        if bucket is None:
+                            run.groups[key] = bucket = []
+                        bucket.append((tag, value))
+                else:
+                    run.map_raw.append(message.result)
+                run.fold_seconds += time.perf_counter() - start
+                if run.map_remaining == 0:
+                    self._seed_reduce_locked(run)
+                    self._grant_all_locked(run)
+            else:
+                run.reduce_remaining -= 1
+                run.reduce_emitted[message.task_id] = message.result
+                if run.reduce_remaining == 0:
+                    run.finished = True
+            run.cond.notify_all()
+
+    def _seed_reduce_locked(self, run: _RunState) -> None:
+        """Finalize the shuffle and enqueue reduce tasks (run.cond held).
+
+        Streaming mode sorts each bucket by tag and orders keys by their
+        minimal tag — exactly the grouping :meth:`LocalEngine.shuffle`
+        produces from the concatenated map outputs, independent of the
+        order map results arrived in.
+        """
+        start = time.perf_counter()
+        if run.streaming:
+            entries = []
+            for key, bucket in run.groups.items():
+                bucket.sort(key=lambda tagged: tagged[0])
+                entries.append((bucket[0][0], key, [value for _, value in bucket]))
+            entries.sort(key=lambda entry: entry[0])
+            grouped = [(key, values) for _, key, values in entries]
+        else:
+            groups = LocalEngine.shuffle(
+                pair for emitted in run.map_raw for pair in emitted
+            )
+            grouped = list(groups.items())
+        run.fold_seconds += time.perf_counter() - start
+        run.phase = "reduce"
+        next_id = run.n_map_tasks
+        for key, values in grouped:
+            payload = dumps(("reduce", run.job, (key, values)), run.plane)
+            run.tasks[next_id] = _TaskState("reduce", payload, 1)
+            run.reduce_order.append(next_id)
+            run.queue.append(next_id)
+            next_id += 1
+        run.reduce_remaining = len(grouped)
+        if not grouped:
+            run.finished = True
+
+    def _grant_locked(self, run: _RunState, handle: WorkerHandle) -> None:
+        """Grant queued tasks against a worker's credit (run.cond held)."""
+        if run.error is not None or not handle.alive:
+            return
+        batch: list[Task] = []
+        while handle.credit > 0 and run.queue:
+            task_id = run.queue.popleft()
+            batch.append(Task(task_id=task_id, payload=run.tasks[task_id].payload))
+            handle.outstanding.add(task_id)
+            handle.credit -= 1
+        if not batch:
+            return
+        try:
+            handle.send(TaskStream(run_id=run.run_id, tasks=batch))
+        except (WireError, OSError):
+            # The send failed, so the tasks never left: requeue them at the
+            # front without burning an attempt.  The reader thread notices
+            # the dead socket and handles anything already outstanding.
+            for task in reversed(batch):
+                handle.outstanding.discard(task.task_id)
+                run.queue.appendleft(task.task_id)
+            self._mark_dead(handle)
+
+    def _grant_all_locked(self, run: _RunState) -> None:
+        """Offer the queue to every worker with credit (run.cond held)."""
+        for handle in self.alive_workers():
+            if not run.queue:
+                return
+            if handle.credit > 0:
+                self._grant_locked(run, handle)
+
+    def _on_worker_lost(self, handle: WorkerHandle, exc: BaseException) -> None:
+        was_alive = handle.alive
+        self._mark_dead(handle)
+        if self.closed or not was_alive:
+            return
+        run = self._active_run()
+        if run is None:
+            return
+        with run.cond:
+            lost = sorted(
+                task_id
+                for task_id in handle.outstanding
+                if task_id in run.tasks and not run.tasks[task_id].done
+            )
+            handle.outstanding.clear()
+            if not lost:
+                run.cond.notify_all()
+                return
+            # One retry per loss event, however many tasks were in flight.
+            run.retries += 1
+            run.last_loss = (
+                f"worker {handle.worker_id!r} (pid {handle.pid}) lost with "
+                f"{len(lost)} {run.phase} task(s) in flight: {exc}"
+            )
+            for task_id in reversed(lost):
+                state = run.tasks[task_id]
+                state.attempts += 1
+                if state.attempts >= MAX_TASK_ATTEMPTS:
+                    run.error = MapReduceError(
+                        f"{state.kind} task {task_id} lost {state.attempts} "
+                        "workers in a row (killed or crashed before "
+                        f"reporting a result); last: {run.last_loss}"
+                    )
+                else:
+                    run.queue.appendleft(task_id)
+            if run.error is None and not self.alive_workers():
+                run.error = MapReduceError(
+                    f"all cluster workers died during the {run.phase} phase "
+                    f"({run.completed()}/{len(run.tasks)} tasks finished; "
+                    f"last loss: {run.last_loss})"
+                )
+            if run.error is None:
+                self._grant_all_locked(run)
+            run.cond.notify_all()
+
+    # -- run scheduling ------------------------------------------------------
+
+    def run_job(
+        self,
+        job: MapReduceJob,
+        inputs: list[tuple[Any, Any]],
+        plane: ArtifactPlane,
+        run_id: str,
+        granularity: int | str = "auto",
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        streaming_reduce: bool = True,
+    ) -> tuple[list[tuple[Any, Any]], JobStats, int]:
+        """Schedule one job end to end; returns (outputs, stats, retries).
+
+        Outputs are flattened in the deterministic reduce order (shuffle
+        key order), never in completion order — scheduling never leaks
+        into results.
+        """
+        stats = JobStats()
+        if not inputs:
+            return [], stats, 0
+        with self._run_lock:
+            run = self._start_run(
+                job, inputs, plane, run_id, granularity, streaming_reduce,
+                max(1, prefetch_depth),
+            )
+            workers = self.alive_workers()
+            join = JoinRun(
+                run_id=run_id, phase="map", prefetch_depth=run.prefetch_depth
+            )
+            for handle in workers:
+                try:
+                    handle.send(join)
+                except (WireError, OSError):
+                    self._mark_dead(handle)
+            try:
+                with run.cond:
+                    while not run.finished and run.error is None:
+                        if not self.alive_workers():
+                            run.error = MapReduceError(
+                                "all cluster workers died or disconnected "
+                                f"during the {run.phase} phase "
+                                f"({run.completed()}/{len(run.tasks)} tasks "
+                                "finished)"
+                            )
+                            break
+                        run.cond.wait(0.25)
+            finally:
+                with self._cond:
+                    self._run = None
+                self._planes.pop(run_id, None)
+                # Reset per-run scheduler state between runs (credit left
+                # over from an empty queue, outstanding grants whose late
+                # results the run_id check will discard).
+                with run.cond:
+                    for handle in self.alive_workers():
+                        handle.credit = 0
+                        handle.outstanding = set()
+                with self._cond:
+                    self.total_retries += run.retries
+                self.last_run_worker_tasks = dict(run.worker_tasks)
+            if run.error is not None:
+                raise run.error
+            self._record_throughput(run)
+            stats.n_map_chunks = run.n_map_tasks
+            stats.map_task_seconds.extend(
+                run.tasks[task_id].seconds for task_id in range(run.n_map_tasks)
+            )
+            stats.reduce_task_seconds.extend(
+                run.tasks[task_id].seconds for task_id in run.reduce_order
+            )
+            stats.shuffle_seconds = run.fold_seconds
+            outputs = [
+                pair
+                for task_id in run.reduce_order
+                for pair in run.reduce_emitted[task_id]
+            ]
+            stats.n_outputs = len(outputs)
+            return outputs, stats, run.retries
+
+    def _start_run(
+        self,
+        job: MapReduceJob,
+        inputs: list[tuple[Any, Any]],
+        plane: ArtifactPlane,
+        run_id: str,
+        granularity: int | str,
+        streaming_reduce: bool,
+        prefetch_depth: int,
+    ) -> _RunState:
+        size = self._resolve_granularity(job, len(inputs), granularity)
+        indexed = list(enumerate(inputs))
+        chunks = [indexed[lo : lo + size] for lo in range(0, len(indexed), size)]
+        run = _RunState(run_id, job, plane, streaming_reduce, prefetch_depth)
+        for task_id, chunk in enumerate(chunks):
+            payload = dumps(("map", job, chunk), plane)
+            run.tasks[task_id] = _TaskState("map", payload, len(chunk))
+            run.queue.append(task_id)
+        run.n_map_tasks = len(chunks)
+        run.map_remaining = len(chunks)
+        self._planes[run_id] = plane
+        with self._cond:
+            if self.closed:
+                raise MapReduceError("coordinator is closed")
+            self._run = run
+        return run
+
+    def _resolve_granularity(
+        self, job: MapReduceJob, n_inputs: int, spec: int | str
+    ) -> int:
+        """Inputs per map task: fixed when ``spec`` is an int, else sized
+        from measured throughput toward :data:`TARGET_TASK_SECONDS`."""
+        if isinstance(spec, int):
+            return max(1, spec)
+        n_hosts = max(1, len(self.alive_workers()))
+        per_input = self._throughput.get(type(job).__name__)
+        if per_input and per_input > 0:
+            size = max(1, int(TARGET_TASK_SECONDS / per_input))
+        else:
+            size = math.ceil(n_inputs / (n_hosts * AUTO_TASKS_PER_WORKER))
+        # Never coarser than two tasks per host: stealing needs slack.
+        cap = max(1, math.ceil(n_inputs / (n_hosts * 2)))
+        return max(1, min(size, cap))
+
+    def _record_throughput(self, run: _RunState) -> None:
+        if not run.map_inputs_done or run.map_seconds_done <= 0:
+            return
+        sample = run.map_seconds_done / run.map_inputs_done
+        key = type(run.job).__name__
+        prior = self._throughput.get(key)
+        self._throughput[key] = sample if prior is None else 0.5 * prior + 0.5 * sample
 
     def _mark_dead(self, handle: WorkerHandle) -> None:
         handle.close()
@@ -409,7 +737,8 @@ class Coordinator:
     # -- lifecycle -----------------------------------------------------------
 
     def end_run(self, run_id: str) -> None:
-        """Tell every live worker to drop the run's cached artifacts."""
+        """Tell every live worker to drop the run's queue and artifacts."""
+        self._planes.pop(run_id, None)
         for handle in self.alive_workers():
             try:
                 handle.send(protocol.EndRun(run_id=run_id))
@@ -491,7 +820,9 @@ class ClusterEngine:
     Implements the same ``run(job, inputs) -> (outputs, stats)`` contract as
     :class:`~repro.mapreduce.engine.LocalEngine`, so ``Corpus.build_index``,
     ``CorpusIndex.query`` and the persist jobs work unchanged — outputs are
-    bit-identical to serial execution under a fixed seed.
+    bit-identical to serial execution under a fixed seed, including under
+    work stealing, worker loss, and elastic join (the shuffle's tag order,
+    not scheduling order, decides every grouping and every output position).
 
     Parameters
     ----------
@@ -500,10 +831,24 @@ class ClusterEngine:
         ephemeral port (read it back from :attr:`address`).
     n_workers:
         Minimum number of registered workers to wait for before the first
-        dispatch.  All connected workers are used.
+        dispatch.  All connected workers are used, including ones that
+        join mid-run.
     map_chunk_size:
-        As for :class:`LocalEngine`; ``"auto"`` sizes chunks for the
-        cluster's per-task dispatch cost.
+        Back-compat alias for ``steal_granularity`` (used only when the
+        latter is left at ``"auto"``): ``None`` → granularity 1, an int →
+        that fixed granularity, ``"auto"`` → adaptive.
+    steal_granularity:
+        Inputs per stealable map task.  ``"auto"`` (default) sizes tasks
+        from measured per-input seconds of previous runs of the same job
+        class, targeting ~0.2 s per task; an int pins it.
+    prefetch_depth:
+        Tasks a worker keeps in flight: one computing, the rest
+        prefetching their payload artifacts (data plane overlaps compute).
+    streaming_reduce:
+        ``True`` (default) folds map outputs into the shuffle as they land
+        and dispatches reduce tasks the moment the last map result arrives;
+        ``False`` keeps the conservative full map barrier.  Both are
+        bit-identical to serial.
     min_artifact_bytes:
         Arrays at least this large ship through the artifact data plane
         instead of the per-task pickle.
@@ -523,6 +868,9 @@ class ClusterEngine:
         min_artifact_bytes: int = DEFAULT_MIN_BYTES,
         connect_timeout: float = CONNECT_TIMEOUT,
         shared: bool = False,
+        steal_granularity: int | str = "auto",
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        streaming_reduce: bool = True,
     ) -> None:
         self._bind_host, self._bind_port = protocol.parse_address(bind, variable="bind")
         if not isinstance(n_workers, int) or n_workers < 1:
@@ -534,16 +882,27 @@ class ClusterEngine:
                 raise MapReduceError(
                     "map_chunk_size must be a positive int, 'auto' or None"
                 )
+        if steal_granularity != "auto":
+            if not isinstance(steal_granularity, int) or steal_granularity < 1:
+                raise MapReduceError(
+                    "steal_granularity must be a positive int or 'auto'"
+                )
+        if not isinstance(prefetch_depth, int) or prefetch_depth < 1:
+            raise MapReduceError("prefetch_depth must be an integer >= 1")
         if min_artifact_bytes < 1:
             raise MapReduceError("min_artifact_bytes must be >= 1")
         self.n_workers = n_workers
         self.map_chunk_size = map_chunk_size
+        self.steal_granularity = steal_granularity
+        self.prefetch_depth = prefetch_depth
+        self.streaming_reduce = streaming_reduce
         self.min_artifact_bytes = min_artifact_bytes
         self.connect_timeout = connect_timeout
         self.shared = shared
         self._coordinator: Coordinator | None = None
         self._assembled = False
         self.last_run_retries = 0
+        self.last_run_worker_tasks: dict[str, int] = {}
 
     @property
     def is_parallel(self) -> bool:
@@ -580,75 +939,51 @@ class ClusterEngine:
             timeout if timeout is not None else self.connect_timeout,
         )
 
-    def _resolve_chunk_size(self, n_inputs: int) -> int:
+    def _granularity_spec(self) -> int | str:
+        """Translate the engine's knobs into the coordinator's granularity."""
+        if self.steal_granularity != "auto":
+            return self.steal_granularity
         if self.map_chunk_size is None:
             return 1
-        if self.map_chunk_size == "auto":
-            # Size for the workers actually registered, not just the minimum
-            # waited for — every connected worker gets dispatch threads, and
-            # extra hosts must not be starved by too-coarse chunks.
-            n_hosts = max(self.n_workers, len(self.coordinator.alive_workers()))
-            return auto_chunk_size(n_inputs, n_hosts, "cluster")
-        return self.map_chunk_size
+        if isinstance(self.map_chunk_size, int):
+            return self.map_chunk_size
+        return "auto"
 
     def run(
         self, job: MapReduceJob, inputs: Iterable[tuple[Any, Any]]
     ) -> tuple[list[tuple[Any, Any]], JobStats]:
         """Execute ``job`` over ``inputs`` on the cluster."""
-        stats = JobStats()
         input_list = list(inputs)
         coordinator = self.coordinator
-        if input_list:
-            # Full-strength barrier on first assembly only: a worker lost
-            # mid-session (killed, host down) must not stall every later
-            # run for the whole connect timeout — the cluster keeps going
-            # on the survivors, exactly as it finishes the run the worker
-            # died in.
-            needed = self.n_workers if not self._assembled else 1
-            coordinator.wait_for_workers(needed, self.connect_timeout)
-            self._assembled = True
-        # Chunked after the worker barrier, so "auto" sees the real host
-        # count (every registered worker, not just the minimum waited for).
-        chunk_size = self._resolve_chunk_size(len(input_list))
-        indexed = list(enumerate(input_list))
-        chunks = [
-            indexed[lo : lo + chunk_size]
-            for lo in range(0, len(indexed), chunk_size)
-        ]
-        stats.n_map_chunks = len(chunks)
+        if not input_list:
+            return [], JobStats()
+        # Full-strength barrier on first assembly only: a worker lost
+        # mid-session (killed, host down) must not stall every later
+        # run for the whole connect timeout — the cluster keeps going
+        # on the survivors, exactly as it finishes the run the worker
+        # died in.
+        needed = self.n_workers if not self._assembled else 1
+        coordinator.wait_for_workers(needed, self.connect_timeout)
+        self._assembled = True
         run_id = coordinator.next_run_id()
         plane = ArtifactPlane(
             coordinator.spool_dir, run_id, min_bytes=self.min_artifact_bytes
         )
-        retries = 0
         try:
-            payloads = [dumps(("map", job, chunk), plane) for chunk in chunks]
-            map_results, map_seconds, lost = coordinator.run_phase(
-                "map", payloads, plane
+            outputs, stats, retries = coordinator.run_job(
+                job,
+                input_list,
+                plane,
+                run_id,
+                granularity=self._granularity_spec(),
+                prefetch_depth=self.prefetch_depth,
+                streaming_reduce=self.streaming_reduce,
             )
-            retries += lost
-            stats.map_task_seconds.extend(map_seconds)
-
-            start = time.perf_counter()
-            groups = LocalEngine.shuffle(
-                pair for emitted in map_results for pair in emitted
-            )
-            stats.shuffle_seconds = time.perf_counter() - start
-
-            items = list(groups.items())
-            payloads = [dumps(("reduce", job, item), plane) for item in items]
-            reduce_results, reduce_seconds, lost = coordinator.run_phase(
-                "reduce", payloads, plane
-            )
-            retries += lost
-            stats.reduce_task_seconds.extend(reduce_seconds)
         finally:
             plane.close()
             coordinator.end_run(run_id)
         self.last_run_retries = retries
-
-        outputs = [pair for emitted in reduce_results for pair in emitted]
-        stats.n_outputs = len(outputs)
+        self.last_run_worker_tasks = dict(coordinator.last_run_worker_tasks)
         return outputs, stats
 
     def close(self, shutdown_workers: bool = False) -> None:
@@ -673,7 +1008,7 @@ class ClusterEngine:
 # -- localhost harness -------------------------------------------------------
 
 
-def _worker_environment() -> dict[str, str]:
+def _worker_environment(overrides: dict[str, str] | None = None) -> dict[str, str]:
     """Environment for spawned localhost workers.
 
     The current ``sys.path`` is propagated through ``PYTHONPATH`` so the
@@ -688,7 +1023,40 @@ def _worker_environment() -> dict[str, str]:
     # benchmark by default; keep each worker's BLAS single-threaded so
     # n_hosts workers do not oversubscribe the machine.
     env.setdefault("OMP_NUM_THREADS", "1")
+    if overrides:
+        env.update(overrides)
     return env
+
+
+def spawn_local_worker(
+    address: tuple[str, int],
+    worker_id: str,
+    retry_seconds: float = 30.0,
+    env_overrides: dict[str, str] | None = None,
+) -> subprocess.Popen:
+    """Spawn one localhost worker daemon dialing ``address``.
+
+    The building block of :func:`local_cluster`, also used directly by the
+    scheduler tests to add a straggler (via ``env_overrides``) or an
+    elastic late joiner mid-run.  The caller owns the process.
+    """
+    host, port = address
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"{host}:{port}",
+            "--id",
+            worker_id,
+            "--retry",
+            str(retry_seconds),
+            "--quiet",
+        ],
+        env=_worker_environment(env_overrides),
+    )
 
 
 @contextlib.contextmanager
@@ -698,6 +1066,8 @@ def local_cluster(
     min_artifact_bytes: int = DEFAULT_MIN_BYTES,
     retry_seconds: float = 30.0,
     startup_timeout: float = 60.0,
+    worker_env: list[dict[str, str] | None] | None = None,
+    **engine_kwargs: Any,
 ):
     """Spawn ``n_hosts`` localhost workers around a private coordinator.
 
@@ -705,6 +1075,11 @@ def local_cluster(
     workers are shut down (escalating to kill if they ignore it), the
     listener is closed, and the spool directory is removed — tests assert
     this teardown is leak-free.
+
+    ``worker_env`` optionally gives per-host environment overrides (index-
+    aligned with host numbering), which the straggler tests use to slow
+    one worker down.  Extra keyword arguments reach the engine (e.g.
+    ``steal_granularity=1`` or ``streaming_reduce=False``).
     """
     if n_hosts < 1:
         raise MapReduceError("local_cluster needs at least one host")
@@ -714,28 +1089,20 @@ def local_cluster(
         map_chunk_size=map_chunk_size,
         min_artifact_bytes=min_artifact_bytes,
         shared=False,
+        **engine_kwargs,
     ).start()
-    host, port = engine.address
-    env = _worker_environment()
     processes: list[subprocess.Popen] = []
     try:
         for index in range(n_hosts):
+            overrides = None
+            if worker_env is not None and index < len(worker_env):
+                overrides = worker_env[index]
             processes.append(
-                subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro",
-                        "worker",
-                        "--connect",
-                        f"{host}:{port}",
-                        "--id",
-                        f"host{index}",
-                        "--retry",
-                        str(retry_seconds),
-                        "--quiet",
-                    ],
-                    env=env,
+                spawn_local_worker(
+                    engine.address,
+                    f"host{index}",
+                    retry_seconds=retry_seconds,
+                    env_overrides=overrides,
                 )
             )
         engine.wait_for_workers(n_hosts, timeout=startup_timeout)

@@ -39,6 +39,7 @@ from __future__ import annotations
 import io
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Any, Callable
 
@@ -156,30 +157,41 @@ class ArtifactCache:
     ``resolve`` tries the spool path first (shared filesystem: zero-copy
     memory map), then falls back to ``fetch`` (socket pull).  Entries live
     until the coordinator's ``EndRun`` clears them.
+
+    Thread-safe: the worker's compute and prefetch threads materialize
+    task payloads concurrently, so two ``resolve`` calls may race.  Cache
+    bookkeeping is locked; the fetch itself runs unlocked (fetches are
+    multiplexed connection-side), so a racing pair resolves the same
+    artifact twice at worst — wasted bytes, never a wrong array.
     """
 
     def __init__(self) -> None:
         self._arrays: dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
         self.n_fetched = 0
         self.n_mapped = 0
 
     def resolve(self, ref: tuple, fetch: Callable[[str], bytes]) -> np.ndarray:
         name, dtype_str, shape, spool_path = ref
-        cached = self._arrays.get(name)
+        with self._lock:
+            cached = self._arrays.get(name)
         if cached is not None:
             return cached
         array = self._from_spool(spool_path, dtype_str, tuple(shape))
-        if array is None:
+        fetched = array is None
+        if fetched:
             array = decode_artifact(fetch(name))
-            self.n_fetched += 1
-        else:
-            self.n_mapped += 1
         if array.dtype.str != dtype_str or array.shape != tuple(shape):
             raise MapReduceError(
                 f"artifact {name!r} decoded as {array.dtype.str}{array.shape}, "
                 f"reference says {dtype_str}{tuple(shape)}"
             )
-        self._arrays[name] = array
+        with self._lock:
+            if fetched:
+                self.n_fetched += 1
+            else:
+                self.n_mapped += 1
+            self._arrays[name] = array
         return array
 
     @staticmethod
@@ -196,12 +208,13 @@ class ArtifactCache:
 
     def clear(self, run_id: str | None = None) -> None:
         """Drop cached arrays (of one run, or everything)."""
-        if run_id is None:
-            self._arrays.clear()
-            return
-        prefix = f"{run_id}-a"
-        for name in [n for n in self._arrays if n.startswith(prefix)]:
-            del self._arrays[name]
+        with self._lock:
+            if run_id is None:
+                self._arrays.clear()
+                return
+            prefix = f"{run_id}-a"
+            for name in [n for n in self._arrays if n.startswith(prefix)]:
+                del self._arrays[name]
 
     def __len__(self) -> int:
         return len(self._arrays)

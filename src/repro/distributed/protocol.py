@@ -14,6 +14,12 @@ and artifact bytes are opaque ``bytes`` fields produced by the data plane
 (:mod:`repro.distributed.dataplane`), which keeps the framing layer free of
 NumPy concerns.
 
+The normative specification of the protocol — framing, preamble, heartbeat
+rules, and the scheduler conversation (:class:`StealRequest` /
+:class:`TaskStream` / :class:`JoinRun`) — lives in ``docs/protocol.md``; a
+test asserts every message type and constant defined here is covered there,
+so the document cannot silently drift from the code.
+
 Trust model: pickle over a socket executes arbitrary code by design, which
 is the standard posture of cluster compute planes (Spark, Dask, Ray all
 ship pickled closures).  Workers must only ever be pointed at a coordinator
@@ -33,7 +39,12 @@ from ..utils.errors import MapReduceError
 
 #: Connection preamble: 4 magic bytes + 1 version byte.
 MAGIC = b"RPDC"
-PROTOCOL_VERSION = 1
+#: Version 2: the streaming scheduler.  Workers pull work with
+#: :class:`StealRequest` instead of being handed one task per exchange,
+#: the coordinator streams batches via :class:`TaskStream`, and
+#: :class:`JoinRun` attaches (possibly late-joining) workers to the active
+#: run.  Version-1 peers are rejected at the preamble, never mid-pickle.
+PROTOCOL_VERSION = 2
 PREAMBLE = MAGIC + bytes([PROTOCOL_VERSION])
 
 #: Frame header: payload length as an unsigned 64-bit big-endian integer.
@@ -89,7 +100,10 @@ class TaskResult:
 
     ``status`` is ``"ok"`` (``result`` holds the emitted list) or ``"err"``
     (``traceback`` holds the remote traceback text and ``original`` the
-    exception instance when it survived a pickle round trip).
+    exception instance when it survived a pickle round trip).  ``run_id``
+    names the run the task belongs to: with pipelined dispatch a result can
+    arrive after its run already ended, and the coordinator must be able to
+    discard such stale results instead of crediting them to the next run.
     """
 
     task_id: int
@@ -98,6 +112,7 @@ class TaskResult:
     seconds: float = 0.0
     traceback: str = ""
     original: BaseException | None = None
+    run_id: str = ""
 
 
 @dataclass
@@ -109,10 +124,62 @@ class ArtifactRequest:
 
 @dataclass
 class Artifact:
-    """Coordinator -> worker: one artifact, as ``.npy`` bytes."""
+    """Coordinator -> worker: one artifact, as ``.npy`` bytes.
+
+    ``error`` is non-empty when the artifact could not be served (its run
+    already ended and the spool file is gone) — the worker fails the task
+    that asked instead of waiting out its fetch timeout.
+    """
 
     name: str
-    data: bytes
+    data: bytes = b""
+    error: str = ""
+
+
+@dataclass
+class StealRequest:
+    """Worker -> coordinator: my run queue has room; steal me more work.
+
+    The work-stealing edge of the v2 scheduler.  Dispatch is pull-based:
+    the coordinator never sends unsolicited tasks, it grants queued tasks
+    against the ``capacity`` a worker has announced.  A worker announces its
+    full prefetch depth when it joins a run (:class:`JoinRun`) and one more
+    slot after every :class:`TaskResult`, so fast workers drain the shared
+    queue while a straggler holds at most its own pipeline.
+    """
+
+    worker_id: str
+    capacity: int = 1
+
+
+@dataclass
+class TaskStream:
+    """Coordinator -> worker: a batch of stolen tasks, streamed.
+
+    The grant matching one or more :class:`StealRequest` credits.  The
+    worker queues the tasks locally and prefetches the next task's
+    artifacts while the current one computes, so the data plane transfer
+    overlaps compute instead of serializing with it.
+    """
+
+    run_id: str
+    tasks: list  # list[Task]
+
+
+@dataclass
+class JoinRun:
+    """Coordinator -> worker: you are attached to the active run.
+
+    Sent to every registered worker when a run starts and to any worker
+    that registers *while* a run is executing — elastic join: a late worker
+    answers with a :class:`StealRequest` and immediately receives stolen
+    work.  ``prefetch_depth`` is the number of tasks the worker should keep
+    in flight (one computing, the rest prefetching artifacts).
+    """
+
+    run_id: str
+    phase: str
+    prefetch_depth: int = 2
 
 
 @dataclass

@@ -1,21 +1,31 @@
 """Cluster worker daemon: ``repro worker --connect HOST:PORT``.
 
-One worker is one "host" of the cluster (capacity: one task at a time,
-matching the paper's one-slot-per-node Hadoop deployment).  The daemon
+One worker is one "host" of the cluster (capacity: one *computing* task at
+a time, matching the paper's one-slot-per-node Hadoop deployment).  The
+daemon
 
 * dials the coordinator (retrying while it is not up yet, so workers can be
   started before the driver process — the CI recipe),
-* executes the map chunks and reduce groups it is handed, reporting
-  ``("ok", result, seconds)`` or the original traceback on failure — the
-  same contract as the process executor's worker entry point, so the
-  coordinator can re-raise library errors with their real type,
-* resolves artifact references through the data plane (spool memory-map
-  first, socket pull second; see :mod:`repro.distributed.dataplane`),
+* pulls work instead of waiting to be handed it: on ``JoinRun`` it
+  announces its prefetch depth with a ``StealRequest``, and one more slot
+  after every result, so the coordinator's shared queue drains toward
+  whoever is idle (see ``docs/protocol.md``),
+* pipelines the data plane with compute: while one task runs, a prefetch
+  thread materializes the next queued task's payload — unpickling and
+  resolving artifact references (spool memory-map first, socket pull
+  second; see :mod:`repro.distributed.dataplane`) — so transfer time hides
+  behind compute time,
+* executes map chunks and reduce groups, reporting ``("ok", result,
+  seconds)`` or the original traceback on failure — the same contract as
+  the process executor's worker entry point, so the coordinator can
+  re-raise library errors with their real type,
 * sends heartbeats from a background thread — also *during* long tasks —
   so the coordinator can tell a straggler from a corpse, and
 * reconnects after losing the coordinator (a driver exits between
   ``repro index`` and ``repro query``) until its ``--retry`` window runs
-  out without a successful connection.
+  out without a successful connection.  A worker that (re)connects while a
+  run is in progress receives ``JoinRun`` immediately and starts stealing
+  — elastic join.
 
 A task that raises is reported and the worker lives on; only ``Shutdown``
 from the coordinator, an exhausted retry window, or process death end the
@@ -27,9 +37,11 @@ from __future__ import annotations
 import os
 import pickle
 import socket
+import sys
 import threading
 import time
 import traceback
+from collections import deque
 
 from ..mapreduce.engine import _map_chunk
 from ..utils.errors import MapReduceError
@@ -41,9 +53,12 @@ from .protocol import (
     EndRun,
     Heartbeat,
     Hello,
+    JoinRun,
     Shutdown,
+    StealRequest,
     Task,
     TaskResult,
+    TaskStream,
     WireError,
 )
 
@@ -64,17 +79,15 @@ def execute_task(payload: bytes, cache: ArtifactCache, fetch) -> TaskResult:
     back as ``status="err"`` with the original traceback text, plus the
     exception instance itself when it survives a pickle round trip (so
     ``ReproError`` subclasses keep their type across the host boundary).
+
+    The daemon's hot path goes through :class:`_TaskSlot` instead (payload
+    materialization is prefetched there); this entry point stays the
+    one-shot reference used by protocol-level tests.
     """
     start = time.perf_counter()
     try:
         kind, job, data = loads(payload, lambda ref: cache.resolve(ref, fetch))
-        if kind == "map":
-            result: list = _map_chunk(job, data)
-        elif kind == "reduce":
-            key, values = data
-            result = list(job.reduce(key, values))
-        else:
-            raise MapReduceError(f"unknown task kind {kind!r}")
+        result = _compute(kind, job, data)
         return TaskResult(
             task_id=-1,
             status="ok",
@@ -83,18 +96,115 @@ def execute_task(payload: bytes, cache: ArtifactCache, fetch) -> TaskResult:
         )
     except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
         raise
-    except BaseException as exc:
-        original: BaseException | None
-        try:
-            original = pickle.loads(pickle.dumps(exc))
-        except Exception:
-            original = None
-        return TaskResult(
-            task_id=-1,
-            status="err",
-            traceback=traceback.format_exc(),
-            original=original,
-        )
+    except BaseException:
+        return _error_result()
+
+
+def _compute(kind: str, job, data) -> list:
+    if kind == "map":
+        return _map_chunk(job, data)
+    if kind == "reduce":
+        key, values = data
+        return list(job.reduce(key, values))
+    raise MapReduceError(f"unknown task kind {kind!r}")
+
+
+def _error_result() -> TaskResult:
+    """A ``status="err"`` result for the exception currently being handled."""
+    exc = sys.exc_info()[1]
+    original: BaseException | None
+    try:
+        original = pickle.loads(pickle.dumps(exc))
+    except Exception:
+        original = None
+    return TaskResult(
+        task_id=-1,
+        status="err",
+        traceback=traceback.format_exc(),
+        original=original,
+    )
+
+
+class _TaskSlot:
+    """One queued task and its materialization state.
+
+    States (guarded by the queue's condition): ``"new"`` (payload bytes
+    only) → ``"loading"`` (a thread is unpickling it and resolving its
+    artifacts) → ``"ready"`` (``value`` holds the live task tuple) or
+    ``"failed"`` (``error`` holds the err TaskResult).  The prefetch thread
+    moves queued slots to ``ready`` while the compute thread runs the
+    current one — that is the transfer/compute overlap.
+    """
+
+    __slots__ = ("run_id", "task", "state", "value", "error")
+
+    def __init__(self, run_id: str, task: Task) -> None:
+        self.run_id = run_id
+        self.task = task
+        self.state = "new"
+        self.value = None
+        self.error: TaskResult | None = None
+
+
+class _TaskQueue:
+    """The worker's local run queue, shared by recv/prefetch/compute threads."""
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.slots: deque[_TaskSlot] = deque()
+        self.stopped = False
+
+    def extend(self, run_id: str, tasks: list[Task]) -> None:
+        with self.cond:
+            for task in tasks:
+                self.slots.append(_TaskSlot(run_id, task))
+            self.cond.notify_all()
+
+    def drop_run(self, run_id: str) -> None:
+        """Discard queued (not yet computing) slots of an ended run."""
+        with self.cond:
+            self.slots = deque(s for s in self.slots if s.run_id != run_id)
+            self.cond.notify_all()
+
+    def stop(self) -> None:
+        with self.cond:
+            self.stopped = True
+            self.cond.notify_all()
+
+    def pop(self) -> _TaskSlot | None:
+        """Next slot for the compute thread; ``None`` once stopped."""
+        with self.cond:
+            while not self.slots and not self.stopped:
+                self.cond.wait()
+            if self.stopped:
+                return None
+            return self.slots.popleft()
+
+    def claim_for_prefetch(self) -> _TaskSlot | None:
+        """Next ``"new"`` slot for the prefetch thread; ``None`` once stopped.
+
+        The slot stays in the queue (compute pops in FIFO order regardless);
+        claiming just flips it to ``"loading"`` so exactly one thread
+        materializes it.
+        """
+        with self.cond:
+            while True:
+                if self.stopped:
+                    return None
+                for slot in self.slots:
+                    if slot.state == "new":
+                        slot.state = "loading"
+                        return slot
+                self.cond.wait()
+
+
+class _FetchWaiter:
+    __slots__ = ("event", "data", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.data: bytes | None = None
+        self.error = ""
 
 
 class _Connection:
@@ -107,6 +217,8 @@ class _Connection:
         self.heartbeat_interval = 1.0
         self.spool_dir = ""
         self._stop = threading.Event()
+        self._fetch_lock = threading.Lock()
+        self._fetches: dict[str, list[_FetchWaiter]] = {}
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -148,28 +260,54 @@ class _Connection:
     def fetch_artifact(self, name: str) -> bytes:
         """Pull one artifact over the connection (called mid-unpickle).
 
-        Safe because the worker is strictly single-tasked: while it is
-        deserializing a task, the only coordinator->worker traffic is the
-        reply to this request.
+        Fetches are multiplexed: the request goes out on the shared send
+        path, the recv loop delivers the reply via :meth:`deliver_artifact`,
+        and any number of threads (compute materializing its own slot,
+        prefetch materializing the next) can wait concurrently.
         """
-        self.send(ArtifactRequest(name=name))
-        self.sock.settimeout(FETCH_TIMEOUT)
+        waiter = _FetchWaiter()
+        with self._fetch_lock:
+            self._fetches.setdefault(name, []).append(waiter)
         try:
-            while True:
-                message = protocol.recv_msg(self.sock)
-                if message is None:
-                    raise WireError("coordinator vanished mid-artifact-fetch")
-                if isinstance(message, Artifact) and message.name == name:
-                    return message.data
-                if isinstance(message, Shutdown):
-                    raise WireError("coordinator shut down mid-artifact-fetch")
-                # Anything else here is a protocol violation.
-                raise WireError(
-                    f"unexpected {type(message).__name__} while fetching "
-                    f"artifact {name!r}"
-                )
+            self.send(ArtifactRequest(name=name))
+            deadline = time.monotonic() + FETCH_TIMEOUT
+            # Poll the stop flag too: a connection torn down mid-fetch must
+            # not strand a materializing thread for the full fetch timeout.
+            while not waiter.event.wait(0.2):
+                if self._stop.is_set():
+                    raise WireError("connection closed mid-artifact-fetch")
+                if time.monotonic() > deadline:
+                    raise WireError(f"timed out fetching artifact {name!r}")
         finally:
-            self.sock.settimeout(None)
+            with self._fetch_lock:
+                waiters = self._fetches.get(name)
+                if waiters and waiter in waiters:
+                    waiters.remove(waiter)
+                    if not waiters:
+                        del self._fetches[name]
+        if waiter.error:
+            raise MapReduceError(
+                f"coordinator could not serve artifact {name!r}: {waiter.error}"
+            )
+        if waiter.data is None:
+            raise WireError("coordinator vanished mid-artifact-fetch")
+        return waiter.data
+
+    def deliver_artifact(self, message: Artifact) -> None:
+        with self._fetch_lock:
+            waiters = self._fetches.pop(message.name, [])
+        for waiter in waiters:
+            waiter.data = message.data
+            waiter.error = message.error
+            waiter.event.set()
+
+    def fail_fetches(self) -> None:
+        """Wake every in-flight fetch with a connection-lost outcome."""
+        with self._fetch_lock:
+            waiters = [w for group in self._fetches.values() for w in group]
+            self._fetches.clear()
+        for waiter in waiters:
+            waiter.event.set()
 
     def close(self) -> None:
         self._stop.set()
@@ -181,38 +319,189 @@ class _Connection:
             self.sock.close()
         except OSError:  # pragma: no cover - double close
             pass
+        self.fail_fetches()
+
+
+def _materialize(
+    slot: _TaskSlot,
+    queue: _TaskQueue,
+    cache: ArtifactCache,
+    connection: _Connection,
+) -> None:
+    """Unpickle a slot's payload, resolving artifacts; flip its state."""
+    try:
+        value = loads(
+            slot.task.payload,
+            lambda ref: cache.resolve(ref, connection.fetch_artifact),
+        )
+    except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
+        raise
+    except BaseException:
+        error = _error_result()
+        with queue.cond:
+            slot.error = error
+            slot.state = "failed"
+            queue.cond.notify_all()
+        return
+    with queue.cond:
+        slot.value = value
+        slot.state = "ready"
+        queue.cond.notify_all()
+
+
+def _prefetch_loop(
+    queue: _TaskQueue, cache: ArtifactCache, connection: _Connection
+) -> None:
+    while True:
+        slot = queue.claim_for_prefetch()
+        if slot is None:
+            return
+        _materialize(slot, queue, cache, connection)
+
+
+def _run_slot(
+    slot: _TaskSlot,
+    queue: _TaskQueue,
+    cache: ArtifactCache,
+    connection: _Connection,
+) -> TaskResult:
+    """Compute one slot, materializing it first if prefetch has not.
+
+    Task ``seconds`` cover compute only when the payload was prefetched —
+    the whole point of the pipeline is that transfer time does not bill to
+    the task — and compute+materialize when the compute thread had to do
+    both (queue depth 1, prefetch disabled or behind).
+    """
+    with queue.cond:
+        if slot.state == "new":
+            slot.state = "loading"
+            claimed = True
+        else:
+            claimed = False
+            while slot.state == "loading" and not queue.stopped:
+                queue.cond.wait()
+    start = time.perf_counter()
+    if claimed:
+        _materialize(slot, queue, cache, connection)
+    if slot.state == "failed":
+        return slot.error
+    if slot.state != "ready":  # stopped mid-load: report as lost-ish error
+        return TaskResult(
+            task_id=-1,
+            status="err",
+            traceback="task abandoned: connection stopped while loading",
+        )
+    kind, job, data = slot.value
+    try:
+        result = _compute(kind, job, data)
+        return TaskResult(
+            task_id=-1,
+            status="ok",
+            result=result,
+            seconds=time.perf_counter() - start,
+        )
+    except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
+        raise
+    except BaseException:
+        return _error_result()
+
+
+def _compute_loop(
+    queue: _TaskQueue, cache: ArtifactCache, connection: _Connection
+) -> None:
+    while True:
+        slot = queue.pop()
+        if slot is None:
+            return
+        result = _run_slot(slot, queue, cache, connection)
+        result.task_id = slot.task.task_id
+        result.run_id = slot.run_id
+        try:
+            connection.send(result)
+            # Pull-based dispatch: the slot this result frees is re-announced
+            # immediately, which is what lets a fast worker steal the queue
+            # out from under a straggler.
+            connection.send(StealRequest(worker_id=connection.worker_id))
+        except (WireError, OSError):
+            connection.close()
+            return
 
 
 def _serve(connection: _Connection, cache: ArtifactCache) -> str:
-    """Message loop of one connection; returns "shutdown" or "lost"."""
+    """Recv loop of one connection; returns "shutdown" or "lost".
+
+    Three sibling threads work the connection: heartbeats, compute (one
+    task at a time, FIFO), and prefetch (materializes the next queued
+    task).  This loop is the only reader — artifacts are routed to waiting
+    fetches, everything else mutates the queue.
+    """
     connection.start_heartbeats()
-    while True:
-        try:
-            message = protocol.recv_msg(connection.sock)
-        except (WireError, OSError):
-            return "lost"
-        if message is None:
-            return "lost"
-        if isinstance(message, Shutdown):
-            return "shutdown"
-        if isinstance(message, EndRun):
-            cache.clear(message.run_id)
-            continue
-        if isinstance(message, Task):
-            result = execute_task(message.payload, cache, connection.fetch_artifact)
-            result.task_id = message.task_id
+    queue = _TaskQueue()
+    compute = threading.Thread(
+        target=_compute_loop,
+        args=(queue, cache, connection),
+        daemon=True,
+        name="repro-compute",
+    )
+    prefetch = threading.Thread(
+        target=_prefetch_loop,
+        args=(queue, cache, connection),
+        daemon=True,
+        name="repro-prefetch",
+    )
+    compute.start()
+    prefetch.start()
+    outcome = "lost"
+    try:
+        while True:
             try:
-                connection.send(result)
+                message = protocol.recv_msg(connection.sock)
             except (WireError, OSError):
-                return "lost"
-            continue
-        # Unknown message: protocol drift; drop the connection loudly.
-        print(
-            f"[repro-worker {connection.worker_id}] unexpected "
-            f"{type(message).__name__}; dropping connection",
-            flush=True,
-        )
-        return "lost"
+                break
+            if message is None:
+                break
+            if isinstance(message, Shutdown):
+                outcome = "shutdown"
+                break
+            if isinstance(message, EndRun):
+                queue.drop_run(message.run_id)
+                cache.clear(message.run_id)
+                continue
+            if isinstance(message, JoinRun):
+                # Attached to a (possibly already-running) run: announce the
+                # whole pipeline as steal capacity.
+                try:
+                    connection.send(
+                        StealRequest(
+                            worker_id=connection.worker_id,
+                            capacity=max(1, message.prefetch_depth),
+                        )
+                    )
+                except (WireError, OSError):
+                    break
+                continue
+            if isinstance(message, TaskStream):
+                queue.extend(message.run_id, message.tasks)
+                continue
+            if isinstance(message, Artifact):
+                connection.deliver_artifact(message)
+                continue
+            # Unknown message: protocol drift; drop the connection loudly.
+            print(
+                f"[repro-worker {connection.worker_id}] unexpected "
+                f"{type(message).__name__}; dropping connection",
+                flush=True,
+            )
+            break
+    finally:
+        queue.stop()
+        connection.close()  # also fails in-flight fetches
+        # Let the current task finish (its result send will fail, which is
+        # fine) so two connections never compute concurrently — the worker
+        # stays a one-compute-slot host across reconnects.
+        compute.join()
+        prefetch.join()
+    return outcome
 
 
 def run_worker(

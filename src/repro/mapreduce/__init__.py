@@ -4,7 +4,13 @@ The real multi-host backend lives in :mod:`repro.distributed`; it plugs in
 behind the same :class:`Engine` contract via ``executor="cluster"``.
 """
 
-from .cluster import greedy_makespan, job_makespan, speedup_curve, straggler_ratio
+from .cluster import (
+    greedy_makespan,
+    job_makespan,
+    overlapped_makespan,
+    speedup_curve,
+    straggler_ratio,
+)
 from .engine import (
     ALL_EXECUTORS,
     EXECUTORS,
@@ -34,6 +40,7 @@ __all__ = [
     "MapReduceJob",
     "greedy_makespan",
     "job_makespan",
+    "overlapped_makespan",
     "speedup_curve",
     "straggler_ratio",
     "PolygamyPipeline",

@@ -85,6 +85,9 @@ def _start_method() -> str:
 #: per-input dispatch.  Process workers get fewer, larger chunks because
 #: every task also pays a pickle/IPC round trip; cluster workers pay the
 #: same pickle cost plus a socket hop, so they match the process sizing.
+#: (The cluster engine's own ``steal_granularity="auto"`` goes further and
+#: sizes tasks from *measured* per-input seconds; this table is the local
+#: pools' static heuristic and the cluster's pre-measurement fallback shape.)
 _AUTO_TASKS_PER_WORKER = {"thread": 4, "process": 2, "cluster": 2}
 
 #: A tagged intermediate pair: ((input_index, emit_index), key, value).

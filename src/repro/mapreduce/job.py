@@ -34,8 +34,12 @@ class Engine(Protocol):
     and :class:`repro.distributed.ClusterEngine` (multi-host over TCP) are
     interchangeable behind this protocol: ``run`` executes one job over its
     inputs and returns ``(outputs, stats)``, bit-identically for a
-    deterministic job regardless of backend.  Corpus indexing, querying and
-    index persistence only ever depend on this surface.
+    deterministic job regardless of backend — including under the cluster
+    scheduler's work stealing, overlapped shuffle, worker loss and elastic
+    join, none of which may leak into outputs.  Corpus indexing, querying
+    and index persistence only ever depend on this surface.
+    (``docs/ARCHITECTURE.md`` documents this contract and the dataflow
+    built on it.)
     """
 
     n_workers: int
