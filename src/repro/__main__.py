@@ -363,8 +363,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         metavar="SECONDS",
-        help="keep dialing this long without a successful connection "
-        "before giving up (default: 60)",
+        help="keep dialing this long (in seconds) without a successful "
+        "connection before giving up (default: 60)",
+    )
+    wrk.add_argument(
+        "--redial-base",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="first redial backoff ceiling in seconds; each failed dial "
+        "doubles it and the actual sleep is drawn uniformly from "
+        "[0, ceiling] — full jitter, so restarting workers do not "
+        "stampede the coordinator (default: 0.1)",
+    )
+    wrk.add_argument(
+        "--redial-cap",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="upper bound in seconds on the redial backoff ceiling "
+        "(default: 5)",
     )
     wrk.add_argument("--quiet", action="store_true", help="suppress status lines")
     wrk.set_defaults(func=_cmd_worker)
@@ -379,6 +397,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         worker_id=args.id,
         retry_seconds=args.retry,
         quiet=args.quiet,
+        redial_base=args.redial_base,
+        redial_cap=args.redial_cap,
     )
 
 

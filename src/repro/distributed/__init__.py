@@ -15,8 +15,12 @@ Entry points:
 * :func:`local_cluster` — test/CI harness spawning localhost workers.
 * :func:`repro.distributed.worker.run_worker` — the daemon body behind
   ``repro worker``.
+* :class:`FaultPlan` / :class:`FaultSpec` — deterministic fault injection
+  (``local_cluster(fault_plan=...)`` or ``$REPRO_FAULT_PLAN``) for chaos
+  testing the failure model documented in ``docs/ARCHITECTURE.md``.
 """
 
+from ..utils.errors import ClusterUnavailableError
 from .coordinator import (
     ClusterEngine,
     Coordinator,
@@ -25,14 +29,20 @@ from .coordinator import (
     spawn_local_worker,
 )
 from .dataplane import ArtifactCache, ArtifactPlane
+from .faults import FaultPlan, FaultSpec
 from .protocol import WireError, parse_address
+from .retry import Backoff
 from .worker import run_worker
 
 __all__ = [
     "ArtifactCache",
     "ArtifactPlane",
+    "Backoff",
     "ClusterEngine",
+    "ClusterUnavailableError",
     "Coordinator",
+    "FaultPlan",
+    "FaultSpec",
     "WireError",
     "local_cluster",
     "parse_address",

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import atexit
 import contextlib
+import logging
 import math
 import os
 import secrets
@@ -58,9 +59,11 @@ from typing import Any
 
 from ..mapreduce.engine import LocalEngine
 from ..mapreduce.job import JobStats, MapReduceJob
-from ..utils.errors import MapReduceError, ReproError
-from . import protocol
+from ..utils.errors import ClusterUnavailableError, MapReduceError, ReproError
+from . import faults, protocol
 from .dataplane import DEFAULT_MIN_BYTES, ArtifactPlane, dumps
+from .faults import FaultPlan
+from .retry import Backoff
 from .protocol import (
     Artifact,
     ArtifactRequest,
@@ -94,6 +97,18 @@ HEARTBEAT_TIMEOUT = 30.0
 #: Default wait for the requested number of workers to register.
 CONNECT_TIMEOUT = 60.0
 
+#: How long a dialing-in connection gets to complete the registration
+#: handshake (preamble + Hello) before the coordinator drops it — a port
+#: scanner or a wedged peer must not pin a registration thread forever.
+REGISTRATION_TIMEOUT = 10.0
+
+#: Per-task execution deadline: a worker that holds granted tasks without
+#: reporting a single result for this long is declared stuck and loses its
+#: tasks to the requeue — even while its heartbeats keep arriving.
+#: Heartbeats prove the *process* is alive; progress proves the *work* is.
+#: ``None`` disables the deadline.
+DEFAULT_TASK_DEADLINE = 300.0
+
 #: Default coordinator address when ``REPRO_CLUSTER`` is unset.
 DEFAULT_BIND = "127.0.0.1:7077"
 
@@ -110,6 +125,28 @@ TARGET_TASK_SECONDS = 0.2
 #: Without a throughput measurement for the job class, split the input into
 #: this many tasks per worker — fine-grained enough for stealing to matter.
 AUTO_TASKS_PER_WORKER = 8
+
+#: Executors :class:`ClusterEngine` may downgrade to when the cluster is
+#: unavailable (``fallback=...``).
+FALLBACK_EXECUTORS = ("serial", "thread", "process")
+
+logger = logging.getLogger("repro.distributed")
+
+
+def _clip(text: str, limit: int = 60) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def _chunk_label(chunk: list[tuple[int, tuple[Any, Any]]]) -> str:
+    """Name a map chunk by its input positions and keys (for quarantine)."""
+    first_index, (first_key, _) = chunk[0]
+    if len(chunk) == 1:
+        return f"input #{first_index}, key {_clip(repr(first_key))}"
+    last_index, (last_key, _) = chunk[-1]
+    return (
+        f"inputs #{first_index}..#{last_index}, keys "
+        f"{_clip(repr(first_key))}..{_clip(repr(last_key))}"
+    )
 
 
 class WorkerHandle:
@@ -132,6 +169,11 @@ class WorkerHandle:
         self.alive = True
         self.credit = 0
         self.outstanding: set[int] = set()
+        #: Last time this worker *progressed* — registered, was granted
+        #: tasks, or reported a result.  Deliberately NOT advanced by
+        #: heartbeats: the task deadline distinguishes a stuck worker
+        #: (beating, never reporting) from a live one.
+        self.last_progress = time.monotonic()
         self._send_lock = threading.Lock()
 
     def send(self, message: Any) -> None:
@@ -153,15 +195,33 @@ class WorkerHandle:
 class _TaskState:
     """One schedulable task (map chunk or reduce group) of the active run."""
 
-    __slots__ = ("kind", "payload", "n_inputs", "attempts", "done", "seconds")
+    __slots__ = (
+        "kind",
+        "payload",
+        "n_inputs",
+        "attempts",
+        "done",
+        "seconds",
+        "losers",
+        "label",
+    )
 
-    def __init__(self, kind: str, payload: bytes, n_inputs: int) -> None:
+    def __init__(
+        self, kind: str, payload: bytes, n_inputs: int, label: str = ""
+    ) -> None:
         self.kind = kind
         self.payload = payload
         self.n_inputs = n_inputs
         self.attempts = 0
         self.done = False
         self.seconds = 0.0
+        #: Distinct workers lost while this task was outstanding on them —
+        #: the poison-quarantine signal (a task whose *input* kills hosts
+        #: racks up distinct losers; a flaky host racks up attempts).
+        self.losers: set[str] = set()
+        #: Human-readable description of the task's input (chunk indices /
+        #: reduce key), named in the quarantine error.
+        self.label = label
 
 
 class _RunState:
@@ -180,12 +240,16 @@ class _RunState:
         plane: ArtifactPlane,
         streaming: bool,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        deadline: float | None = DEFAULT_TASK_DEADLINE,
     ) -> None:
         self.run_id = run_id
         self.job = job
         self.plane = plane
         self.streaming = streaming
         self.prefetch_depth = prefetch_depth
+        #: Per-task execution deadline (seconds of grant-to-result silence
+        #: tolerated per worker); ``None`` disables the check.
+        self.deadline = deadline
         self.cond = threading.Condition()
         self.tasks: dict[int, _TaskState] = {}
         self.queue: deque[int] = deque()
@@ -236,9 +300,14 @@ class Coordinator:
         spool_dir: str | Path | None = None,
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+        registration_timeout: float = REGISTRATION_TIMEOUT,
     ) -> None:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.registration_timeout = registration_timeout
+        # Env-steered chaos (CI): a REPRO_FAULT_PLAN in the environment
+        # arms this process's hooks under the coordinator role.
+        faults.install_from_env(role="coordinator")
         self._owns_spool = spool_dir is None
         if spool_dir is None:
             self.spool_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-spool-"))
@@ -287,7 +356,7 @@ class Coordinator:
 
     def _register(self, conn: socket.socket) -> None:
         try:
-            conn.settimeout(10.0)
+            conn.settimeout(self.registration_timeout)
             protocol.recv_preamble(conn)
             protocol.send_preamble(conn)
             hello = protocol.recv_msg(conn)
@@ -343,21 +412,29 @@ class Coordinator:
         return [w.pid for w in self.alive_workers()]
 
     def wait_for_workers(self, n: int, timeout: float) -> None:
-        """Block until ``n`` workers are registered and alive."""
+        """Block until ``n`` workers are registered and alive.
+
+        Raises :class:`ClusterUnavailableError` on timeout — the signal
+        :class:`ClusterEngine` downgrades on when a fallback is declared.
+        The poll interval backs off with jitter (registration also
+        notifies the condition, so a worker arriving is seen immediately;
+        the poll only bounds how late the timeout itself fires).
+        """
         deadline = time.monotonic() + timeout
+        poll = Backoff(base=0.05, cap=0.5)
         with self._cond:
             while len([w for w in self._workers if w.alive]) < n:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     alive = len([w for w in self._workers if w.alive])
-                    raise MapReduceError(
+                    raise ClusterUnavailableError(
                         f"cluster coordinator at {self.address[0]}:"
                         f"{self.address[1]} has {alive} worker(s) after "
                         f"{timeout:.0f}s, needs {n} — start workers with "
                         f"`repro worker --connect "
                         f"{self.address[0]}:{self.address[1]}`"
                     )
-                self._cond.wait(min(remaining, 0.25))
+                self._cond.wait(min(remaining, max(0.02, poll.next_delay())))
 
     def next_run_id(self) -> str:
         with self._cond:
@@ -377,6 +454,11 @@ class Coordinator:
                 message = protocol.recv_msg(handle.sock)
                 if message is None:
                     raise WireError("worker closed the connection")
+                faults.fire(
+                    "coordinator.handler",
+                    detail=type(message).__name__,
+                    sock=handle.sock,
+                )
                 if isinstance(message, Heartbeat):
                     continue
                 if isinstance(message, ArtifactRequest):
@@ -407,10 +489,15 @@ class Coordinator:
             return
         try:
             data = plane.payload(request.name)
+            digest = plane.checksum(request.name)
         except (MapReduceError, OSError) as exc:
             handle.send(Artifact(name=request.name, error=str(exc)))
             return
-        handle.send(Artifact(name=request.name, data=data))
+        # The fault hook mangles *after* the digest is taken: an injected
+        # byte flip ships with the honest checksum, which is exactly what
+        # the worker-side verification must catch and re-fetch.
+        data = faults.bytes_out("dataplane.serve", data, detail=request.name)
+        handle.send(Artifact(name=request.name, data=data, sha256=digest))
 
     def _on_steal(self, handle: WorkerHandle, request: StealRequest) -> None:
         run = self._active_run()
@@ -425,6 +512,7 @@ class Coordinator:
         if run is None or message.run_id != run.run_id:
             return  # stale result from a run that already ended
         with run.cond:
+            handle.last_progress = time.monotonic()
             handle.outstanding.discard(message.task_id)
             state = run.tasks.get(message.task_id)
             if state is None or state.done:
@@ -492,7 +580,9 @@ class Coordinator:
         next_id = run.n_map_tasks
         for key, values in grouped:
             payload = dumps(("reduce", run.job, (key, values)), run.plane)
-            run.tasks[next_id] = _TaskState("reduce", payload, 1)
+            run.tasks[next_id] = _TaskState(
+                "reduce", payload, 1, label=f"group key {_clip(repr(key))}"
+            )
             run.reduce_order.append(next_id)
             run.queue.append(next_id)
             next_id += 1
@@ -513,7 +603,11 @@ class Coordinator:
         if not batch:
             return
         try:
+            faults.fire("coordinator.dispatch", sock=handle.sock)
             handle.send(TaskStream(run_id=run.run_id, tasks=batch))
+            # A fresh grant restarts the worker's execution deadline: it
+            # now owes a result for new work, measured from this moment.
+            handle.last_progress = time.monotonic()
         except (WireError, OSError):
             # The send failed, so the tasks never left: requeue them at the
             # front without burning an attempt.  The reader thread notices
@@ -555,19 +649,31 @@ class Coordinator:
                 f"worker {handle.worker_id!r} (pid {handle.pid}) lost with "
                 f"{len(lost)} {run.phase} task(s) in flight: {exc}"
             )
+            logger.warning("requeueing after loss: %s", run.last_loss)
             for task_id in reversed(lost):
                 state = run.tasks[task_id]
                 state.attempts += 1
-                if state.attempts >= MAX_TASK_ATTEMPTS:
+                state.losers.add(handle.worker_id)
+                # Quarantine: a task that took down MAX_TASK_ATTEMPTS
+                # *distinct* workers is poison — its input reliably kills
+                # hosts, so fail fast naming the input instead of feeding
+                # it the rest of the cluster.  The total-attempts backstop
+                # (2x) catches one flaky host rejoining and dying forever.
+                if (
+                    len(state.losers) >= MAX_TASK_ATTEMPTS
+                    or state.attempts >= 2 * MAX_TASK_ATTEMPTS
+                ):
                     run.error = MapReduceError(
-                        f"{state.kind} task {task_id} lost {state.attempts} "
-                        "workers in a row (killed or crashed before "
-                        f"reporting a result); last: {run.last_loss}"
+                        f"poison task quarantined: {state.kind} task "
+                        f"{task_id} ({state.label or 'unlabelled input'}) "
+                        f"took down {len(state.losers)} distinct worker(s) "
+                        f"{sorted(state.losers)} over {state.attempts} "
+                        f"attempt(s); last: {run.last_loss}"
                     )
                 else:
                     run.queue.appendleft(task_id)
             if run.error is None and not self.alive_workers():
-                run.error = MapReduceError(
+                run.error = ClusterUnavailableError(
                     f"all cluster workers died during the {run.phase} phase "
                     f"({run.completed()}/{len(run.tasks)} tasks finished; "
                     f"last loss: {run.last_loss})"
@@ -575,6 +681,39 @@ class Coordinator:
             if run.error is None:
                 self._grant_all_locked(run)
             run.cond.notify_all()
+
+    def _requeue_stuck_locked(self, run: _RunState) -> None:
+        """Enforce the per-task deadline (``run.cond`` held, re-entrant).
+
+        A worker whose oldest unanswered grant is older than the deadline
+        is declared lost exactly like a silent socket: connection closed,
+        tasks requeued, attempts/quarantine accounting identical.  Called
+        from the scheduling loop's wait tick.
+        """
+        if run.deadline is None:
+            return
+        now = time.monotonic()
+        stuck = [
+            handle
+            for handle in self.alive_workers()
+            if handle.outstanding and now - handle.last_progress > run.deadline
+        ]
+        for handle in stuck:
+            logger.warning(
+                "worker %r exceeded the %.1fs task deadline with %d task(s) "
+                "outstanding (heartbeating but not reporting); requeueing",
+                handle.worker_id,
+                run.deadline,
+                len(handle.outstanding),
+            )
+            self._on_worker_lost(
+                handle,
+                MapReduceError(
+                    f"exceeded the {run.deadline:.1f}s task execution "
+                    "deadline (worker heartbeating but not reporting "
+                    "results)"
+                ),
+            )
 
     # -- run scheduling ------------------------------------------------------
 
@@ -587,12 +726,19 @@ class Coordinator:
         granularity: int | str = "auto",
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
         streaming_reduce: bool = True,
+        task_deadline: float | None = DEFAULT_TASK_DEADLINE,
     ) -> tuple[list[tuple[Any, Any]], JobStats, int]:
         """Schedule one job end to end; returns (outputs, stats, retries).
 
         Outputs are flattened in the deterministic reduce order (shuffle
         key order), never in completion order — scheduling never leaks
         into results.
+
+        ``task_deadline`` bounds how long any worker may hold granted
+        tasks without reporting a result; a worker past it is treated as
+        lost (its connection is closed and its tasks requeued) even while
+        its heartbeats keep arriving — heartbeats prove the process lives,
+        the deadline proves the work does.
         """
         stats = JobStats()
         if not inputs:
@@ -600,7 +746,7 @@ class Coordinator:
         with self._run_lock:
             run = self._start_run(
                 job, inputs, plane, run_id, granularity, streaming_reduce,
-                max(1, prefetch_depth),
+                max(1, prefetch_depth), task_deadline,
             )
             workers = self.alive_workers()
             join = JoinRun(
@@ -615,13 +761,14 @@ class Coordinator:
                 with run.cond:
                     while not run.finished and run.error is None:
                         if not self.alive_workers():
-                            run.error = MapReduceError(
+                            run.error = ClusterUnavailableError(
                                 "all cluster workers died or disconnected "
                                 f"during the {run.phase} phase "
                                 f"({run.completed()}/{len(run.tasks)} tasks "
                                 "finished)"
                             )
                             break
+                        self._requeue_stuck_locked(run)
                         run.cond.wait(0.25)
             finally:
                 with self._cond:
@@ -665,14 +812,19 @@ class Coordinator:
         granularity: int | str,
         streaming_reduce: bool,
         prefetch_depth: int,
+        task_deadline: float | None = DEFAULT_TASK_DEADLINE,
     ) -> _RunState:
         size = self._resolve_granularity(job, len(inputs), granularity)
         indexed = list(enumerate(inputs))
         chunks = [indexed[lo : lo + size] for lo in range(0, len(indexed), size)]
-        run = _RunState(run_id, job, plane, streaming_reduce, prefetch_depth)
+        run = _RunState(
+            run_id, job, plane, streaming_reduce, prefetch_depth, task_deadline
+        )
         for task_id, chunk in enumerate(chunks):
             payload = dumps(("map", job, chunk), plane)
-            run.tasks[task_id] = _TaskState("map", payload, len(chunk))
+            run.tasks[task_id] = _TaskState(
+                "map", payload, len(chunk), label=_chunk_label(chunk)
+            )
             run.queue.append(task_id)
         run.n_map_tasks = len(chunks)
         run.map_remaining = len(chunks)
@@ -856,6 +1008,22 @@ class ClusterEngine:
         Reuse the process-wide coordinator for ``bind`` (how env-steered
         engines share one listener); ``False`` gives this engine a private
         coordinator that :meth:`close` fully owns.
+    task_deadline:
+        Seconds a worker may hold granted tasks without reporting a
+        result before it is declared stuck and loses them to the requeue
+        (heartbeats alone do not count as progress).  ``None`` disables
+        the deadline.
+    fallback:
+        ``"serial"``/``"thread"``/``"process"`` reruns the job on that
+        local executor when the cluster is *unavailable* (no workers
+        registered in time, or every worker lost mid-run), logging the
+        downgrade; ``None`` (default) propagates
+        :class:`~repro.utils.errors.ClusterUnavailableError`.  Job bugs
+        and poison tasks never fall back — they would fail anywhere.
+    heartbeat_timeout / registration_timeout:
+        Connection liveness knobs, applied to this engine's *private*
+        coordinator (a ``shared=True`` engine reuses the process-wide
+        coordinator and its existing timeouts).
     """
 
     executor = "cluster"
@@ -871,6 +1039,10 @@ class ClusterEngine:
         steal_granularity: int | str = "auto",
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
         streaming_reduce: bool = True,
+        task_deadline: float | None = DEFAULT_TASK_DEADLINE,
+        fallback: str | None = None,
+        heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+        registration_timeout: float = REGISTRATION_TIMEOUT,
     ) -> None:
         self._bind_host, self._bind_port = protocol.parse_address(bind, variable="bind")
         if not isinstance(n_workers, int) or n_workers < 1:
@@ -891,6 +1063,15 @@ class ClusterEngine:
             raise MapReduceError("prefetch_depth must be an integer >= 1")
         if min_artifact_bytes < 1:
             raise MapReduceError("min_artifact_bytes must be >= 1")
+        if task_deadline is not None and not task_deadline > 0:
+            raise MapReduceError(
+                f"task_deadline must be > 0 seconds or None, got {task_deadline!r}"
+            )
+        if fallback is not None and fallback not in FALLBACK_EXECUTORS:
+            raise MapReduceError(
+                f"fallback must be one of {', '.join(FALLBACK_EXECUTORS)} "
+                f"or None, got {fallback!r}"
+            )
         self.n_workers = n_workers
         self.map_chunk_size = map_chunk_size
         self.steal_granularity = steal_granularity
@@ -899,10 +1080,17 @@ class ClusterEngine:
         self.min_artifact_bytes = min_artifact_bytes
         self.connect_timeout = connect_timeout
         self.shared = shared
+        self.task_deadline = task_deadline
+        self.fallback = fallback
+        self.heartbeat_timeout = heartbeat_timeout
+        self.registration_timeout = registration_timeout
         self._coordinator: Coordinator | None = None
         self._assembled = False
         self.last_run_retries = 0
         self.last_run_worker_tasks: dict[str, int] = {}
+        #: Why the last run downgraded to the fallback executor, or ``None``
+        #: when it ran on the cluster.
+        self.last_run_fallback: str | None = None
 
     @property
     def is_parallel(self) -> bool:
@@ -917,7 +1105,10 @@ class ClusterEngine:
                 self._coordinator = shared_coordinator(self._bind_host, self._bind_port)
             else:
                 self._coordinator = Coordinator(
-                    host=self._bind_host, port=self._bind_port
+                    host=self._bind_host,
+                    port=self._bind_port,
+                    heartbeat_timeout=self.heartbeat_timeout,
+                    registration_timeout=self.registration_timeout,
                 )
         return self._coordinator
 
@@ -952,11 +1143,42 @@ class ClusterEngine:
     def run(
         self, job: MapReduceJob, inputs: Iterable[tuple[Any, Any]]
     ) -> tuple[list[tuple[Any, Any]], JobStats]:
-        """Execute ``job`` over ``inputs`` on the cluster."""
+        """Execute ``job`` over ``inputs`` on the cluster.
+
+        With ``fallback`` declared, a cluster that is *unavailable* —
+        workers never assembled, or every worker lost mid-run — downgrades
+        to the named local executor instead of raising: the job reruns
+        from scratch there (outputs stay bit-identical; every executor
+        is), the downgrade is logged, and :attr:`last_run_fallback` records
+        the reason.  Job bugs and poison-task quarantines propagate
+        unchanged — they would fail on any executor.
+        """
         input_list = list(inputs)
-        coordinator = self.coordinator
         if not input_list:
             return [], JobStats()
+        self.last_run_fallback = None
+        try:
+            return self._run_on_cluster(job, input_list)
+        except ClusterUnavailableError as exc:
+            if self.fallback is None:
+                raise
+            logger.warning(
+                "cluster unavailable (%s); falling back to the %r executor",
+                exc,
+                self.fallback,
+            )
+            self.last_run_fallback = str(exc)
+            local = LocalEngine(
+                n_workers=self.n_workers,
+                executor=self.fallback,
+                map_chunk_size="auto",
+            )
+            return local.run(job, input_list)
+
+    def _run_on_cluster(
+        self, job: MapReduceJob, input_list: list[tuple[Any, Any]]
+    ) -> tuple[list[tuple[Any, Any]], JobStats]:
+        coordinator = self.coordinator
         # Full-strength barrier on first assembly only: a worker lost
         # mid-session (killed, host down) must not stall every later
         # run for the whole connect timeout — the cluster keeps going
@@ -978,6 +1200,7 @@ class ClusterEngine:
                 granularity=self._granularity_spec(),
                 prefetch_depth=self.prefetch_depth,
                 streaming_reduce=self.streaming_reduce,
+                task_deadline=self.task_deadline,
             )
         finally:
             plane.close()
@@ -1067,6 +1290,7 @@ def local_cluster(
     retry_seconds: float = 30.0,
     startup_timeout: float = 60.0,
     worker_env: list[dict[str, str] | None] | None = None,
+    fault_plan: FaultPlan | str | None = None,
     **engine_kwargs: Any,
 ):
     """Spawn ``n_hosts`` localhost workers around a private coordinator.
@@ -1080,9 +1304,24 @@ def local_cluster(
     aligned with host numbering), which the straggler tests use to slow
     one worker down.  Extra keyword arguments reach the engine (e.g.
     ``steal_granularity=1`` or ``streaming_reduce=False``).
+
+    ``fault_plan`` (a :class:`~repro.distributed.faults.FaultPlan` or its
+    string encoding) arms the fault-injection harness *everywhere*: in this
+    process (role ``coordinator``) and, via ``REPRO_FAULT_PLAN``, in every
+    spawned worker.  Per-index ``worker_env`` overrides win, so a chaos
+    test can aim a crash at exactly one host by giving the others
+    ``{"REPRO_FAULT_PLAN": ""}`` or a different plan.  The harness is
+    uninstalled on exit.
     """
     if n_hosts < 1:
         raise MapReduceError("local_cluster needs at least one host")
+    plan = (
+        faults.FaultPlan.parse(fault_plan)
+        if isinstance(fault_plan, str)
+        else fault_plan
+    )
+    if plan is not None:
+        faults.install(plan, role="coordinator")
     engine = ClusterEngine(
         bind="127.0.0.1:0",
         n_workers=n_hosts,
@@ -1097,6 +1336,10 @@ def local_cluster(
             overrides = None
             if worker_env is not None and index < len(worker_env):
                 overrides = worker_env[index]
+            if plan is not None:
+                merged = {faults.ENV_VAR: plan.encode()}
+                merged.update(overrides or {})
+                overrides = merged
             processes.append(
                 spawn_local_worker(
                     engine.address,
@@ -1108,6 +1351,8 @@ def local_cluster(
         engine.wait_for_workers(n_hosts, timeout=startup_timeout)
         yield engine
     finally:
+        if plan is not None:
+            faults.uninstall()
         engine.close(shutdown_workers=True)
         deadline = time.monotonic() + 10.0
         for process in processes:

@@ -36,6 +36,7 @@ engine's bit-identical serial/cluster guarantee rests on ``np.save`` /
 
 from __future__ import annotations
 
+import hashlib
 import io
 import os
 import pickle
@@ -46,12 +47,19 @@ from typing import Any, Callable
 import numpy as np
 
 from ..utils.errors import MapReduceError
+from . import faults
+from .retry import Backoff
 
 #: Arrays below this many bytes travel inside the task pickle: a spool file
 #: and a potential socket round trip only pay off for matrices of real size.
 #: Matches the shm plane's threshold so the two executors promote the same
 #: arrays.
 DEFAULT_MIN_BYTES = 32 * 1024
+
+#: How many times a worker fetches an artifact over the socket before the
+#: task fails: a transient loss or a checksum mismatch is retried (with
+#: full-jitter backoff), persistent corruption fails fast and typed.
+FETCH_ATTEMPTS = 3
 
 #: Tag marking a persistent id as one of ours (defensive: ``persistent_load``
 #: must reject foreign pids instead of fabricating arrays from garbage).
@@ -81,6 +89,7 @@ class ArtifactPlane:
         self.min_bytes = min_bytes
         self._refs: dict[int, tuple] = {}
         self._paths: dict[str, Path] = {}
+        self._sums: dict[str, str] = {}
         self._keepalive: list[np.ndarray] = []
         self.closed = False
 
@@ -102,7 +111,10 @@ class ArtifactPlane:
         """Write ``array`` to the spool (once) and return its reference.
 
         The reference is a small picklable tuple
-        ``(name, dtype_str, shape, spool_path)``.
+        ``(name, dtype_str, shape, spool_path, sha256)`` — the digest is
+        the SHA-256 of the ``.npy`` bytes, carried in the reference so the
+        *task pickle* (not the artifact frame) vouches for the bytes a
+        worker fetches over the socket.
         """
         if self.closed:
             raise MapReduceError("artifact plane is already closed")
@@ -115,10 +127,15 @@ class ArtifactPlane:
         self.spool_dir.mkdir(parents=True, exist_ok=True)
         # ``np.save`` writes the canonical .npy container; the same bytes
         # serve the socket transport via :meth:`payload`.
+        digest = hashlib.sha256()
         with open(path, "wb") as handle:
             np.save(handle, np.ascontiguousarray(array))
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
         self._paths[name] = path
-        ref = (name, array.dtype.str, array.shape, str(path))
+        self._sums[name] = digest.hexdigest()
+        ref = (name, array.dtype.str, array.shape, str(path), self._sums[name])
         self._refs[key] = ref
         self._keepalive.append(array)
         return ref
@@ -129,6 +146,13 @@ class ArtifactPlane:
         if path is None:
             raise MapReduceError(f"unknown artifact {name!r} requested")
         return path.read_bytes()
+
+    def checksum(self, name: str) -> str:
+        """Hex SHA-256 of one artifact's ``.npy`` bytes (as registered)."""
+        digest = self._sums.get(name)
+        if digest is None:
+            raise MapReduceError(f"unknown artifact {name!r} requested")
+        return digest
 
     def close(self) -> None:
         """Delete every spool file; idempotent, never raises partway."""
@@ -141,6 +165,7 @@ class ArtifactPlane:
             except OSError:  # pragma: no cover - already gone / perms
                 pass
         self._paths.clear()
+        self._sums.clear()
         self._refs.clear()
         self._keepalive.clear()
 
@@ -172,15 +197,15 @@ class ArtifactCache:
         self.n_mapped = 0
 
     def resolve(self, ref: tuple, fetch: Callable[[str], bytes]) -> np.ndarray:
-        name, dtype_str, shape, spool_path = ref
+        name, dtype_str, shape, spool_path, digest = ref
         with self._lock:
             cached = self._arrays.get(name)
         if cached is not None:
             return cached
-        array = self._from_spool(spool_path, dtype_str, tuple(shape))
+        array, spool_failure = self._from_spool(spool_path, name)
         fetched = array is None
         if fetched:
-            array = decode_artifact(fetch(name))
+            array = self._fetch_verified(name, digest, fetch, spool_failure)
         if array.dtype.str != dtype_str or array.shape != tuple(shape):
             raise MapReduceError(
                 f"artifact {name!r} decoded as {array.dtype.str}{array.shape}, "
@@ -195,16 +220,75 @@ class ArtifactCache:
         return array
 
     @staticmethod
-    def _from_spool(spool_path: str, dtype_str: str, shape: tuple) -> np.ndarray | None:
-        if not spool_path or not os.path.isfile(spool_path):
-            return None
+    def _fetch_verified(
+        name: str,
+        digest: str,
+        fetch: Callable[[str], bytes],
+        spool_failure: str,
+    ) -> np.ndarray:
+        """Socket-pull ``name``, verifying SHA-256, with bounded retries.
+
+        Transient failures — connection loss mid-fetch (``WireError``),
+        corrupted bytes (digest mismatch), undecodable payload — are
+        retried up to :data:`FETCH_ATTEMPTS` times with full-jitter
+        backoff.  A coordinator-reported error (the run already ended) is
+        permanent and re-raised as is.  Exhaustion raises a typed
+        :class:`MapReduceError` naming the artifact and every failure,
+        including why the spool path was unusable.
+        """
+        from .protocol import WireError  # runtime import: protocol uses us too
+
+        backoff = Backoff(base=0.05, cap=1.0)
+        failures: list[str] = []
+        if spool_failure:
+            failures.append(f"spool: {spool_failure}")
+        for attempt in range(1, FETCH_ATTEMPTS + 1):
+            try:
+                data = fetch(name)
+            except WireError as exc:
+                failures.append(f"fetch attempt {attempt}: {exc}")
+                backoff.sleep()
+                continue
+            if digest:
+                actual = hashlib.sha256(data).hexdigest()
+                if actual != digest:
+                    failures.append(
+                        f"fetch attempt {attempt}: checksum mismatch "
+                        f"(got {actual[:12]}…, reference says {digest[:12]}…)"
+                    )
+                    backoff.sleep()
+                    continue
+            try:
+                return decode_artifact(data)
+            except ValueError as exc:
+                failures.append(f"fetch attempt {attempt}: undecodable: {exc}")
+                backoff.sleep()
+        raise MapReduceError(
+            f"artifact {name!r} could not be materialized intact after "
+            f"{FETCH_ATTEMPTS} fetch attempt(s): {'; '.join(failures)}"
+        )
+
+    @staticmethod
+    def _from_spool(spool_path: str, name: str) -> tuple[np.ndarray | None, str]:
+        """Memory-map the spool file; ``(None, reason)`` when unusable.
+
+        A truncated or otherwise unreadable spool file must never surface
+        as garbage data: ``np.load`` validates the ``.npy`` header and the
+        mapped length, so failure here means *fall back to the socket* —
+        and the reason travels into the typed error if that fails too.
+        """
+        if not spool_path:
+            return None, "no spool path in reference"
         try:
+            faults.fire("dataplane.read", detail=name)
+            if not os.path.isfile(spool_path):
+                return None, f"spool file {spool_path} does not exist"
             # mmap_mode="r" is read-only by construction: the OS shares the
             # pages and a write attempt raises, exactly like the shm plane's
             # read-only views.
-            return np.load(spool_path, mmap_mode="r", allow_pickle=False)
-        except (OSError, ValueError):  # pragma: no cover - racing cleanup
-            return None
+            return np.load(spool_path, mmap_mode="r", allow_pickle=False), ""
+        except (OSError, ValueError) as exc:
+            return None, f"spool file {spool_path} unreadable: {exc}"
 
     def clear(self, run_id: str | None = None) -> None:
         """Drop cached arrays (of one run, or everything)."""

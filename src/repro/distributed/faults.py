@@ -1,0 +1,418 @@
+"""Deterministic, seeded fault injection for the cluster backend.
+
+Chaos testing the scheduler by hand-rolling one failure per test (kill a
+worker here, corrupt a byte there) does not scale to a failure *matrix*.
+This module turns faults into data: a :class:`FaultPlan` is a list of
+:class:`FaultSpec` entries — *the Nth time event X happens at site Y, do
+Z* — installed per process and consulted from small hook points threaded
+through ``protocol.py`` (frame send/recv), ``dataplane.py`` (artifact
+read/serve), ``worker.py`` (compute/prefetch/dial/heartbeat) and
+``coordinator.py`` (dispatch/handler).
+
+Determinism: which events fire is decided by per-spec event *counters*
+(never wall-clock sampling), and byte corruption draws its flip position
+from a :class:`random.Random` seeded by the plan — the same plan against
+the same event sequence injects the same faults.
+
+Activation:
+
+* ``local_cluster(fault_plan=...)`` installs the plan in the driver
+  process and exports it to every spawned worker via the
+  ``REPRO_FAULT_PLAN`` environment variable (per-worker targeting stays
+  possible through ``worker_env`` overrides).
+* A worker daemon (``run_worker``) and a coordinator both call
+  :func:`install_from_env` at startup, so env-steered clusters (CI) can
+  inject faults without touching any code.
+
+When no plan is installed the hooks cost one module-global read and a
+``None`` check — the production hot path stays untouched.
+
+Plan grammar (the ``REPRO_FAULT_PLAN`` value)::
+
+    seed=7;worker.compute:crash;dataplane.serve:corrupt:times=2,role=coordinator
+
+i.e. ``;``-separated entries, each ``site:kind[:key=value,...]`` (one
+optional ``seed=N`` entry), with keys ``times`` (count or ``inf``),
+``after`` (skip the first N matching events), ``seconds`` (hang/delay
+duration), ``role`` (``coordinator``/``worker``: only fire in processes
+installed under that role) and ``msg`` (protocol sites: only fire for
+that message type).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import socket
+import struct
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from ..utils.errors import MapReduceError
+
+#: Environment variable carrying an encoded plan to worker subprocesses.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit code of an injected worker crash (distinct from the hand-rolled
+#: kill-worker tests' 23, so logs tell the two apart).
+CRASH_EXIT_CODE = 43
+
+#: Hook points.  ``protocol.*`` fire per frame, ``dataplane.*`` per
+#: artifact, ``worker.*``/``coordinator.*`` per scheduler event.
+FAULT_SITES = frozenset(
+    {
+        "protocol.send",
+        "protocol.recv",
+        "dataplane.serve",
+        "dataplane.read",
+        "worker.compute",
+        "worker.prefetch",
+        "worker.dial",
+        "worker.heartbeat",
+        "coordinator.dispatch",
+        "coordinator.handler",
+    }
+)
+
+#: What an eligible event does.
+FAULT_KINDS = frozenset(
+    {"crash", "hang", "delay", "error", "drop", "corrupt", "truncate"}
+)
+
+#: Sites whose hook carries a byte payload that can be mangled in flight.
+BYTE_SITES = frozenset({"protocol.send", "dataplane.serve"})
+
+_ROLES = ("", "coordinator", "worker")
+
+#: Default sleep per kind: ``delay`` models a slow link/straggler, ``hang``
+#: models a stuck-but-heartbeating worker (effectively forever — the task
+#: deadline, not the sleep, must end it).
+_DEFAULT_SECONDS = {"delay": 0.05, "hang": 3600.0}
+
+#: Frame header layout, kept in lockstep with ``protocol._HEADER`` (the
+#: truncate fault must emit a *valid* header promising more bytes than it
+#: sends — a genuine mid-frame EOF, not a short frame).
+_HEADER = struct.Struct("!Q")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: at ``site``, events ``[after, after+times)`` do ``kind``."""
+
+    site: str
+    kind: str
+    times: float = 1  # int, or math.inf for "every time"
+    after: int = 0
+    seconds: float | None = None
+    role: str = ""  # "", "coordinator" or "worker"
+    msg: str = ""  # protocol sites: restrict to one message type name
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise MapReduceError(
+                f"unknown fault site {self.site!r}; sites: "
+                f"{', '.join(sorted(FAULT_SITES))}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise MapReduceError(
+                f"unknown fault kind {self.kind!r}; kinds: "
+                f"{', '.join(sorted(FAULT_KINDS))}"
+            )
+        if self.kind in ("corrupt", "truncate") and self.site not in BYTE_SITES:
+            raise MapReduceError(
+                f"fault kind {self.kind!r} needs a byte-carrying site "
+                f"({', '.join(sorted(BYTE_SITES))}), not {self.site!r}"
+            )
+        if self.role not in _ROLES:
+            raise MapReduceError(
+                f"fault role must be 'coordinator' or 'worker', got {self.role!r}"
+            )
+        if not (self.times == math.inf or (isinstance(self.times, int) and self.times >= 1)):
+            raise MapReduceError(
+                f"fault times must be an integer >= 1 or 'inf', got {self.times!r}"
+            )
+        if not (isinstance(self.after, int) and self.after >= 0):
+            raise MapReduceError(
+                f"fault after must be an integer >= 0, got {self.after!r}"
+            )
+        if self.seconds is not None and not self.seconds >= 0:
+            raise MapReduceError(
+                f"fault seconds must be >= 0, got {self.seconds!r}"
+            )
+
+    @property
+    def sleep_seconds(self) -> float:
+        return (
+            self.seconds
+            if self.seconds is not None
+            else _DEFAULT_SECONDS.get(self.kind, 0.05)
+        )
+
+    def encode(self) -> str:
+        options = []
+        if self.times != 1:
+            options.append(f"times={'inf' if self.times == math.inf else self.times}")
+        if self.after:
+            options.append(f"after={self.after}")
+        if self.seconds is not None:
+            options.append(f"seconds={self.seconds:g}")
+        if self.role:
+            options.append(f"role={self.role}")
+        if self.msg:
+            options.append(f"msg={self.msg}")
+        head = f"{self.site}:{self.kind}"
+        return f"{head}:{','.join(options)}" if options else head
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded list of fault rules, encodable to ``REPRO_FAULT_PLAN``."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the plan grammar (see module docstring); raises typed errors."""
+        seed = 0
+        specs: list[FaultSpec] = []
+        for raw_entry in text.split(";"):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            if entry.startswith("seed="):
+                try:
+                    seed = int(entry[len("seed=") :])
+                except ValueError:
+                    raise MapReduceError(
+                        f"{ENV_VAR}: seed must be an integer, got {entry!r}"
+                    ) from None
+                continue
+            site, _, rest = entry.partition(":")
+            kind, _, option_text = rest.partition(":")
+            if not kind:
+                raise MapReduceError(
+                    f"{ENV_VAR}: each entry is site:kind[:key=value,...], "
+                    f"got {entry!r}"
+                )
+            options: dict = {}
+            for raw_option in option_text.split(",") if option_text else []:
+                key, sep, value = raw_option.partition("=")
+                key = key.strip()
+                if not sep or key not in ("times", "after", "seconds", "role", "msg"):
+                    raise MapReduceError(
+                        f"{ENV_VAR}: unknown fault option {raw_option!r} in "
+                        f"{entry!r} (keys: times, after, seconds, role, msg)"
+                    )
+                try:
+                    if key == "times":
+                        options[key] = math.inf if value == "inf" else int(value)
+                    elif key == "after":
+                        options[key] = int(value)
+                    elif key == "seconds":
+                        options[key] = float(value)
+                    else:
+                        options[key] = value
+                except ValueError:
+                    raise MapReduceError(
+                        f"{ENV_VAR}: bad value for {key!r} in {entry!r}"
+                    ) from None
+            specs.append(FaultSpec(site=site, kind=kind, **options))
+        return cls(specs=tuple(specs), seed=seed)
+
+    def encode(self) -> str:
+        """The canonical ``REPRO_FAULT_PLAN`` string (parse round-trips)."""
+        parts = [f"seed={self.seed}"] if self.seed else []
+        parts.extend(spec.encode() for spec in self.specs)
+        return ";".join(parts)
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-rule rendering (for logs)."""
+        lines = [f"fault plan (seed={self.seed}):"]
+        for spec in self.specs:
+            window = (
+                "every time"
+                if spec.times == math.inf
+                else f"event(s) {spec.after}..{spec.after + int(spec.times) - 1}"
+            )
+            scope = f" [{spec.role}]" if spec.role else ""
+            msg = f" msg={spec.msg}" if spec.msg else ""
+            lines.append(f"  {spec.site}: {spec.kind} ({window}){scope}{msg}")
+        return "\n".join(lines)
+
+
+class FaultInjector:
+    """Per-process runtime of one plan: counts events, fires eligible ones.
+
+    Thread-safe: hook points are called concurrently from reader, compute,
+    prefetch and heartbeat threads.  First matching spec wins per event.
+    """
+
+    def __init__(self, plan: FaultPlan, role: str) -> None:
+        if role not in ("coordinator", "worker"):
+            raise MapReduceError(
+                f"injector role must be 'coordinator' or 'worker', got {role!r}"
+            )
+        self.plan = plan
+        self.role = role
+        self._lock = threading.Lock()
+        self._counts = [0] * len(plan.specs)
+        self._rng = random.Random(plan.seed)
+        #: ``"site:kind"`` -> times fired, for test introspection.
+        self.fired: Counter = Counter()
+
+    def _claim(self, site: str, detail: str) -> FaultSpec | None:
+        """Count this event against matching specs; return one due to fire."""
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                if spec.role and spec.role != self.role:
+                    continue
+                if spec.msg and spec.msg != detail:
+                    continue
+                count = self._counts[index]
+                self._counts[index] = count + 1
+                if count < spec.after or count >= spec.after + spec.times:
+                    continue
+                self.fired[f"{site}:{spec.kind}"] += 1
+                return spec
+        return None
+
+    def _flip_position(self, length: int) -> int:
+        with self._lock:
+            return self._rng.randrange(length)
+
+    def _act(self, spec: FaultSpec, site: str, sock: socket.socket | None) -> None:
+        """Perform a non-byte-mangling fault (byte kinds are no-ops here)."""
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind in ("hang", "delay"):
+            time.sleep(spec.sleep_seconds)
+            return
+        if spec.kind == "drop":
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            raise OSError(f"injected fault: connection dropped at {site}")
+        if spec.kind == "error":
+            raise OSError(f"injected fault: error at {site}")
+
+    def fire(self, site: str, detail: str = "", sock: socket.socket | None = None) -> None:
+        """Hook for non-byte sites: maybe crash/hang/delay/drop/error."""
+        spec = self._claim(site, detail)
+        if spec is not None:
+            self._act(spec, site, sock)
+
+    def frame_out(self, sock: socket.socket, payload: bytes, detail: str) -> bytes:
+        """Hook inside ``protocol.send_msg``: maybe mangle the frame.
+
+        ``corrupt`` flips one payload byte (the receiver's unpickle fails →
+        ``WireError`` → worker-loss recovery); ``truncate`` sends a header
+        promising the full payload, half the bytes, then closes the socket
+        (a genuine mid-frame EOF) and raises ``OSError`` so the sender sees
+        the loss too.  Other kinds behave as in :meth:`fire`.
+        """
+        spec = self._claim("protocol.send", detail)
+        if spec is None:
+            return payload
+        if spec.kind == "corrupt" and payload:
+            # Flip inside the pickle header region: frames carry no
+            # checksum, so the fault must be one the receiver *detects*
+            # (unpickle failure), not a silent deep-payload bit flip —
+            # arbitrary-position corruption is modeled at the artifact
+            # layer, where SHA-256 catches any position.
+            mangled = bytearray(payload)
+            mangled[self._flip_position(min(len(mangled), 8))] ^= 0xFF
+            return bytes(mangled)
+        if spec.kind == "truncate":
+            try:
+                sock.sendall(_HEADER.pack(len(payload)) + payload[: len(payload) // 2])
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise OSError("injected fault: frame truncated at protocol.send")
+        self._act(spec, "protocol.send", sock)
+        return payload
+
+    def bytes_out(self, site: str, data: bytes, detail: str = "") -> bytes:
+        """Hook for byte-serving sites (``dataplane.serve``): maybe mangle."""
+        spec = self._claim(site, detail)
+        if spec is None:
+            return data
+        if spec.kind == "corrupt" and data:
+            mangled = bytearray(data)
+            mangled[self._flip_position(len(mangled))] ^= 0xFF
+            return bytes(mangled)
+        if spec.kind == "truncate":
+            return data[: len(data) // 2]
+        self._act(spec, site, None)
+        return data
+
+
+#: The process-wide injector; ``None`` (the default) keeps every hook inert.
+INJECTOR: FaultInjector | None = None
+
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(plan: FaultPlan, role: str) -> FaultInjector:
+    """Install ``plan`` as this process's injector (replacing any prior one)."""
+    global INJECTOR
+    with _INSTALL_LOCK:
+        INJECTOR = FaultInjector(plan, role)
+        return INJECTOR
+
+
+def uninstall() -> None:
+    """Remove the process's injector; hooks become inert again."""
+    global INJECTOR
+    with _INSTALL_LOCK:
+        INJECTOR = None
+
+
+def install_from_env(role: str) -> FaultInjector | None:
+    """Install from ``REPRO_FAULT_PLAN`` if set and nothing is installed yet."""
+    with _INSTALL_LOCK:
+        if INJECTOR is not None:
+            return INJECTOR
+    raw = os.environ.get(ENV_VAR, "")
+    if not raw:
+        return None
+    return install(FaultPlan.parse(raw), role)
+
+
+# -- hook shims (call sites use these; inert = one global read) --------------
+
+
+def fire(site: str, detail: str = "", sock: socket.socket | None = None) -> None:
+    injector = INJECTOR
+    if injector is not None:
+        injector.fire(site, detail, sock)
+
+
+def frame_out(sock: socket.socket, payload: bytes, detail: str) -> bytes:
+    injector = INJECTOR
+    if injector is not None:
+        return injector.frame_out(sock, payload, detail)
+    return payload
+
+
+def bytes_out(site: str, data: bytes, detail: str = "") -> bytes:
+    injector = INJECTOR
+    if injector is not None:
+        return injector.bytes_out(site, data, detail)
+    return data

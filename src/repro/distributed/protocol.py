@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..utils.errors import MapReduceError
+from . import faults
 
 #: Connection preamble: 4 magic bytes + 1 version byte.
 MAGIC = b"RPDC"
@@ -45,6 +46,13 @@ MAGIC = b"RPDC"
 #: :class:`JoinRun` attaches (possibly late-joining) workers to the active
 #: run.  Version-1 peers are rejected at the preamble, never mid-pickle.
 PROTOCOL_VERSION = 2
+#: Revision within the version — additive, wire-compatible changes only.
+#: Revision 1 ("v2.1") added :attr:`Artifact.sha256`: artifact replies
+#: carry the SHA-256 of their payload bytes so workers detect in-flight
+#: corruption and re-fetch instead of computing on garbage.  The field
+#: defaults to empty, so a v2.0 peer's frames still unpickle; only the
+#: version byte participates in the preamble handshake.
+PROTOCOL_REVISION = 1
 PREAMBLE = MAGIC + bytes([PROTOCOL_VERSION])
 
 #: Frame header: payload length as an unsigned 64-bit big-endian integer.
@@ -129,11 +137,17 @@ class Artifact:
     ``error`` is non-empty when the artifact could not be served (its run
     already ended and the spool file is gone) — the worker fails the task
     that asked instead of waiting out its fetch timeout.
+
+    ``sha256`` (v2.1) is the hex SHA-256 of ``data`` as registered on the
+    coordinator.  A worker verifies the fetched bytes against the digest in
+    the artifact *reference* and re-fetches (bounded) on mismatch, so a
+    corrupted frame is retried instead of silently decoded.
     """
 
     name: str
     data: bytes = b""
     error: str = ""
+    sha256: str = ""
 
 
 @dataclass
@@ -226,6 +240,7 @@ def send_msg(sock: socket.socket, message: Any) -> None:
     """Send one framed, pickled message."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     try:
+        payload = faults.frame_out(sock, payload, type(message).__name__)
         sock.sendall(_HEADER.pack(len(payload)) + payload)
     except OSError as exc:
         raise WireError(f"connection lost while sending: {exc}") from exc
@@ -238,6 +253,10 @@ def recv_msg(sock: socket.socket) -> Any | None:
     unpicklable payload raise :class:`WireError` — the caller cannot trust
     anything further on this connection.
     """
+    try:
+        faults.fire("protocol.recv", sock=sock)
+    except OSError as exc:
+        raise WireError(f"connection lost while receiving: {exc}") from exc
     header = _recv_exact(sock, _HEADER.size, eof_ok=True)
     if header is None:
         return None

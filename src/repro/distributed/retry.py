@@ -1,0 +1,74 @@
+"""Exponential backoff with full jitter, shared by every retry loop.
+
+Fixed-cadence retry loops synchronize: when a coordinator dies, every
+worker that lost it redials on the same beat, and when it comes back they
+all stampede the listener in the same instant.  The standard cure is
+*exponential backoff with full jitter*: attempt ``k`` sleeps a uniformly
+random duration in ``[0, min(cap, base * 2**k)]``, so retries spread out
+in time while the expected wait still doubles until the cap.
+
+One :class:`Backoff` instance tracks one retry loop (the worker redial
+loop, an artifact re-fetch, the ``wait_for_workers`` poll).  Call
+:meth:`reset` after a success so the next failure starts fast again.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..utils.errors import MapReduceError
+
+
+class Backoff:
+    """Full-jitter exponential backoff state for one retry loop.
+
+    Parameters
+    ----------
+    base:
+        Ceiling of the *first* delay, in seconds.  Attempt ``k`` (counted
+        from 0) draws uniformly from ``[0, min(cap, base * 2**k)]``.
+    cap:
+        Upper bound on any single delay, in seconds.
+    rng:
+        Optional :class:`random.Random` for deterministic tests; a fresh
+        generator otherwise (jitter must differ across processes — that is
+        the point).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.1,
+        cap: float = 5.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not base > 0:
+            raise MapReduceError(f"backoff base must be > 0 seconds, got {base!r}")
+        if cap < base:
+            raise MapReduceError(
+                f"backoff cap must be >= base ({base!r}), got {cap!r}"
+            )
+        self.base = base
+        self.cap = cap
+        self.attempt = 0
+        self._rng = rng if rng is not None else random.Random()
+
+    def ceiling(self) -> float:
+        """The current attempt's maximum delay (the jitter window)."""
+        return min(self.cap, self.base * (2.0**self.attempt))
+
+    def next_delay(self) -> float:
+        """Draw this attempt's delay and advance to the next attempt."""
+        delay = self._rng.uniform(0.0, self.ceiling())
+        self.attempt += 1
+        return delay
+
+    def sleep(self) -> float:
+        """Sleep for :meth:`next_delay`; returns the seconds slept."""
+        delay = self.next_delay()
+        time.sleep(delay)
+        return delay
+
+    def reset(self) -> None:
+        """Start over after a success (next failure backs off from base)."""
+        self.attempt = 0

@@ -45,8 +45,9 @@ from collections import deque
 
 from ..mapreduce.engine import _map_chunk
 from ..utils.errors import MapReduceError
-from . import protocol
+from . import faults, protocol
 from .dataplane import ArtifactCache, loads
+from .retry import Backoff
 from .protocol import (
     Artifact,
     ArtifactRequest,
@@ -68,8 +69,16 @@ HANDSHAKE_TIMEOUT = 30.0
 #: How long a worker waits for an artifact it asked for.
 FETCH_TIMEOUT = 120.0
 
-#: Delay between reconnection attempts.
-RECONNECT_DELAY = 0.5
+#: Redial backoff (full jitter): the first retry waits up to
+#: ``REDIAL_BASE`` seconds, each further failure doubles the window up to
+#: ``REDIAL_CAP`` seconds, and a successful registration resets it.
+#: Jitter keeps a fleet of workers that lost one coordinator from
+#: stampeding the next in lockstep.
+REDIAL_BASE = 0.1
+REDIAL_CAP = 5.0
+
+#: TCP connect timeout of a single dial attempt.
+DIAL_TIMEOUT = 5.0
 
 
 def execute_task(payload: bytes, cache: ArtifactCache, fetch) -> TaskResult:
@@ -130,10 +139,12 @@ class _TaskSlot:
 
     States (guarded by the queue's condition): ``"new"`` (payload bytes
     only) → ``"loading"`` (a thread is unpickling it and resolving its
-    artifacts) → ``"ready"`` (``value`` holds the live task tuple) or
-    ``"failed"`` (``error`` holds the err TaskResult).  The prefetch thread
-    moves queued slots to ``ready`` while the compute thread runs the
-    current one — that is the transfer/compute overlap.
+    artifacts) → ``"ready"`` (``value`` holds the live task tuple),
+    ``"failed"`` (``error`` holds the err TaskResult — a job bug), or
+    ``"lost"`` (transport died while loading; the task is abandoned for
+    the coordinator to requeue, never reported as failed).  The prefetch
+    thread moves queued slots to ``ready`` while the compute thread runs
+    the current one — that is the transfer/compute overlap.
     """
 
     __slots__ = ("run_id", "task", "state", "value", "error")
@@ -251,6 +262,11 @@ class _Connection:
     def _heartbeat_loop(self) -> None:
         while not self._stop.wait(self.heartbeat_interval):
             try:
+                # A delay fault here models a worker whose heartbeat thread
+                # stalls (GC pause, swapped-out host): long enough and the
+                # coordinator declares it lost despite the task thread
+                # still running.
+                faults.fire("worker.heartbeat")
                 self.send(Heartbeat(worker_id=self.worker_id))
             except (WireError, OSError):
                 # The connection is gone; unblock the main recv loop too.
@@ -330,12 +346,23 @@ def _materialize(
 ) -> None:
     """Unpickle a slot's payload, resolving artifacts; flip its state."""
     try:
+        faults.fire("worker.prefetch", detail=str(slot.task.task_id))
         value = loads(
             slot.task.payload,
             lambda ref: cache.resolve(ref, connection.fetch_artifact),
         )
     except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
         raise
+    except (WireError, OSError):
+        # Transport loss, not a job bug: an err TaskResult would fail the
+        # whole run, but a task this worker could not even *load* must be
+        # retried elsewhere.  Abandon the slot and drop the connection —
+        # the coordinator requeues everything outstanding here.
+        with queue.cond:
+            slot.state = "lost"
+            queue.cond.notify_all()
+        connection.close()
+        return
     except BaseException:
         error = _error_result()
         with queue.cond:
@@ -385,7 +412,10 @@ def _run_slot(
         _materialize(slot, queue, cache, connection)
     if slot.state == "failed":
         return slot.error
-    if slot.state != "ready":  # stopped mid-load: report as lost-ish error
+    if slot.state != "ready":
+        # "lost" or stopped mid-load: the connection is (being) torn down,
+        # so this result never reaches the coordinator — it requeues the
+        # task off the dead socket instead.
         return TaskResult(
             task_id=-1,
             status="err",
@@ -393,6 +423,10 @@ def _run_slot(
         )
     kind, job, data = slot.value
     try:
+        # crash/hang/delay here model a worker dying, wedging (while its
+        # heartbeat thread keeps beating — the task-deadline case), or
+        # straggling mid-compute.
+        faults.fire("worker.compute", detail=kind)
         result = _compute(kind, job, data)
         return TaskResult(
             task_id=-1,
@@ -504,22 +538,35 @@ def _serve(connection: _Connection, cache: ArtifactCache) -> str:
     return outcome
 
 
+def _dial(host: str, port: int, timeout: float = DIAL_TIMEOUT) -> socket.socket:
+    """One TCP connection attempt to the coordinator (no retries here)."""
+    faults.fire("worker.dial")
+    return socket.create_connection((host, port), timeout=timeout)
+
+
 def run_worker(
     connect: str,
     worker_id: str | None = None,
     retry_seconds: float = 60.0,
     quiet: bool = False,
+    redial_base: float = REDIAL_BASE,
+    redial_cap: float = REDIAL_CAP,
 ) -> int:
     """Run the worker daemon until shutdown; returns a process exit code.
 
     ``retry_seconds`` bounds how long the worker keeps dialing without a
     successful connection — both at startup (coordinator not up yet) and
     after losing an established coordinator (driver exited; a new one may
-    start).  ``0`` means a single attempt.
+    start).  ``0`` means a single attempt.  Failed dials back off with
+    full jitter from ``redial_base`` seconds doubling up to ``redial_cap``
+    seconds per attempt (:class:`~repro.distributed.retry.Backoff`); a
+    successful registration resets the backoff and the retry window.
     """
     host, port = protocol.parse_address(connect, variable="--connect")
     wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    faults.install_from_env(role="worker")
     cache = ArtifactCache()
+    backoff = Backoff(base=redial_base, cap=redial_cap)
 
     def log(text: str) -> None:
         if not quiet:
@@ -531,12 +578,12 @@ def run_worker(
         if time.monotonic() - window_start > retry_seconds:
             log(f"{reason} for {retry_seconds:.0f}s; exiting")
             return True
-        time.sleep(RECONNECT_DELAY)
+        backoff.sleep()
         return False
 
     while True:
         try:
-            sock = socket.create_connection((host, port), timeout=5.0)
+            sock = _dial(host, port)
         except OSError:
             if window_exhausted(f"no coordinator at {host}:{port}"):
                 return 1
@@ -563,6 +610,7 @@ def run_worker(
 
         log(f"connected to coordinator {host}:{port}")
         window_start = time.monotonic()  # successful registration resets it
+        backoff.reset()
         outcome = _serve(connection, cache)
         connection.close()
         cache.clear()

@@ -139,6 +139,10 @@ def default_engine(
     :class:`repro.distributed.ClusterEngine` whose coordinator binds the
     ``$REPRO_CLUSTER`` address (default ``127.0.0.1:7077``) — the same
     ``run(job, inputs)`` contract, executed by ``repro worker`` daemons.
+    ``$REPRO_FALLBACK`` (``serial``/``thread``/``process``) arms graceful
+    degradation: when the cluster is unavailable (workers never registered,
+    or all lost mid-run) the job reruns on that local executor instead of
+    failing, with the downgrade logged.
     """
     if executor is None:
         raw_executor = os.environ.get("REPRO_EXECUTOR") or "serial"
@@ -171,11 +175,22 @@ def default_engine(
         from ..distributed.protocol import parse_address
 
         parse_address(bind, variable="REPRO_CLUSTER")  # validate up front
+        raw_fallback = os.environ.get("REPRO_FALLBACK") or None
+        if raw_fallback is not None and raw_fallback not in (
+            "serial",
+            "thread",
+            "process",
+        ):
+            raise MapReduceError(
+                "REPRO_FALLBACK must be one of serial, thread, process "
+                f"(or unset); got {raw_fallback!r}"
+            )
         return ClusterEngine(
             bind=bind,
             n_workers=n_workers,
             map_chunk_size=map_chunk_size,
             shared=True,
+            fallback=raw_fallback,
         )
     return LocalEngine(
         n_workers=n_workers, executor=executor, map_chunk_size=map_chunk_size

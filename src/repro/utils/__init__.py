@@ -2,6 +2,7 @@
 
 from .bitvector import BitVector
 from .errors import (
+    ClusterUnavailableError,
     DataError,
     MapReduceError,
     QueryError,
@@ -15,6 +16,7 @@ from .timer import Timer, timed
 
 __all__ = [
     "BitVector",
+    "ClusterUnavailableError",
     "DataError",
     "MapReduceError",
     "QueryError",

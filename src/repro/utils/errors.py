@@ -36,5 +36,15 @@ class MapReduceError(ReproError):
     """A map-reduce job failed or was configured inconsistently."""
 
 
+class ClusterUnavailableError(MapReduceError):
+    """The cluster cannot run the job at all — no workers registered in
+    time, or every worker was lost mid-run.
+
+    Distinct from a job bug (which fails the run on any executor) and from
+    a poison task (which would fail again elsewhere): this error means a
+    *healthy* local executor could still complete the work, so it is the
+    one failure class ``ClusterEngine(fallback=...)`` downgrades on."""
+
+
 class PersistError(ReproError):
     """An on-disk index is missing, corrupt, or from an unsupported format."""

@@ -87,8 +87,8 @@ class TestRoundTrip:
         fetched = []
 
         def resolver(ref):
-            name, dtype, shape, _path = ref
-            broken = (name, dtype, shape, "/nonexistent/spool/gone.npy")
+            name, dtype, shape, _path, digest = ref
+            broken = (name, dtype, shape, "/nonexistent/spool/gone.npy", digest)
 
             def fetch(artifact_name):
                 fetched.append(artifact_name)
@@ -123,14 +123,113 @@ class TestRoundTrip:
 
     def test_shape_dtype_mismatch_rejected(self, plane):
         big = np.arange(4096, dtype=np.float64)
-        name, _dtype, _shape, path = plane.register(big)
+        name, _dtype, _shape, path, digest = plane.register(big)
         cache = ArtifactCache()
         with pytest.raises(MapReduceError, match="reference says"):
-            cache.resolve((name, "<f8", (7,), path), no_fetch)
+            cache.resolve((name, "<f8", (7,), path, digest), no_fetch)
+
+    def test_reference_carries_spool_checksum(self, plane):
+        big = np.arange(4096, dtype=np.float64)
+        name, _dtype, _shape, _path, digest = plane.register(big)
+        import hashlib
+
+        assert digest == hashlib.sha256(plane.payload(name)).hexdigest()
+        assert plane.checksum(name) == digest
+        with pytest.raises(MapReduceError, match="unknown artifact"):
+            plane.checksum("never-registered")
 
     def test_unknown_artifact_payload_rejected(self, plane):
         with pytest.raises(MapReduceError, match="unknown artifact"):
             plane.payload("never-registered")
+
+
+class TestCorruption:
+    """Damaged transports must end in recovery or a typed error — never
+    silently wrong bytes (the failure model of ``docs/ARCHITECTURE.md``)."""
+
+    @staticmethod
+    def _registered(plane):
+        big = np.arange(4096, dtype=np.float64)
+        return big, plane.register(big)
+
+    def test_truncated_spool_file_falls_back_to_socket(self, plane):
+        big, ref = self._registered(plane)
+        name, _dtype, _shape, path, _digest = ref
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        cache = ArtifactCache()
+        fetched = []
+
+        def fetch(artifact_name):
+            fetched.append(artifact_name)
+            return data
+
+        out = cache.resolve(ref, fetch)
+        assert np.array_equal(out, big)
+        assert fetched == [name]
+        assert cache.n_fetched == 1 and cache.n_mapped == 0
+
+    def test_truncated_spool_and_lost_socket_is_typed(self, plane):
+        from repro.distributed.protocol import WireError
+
+        _big, ref = self._registered(plane)
+        _name, _dtype, _shape, path, _digest = ref
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+        def fetch(_name):
+            raise WireError("connection lost while receiving")
+
+        cache = ArtifactCache()
+        with pytest.raises(MapReduceError, match="materialized intact") as err:
+            cache.resolve(ref, fetch)
+        # The error names both legs: the unusable spool and each attempt.
+        assert "spool" in str(err.value)
+        assert "fetch attempt 3" in str(err.value)
+
+    def test_bit_flipped_socket_bytes_retried_until_clean(self, plane):
+        big, ref = self._registered(plane)
+        name = ref[0]
+        broken = (ref[0], ref[1], ref[2], "", ref[4])  # force socket path
+        good = plane.payload(name)
+        flipped = bytearray(good)
+        flipped[len(flipped) // 2] ^= 0x40  # one bit, data region
+        replies = [bytes(flipped), good]
+
+        def fetch(_name):
+            return replies.pop(0)
+
+        cache = ArtifactCache()
+        out = cache.resolve(broken, fetch)
+        assert np.array_equal(out, big)
+        assert replies == []  # corrupt reply consumed, then re-fetched
+
+    def test_persistent_corruption_is_typed_not_silent(self, plane):
+        _big, ref = self._registered(plane)
+        broken = (ref[0], ref[1], ref[2], "", ref[4])
+        good = plane.payload(ref[0])
+        flipped = bytearray(good)
+        flipped[-1] ^= 0x01
+
+        cache = ArtifactCache()
+        with pytest.raises(MapReduceError, match="checksum mismatch"):
+            cache.resolve(broken, lambda _n: bytes(flipped))
+
+    def test_stale_run_reply_fails_fast_without_retry(self, plane):
+        _big, ref = self._registered(plane)
+        broken = (ref[0], ref[1], ref[2], "", ref[4])
+        calls = []
+
+        def fetch(name):
+            calls.append(name)
+            raise MapReduceError(f"artifact {name!r} belongs to a finished run")
+
+        cache = ArtifactCache()
+        with pytest.raises(MapReduceError, match="finished run"):
+            cache.resolve(broken, fetch)
+        assert len(calls) == 1  # permanent refusal: no pointless retries
 
 
 class TestCacheLifecycle:

@@ -1,0 +1,219 @@
+"""Fault-injection harness: plan grammar, counters, determinism, hooks."""
+
+import math
+import pickle
+import socket
+
+import pytest
+
+from repro.distributed import faults
+from repro.distributed.faults import (
+    ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.distributed.retry import Backoff
+from repro.utils.errors import MapReduceError
+
+
+@pytest.fixture(autouse=True)
+def pristine_injector():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestPlanGrammar:
+    def test_parse_and_encode_round_trip(self):
+        text = (
+            "seed=7;worker.compute:crash;"
+            "dataplane.serve:corrupt:times=2,after=1,role=coordinator;"
+            "protocol.send:drop:msg=TaskStream;"
+            "worker.compute:hang:seconds=5;"
+            "protocol.recv:error:times=inf"
+        )
+        plan = FaultPlan.parse(text)
+        assert plan.seed == 7
+        assert len(plan.specs) == 5
+        assert plan.specs[1].times == 2 and plan.specs[1].after == 1
+        assert plan.specs[2].msg == "TaskStream"
+        assert plan.specs[3].seconds == 5.0
+        assert plan.specs[4].times == math.inf
+        assert FaultPlan.parse(plan.encode()) == plan
+
+    def test_blank_entries_and_whitespace_tolerated(self):
+        plan = FaultPlan.parse("  ; worker.dial:error ;; seed=3 ;")
+        assert plan.seed == 3
+        assert [s.site for s in plan.specs] == ["worker.dial"]
+
+    @pytest.mark.parametrize(
+        "bad, fragment",
+        [
+            ("nowhere:crash", "unknown fault site"),
+            ("worker.compute:explode", "unknown fault kind"),
+            ("worker.compute:corrupt", "byte-carrying site"),
+            ("worker.compute", "site:kind"),
+            ("worker.compute:crash:bogus=1", "unknown fault option"),
+            ("worker.compute:crash:times=x", "bad value"),
+            ("seed=x", "seed must be an integer"),
+            ("worker.compute:crash:role=driver", "role"),
+            ("worker.compute:delay:times=0", "times"),
+            ("worker.compute:delay:after=-1", "after"),
+        ],
+    )
+    def test_bad_plans_raise_typed_errors(self, bad, fragment):
+        with pytest.raises(MapReduceError, match=fragment):
+            FaultPlan.parse(bad)
+
+    def test_errors_name_the_environment_variable(self):
+        with pytest.raises(MapReduceError, match=ENV_VAR):
+            FaultPlan.parse("worker.compute:crash:bogus=1")
+
+    def test_describe_mentions_each_rule(self):
+        plan = FaultPlan.parse("seed=2;worker.dial:error:times=3,role=worker")
+        text = plan.describe()
+        assert "seed=2" in text
+        assert "worker.dial" in text and "[worker]" in text
+
+
+class TestCounters:
+    def test_window_after_and_times(self):
+        plan = FaultPlan.parse("worker.compute:error:after=2,times=2")
+        injector = FaultInjector(plan, role="worker")
+        outcomes = []
+        for _ in range(6):
+            try:
+                injector.fire("worker.compute")
+                outcomes.append("ok")
+            except OSError:
+                outcomes.append("err")
+        # Events 0,1 pass, 2,3 fire, 4,5 pass again.
+        assert outcomes == ["ok", "ok", "err", "err", "ok", "ok"]
+        assert injector.fired["worker.compute:error"] == 2
+
+    def test_role_filter(self):
+        plan = FaultPlan.parse("worker.compute:error:role=coordinator")
+        worker_side = FaultInjector(plan, role="worker")
+        worker_side.fire("worker.compute")  # filtered out: no raise
+        coordinator_side = FaultInjector(plan, role="coordinator")
+        with pytest.raises(OSError, match="injected fault"):
+            coordinator_side.fire("worker.compute")
+
+    def test_msg_filter_counts_only_matching_frames(self):
+        plan = FaultPlan.parse("protocol.send:error:msg=TaskStream")
+        injector = FaultInjector(plan, role="coordinator")
+        a, b = socket.socketpair()
+        try:
+            assert injector.frame_out(a, b"x", "Heartbeat") == b"x"
+            with pytest.raises(OSError):
+                injector.frame_out(a, b"x", "TaskStream")
+        finally:
+            a.close()
+            b.close()
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan.parse("worker.dial:delay:seconds=0;worker.dial:error")
+        injector = FaultInjector(plan, role="worker")
+        injector.fire("worker.dial")  # delay (first) claims the event
+        with pytest.raises(OSError):
+            injector.fire("worker.dial")  # delay exhausted; error claims
+
+
+class TestByteFaults:
+    def test_frame_corrupt_is_deterministic_and_detectable(self):
+        payload = pickle.dumps(("message", list(range(100))))
+        mangled = []
+        for _ in range(2):
+            plan = FaultPlan.parse("seed=11;protocol.send:corrupt")
+            injector = FaultInjector(plan, role="coordinator")
+            a, b = socket.socketpair()
+            try:
+                mangled.append(injector.frame_out(a, payload, "Task"))
+            finally:
+                a.close()
+                b.close()
+        assert mangled[0] == mangled[1]  # same seed, same flip
+        assert mangled[0] != payload
+        # The flip lands in the pickle header, so the receiver *fails*
+        # instead of silently unpickling different data.
+        with pytest.raises(Exception):
+            pickle.loads(mangled[0])
+
+    def test_artifact_corrupt_flips_one_byte_anywhere(self):
+        data = bytes(range(256)) * 64
+        plan = FaultPlan.parse("seed=5;dataplane.serve:corrupt")
+        injector = FaultInjector(plan, role="coordinator")
+        out = injector.bytes_out("dataplane.serve", data)
+        assert len(out) == len(data)
+        assert sum(x != y for x, y in zip(out, data)) == 1
+
+    def test_artifact_truncate_halves_the_payload(self):
+        plan = FaultPlan.parse("dataplane.serve:truncate")
+        injector = FaultInjector(plan, role="coordinator")
+        assert injector.bytes_out("dataplane.serve", b"abcdefgh") == b"abcd"
+
+    def test_frame_truncate_is_a_genuine_mid_frame_eof(self):
+        from repro.distributed import protocol
+
+        plan = FaultPlan.parse("protocol.send:truncate")
+        faults.install(plan, role="coordinator")
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(protocol.WireError, match="sending"):
+                protocol.send_msg(a, ("hello", 42))
+            with pytest.raises(protocol.WireError, match="mid-frame"):
+                protocol.recv_msg(b)
+        finally:
+            for sock in (a, b):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+class TestInstallation:
+    def test_hooks_inert_without_injector(self):
+        assert faults.INJECTOR is None
+        faults.fire("worker.compute")  # no-op
+        assert faults.bytes_out("dataplane.serve", b"data") == b"data"
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=9;worker.dial:error:times=inf")
+        injector = faults.install_from_env(role="worker")
+        assert injector is faults.INJECTOR
+        with pytest.raises(OSError):
+            faults.fire("worker.dial")
+
+    def test_install_from_env_unset_is_noop(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert faults.install_from_env(role="worker") is None
+        assert faults.INJECTOR is None
+
+    def test_install_from_env_does_not_replace_existing(self, monkeypatch):
+        first = faults.install(FaultPlan(), role="coordinator")
+        monkeypatch.setenv(ENV_VAR, "worker.dial:error")
+        assert faults.install_from_env(role="worker") is first
+
+    def test_injector_rejects_unknown_role(self):
+        with pytest.raises(MapReduceError, match="role"):
+            FaultInjector(FaultPlan(), role="driver")
+
+
+class TestBackoff:
+    def test_full_jitter_doubles_ceiling_up_to_cap(self):
+        backoff = Backoff(base=0.1, cap=0.4)
+        ceilings = [backoff.ceiling() for _ in range(4)]
+        assert ceilings[0] == pytest.approx(0.1)
+        for _ in range(4):
+            delay = backoff.next_delay()
+            assert 0 <= delay <= 0.4
+        assert backoff.ceiling() == pytest.approx(0.4)  # capped
+        backoff.reset()
+        assert backoff.ceiling() == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(MapReduceError):
+            Backoff(base=0)
+        with pytest.raises(MapReduceError):
+            Backoff(base=1.0, cap=0.5)
