@@ -8,6 +8,8 @@ conftest.  The leading underscore keeps pytest from collecting this file
 """
 
 import os
+import platform
+import sys
 
 
 def usable_cpus() -> int:
@@ -16,3 +18,23 @@ def usable_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def host_info() -> dict:
+    """Provenance block embedded in every ``BENCH_*.json`` record.
+
+    Everything needed to decide whether two records are comparable:
+    interpreter build, machine/OS, and the CPU budget the run actually had
+    (``usable_cpus`` respects cgroup quotas, ``os.cpu_count`` is the raw
+    box).  Values are plain scalars so the record stays greppable JSON.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "usable_cpus": usable_cpus(),
+        "total_cpus": os.cpu_count() or 1,
+        "executable": sys.executable,
+    }

@@ -18,8 +18,9 @@ import platform
 from pathlib import Path
 
 import pytest
-from _host import usable_cpus
+from _host import host_info, usable_cpus
 
+from repro import obs
 from repro.core.corpus import Corpus
 from repro.spatial.resolution import SpatialResolution
 from repro.synth import nyc_urban_collection
@@ -69,7 +70,11 @@ def write_bench_record(smoke):
     Records land in ``$BENCH_DIR`` (default: the working directory, which is
     where CI's ``BENCH_*.json`` artifact glob collects them) and carry enough
     host context — CPU budget, Python version, smoke flag — to interpret a
-    measured speedup per commit.
+    measured speedup per commit.  Every record also embeds the full
+    ``_host.host_info()`` provenance block and the process metrics snapshot
+    at write time (query latency histograms, retry/fault counters), so a
+    perf-trajectory diff can tell "the code got slower" apart from "the run
+    retried its way through a flaky box".
     """
 
     def write(name: str, record: dict) -> Path:
@@ -78,6 +83,8 @@ def write_bench_record(smoke):
             "python": platform.python_version(),
             "usable_cpus": usable_cpus(),
             "smoke": smoke,
+            "host": host_info(),
+            "metrics": obs.metrics_snapshot(),
             **record,
         }
         path = Path(os.environ.get("BENCH_DIR", ".")) / f"BENCH_{name}.json"

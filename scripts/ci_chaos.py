@@ -32,6 +32,7 @@ import time
 import numpy as np
 
 from repro.core.corpus import Corpus
+from repro.obs import configure_logging, get_logger
 from repro.data.dataset import Dataset
 from repro.data.schema import DatasetSchema
 from repro.distributed.faults import ENV_VAR, FaultPlan
@@ -97,11 +98,15 @@ def result_rows(result) -> list[tuple]:
     ]
 
 
+logger = get_logger("repro.scripts.ci_chaos")
+
+
 def main() -> None:
+    configure_logging()
     raw_plan = os.environ.get(ENV_VAR, "")
     check(bool(raw_plan), f"{ENV_VAR} must be set — this is the chaos job")
     plan = FaultPlan.parse(raw_plan)  # typed error on a bad plan
-    print(plan.describe())
+    logger.info("%s", plan.describe())
 
     check(
         os.environ.get("REPRO_EXECUTOR") == "cluster",
@@ -145,10 +150,12 @@ def main() -> None:
         ),
         "query counters diverged under the fault plan",
     )
-    print(
-        f"chaos scenario OK: bit-identical under faults in {elapsed:.1f}s; "
-        f"retries={engine.last_run_retries} "
-        f"worker_tasks={engine.last_run_worker_tasks}"
+    logger.info(
+        "chaos scenario OK: bit-identical under faults in %.1fs; "
+        "retries=%s worker_tasks=%s",
+        elapsed,
+        engine.last_run_retries,
+        engine.last_run_worker_tasks,
     )
 
 

@@ -29,6 +29,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+# Runnable bare (`python scripts/ci_docs.py`, no PYTHONPATH): reach the
+# in-repo package for the shared repro.* logger hierarchy.
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import configure_logging, get_logger  # noqa: E402
+
+logger = get_logger("repro.scripts.ci_docs")
+
 #: Inline links ``[text](target)``.  Images ``![alt](target)`` match too —
 #: the leading ``!`` is simply not part of the match.  Targets containing
 #: spaces or closing parens need angle brackets in markdown; none of ours do.
@@ -74,11 +82,12 @@ def default_doc_files() -> list[Path]:
 
 
 def main(argv: list[str]) -> int:
+    configure_logging()
     files = [Path(a).resolve() for a in argv] if argv else default_doc_files()
     missing = [f for f in files if not f.is_file()]
     if missing:
         for f in missing:
-            print(f"ERROR: no such documentation file: {f}", file=sys.stderr)
+            logger.error("no such documentation file: %s", f)
         return 2
 
     all_errors = []
@@ -89,13 +98,14 @@ def main(argv: list[str]) -> int:
         all_errors.extend(check_file(md_path))
 
     if all_errors:
-        print(f"{len(all_errors)} broken link(s):", file=sys.stderr)
+        logger.error("%d broken link(s):", len(all_errors))
         for err in all_errors:
-            print(f"  {err}", file=sys.stderr)
+            logger.error("  %s", err)
         return 1
-    print(
-        f"docs OK: {n_links} links across {len(files)} file(s), "
-        "all relative targets resolve"
+    logger.info(
+        "docs OK: %d links across %d file(s), all relative targets resolve",
+        n_links,
+        len(files),
     )
     return 0
 

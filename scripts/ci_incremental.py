@@ -35,12 +35,15 @@ import tempfile
 from pathlib import Path
 
 from repro.__main__ import main as repro_main
+from repro.obs import configure_logging, get_logger
 from repro.core.corpus import CorpusIndex
 from repro.data.catalog import load_catalog, save_catalog
 
 BASE_SIM = ["--days", "21", "--scale", "0.2", "--seed", "11"]
 EXTENDED_SIM = ["--days", "28", "--scale", "0.2", "--seed", "11"]
 QUERY_KWARGS = dict(n_permutations=60, seed=0)
+
+logger = get_logger("repro.scripts.ci_incremental")
 
 
 def check(condition: bool, message: str) -> None:
@@ -76,6 +79,7 @@ def file_identities(index_dir: Path) -> dict:
 
 
 def main() -> int:
+    configure_logging()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--workdir", default="", help="scratch directory (default: a temp dir)"
@@ -90,7 +94,7 @@ def main() -> int:
             shutil.rmtree(stale)
 
     executor = os.environ.get("REPRO_EXECUTOR", "serial")
-    print(f"== incremental scenario under executor={executor!r}")
+    logger.info("== incremental scenario under executor=%r", executor)
 
     # 1. Base catalog + index.
     run_cli(
@@ -109,7 +113,7 @@ def main() -> int:
     mutated = [ds for ds in ext_datasets if ds.name == "taxi"]
     mutated += [ds for ds in base_datasets if ds.name == "weather"]
     save_catalog(cat2, mutated, city)
-    print(f"mutated catalog: {[ds.name for ds in mutated]} (citibike dropped)")
+    logger.info("mutated catalog: %s (citibike dropped)", [ds.name for ds in mutated])
 
     # 3. Incremental update (plan first, so reuse can be asserted).
     before = file_identities(idx)
@@ -140,7 +144,7 @@ def main() -> int:
             == (scratch / record["file"]).read_bytes(),
             f"partition bytes differ: {record['file']}",
         )
-    print(f"bit-identical: {len(m_updated['partitions'])} partitions")
+    logger.info("bit-identical: %d partitions", len(m_updated["partitions"]))
 
     # 5b. Weather reused untouched (same inode + mtime), taxi rebuilt,
     #     citibike gone.
@@ -151,7 +155,7 @@ def main() -> int:
         check(key in after, f"weather partition {key} vanished")
         check(before[key] == after[key], f"weather partition {key} was rewritten")
     check(all(k[0] != "citibike" for k in after), "citibike partitions remain")
-    print(f"reuse proven: {len(weather_keys)} weather partition(s) untouched")
+    logger.info("reuse proven: %d weather partition(s) untouched", len(weather_keys))
 
     # 5c. Identical query answers.
     updated, rebuilt = CorpusIndex.load(idx), CorpusIndex.load(scratch)
@@ -164,8 +168,12 @@ def main() -> int:
     rows1 = [(x.function1, x.function2, x.score, x.p_value) for x in r1.results]
     rows2 = [(x.function1, x.function2, x.score, x.p_value) for x in r2.results]
     check(rows1 == rows2, "query results differ")
-    print(f"queries identical: {r1.n_evaluated} evaluations, {len(rows1)} significant")
-    print("incremental scenario OK")
+    logger.info(
+        "queries identical: %d evaluations, %d significant",
+        r1.n_evaluated,
+        len(rows1),
+    )
+    logger.info("incremental scenario OK")
     return 0
 
 

@@ -1,0 +1,151 @@
+"""CI observability gate: the traced quickstart pipeline must tell the truth.
+
+Runs the quickstart CLI pipeline (``simulate`` → ``index`` → ``query``) as
+real ``python -m repro`` subprocesses with ``REPRO_TRACE`` and
+``REPRO_LOG_JSON`` set — the same knobs an operator would export — then
+validates everything the subsystem promises:
+
+* every trace file is well-formed (Chrome ``traceEvents`` or JSONL), spans
+  cover at least 90% of the command's wall time, and the Chrome variant
+  embeds a metrics snapshot;
+* every stderr log line is one parseable JSON object with level/logger/
+  message fields (no stray prints allowed on the hot paths);
+* ``repro stats`` renders both a trace file and an index directory.
+
+All traces and captured logs land in ``--out`` so the workflow can upload
+them as artifacts.  Any violation exits non-zero and fails the job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_obs.py --out .ci/obs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import ENV_LOG_JSON, ENV_TRACE, configure_logging, get_logger
+
+logger = get_logger("repro.scripts.ci_obs")
+
+#: Coverage floor for CLI traces: the cli.<command> root span alone covers
+#: the whole command, so anything below this means the lifecycle broke.
+COVERAGE_FLOOR = 0.9
+
+
+def fail(message: str) -> None:
+    sys.exit(f"observability gate FAILED: {message}")
+
+
+def run_repro(args: list[str], out: Path, name: str, trace: Path | None) -> str:
+    """Run ``python -m repro ...`` traced + JSON-logged; return stdout."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env[ENV_LOG_JSON] = "1"
+    if trace is not None:
+        env[ENV_TRACE] = str(trace)
+    else:
+        env.pop(ENV_TRACE, None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    (out / f"{name}.stdout").write_text(proc.stdout)
+    (out / f"{name}.stderr").write_text(proc.stderr)
+    if proc.returncode != 0:
+        fail(f"`repro {args[0]}` exited {proc.returncode}:\n{proc.stderr}")
+    check_json_log_lines(proc.stderr, name)
+    return proc.stdout
+
+
+def check_json_log_lines(stderr: str, name: str) -> None:
+    for line in stderr.splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            fail(f"{name}: non-JSON stderr line under {ENV_LOG_JSON}: {line!r}")
+        for field in ("ts", "level", "logger", "message"):
+            if field not in entry:
+                fail(f"{name}: log entry missing {field!r}: {line!r}")
+
+
+def check_chrome_trace(path: Path, command: str) -> None:
+    document = json.loads(path.read_text())
+    events = document.get("traceEvents")
+    if not events:
+        fail(f"{path.name}: no traceEvents")
+    names = {e["name"] for e in events if e.get("ph") == "X"}
+    if f"cli.{command}" not in names:
+        fail(f"{path.name}: missing cli.{command} root span (got {sorted(names)})")
+    extra = document.get("repro", {})
+    coverage = extra.get("coverage", 0.0)
+    if coverage < COVERAGE_FLOOR:
+        fail(f"{path.name}: spans cover {coverage:.0%} < {COVERAGE_FLOOR:.0%}")
+    if "counters" not in extra.get("metrics", {}):
+        fail(f"{path.name}: no embedded metrics snapshot")
+    logger.info(
+        "%s: %d spans, %.0f%% coverage", path.name, len(names), coverage * 100
+    )
+
+
+def check_jsonl_trace(path: Path, command: str) -> None:
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    if header.get("name") != command:
+        fail(f"{path.name}: header names {header.get('name')!r}, not {command!r}")
+    if header.get("n_spans") != len(lines) - 1:
+        fail(f"{path.name}: header n_spans does not match the span lines")
+    sidecar = path.with_suffix(".metrics.json")
+    if not sidecar.exists():
+        fail(f"{path.name}: missing metrics sidecar {sidecar.name}")
+    metrics = json.loads(sidecar.read_text())
+    if not any(k.startswith("repro.query.seconds") for k in metrics["histograms"]):
+        fail(f"{sidecar.name}: query latency histogram absent")
+    logger.info("%s: %d spans + metrics sidecar", path.name, len(lines) - 1)
+
+
+def main(argv: list[str] | None = None) -> None:
+    configure_logging()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".ci/obs", help="artifact directory")
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    cat, idx = out / "cat", out / "idx"
+
+    simulate = ["simulate", "--out", str(cat), "--days", "21", "--scale", "0.3"]
+    simulate += ["--datasets", "taxi,weather", "--seed", "5"]
+    run_repro(simulate, out, "simulate", out / "simulate.json")
+    check_chrome_trace(out / "simulate.json", "simulate")
+
+    index = ["index", "--data", str(cat), "--out", str(idx), "--temporal", "day"]
+    run_repro(index, out, "index", out / "index.json")
+    check_chrome_trace(out / "index.json", "index")
+
+    query = ["query", "--index", str(idx), "--permutations", "50", "--seed", "0"]
+    run_repro(query, out, "query", out / "query.jsonl")
+    check_jsonl_trace(out / "query.jsonl", "query")
+
+    stats_trace = run_repro(
+        ["stats", str(out / "index.json")], out, "stats_trace", None
+    )
+    if "index.build" not in stats_trace:
+        fail("`repro stats` on a trace did not render the span breakdown")
+    stats_index = run_repro(["stats", str(idx)], out, "stats_index", None)
+    if "taxi" not in stats_index:
+        fail("`repro stats` on an index did not render per-dataset usage")
+
+    logger.info("observability gate OK: traces, logs and stats all validated")
+
+
+if __name__ == "__main__":
+    main()

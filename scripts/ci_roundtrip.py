@@ -28,6 +28,7 @@ import time
 import numpy as np
 
 from repro.core.corpus import Corpus, CorpusIndex
+from repro.obs import configure_logging, get_logger
 from repro.spatial.resolution import SpatialResolution
 from repro.synth import nyc_urban_collection
 from repro.temporal.resolution import TemporalResolution
@@ -43,6 +44,8 @@ INDEX_KWARGS = dict(
     temporal=(TemporalResolution.DAY, TemporalResolution.WEEK),
 )
 QUERY_KWARGS = dict(n_permutations=100, seed=0)
+
+logger = get_logger("repro.scripts.ci_roundtrip")
 
 
 def reference_index() -> CorpusIndex:
@@ -107,22 +110,23 @@ def query_rows(result) -> list[tuple]:
 def cmd_build(args: argparse.Namespace) -> None:
     start = time.perf_counter()
     index = reference_index()
-    print(
-        f"built reference index: {index.stats.n_scalar_functions} scalar "
-        f"functions in {time.perf_counter() - start:.1f}s"
+    logger.info(
+        "built reference index: %d scalar functions in %.1fs",
+        index.stats.n_scalar_functions,
+        time.perf_counter() - start,
     )
     index.save(args.out)
-    print(f"saved to {args.out}")
+    logger.info("saved to %s", args.out)
 
 
 def cmd_verify(args: argparse.Namespace) -> None:
     rebuilt = reference_index()
     start = time.perf_counter()
     loaded = CorpusIndex.load(args.index)
-    print(f"loaded artifact index in {time.perf_counter() - start:.2f}s")
+    logger.info("loaded artifact index in %.2fs", time.perf_counter() - start)
 
     assert_indexes_equal(rebuilt, loaded)
-    print("index structure: identical")
+    logger.info("index structure: identical")
 
     reference = rebuilt.query(**QUERY_KWARGS)
     serial = loaded.query(**QUERY_KWARGS)
@@ -140,13 +144,16 @@ def cmd_verify(args: argparse.Namespace) -> None:
         == (serial.n_evaluated, serial.n_candidates, serial.n_significant),
         "query counters differ",
     )
-    print(
-        f"query equality: OK ({reference.n_evaluated} evaluated, "
-        f"{reference.n_significant} significant, serial == threaded == rebuilt)"
+    logger.info(
+        "query equality: OK (%d evaluated, %d significant, "
+        "serial == threaded == rebuilt)",
+        reference.n_evaluated,
+        reference.n_significant,
     )
 
 
 def main(argv: list[str] | None = None) -> None:
+    configure_logging()
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the zero-to-discovery path:
+Seven commands cover the zero-to-discovery path:
 
 * ``simulate`` — generate the synthetic NYC Urban replica and write it to a
   catalog directory (CSV files + JSON metadata, §5.1's input contract).
@@ -18,6 +18,16 @@ Six commands cover the zero-to-discovery path:
 * ``worker`` — run one cluster worker daemon
   (``repro worker --connect HOST:PORT``); a driver started with
   ``--executor cluster`` coordinates every connected worker.
+* ``stats`` — inspect a persisted index directory (disk usage per
+  component) or a trace file written by ``--trace`` (embedded run reports
+  plus a per-worker / per-phase time breakdown).
+
+Observability (see ``docs/OBSERVABILITY.md``): ``repro --trace OUT.json
+<command> ...`` (or ``$REPRO_TRACE=OUT.json``) records every engine,
+scheduler and worker span of the command into a Chrome/Perfetto trace —
+a ``.jsonl`` suffix selects the line-per-span format instead, with the
+metrics snapshot in a ``.metrics.json`` sibling.  ``$REPRO_LOG_JSON=1``
+switches the ``repro.*`` logger hierarchy to JSON-lines on stderr.
 
 ``index``, ``update``, ``query`` and ``demo`` accept ``--workers N`` and
 ``--executor {serial,thread,process,cluster}`` to fan indexing,
@@ -42,9 +52,11 @@ settled — same decisions as ``exact``, an order of magnitude faster (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from . import obs
 from .core.clause import Clause
 from .core.corpus import Corpus, CorpusIndex
 from .core.significance import SIGNIFICANCE_MODES
@@ -262,11 +274,126 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    target = Path(args.path).expanduser()
+    if target.is_dir():
+        return _stats_index(target)
+    if target.is_file():
+        return _stats_trace(target)
+    print(f"error: {args.path}: no such file or directory", file=sys.stderr)
+    return 2
+
+
+def _stats_index(directory) -> int:
+    from .persist import disk_usage, read_manifest
+
+    manifest = read_manifest(directory)
+    usage = disk_usage(directory)
+    partitions = manifest["partitions"]
+    print(f"index at {directory}")
+    print(
+        f"  data sets:  {len(manifest['datasets'])} "
+        f"({', '.join(manifest['datasets'])})"
+    )
+    print(f"  partitions: {len(partitions)}")
+    print(
+        f"  on disk:    {usage.total_bytes:,} bytes "
+        f"({usage.function_bytes:,} functions, {usage.feature_bytes:,} "
+        f"packed features)"
+    )
+    per_dataset: dict[str, int] = {}
+    for record in partitions:
+        per_dataset[record["dataset"]] = per_dataset.get(record["dataset"], 0) + int(
+            record.get("nbytes", 0)
+        )
+    for name in sorted(per_dataset):
+        print(f"    {name}: {per_dataset[name]:,} bytes")
+    return 0
+
+
+def _stats_trace(path) -> int:
+    import json
+
+    text = path.read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        events = document["traceEvents"]
+        extra = document.get("repro", {})
+        print(
+            f"trace {extra.get('name', '?')!r} "
+            f"({sum(1 for e in events if e.get('ph') == 'X')} spans, "
+            f"coverage {extra.get('coverage', 0.0):.0%})"
+        )
+        for payload in extra.get("reports", []):
+            print()
+            print(obs.RunReport.from_json(payload).render())
+        _render_breakdown(_chrome_rows(events))
+        return 0
+    # JSONL: one header line, then one span object per line.
+    lines = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if not lines or "trace_id" not in lines[0]:
+        print(f"error: {path} is neither an index nor a trace file", file=sys.stderr)
+        return 2
+    header, spans = lines[0], lines[1:]
+    print(f"trace {header.get('name', '?')!r} ({len(spans)} spans)")
+    _render_breakdown(
+        (s.get("track", ""), s["name"], float(s["duration"])) for s in spans
+    )
+    return 0
+
+
+def _chrome_rows(events):
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    for e in events:
+        if e.get("ph") == "X":
+            yield names.get(e["tid"], str(e["tid"])), e["name"], e["dur"] / 1e6
+
+
+def _render_breakdown(rows) -> None:
+    """Per-track (worker/thread) and per-span-name time totals."""
+    totals: dict[tuple[str, str], list[float]] = {}
+    for track, name, seconds in rows:
+        entry = totals.setdefault((track, name), [0, 0.0])
+        entry[0] += 1
+        entry[1] += seconds
+    if not totals:
+        return
+    print()
+    print("time by track and span:")
+    current = object()
+    for (track, name), (count, seconds) in sorted(
+        totals.items(), key=lambda item: (item[0][0], -item[1][1])
+    ):
+        if track != current:
+            print(f"  {track or '(main)'}:")
+            current = track
+        print(f"    {name:<24} {count:>5} span(s) {seconds * 1e3:>10.1f} ms")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Data Polygamy: relationship mining for urban data sets",
+    )
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="OUT",
+        help="record a trace of the command: a .json suffix writes "
+        "Chrome/Perfetto trace-event JSON (open in about:tracing or "
+        "ui.perfetto.dev), anything else one JSON span per line plus a "
+        "metrics sibling (default: $REPRO_TRACE; ignored by `worker`, "
+        "whose spans ship to its coordinator instead)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -386,6 +513,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wrk.add_argument("--quiet", action="store_true", help="suppress status lines")
     wrk.set_defaults(func=_cmd_worker)
+
+    st = sub.add_parser(
+        "stats",
+        help="inspect a saved index directory (disk usage) or a --trace "
+        "output file (run reports, per-worker/per-phase breakdown)",
+    )
+    st.add_argument("path", help="index directory or trace file")
+    st.set_defaults(func=_cmd_stats)
     return parser
 
 
@@ -437,7 +572,41 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if os.environ.get(obs.ENV_LOG_JSON):
+        obs.configure_logging()
+    trace_out = args.trace or os.environ.get(obs.ENV_TRACE, "")
+    if not trace_out or args.command == "worker":
+        # Workers never write driver-side trace files: their spans travel
+        # back to the coordinator on each TaskResult (protocol v2.2), so a
+        # cluster worker spawned with $REPRO_TRACE inherited from the
+        # driver must not race it for the same output path.
+        return args.func(args)
+
+    from pathlib import Path
+
+    obs.start_trace(args.command)
+    try:
+        with obs.span(f"cli.{args.command}"):
+            code = args.func(args)
+    finally:
+        trace = obs.end_trace()
+        if trace is not None:
+            out = Path(trace_out).expanduser()
+            if out.suffix == ".json":
+                written = trace.to_chrome(out, metrics=obs.metrics_snapshot())
+            else:
+                written = trace.to_jsonl(out)
+                metrics = out.with_suffix(".metrics.json")
+                import json
+
+                metrics.write_text(
+                    json.dumps(obs.metrics_snapshot(), indent=1), encoding="utf-8"
+                )
+            print(
+                f"trace written to {written} ({len(trace.spans)} span(s), "
+                f"{trace.coverage():.0%} of wall time covered)"
+            )
+    return code
 
 
 if __name__ == "__main__":

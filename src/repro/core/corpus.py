@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import obs
 from ..data.aggregation import FunctionSpec, aggregate, default_specs
 from ..data.dataset import Dataset
 from ..spatial.city import CityModel
@@ -363,32 +364,36 @@ class Corpus:
         for dataset in self.datasets.values():
             index.stats.raw_bytes += dataset.nbytes()
 
-        inputs = self.partition_inputs(spatial=spatial, temporal=temporal, specs=specs)
-        job = IndexPartitionJob(self.extractor, self.fill)
-        outputs, job_stats = run_engine.run(job, inputs)
-        index.job_stats = job_stats
+        with obs.span("index.build", n_datasets=len(self.datasets)) as build_span:
+            inputs = self.partition_inputs(
+                spatial=spatial, temporal=temporal, specs=specs
+            )
+            job = IndexPartitionJob(self.extractor, self.fill)
+            outputs, job_stats = run_engine.run(job, inputs)
+            index.job_stats = job_stats
 
-        reduced = dict(outputs)
-        for name in self.datasets:
-            if name in reduced:
-                ds_index, stats_by_resolution = reduced[name]
-                for (s_res, t_res), stats in stats_by_resolution.items():
-                    index.stats.merge(stats)
-                    index.partition_stats[(name, s_res, t_res)] = stats
-            else:  # data set with no viable resolution under the whitelists
-                ds_index = DatasetIndex(dataset=name)
-            index.datasets[name] = ds_index
+            reduced = dict(outputs)
+            for name in self.datasets:
+                if name in reduced:
+                    ds_index, stats_by_resolution = reduced[name]
+                    for (s_res, t_res), stats in stats_by_resolution.items():
+                        index.stats.merge(stats)
+                        index.partition_stats[(name, s_res, t_res)] = stats
+                else:  # data set with no viable resolution under the whitelists
+                    ds_index = DatasetIndex(dataset=name)
+                index.datasets[name] = ds_index
 
-        # Content fingerprints per (data set, resolution) partition: persisted
-        # with the index (format v2) so `repro update` can later prove which
-        # partitions are reusable.  Lazy import: repro.incremental imports
-        # this module at its own top level.
-        from ..incremental.fingerprint import fingerprints_for_inputs
+            # Content fingerprints per (data set, resolution) partition:
+            # persisted with the index (format v2) so `repro update` can later
+            # prove which partitions are reusable.  Lazy import:
+            # repro.incremental imports this module at its own top level.
+            from ..incremental.fingerprint import fingerprints_for_inputs
 
-        index.partition_fingerprints = fingerprints_for_inputs(
-            inputs, self.city, self.extractor, self.fill
-        )
-        index.scope = resolution_scope(spatial, temporal)
+            index.partition_fingerprints = fingerprints_for_inputs(
+                inputs, self.city, self.extractor, self.fill
+            )
+            index.scope = resolution_scope(spatial, temporal)
+            build_span.set(n_partitions=len(inputs))
         return index
 
     def partition_inputs(
@@ -548,42 +553,54 @@ class CorpusIndex:
         result = QueryResult(significance_mode=significance_mode)
         start = time.perf_counter()
 
-        inputs: list[tuple[Any, Any]] = []
-        for pair_seq, (a, b) in enumerate(pairs):
-            # Mirrors relation(): a fresh draw per pair, so an int seed gives
-            # every pair the same base and a Generator advances in pair order.
-            base_seed = int(ensure_rng(seed).integers(2**62))
-            tasks = enumerate_pair_tasks(self.datasets[a], self.datasets[b], clause)
-            if significance_mode == "exact":
-                for task in tasks:
-                    inputs.append(((pair_seq, a, b), (task, base_seed)))
-            else:
-                # Chunked map tasks: the batched/adaptive modes win by
-                # amortizing stacked NumPy passes across a whole chunk.
-                for lo in range(0, len(tasks), SIGNIFICANCE_CHUNK_TASKS):
-                    chunk = tasks[lo : lo + SIGNIFICANCE_CHUNK_TASKS]
-                    inputs.append(((pair_seq, a, b), (chunk, base_seed)))
+        with obs.span(
+            "index.query", n_pairs=len(pairs), mode=significance_mode
+        ) as query_span:
+            inputs: list[tuple[Any, Any]] = []
+            for pair_seq, (a, b) in enumerate(pairs):
+                # Mirrors relation(): a fresh draw per pair, so an int seed
+                # gives every pair the same base and a Generator advances in
+                # pair order.
+                base_seed = int(ensure_rng(seed).integers(2**62))
+                tasks = enumerate_pair_tasks(
+                    self.datasets[a], self.datasets[b], clause
+                )
+                if significance_mode == "exact":
+                    for task in tasks:
+                        inputs.append(((pair_seq, a, b), (task, base_seed)))
+                else:
+                    # Chunked map tasks: the batched/adaptive modes win by
+                    # amortizing stacked NumPy passes across a whole chunk.
+                    for lo in range(0, len(tasks), SIGNIFICANCE_CHUNK_TASKS):
+                        chunk = tasks[lo : lo + SIGNIFICANCE_CHUNK_TASKS]
+                        inputs.append(((pair_seq, a, b), (chunk, base_seed)))
 
-        extractor = self.extractor
-        if extractor is None and self.corpus is not None:
-            extractor = self.corpus.extractor
-        job = RelationshipPairJob(
-            clause, n_permutations, alternative, extractor, significance_mode
-        )
-        outputs, job_stats = run_engine.run(job, inputs)
-        result.job_stats = job_stats
+            extractor = self.extractor
+            if extractor is None and self.corpus is not None:
+                extractor = self.corpus.extractor
+            job = RelationshipPairJob(
+                clause, n_permutations, alternative, extractor, significance_mode
+            )
+            outputs, job_stats = run_engine.run(job, inputs)
+            result.job_stats = job_stats
 
-        by_pair = {key[0]: report for key, report in outputs}
-        for pair_seq, (a, b) in enumerate(pairs):
-            report = by_pair.get(pair_seq)
-            if report is None:  # no common resolutions -> empty report
-                report = RelationReport(dataset1=a, dataset2=b)
-            result.reports.append(report)
-            result.results.extend(report.results)
-            result.n_evaluated += report.n_evaluated
-            result.n_candidates += report.n_candidates
-            result.n_significant += report.n_significant
-        result.elapsed_seconds = time.perf_counter() - start
+            by_pair = {key[0]: report for key, report in outputs}
+            for pair_seq, (a, b) in enumerate(pairs):
+                report = by_pair.get(pair_seq)
+                if report is None:  # no common resolutions -> empty report
+                    report = RelationReport(dataset1=a, dataset2=b)
+                result.reports.append(report)
+                result.results.extend(report.results)
+                result.n_evaluated += report.n_evaluated
+                result.n_candidates += report.n_candidates
+                result.n_significant += report.n_significant
+            result.elapsed_seconds = time.perf_counter() - start
+            query_span.set(
+                n_evaluated=result.n_evaluated,
+                n_significant=result.n_significant,
+            )
+        obs.histogram("repro.query.seconds").observe(result.elapsed_seconds)
+        obs.counter("repro.query.count").inc()
         return result
 
     def save(

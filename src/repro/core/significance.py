@@ -68,6 +68,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..graph.domain_graph import DomainGraph
 from ..utils.errors import DataError
 from ..utils.rng import RngLike, ensure_rng
@@ -609,16 +610,24 @@ def significance_batch(
             stream_items.append((idx, method))
 
     results: list[SignificanceResult | None] = [None] * len(requests)
-    for items in rotation_groups.values():
-        _run_rotation_group(requests, items, n_permutations, alternative, mode, results)
-    for idxs in toroidal_groups.values():
-        _run_toroidal_group(
-            requests, idxs, n_permutations, alternative, mode, alpha, results
-        )
-    for idx, method in stream_items:
-        results[idx] = _run_stream(
-            requests[idx], method, n_permutations, alternative, mode, alpha
-        )
+    with obs.span(
+        "significance.batch",
+        n_requests=len(requests),
+        mode=mode,
+        n_groups=len(rotation_groups) + len(toroidal_groups) + len(stream_items),
+    ):
+        for items in rotation_groups.values():
+            _run_rotation_group(
+                requests, items, n_permutations, alternative, mode, results
+            )
+        for idxs in toroidal_groups.values():
+            _run_toroidal_group(
+                requests, idxs, n_permutations, alternative, mode, alpha, results
+            )
+        for idx, method in stream_items:
+            results[idx] = _run_stream(
+                requests[idx], method, n_permutations, alternative, mode, alpha
+            )
     return results  # type: ignore[return-value]
 
 

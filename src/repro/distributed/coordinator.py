@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import atexit
 import contextlib
-import logging
+import itertools
 import math
 import os
 import secrets
@@ -57,6 +57,7 @@ from collections.abc import Iterable
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..mapreduce.engine import LocalEngine
 from ..mapreduce.job import JobStats, MapReduceJob
 from ..utils.errors import ClusterUnavailableError, MapReduceError, ReproError
@@ -130,7 +131,11 @@ AUTO_TASKS_PER_WORKER = 8
 #: unavailable (``fallback=...``).
 FALLBACK_EXECUTORS = ("serial", "thread", "process")
 
-logger = logging.getLogger("repro.distributed")
+logger = obs.get_logger(__name__)
+
+#: Distinguishes metric label sets of coexisting coordinators/engines in
+#: one process (tests run many); monotonic so snapshots stay readable.
+_INSTANCE_SEQ = itertools.count(1)
 
 
 def _clip(text: str, limit: int = 60) -> str:
@@ -278,6 +283,13 @@ class _RunState:
         self.retries = 0
         self.last_loss = ""
         self.worker_tasks: dict[str, int] = {}
+        #: Steal grants (TaskStream batches) per worker id.
+        self.worker_steals: dict[str, int] = {}
+        #: Tracing state, latched at run start: workers are told via
+        #: ``JoinRun.trace`` and arriving results' spans are re-based under
+        #: ``span_id`` (the run's "cluster.run_job" span).
+        self.trace_enabled = obs.enabled()
+        self.span_id: int | None = None
 
     def completed(self) -> int:
         return sum(1 for state in self.tasks.values() if state.done)
@@ -328,8 +340,13 @@ class Coordinator:
         #: adaptive steal granularity (EMA across runs).
         self._throughput: dict[str, float] = {}
         self.closed = False
-        self.total_retries = 0
+        # Cumulative retry count lives in the metrics registry; the
+        # ``total_retries`` attribute of old is preserved as a thin view.
+        self._retries_counter = obs.counter(
+            "repro.cluster.retries", coordinator=f"c{next(_INSTANCE_SEQ)}"
+        )
         self.last_run_worker_tasks: dict[str, int] = {}
+        self.last_run_worker_steals: dict[str, int] = {}
         self._run_seq = 0
         try:
             self._listener = socket.create_server((host, port), reuse_port=False)
@@ -343,6 +360,11 @@ class Coordinator:
             target=self._accept_loop, daemon=True, name="repro-coordinator"
         )
         self._accept_thread.start()
+
+    @property
+    def total_retries(self) -> int:
+        """Worker-loss retry events across every run (registry-backed view)."""
+        return self._retries_counter.value
 
     # -- registration --------------------------------------------------------
 
@@ -398,6 +420,7 @@ class Coordinator:
                         run_id=run.run_id,
                         phase=run.phase,
                         prefetch_depth=run.prefetch_depth,
+                        trace=run.trace_enabled,
                     )
                 )
             except (WireError, OSError):
@@ -497,7 +520,18 @@ class Coordinator:
         # byte flip ships with the honest checksum, which is exactly what
         # the worker-side verification must catch and re-fetch.
         data = faults.bytes_out("dataplane.serve", data, detail=request.name)
-        handle.send(Artifact(name=request.name, data=data, sha256=digest))
+        run = self._active_run()
+        serve_parent = run.span_id if run is not None and run.run_id == run_id else None
+        with obs.span(
+            "artifact.serve",
+            parent=serve_parent,
+            artifact=request.name,
+            worker=handle.worker_id,
+            n_bytes=len(data),
+        ):
+            handle.send(Artifact(name=request.name, data=data, sha256=digest))
+        obs.counter("repro.dataplane.served_bytes").inc(len(data))
+        obs.counter("repro.dataplane.served").inc()
 
     def _on_steal(self, handle: WorkerHandle, request: StealRequest) -> None:
         run = self._active_run()
@@ -528,6 +562,8 @@ class Coordinator:
             run.worker_tasks[handle.worker_id] = (
                 run.worker_tasks.get(handle.worker_id, 0) + 1
             )
+            if run.trace_enabled:
+                self._record_task_spans(run, handle, message, state.kind)
             if state.kind == "map":
                 run.map_remaining -= 1
                 run.map_inputs_done += state.n_inputs
@@ -543,7 +579,14 @@ class Coordinator:
                         bucket.append((tag, value))
                 else:
                     run.map_raw.append(message.result)
-                run.fold_seconds += time.perf_counter() - start
+                fold_delta = time.perf_counter() - start
+                run.fold_seconds += fold_delta
+                obs.record_span(
+                    "shuffle.fold",
+                    fold_delta,
+                    parent=run.span_id,
+                    task_id=message.task_id,
+                )
                 if run.map_remaining == 0:
                     self._seed_reduce_locked(run)
                     self._grant_all_locked(run)
@@ -553,6 +596,41 @@ class Coordinator:
                 if run.reduce_remaining == 0:
                     run.finished = True
             run.cond.notify_all()
+
+    @staticmethod
+    def _record_task_spans(
+        run: _RunState, handle: WorkerHandle, message: TaskResult, kind: str
+    ) -> None:
+        """Re-base a result's worker-side spans onto the driver clock.
+
+        The worker reports ``seconds`` and span offsets on *its* clock; the
+        only driver-clock anchor is the result's arrival time, so the task
+        span is placed ending now with the reported duration, parented
+        under the run's span, and the worker's sub-spans land inside it at
+        their offsets.  One lane (track) per worker id.
+        """
+        trace = obs.current_trace()
+        if trace is None:
+            return
+        track = f"worker:{handle.worker_id}"
+        task_start = trace.rel_now() - message.seconds
+        task_span = trace.add_span(
+            f"{kind}.task",
+            task_start,
+            message.seconds,
+            parent_id=run.span_id,
+            track=track,
+            attrs={"task_id": message.task_id, "worker": handle.worker_id},
+        )
+        for name, offset, duration, attrs in getattr(message, "spans", ()) or ():
+            trace.add_span(
+                name,
+                task_start + offset,
+                duration,
+                parent_id=task_span,
+                track=track,
+                attrs=dict(attrs),
+            )
 
     def _seed_reduce_locked(self, run: _RunState) -> None:
         """Finalize the shuffle and enqueue reduce tasks (run.cond held).
@@ -575,7 +653,14 @@ class Coordinator:
                 pair for emitted in run.map_raw for pair in emitted
             )
             grouped = list(groups.items())
-        run.fold_seconds += time.perf_counter() - start
+        finalize_delta = time.perf_counter() - start
+        run.fold_seconds += finalize_delta
+        obs.record_span(
+            "shuffle.finalize",
+            finalize_delta,
+            parent=run.span_id,
+            n_groups=len(grouped),
+        )
         run.phase = "reduce"
         next_id = run.n_map_tasks
         for key, values in grouped:
@@ -604,7 +689,16 @@ class Coordinator:
             return
         try:
             faults.fire("coordinator.dispatch", sock=handle.sock)
-            handle.send(TaskStream(run_id=run.run_id, tasks=batch))
+            with obs.span(
+                "scheduler.dispatch",
+                parent=run.span_id,
+                worker=handle.worker_id,
+                n_tasks=len(batch),
+            ):
+                handle.send(TaskStream(run_id=run.run_id, tasks=batch))
+            run.worker_steals[handle.worker_id] = (
+                run.worker_steals.get(handle.worker_id, 0) + 1
+            )
             # A fresh grant restarts the worker's execution deadline: it
             # now owes a result for new work, measured from this moment.
             handle.last_progress = time.monotonic()
@@ -645,6 +739,7 @@ class Coordinator:
                 return
             # One retry per loss event, however many tasks were in flight.
             run.retries += 1
+            obs.counter("repro.cluster.worker_losses", worker=handle.worker_id).inc()
             run.last_loss = (
                 f"worker {handle.worker_id!r} (pid {handle.pid}) lost with "
                 f"{len(lost)} {run.phase} task(s) in flight: {exc}"
@@ -743,14 +838,21 @@ class Coordinator:
         stats = JobStats()
         if not inputs:
             return [], stats, 0
-        with self._run_lock:
+        wall_start = time.perf_counter()
+        with self._run_lock, obs.span(
+            "cluster.run_job", run_id=run_id, job=type(job).__name__
+        ) as run_span:
             run = self._start_run(
                 job, inputs, plane, run_id, granularity, streaming_reduce,
                 max(1, prefetch_depth), task_deadline,
             )
+            run.span_id = run_span.span_id
             workers = self.alive_workers()
             join = JoinRun(
-                run_id=run_id, phase="map", prefetch_depth=run.prefetch_depth
+                run_id=run_id,
+                phase="map",
+                prefetch_depth=run.prefetch_depth,
+                trace=run.trace_enabled,
             )
             for handle in workers:
                 try:
@@ -781,9 +883,17 @@ class Coordinator:
                     for handle in self.alive_workers():
                         handle.credit = 0
                         handle.outstanding = set()
-                with self._cond:
-                    self.total_retries += run.retries
+                self._retries_counter.inc(run.retries)
+                for worker, count in run.worker_tasks.items():
+                    obs.counter(
+                        "repro.cluster.worker_tasks", worker=worker
+                    ).inc(count)
+                for worker, count in run.worker_steals.items():
+                    obs.counter(
+                        "repro.cluster.steal_grants", worker=worker
+                    ).inc(count)
                 self.last_run_worker_tasks = dict(run.worker_tasks)
+                self.last_run_worker_steals = dict(run.worker_steals)
             if run.error is not None:
                 raise run.error
             self._record_throughput(run)
@@ -801,6 +911,8 @@ class Coordinator:
                 for pair in run.reduce_emitted[task_id]
             ]
             stats.n_outputs = len(outputs)
+            stats.wall_seconds = time.perf_counter() - wall_start
+            run_span.set(n_tasks=len(run.tasks), retries=run.retries)
             return outputs, stats, run.retries
 
     def _start_run(
@@ -1086,11 +1198,30 @@ class ClusterEngine:
         self.registration_timeout = registration_timeout
         self._coordinator: Coordinator | None = None
         self._assembled = False
-        self.last_run_retries = 0
+        # Numeric run accounting lives in the metrics registry; the old
+        # ``last_run_retries`` attribute survives as a thin view.  The dict
+        # and string fields below stay plain attributes (consumers check
+        # ``is None`` and match substrings) but are mirrored into counters.
+        self._retries_gauge = obs.gauge(
+            "repro.cluster.last_run_retries", engine=f"e{next(_INSTANCE_SEQ)}"
+        )
         self.last_run_worker_tasks: dict[str, int] = {}
+        self.last_run_worker_steals: dict[str, int] = {}
         #: Why the last run downgraded to the fallback executor, or ``None``
         #: when it ran on the cluster.
         self.last_run_fallback: str | None = None
+        #: :class:`repro.obs.RunReport` of the most recent ``run`` call.
+        self.last_run_report: obs.RunReport | None = None
+        self._last_n_artifacts = 0
+
+    @property
+    def last_run_retries(self) -> int:
+        """Worker-loss retries of the most recent cluster run (gauge view)."""
+        return int(self._retries_gauge.value)
+
+    @last_run_retries.setter
+    def last_run_retries(self, value: int) -> None:
+        self._retries_gauge.set(value)
 
     @property
     def is_parallel(self) -> bool:
@@ -1157,8 +1288,10 @@ class ClusterEngine:
         if not input_list:
             return [], JobStats()
         self.last_run_fallback = None
+        wall_start = time.perf_counter()
+        served_before = obs.counter("repro.dataplane.served_bytes").value
         try:
-            return self._run_on_cluster(job, input_list)
+            outputs, stats = self._run_on_cluster(job, input_list)
         except ClusterUnavailableError as exc:
             if self.fallback is None:
                 raise
@@ -1168,12 +1301,35 @@ class ClusterEngine:
                 self.fallback,
             )
             self.last_run_fallback = str(exc)
+            obs.counter("repro.cluster.fallbacks", executor=self.fallback).inc()
             local = LocalEngine(
                 n_workers=self.n_workers,
                 executor=self.fallback,
                 map_chunk_size="auto",
             )
-            return local.run(job, input_list)
+            outputs, stats = local.run(job, input_list)
+        stats.wall_seconds = time.perf_counter() - wall_start
+        on_cluster = self.last_run_fallback is None
+        report = obs.RunReport.from_stats(
+            stats,
+            job=type(job).__name__,
+            executor="cluster",
+            n_workers=self.n_workers,
+            shuffle_overlapped=self.streaming_reduce and on_cluster,
+            worker_tasks=dict(self.last_run_worker_tasks) if on_cluster else {},
+            worker_steals=dict(self.last_run_worker_steals) if on_cluster else {},
+            retries=self.last_run_retries if on_cluster else 0,
+            fallback=self.last_run_fallback,
+            bytes_served=(
+                obs.counter("repro.dataplane.served_bytes").value - served_before
+            ),
+            n_artifacts=self._last_n_artifacts if on_cluster else 0,
+        )
+        self.last_run_report = report
+        trace = obs.current_trace()
+        if trace is not None:
+            trace.add_report(report.to_json())
+        return outputs, stats
 
     def _run_on_cluster(
         self, job: MapReduceJob, input_list: list[tuple[Any, Any]]
@@ -1203,10 +1359,12 @@ class ClusterEngine:
                 task_deadline=self.task_deadline,
             )
         finally:
+            self._last_n_artifacts = plane.n_artifacts
             plane.close()
             coordinator.end_run(run_id)
         self.last_run_retries = retries
         self.last_run_worker_tasks = dict(coordinator.last_run_worker_tasks)
+        self.last_run_worker_steals = dict(coordinator.last_run_worker_steals)
         return outputs, stats
 
     def close(self, shutdown_workers: bool = False) -> None:

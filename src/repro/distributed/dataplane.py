@@ -46,6 +46,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from .. import obs
 from ..utils.errors import MapReduceError
 from . import faults
 from .retry import Backoff
@@ -217,6 +218,11 @@ class ArtifactCache:
             else:
                 self.n_mapped += 1
             self._arrays[name] = array
+        if fetched:
+            obs.counter("repro.dataplane.fetched").inc()
+            obs.counter("repro.dataplane.fetched_bytes").inc(array.nbytes)
+        else:
+            obs.counter("repro.dataplane.mapped").inc()
         return array
 
     @staticmethod
@@ -238,13 +244,14 @@ class ArtifactCache:
         """
         from .protocol import WireError  # runtime import: protocol uses us too
 
-        backoff = Backoff(base=0.05, cap=1.0)
+        backoff = Backoff(base=0.05, cap=1.0, site="dataplane.fetch")
         failures: list[str] = []
         if spool_failure:
             failures.append(f"spool: {spool_failure}")
         for attempt in range(1, FETCH_ATTEMPTS + 1):
             try:
-                data = fetch(name)
+                with obs.span("dataplane.fetch", artifact=name, attempt=attempt):
+                    data = fetch(name)
             except WireError as exc:
                 failures.append(f"fetch attempt {attempt}: {exc}")
                 backoff.sleep()

@@ -51,6 +51,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass
 
+from ..obs import counter as obs_counter
 from ..utils.errors import MapReduceError
 
 #: Environment variable carrying an encoded plan to worker subprocesses.
@@ -279,6 +280,9 @@ class FaultInjector:
                 if count < spec.after or count >= spec.after + spec.times:
                     continue
                 self.fired[f"{site}:{spec.kind}"] += 1
+                obs_counter(
+                    "repro.faults.fired", site=site, kind=spec.kind
+                ).inc()
                 return spec
         return None
 

@@ -52,7 +52,13 @@ PROTOCOL_VERSION = 2
 #: corruption and re-fetch instead of computing on garbage.  The field
 #: defaults to empty, so a v2.0 peer's frames still unpickle; only the
 #: version byte participates in the preamble handshake.
-PROTOCOL_REVISION = 1
+#: Revision 2 ("v2.2") added the tracing piggyback: :attr:`JoinRun.trace`
+#: tells workers the driver is collecting a trace, and
+#: :attr:`TaskResult.spans` ships each task's worker-side spans back as
+#: ``(name, offset_seconds, duration_seconds, attrs)`` tuples, re-based
+#: onto the coordinator clock on arrival.  Both fields default to empty,
+#: so v2.0/v2.1 peers' frames still unpickle.
+PROTOCOL_REVISION = 2
 PREAMBLE = MAGIC + bytes([PROTOCOL_VERSION])
 
 #: Frame header: payload length as an unsigned 64-bit big-endian integer.
@@ -112,6 +118,12 @@ class TaskResult:
     names the run the task belongs to: with pipelined dispatch a result can
     arrive after its run already ended, and the coordinator must be able to
     discard such stale results instead of crediting them to the next run.
+
+    ``spans`` (v2.2) carries the task's worker-side trace spans, each a
+    ``(name, offset_seconds, duration_seconds, attrs)`` tuple with offsets
+    relative to the worker's task start.  Populated only when the run's
+    :class:`JoinRun` had ``trace=True``; empty (and costing nothing on the
+    wire beyond the empty tuple) otherwise.
     """
 
     task_id: int
@@ -121,6 +133,7 @@ class TaskResult:
     traceback: str = ""
     original: BaseException | None = None
     run_id: str = ""
+    spans: tuple = ()
 
 
 @dataclass
@@ -189,11 +202,16 @@ class JoinRun:
     answers with a :class:`StealRequest` and immediately receives stolen
     work.  ``prefetch_depth`` is the number of tasks the worker should keep
     in flight (one computing, the rest prefetching artifacts).
+
+    ``trace`` (v2.2) marks the run as traced: the worker records per-task
+    spans and ships them back via :attr:`TaskResult.spans`.  Defaults off,
+    so untraced runs pay nothing.
     """
 
     run_id: str
     phase: str
     prefetch_depth: int = 2
+    trace: bool = False
 
 
 @dataclass

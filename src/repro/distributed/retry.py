@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 import time
 
+from ..obs import counter
 from ..utils.errors import MapReduceError
 
 
@@ -34,6 +35,10 @@ class Backoff:
         Optional :class:`random.Random` for deterministic tests; a fresh
         generator otherwise (jitter must differ across processes — that is
         the point).
+    site:
+        Optional label naming the retry loop (``"worker.redial"``,
+        ``"dataplane.fetch"``); when set, every :meth:`sleep` increments
+        the ``repro.retry.sleeps`` counter for that site.
     """
 
     def __init__(
@@ -41,6 +46,7 @@ class Backoff:
         base: float = 0.1,
         cap: float = 5.0,
         rng: random.Random | None = None,
+        site: str = "",
     ) -> None:
         if not base > 0:
             raise MapReduceError(f"backoff base must be > 0 seconds, got {base!r}")
@@ -51,6 +57,7 @@ class Backoff:
         self.base = base
         self.cap = cap
         self.attempt = 0
+        self.site = site
         self._rng = rng if rng is not None else random.Random()
 
     def ceiling(self) -> float:
@@ -66,6 +73,8 @@ class Backoff:
     def sleep(self) -> float:
         """Sleep for :meth:`next_delay`; returns the seconds slept."""
         delay = self.next_delay()
+        if self.site:
+            counter("repro.retry.sleeps", site=self.site).inc()
         time.sleep(delay)
         return delay
 

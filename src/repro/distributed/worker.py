@@ -44,6 +44,7 @@ import traceback
 from collections import deque
 
 from ..mapreduce.engine import _map_chunk
+from ..obs import configure_logging, get_logger
 from ..utils.errors import MapReduceError
 from . import faults, protocol
 from .dataplane import ArtifactCache, loads
@@ -79,6 +80,8 @@ REDIAL_CAP = 5.0
 
 #: TCP connect timeout of a single dial attempt.
 DIAL_TIMEOUT = 5.0
+
+logger = get_logger(__name__)
 
 
 def execute_task(payload: bytes, cache: ArtifactCache, fetch) -> TaskResult:
@@ -230,6 +233,9 @@ class _Connection:
         self._stop = threading.Event()
         self._fetch_lock = threading.Lock()
         self._fetches: dict[str, list[_FetchWaiter]] = {}
+        #: Runs whose :class:`JoinRun` asked for tracing (v2.2): tasks of
+        #: these runs ship their spans back on the :class:`TaskResult`.
+        self.trace_runs: set[str] = set()
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -407,9 +413,11 @@ def _run_slot(
             claimed = False
             while slot.state == "loading" and not queue.stopped:
                 queue.cond.wait()
+    traced = slot.run_id in connection.trace_runs
     start = time.perf_counter()
     if claimed:
         _materialize(slot, queue, cache, connection)
+    load_seconds = time.perf_counter() - start if claimed else 0.0
     if slot.state == "failed":
         return slot.error
     if slot.state != "ready":
@@ -427,12 +435,31 @@ def _run_slot(
         # heartbeat thread keeps beating — the task-deadline case), or
         # straggling mid-compute.
         faults.fire("worker.compute", detail=kind)
+        compute_offset = time.perf_counter() - start
         result = _compute(kind, job, data)
+        seconds = time.perf_counter() - start
+        spans: tuple = ()
+        if traced:
+            # Offsets are relative to the task start on the worker clock;
+            # the coordinator re-bases them onto the driver clock (v2.2).
+            recorded = []
+            if claimed:
+                recorded.append(("task.load", 0.0, load_seconds, {}))
+            recorded.append(
+                (
+                    "task.compute",
+                    compute_offset,
+                    seconds - compute_offset,
+                    {"kind": kind},
+                )
+            )
+            spans = tuple(recorded)
         return TaskResult(
             task_id=-1,
             status="ok",
             result=result,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
+            spans=spans,
         )
     except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
         raise
@@ -500,8 +527,13 @@ def _serve(connection: _Connection, cache: ArtifactCache) -> str:
             if isinstance(message, EndRun):
                 queue.drop_run(message.run_id)
                 cache.clear(message.run_id)
+                connection.trace_runs.discard(message.run_id)
                 continue
             if isinstance(message, JoinRun):
+                # getattr: a pre-v2.2 coordinator's JoinRun pickles without
+                # the trace field (additive revisions, same version byte).
+                if getattr(message, "trace", False):
+                    connection.trace_runs.add(message.run_id)
                 # Attached to a (possibly already-running) run: announce the
                 # whole pipeline as steal capacity.
                 try:
@@ -521,10 +553,10 @@ def _serve(connection: _Connection, cache: ArtifactCache) -> str:
                 connection.deliver_artifact(message)
                 continue
             # Unknown message: protocol drift; drop the connection loudly.
-            print(
-                f"[repro-worker {connection.worker_id}] unexpected "
-                f"{type(message).__name__}; dropping connection",
-                flush=True,
+            logger.warning(
+                "worker %s: unexpected %s; dropping connection",
+                connection.worker_id,
+                type(message).__name__,
             )
             break
     finally:
@@ -566,11 +598,15 @@ def run_worker(
     wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     faults.install_from_env(role="worker")
     cache = ArtifactCache()
-    backoff = Backoff(base=redial_base, cap=redial_cap)
+    backoff = Backoff(base=redial_base, cap=redial_cap, site="worker.redial")
+    if not quiet:
+        # The daemon is an application: attach a real handler (text or
+        # JSON lines per REPRO_LOG_JSON) so its status lines reach stderr.
+        configure_logging()
 
     def log(text: str) -> None:
         if not quiet:
-            print(f"[repro-worker {wid}] {text}", flush=True)
+            logger.info("worker %s: %s", wid, text)
 
     window_start = time.monotonic()
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..core.corpus import Corpus, resolution_scope
 from ..data.aggregation import FunctionSpec
 from ..persist.index_io import read_manifest
@@ -169,89 +170,94 @@ def plan_update(
     missing or corrupt index.
     """
     directory = Path(path).expanduser().resolve()
-    manifest = read_manifest(directory)
-    version = int(manifest["format_version"])
+    with obs.span("incremental.plan", index=directory.name) as plan_span:
+        manifest = read_manifest(directory)
+        version = int(manifest["format_version"])
 
-    saved_fingerprints = manifest.get("fingerprints") or {}
-    config_changed = saved_fingerprints.get("config") != config_digest(
-        corpus.extractor, corpus.fill
-    )
-    city_changed = saved_fingerprints.get("city") != city_digest(corpus.city)
-
-    inputs = corpus.partition_inputs(spatial=spatial, temporal=temporal, specs=specs)
-    fingerprints = fingerprints_for_inputs(
-        inputs, corpus.city, corpus.extractor, corpus.fill
-    )
-
-    saved: dict[tuple[str, SpatialResolution, TemporalResolution], dict] = {}
-    for record in manifest["partitions"]:
-        key = (
-            record["dataset"],
-            SpatialResolution(record["spatial"]),
-            TemporalResolution(record["temporal"]),
+        saved_fingerprints = manifest.get("fingerprints") or {}
+        config_changed = saved_fingerprints.get("config") != config_digest(
+            corpus.extractor, corpus.fill
         )
-        saved[key] = record
+        city_changed = saved_fingerprints.get("city") != city_digest(corpus.city)
 
-    entries: list[PlanEntry] = []
-    matched: set[tuple[str, SpatialResolution, TemporalResolution]] = set()
-    for new_seq, ((name, s_res, t_res), value) in enumerate(inputs):
-        key = (name, s_res, t_res)
-        fingerprint = fingerprints[key]
-        record = saved.get(key)
-        if record is None:
-            action, reason = "add", "not in index"
-        else:
-            matched.add(key)
-            old_fingerprint = record.get("fingerprint")
-            if old_fingerprint == fingerprint:
-                action, reason = "keep", "fingerprint match"
-            elif old_fingerprint is None:
-                action = "rebuild"
-                reason = f"no fingerprint recorded (format v{version})"
-            elif config_changed:
-                action, reason = "rebuild", "extractor/fill configuration changed"
-            elif city_changed:
-                action, reason = "rebuild", "city model changed"
+        inputs = corpus.partition_inputs(
+            spatial=spatial, temporal=temporal, specs=specs
+        )
+        fingerprints = fingerprints_for_inputs(
+            inputs, corpus.city, corpus.extractor, corpus.fill
+        )
+
+        saved: dict[tuple[str, SpatialResolution, TemporalResolution], dict] = {}
+        for record in manifest["partitions"]:
+            key = (
+                record["dataset"],
+                SpatialResolution(record["spatial"]),
+                TemporalResolution(record["temporal"]),
+            )
+            saved[key] = record
+
+        entries: list[PlanEntry] = []
+        matched: set[tuple[str, SpatialResolution, TemporalResolution]] = set()
+        for new_seq, ((name, s_res, t_res), value) in enumerate(inputs):
+            key = (name, s_res, t_res)
+            fingerprint = fingerprints[key]
+            record = saved.get(key)
+            if record is None:
+                action, reason = "add", "not in index"
             else:
-                # The stored fingerprint is a composite; with config and
-                # city ruled out, the change is in the data set or its
-                # function specs — not distinguishable after the fact.
-                action, reason = "rebuild", "data set content or specs changed"
-        entries.append(
-            PlanEntry(
-                action=action,
-                dataset=name,
-                spatial=s_res,
-                temporal=t_res,
-                reason=reason,
-                new_seq=new_seq,
-                old_record=record,
-                fingerprint=fingerprint,
-                input=((name, s_res, t_res), (new_seq, *value[1:])),
+                matched.add(key)
+                old_fingerprint = record.get("fingerprint")
+                if old_fingerprint == fingerprint:
+                    action, reason = "keep", "fingerprint match"
+                elif old_fingerprint is None:
+                    action = "rebuild"
+                    reason = f"no fingerprint recorded (format v{version})"
+                elif config_changed:
+                    action, reason = "rebuild", "extractor/fill configuration changed"
+                elif city_changed:
+                    action, reason = "rebuild", "city model changed"
+                else:
+                    # The stored fingerprint is a composite; with config and
+                    # city ruled out, the change is in the data set or its
+                    # function specs — not distinguishable after the fact.
+                    action, reason = "rebuild", "data set content or specs changed"
+            entries.append(
+                PlanEntry(
+                    action=action,
+                    dataset=name,
+                    spatial=s_res,
+                    temporal=t_res,
+                    reason=reason,
+                    new_seq=new_seq,
+                    old_record=record,
+                    fingerprint=fingerprint,
+                    input=((name, s_res, t_res), (new_seq, *value[1:])),
+                )
             )
-        )
-    for key, record in saved.items():
-        if key in matched:
-            continue
-        name, s_res, t_res = key
-        # Distinguish "the data set is gone" from "the data set is still
-        # here but this resolution fell outside the maintained whitelists"
-        # — the latter means a narrowed `--temporal`/`--spatial` is about
-        # to delete partitions, which the dry run must say plainly.
-        if name in corpus.datasets:
-            reason = "resolution no longer maintained"
-        else:
-            reason = "not in catalog"
-        entries.append(
-            PlanEntry(
-                action="drop",
-                dataset=name,
-                spatial=s_res,
-                temporal=t_res,
-                reason=reason,
-                old_record=record,
+        for key, record in saved.items():
+            if key in matched:
+                continue
+            name, s_res, t_res = key
+            # Distinguish "the data set is gone" from "the data set is still
+            # here but this resolution fell outside the maintained whitelists"
+            # — the latter means a narrowed `--temporal`/`--spatial` is about
+            # to delete partitions, which the dry run must say plainly.
+            if name in corpus.datasets:
+                reason = "resolution no longer maintained"
+            else:
+                reason = "not in catalog"
+            entries.append(
+                PlanEntry(
+                    action="drop",
+                    dataset=name,
+                    spatial=s_res,
+                    temporal=t_res,
+                    reason=reason,
+                    old_record=record,
+                )
             )
-        )
+
+        plan_span.set(n_entries=len(entries))
 
     return UpdatePlan(
         index_path=directory,

@@ -32,6 +32,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..core.corpus import Corpus, IndexPartitionJob, IndexStats, resolution_scope
 from ..data.aggregation import FunctionSpec
 from ..mapreduce.engine import default_engine
@@ -160,82 +161,89 @@ def apply_update(
     # Route only the changed partitions through the engine — the identical
     # IndexPartitionJob (and payload shape) a from-scratch build uses.
     changed = plan.by_action("rebuild") + plan.by_action("add")
-    built_functions: dict[Any, list] = {}
-    built_stats: dict[Any, IndexStats] = {}
-    if changed:
-        if engine is None:
-            engine = default_engine(map_chunk_size="auto")
-        job = IndexPartitionJob(corpus.extractor, corpus.fill)
-        outputs, _ = engine.run(job, [e.input for e in changed])
-        for name, (ds_index, stats_by_resolution) in outputs:
-            for resolution, functions in ds_index.functions.items():
-                built_functions[(name, *resolution)] = functions
-            for resolution, stats in stats_by_resolution.items():
-                built_stats[(name, *resolution)] = stats
+    with obs.span(
+        "incremental.apply", index=directory.name, n_changed=len(changed)
+    ) as apply_span:
+        built_functions: dict[Any, list] = {}
+        built_stats: dict[Any, IndexStats] = {}
+        if changed:
+            if engine is None:
+                engine = default_engine(map_chunk_size="auto")
+            job = IndexPartitionJob(corpus.extractor, corpus.fill)
+            outputs, _ = engine.run(job, [e.input for e in changed])
+            for name, (ds_index, stats_by_resolution) in outputs:
+                for resolution, functions in ds_index.functions.items():
+                    built_functions[(name, *resolution)] = functions
+                for resolution, stats in stats_by_resolution.items():
+                    built_stats[(name, *resolution)] = stats
 
-    # Assemble the new partition set in canonical seq order: keeps are
-    # spliced by link, changed partitions are written fresh.
-    records: list[dict] = []
-    total_stats = IndexStats()
-    for dataset in corpus.datasets.values():
-        total_stats.raw_bytes += dataset.nbytes()
-    for entry in sorted(
-        (e for e in plan.entries if e.action != "drop"),
-        key=lambda e: e.new_seq,
-    ):
-        key = (entry.dataset, entry.spatial, entry.temporal)
-        filename = partition_filename(
-            entry.new_seq, entry.dataset, entry.spatial, entry.temporal
+        # Assemble the new partition set in canonical seq order: keeps are
+        # spliced by link, changed partitions are written fresh.
+        records: list[dict] = []
+        total_stats = IndexStats()
+        for dataset in corpus.datasets.values():
+            total_stats.raw_bytes += dataset.nbytes()
+        for entry in sorted(
+            (e for e in plan.entries if e.action != "drop"),
+            key=lambda e: e.new_seq,
+        ):
+            key = (entry.dataset, entry.spatial, entry.temporal)
+            filename = partition_filename(
+                entry.new_seq, entry.dataset, entry.spatial, entry.temporal
+            )
+            target = staging / PARTITION_DIR / filename
+            if entry.action == "keep":
+                old = entry.old_record
+                source = directory / old["file"]
+                if not source.is_file():
+                    raise PersistError(
+                        f"cannot reuse partition {old['file']!r}: file is missing"
+                    )
+                _link_or_copy(source, target)
+                record = dict(old)
+                record["seq"] = entry.new_seq
+                record["file"] = f"{PARTITION_DIR}/{filename}"
+                record["fingerprint"] = entry.fingerprint
+                report.bytes_reused += int(old.get("nbytes", 0))
+                stats = IndexStats(**old["stats"]) if "stats" in old else IndexStats()
+            else:  # rebuild / add
+                functions = built_functions[key]
+                meta = write_partition(target, functions)
+                record = {
+                    "seq": entry.new_seq,
+                    "dataset": entry.dataset,
+                    "spatial": entry.spatial.value,
+                    "temporal": entry.temporal.value,
+                    "file": f"{PARTITION_DIR}/{filename}",
+                    **meta,
+                }
+                stats = built_stats[key]
+                record["stats"] = asdict(stats)
+                record["fingerprint"] = entry.fingerprint
+                report.bytes_rewritten += int(meta["nbytes"])
+            records.append(record)
+            total_stats.merge(stats)
+
+        manifest = build_manifest(
+            city=corpus.city,
+            extractor=corpus.extractor,
+            fill=corpus.fill,
+            datasets=list(corpus.datasets),
+            stats=total_stats,
+            records=records,
+            scope=resolution_scope(spatial, temporal),
         )
-        target = staging / PARTITION_DIR / filename
-        if entry.action == "keep":
-            old = entry.old_record
-            source = directory / old["file"]
-            if not source.is_file():
-                raise PersistError(
-                    f"cannot reuse partition {old['file']!r}: file is missing"
-                )
-            _link_or_copy(source, target)
-            record = dict(old)
-            record["seq"] = entry.new_seq
-            record["file"] = f"{PARTITION_DIR}/{filename}"
-            record["fingerprint"] = entry.fingerprint
-            report.bytes_reused += int(old.get("nbytes", 0))
-            stats = IndexStats(**old["stats"]) if "stats" in old else IndexStats()
-        else:  # rebuild / add
-            functions = built_functions[key]
-            meta = write_partition(target, functions)
-            record = {
-                "seq": entry.new_seq,
-                "dataset": entry.dataset,
-                "spatial": entry.spatial.value,
-                "temporal": entry.temporal.value,
-                "file": f"{PARTITION_DIR}/{filename}",
-                **meta,
-            }
-            stats = built_stats[key]
-            record["stats"] = asdict(stats)
-            record["fingerprint"] = entry.fingerprint
-            report.bytes_rewritten += int(meta["nbytes"])
-        records.append(record)
-        total_stats.merge(stats)
+        manifest_path = staging / INDEX_MANIFEST
+        write_manifest(manifest_path, manifest)
+        report.bytes_rewritten += manifest_path.stat().st_size
 
-    manifest = build_manifest(
-        city=corpus.city,
-        extractor=corpus.extractor,
-        fill=corpus.fill,
-        datasets=list(corpus.datasets),
-        stats=total_stats,
-        records=records,
-        scope=resolution_scope(spatial, temporal),
-    )
-    manifest_path = staging / INDEX_MANIFEST
-    write_manifest(manifest_path, manifest)
-    report.bytes_rewritten += manifest_path.stat().st_size
-
-    replace_directory(staging, directory, retired)
-    report.applied = True
-    report.wall_seconds = time.perf_counter() - start
+        replace_directory(staging, directory, retired)
+        report.applied = True
+        report.wall_seconds = time.perf_counter() - start
+        apply_span.set(
+            bytes_reused=report.bytes_reused,
+            bytes_rewritten=report.bytes_rewritten,
+        )
     return report
 
 

@@ -53,6 +53,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+from .. import obs
 from ..utils.errors import MapReduceError, ReproError
 from . import shm
 from .job import JobStats, MapReduceJob
@@ -292,6 +293,8 @@ class LocalEngine:
         self.executor = executor
         self.map_chunk_size = map_chunk_size
         self.shm_min_bytes = shm_min_bytes
+        #: :class:`repro.obs.RunReport` of the most recent ``run`` call.
+        self.last_run_report: obs.RunReport | None = None
 
     @property
     def is_parallel(self) -> bool:
@@ -312,7 +315,34 @@ class LocalEngine:
     ) -> tuple[list[tuple[Any, Any]], JobStats]:
         """Execute ``job`` over ``inputs``; returns (outputs, stats)."""
         stats = JobStats()
+        wall_start = time.perf_counter()
+        with obs.span(
+            "engine.run",
+            executor=self.executor,
+            n_workers=self.n_workers,
+            job=type(job).__name__,
+        ) as run_span:
+            outputs = self._execute(job, inputs, stats, run_span.span_id)
+            run_span.set(n_outputs=stats.n_outputs)
+        stats.wall_seconds = time.perf_counter() - wall_start
+        report = obs.RunReport.from_stats(
+            stats, job=type(job).__name__, executor=self.executor,
+            n_workers=self.n_workers,
+        )
+        self.last_run_report = report
+        trace = obs.current_trace()
+        if trace is not None:
+            trace.add_report(report.to_json())
+        return outputs, stats
 
+    def _execute(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[tuple[Any, Any]],
+        stats: JobStats,
+        run_span_id: int | None,
+    ) -> list[tuple[Any, Any]]:
+        """The phases of :meth:`run` (spans/report handled by the caller)."""
         input_list = list(inputs)
         chunk_size = self._resolve_chunk_size(len(input_list))
         indexed = list(enumerate(input_list))
@@ -323,25 +353,31 @@ class LocalEngine:
         stats.n_map_chunks = len(chunks)
 
         if self.executor == "process" and self.is_parallel:
-            return self._run_process(job, chunks, stats)
+            return self._run_process(job, chunks, stats, run_span_id)
 
         # -- map phase -------------------------------------------------------
         if self.is_parallel:
             map_results = self._run_thread_tasks(
                 [(_map_chunk, job, chunk) for chunk in chunks],
                 stats.map_task_seconds,
+                span_name="map.task",
+                span_parent=run_span_id,
             )
         else:
             map_results = []
             for chunk in chunks:
-                start = time.perf_counter()
-                map_results.append(_map_chunk(job, chunk))
-                stats.map_task_seconds.append(time.perf_counter() - start)
+                with obs.span("map.task", n_inputs=len(chunk)):
+                    start = time.perf_counter()
+                    map_results.append(_map_chunk(job, chunk))
+                    stats.map_task_seconds.append(time.perf_counter() - start)
 
         # -- shuffle -----------------------------------------------------------
-        start = time.perf_counter()
-        groups = self.shuffle(pair for emitted in map_results for pair in emitted)
-        stats.shuffle_seconds = time.perf_counter() - start
+        with obs.span("engine.shuffle"):
+            start = time.perf_counter()
+            groups = self.shuffle(
+                pair for emitted in map_results for pair in emitted
+            )
+            stats.shuffle_seconds = time.perf_counter() - start
 
         # -- reduce phase ------------------------------------------------------
         items = list(groups.items())
@@ -349,18 +385,23 @@ class LocalEngine:
             reduce_results = self._run_thread_tasks(
                 [(job.reduce, k, vs) for k, vs in items],
                 stats.reduce_task_seconds,
+                span_name="reduce.task",
+                span_parent=run_span_id,
             )
         else:
             reduce_results = []
             for k, vs in items:
-                start = time.perf_counter()
-                emitted = list(job.reduce(k, vs))
-                stats.reduce_task_seconds.append(time.perf_counter() - start)
-                reduce_results.append(emitted)
+                with obs.span("reduce.task"):
+                    start = time.perf_counter()
+                    emitted = list(job.reduce(k, vs))
+                    stats.reduce_task_seconds.append(
+                        time.perf_counter() - start
+                    )
+                    reduce_results.append(emitted)
 
         outputs = [pair for emitted in reduce_results for pair in emitted]
         stats.n_outputs = len(outputs)
-        return outputs, stats
+        return outputs
 
     @staticmethod
     def shuffle(tagged: Iterable[TaggedPair]) -> dict[Hashable, list[Any]]:
@@ -383,14 +424,22 @@ class LocalEngine:
         self,
         tasks: list[tuple],
         timings: list[float],
+        span_name: str = "task",
+        span_parent: int | None = None,
     ) -> list[list]:
-        """Run ``(fn, *args)`` tasks on the thread pool, recording times."""
+        """Run ``(fn, *args)`` tasks on the thread pool, recording times.
+
+        Per-task spans carry an explicit ``span_parent`` (the run span's id):
+        pool threads have no span stack of their own, so thread-local nesting
+        cannot resolve the parent for them.
+        """
 
         def timed_call(task: tuple) -> tuple[list, float]:
             fn, *args = task
-            start = time.perf_counter()
-            out = list(fn(*args))
-            return out, time.perf_counter() - start
+            with obs.span(span_name, parent=span_parent):
+                start = time.perf_counter()
+                out = list(fn(*args))
+                return out, time.perf_counter() - start
 
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
             results = list(pool.map(timed_call, tasks))
@@ -403,8 +452,12 @@ class LocalEngine:
     # -- process executor ----------------------------------------------------
 
     def _run_process(
-        self, job: MapReduceJob, chunks: list[list], stats: JobStats
-    ) -> tuple[list[tuple[Any, Any]], JobStats]:
+        self,
+        job: MapReduceJob,
+        chunks: list[list],
+        stats: JobStats,
+        run_span_id: int | None = None,
+    ) -> list[tuple[Any, Any]]:
         """Map + shuffle + reduce with one process pool and one shm plane.
 
         The pool and the shared-memory plane span both task phases, so a
@@ -424,13 +477,15 @@ class LocalEngine:
                     [("map", job, chunk) for chunk in chunks],
                     stats.map_task_seconds,
                     phase="map",
+                    span_parent=run_span_id,
                 )
 
-                start = time.perf_counter()
-                groups = self.shuffle(
-                    pair for emitted in map_results for pair in emitted
-                )
-                stats.shuffle_seconds = time.perf_counter() - start
+                with obs.span("engine.shuffle"):
+                    start = time.perf_counter()
+                    groups = self.shuffle(
+                        pair for emitted in map_results for pair in emitted
+                    )
+                    stats.shuffle_seconds = time.perf_counter() - start
 
                 items = list(groups.items())
                 reduce_results = self._submit_process_phase(
@@ -439,13 +494,14 @@ class LocalEngine:
                     [("reduce", job, item) for item in items],
                     stats.reduce_task_seconds,
                     phase="reduce",
+                    span_parent=run_span_id,
                 )
         finally:
             plane.close()
 
         outputs = [pair for emitted in reduce_results for pair in emitted]
         stats.n_outputs = len(outputs)
-        return outputs, stats
+        return outputs
 
     def _submit_process_phase(
         self,
@@ -454,6 +510,7 @@ class LocalEngine:
         tasks: list[tuple],
         timings: list[float],
         phase: str,
+        span_parent: int | None = None,
     ) -> list[list]:
         """Ship one phase's tasks to the pool; results in submission order."""
         try:
@@ -488,6 +545,14 @@ class LocalEngine:
                 _status, out, seconds = result
                 outputs.append(out)
                 timings.append(seconds)
+                # Worker processes have no trace; approximate each task as
+                # an interval ending at result arrival in the parent clock.
+                obs.record_span(
+                    f"{phase}.task",
+                    seconds,
+                    parent=span_parent,
+                    track="process-pool",
+                )
         except BrokenProcessPool as exc:
             raise MapReduceError(
                 f"a worker process died during the {phase} phase (killed or "

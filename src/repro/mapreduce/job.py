@@ -69,8 +69,34 @@ class JobStats:
     shuffle_seconds: float = 0.0
     n_outputs: int = 0
     n_map_chunks: int = 0
+    #: End-to-end wall time of the run as measured by the engine; 0.0 when
+    #: the stats were built outside an engine (e.g. merged or hand-made).
+    wall_seconds: float = 0.0
 
     @property
     def total_task_seconds(self) -> float:
-        """Sum of all task times (the single-node sequential cost)."""
+        """Sum of all task times (the single-node sequential cost).
+
+        Deliberately excludes ``shuffle_seconds`` — the simulated-cluster
+        scheduler replays *tasks* onto virtual nodes and accounts the
+        shuffle separately.  Use :attr:`busy_seconds` for the full
+        sequential cost including the shuffle.
+        """
         return sum(self.map_task_seconds) + sum(self.reduce_task_seconds)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Task time plus shuffle time (the full sequential cost)."""
+        return self.total_task_seconds + self.shuffle_seconds
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Wall time not accounted to tasks or the shuffle.
+
+        Dispatch, scheduling waits, result transport.  0.0 when
+        ``wall_seconds`` was never measured (or clocks disagree slightly on
+        a fully-parallel run, where wall < busy is expected anyway).
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return max(0.0, self.wall_seconds - self.busy_seconds)

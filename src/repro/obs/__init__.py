@@ -1,0 +1,89 @@
+"""repro.obs — tracing, metrics, logging, and run reports.
+
+The observability layer of the pipeline, three planes plus reports:
+
+* :mod:`repro.obs.trace` — hierarchical spans collected into a per-run
+  :class:`Trace`, exportable as JSONL and Chrome ``trace_event`` JSON.
+  Inert by default; enabled via :func:`start_trace` or the CLI's
+  ``--trace`` / :data:`ENV_TRACE` knob.
+* :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  deterministic log-bucket histograms (:data:`REGISTRY`), always on.
+* :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy
+  (:func:`get_logger`) with an optional JSON-lines formatter
+  (:data:`ENV_LOG_JSON`).
+* :mod:`repro.obs.report` — :class:`RunReport`, the per-run summary
+  engines expose as ``last_run_report`` and ``repro stats`` renders.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+from .logging import (
+    ENV_LOG_JSON,
+    JsonLinesFormatter,
+    ROOT_LOGGER_NAME,
+    capture_logging,
+    configure_logging,
+    get_logger,
+)
+from .metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from .metrics import reset as reset_metrics
+from .metrics import snapshot as metrics_snapshot
+from .report import RunReport
+from .trace import (
+    Span,
+    Trace,
+    add_span,
+    current_trace,
+    enabled,
+    end_trace,
+    record_span,
+    span,
+    start_trace,
+)
+
+#: Environment knob: set to a file path to trace a CLI run; ``.json``
+#: suffix selects Chrome ``trace_event`` output, anything else JSONL.
+ENV_TRACE = "REPRO_TRACE"
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "ENV_LOG_JSON",
+    "ENV_TRACE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesFormatter",
+    "MetricsRegistry",
+    "REGISTRY",
+    "ROOT_LOGGER_NAME",
+    "RunReport",
+    "Span",
+    "Trace",
+    "add_span",
+    "capture_logging",
+    "configure_logging",
+    "counter",
+    "current_trace",
+    "enabled",
+    "end_trace",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "metrics_snapshot",
+    "record_span",
+    "reset_metrics",
+    "span",
+    "start_trace",
+]

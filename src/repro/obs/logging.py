@@ -1,0 +1,131 @@
+"""The ``repro.*`` logger hierarchy and JSON-lines structured logging.
+
+Library modules obtain loggers through :func:`get_logger`, which anchors
+every name under the ``repro`` root (``repro.distributed.coordinator``,
+``repro.persist`` — module ``__name__`` values pass through unchanged, bare
+script names are prefixed).  The root carries a ``NullHandler``: a library
+must never print on its own, so an application that configures nothing
+stays silent, per the stdlib logging contract.
+
+Applications (the CLI, worker daemons, CI scripts) opt into output with
+:func:`configure_logging`.  The format is human text by default; setting
+``REPRO_LOG_JSON`` (or ``json_lines=True``) switches to one JSON object
+per line::
+
+    {"ts": 1754640000.123, "level": "WARNING",
+     "logger": "repro.distributed.coordinator",
+     "message": "requeueing after loss: ..."}
+
+which is what log aggregators and the CI observability job consume.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = [
+    "ENV_LOG_JSON",
+    "JsonLinesFormatter",
+    "ROOT_LOGGER_NAME",
+    "configure_logging",
+    "get_logger",
+]
+
+#: The root of the hierarchy; every :func:`get_logger` name lives under it.
+ROOT_LOGGER_NAME = "repro"
+
+#: Set (to anything but ``""``/``"0"``) to make :func:`configure_logging`
+#: emit JSON lines instead of human-formatted text.
+ENV_LOG_JSON = "REPRO_LOG_JSON"
+
+# A library never emits on its own: the NullHandler swallows records until
+# an application attaches a real handler (and stops the "no handlers could
+# be found" stderr warning in the meantime).
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger anchored under the ``repro`` hierarchy.
+
+    Pass ``__name__``: package modules (already ``repro.x.y``) keep their
+    name; anything else (a script's ``__main__``, a bare tool name) is
+    prefixed so its records still flow through the ``repro`` root handler.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record (see module docstring for the schema)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc"] = self.formatException(record.exc_info)
+        extra = getattr(record, "data", None)
+        if isinstance(extra, dict):
+            entry.update(extra)
+        return json.dumps(entry, default=str)
+
+
+class _TextFormatter(logging.Formatter):
+    """Human format with sub-second timestamps (the non-JSON default)."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+
+    def formatTime(self, record: logging.LogRecord, datefmt: str | None = None) -> str:
+        base = time.strftime("%H:%M:%S", time.localtime(record.created))
+        return f"{base}.{int(record.msecs):03d}"
+
+
+#: Attribute marking handlers this module installed, so reconfiguration
+#: replaces them instead of stacking duplicates.
+_MANAGED = "_repro_obs_handler"
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+    json_lines: bool | None = None,
+) -> logging.Handler:
+    """Attach (or replace) the application handler on the ``repro`` root.
+
+    ``json_lines=None`` (the default) consults :data:`ENV_LOG_JSON`.
+    Idempotent: calling again swaps the managed handler, so a CLI command
+    and a test harness can both call it without doubling every line.
+    Returns the installed handler (tests capture through it).
+    """
+    if json_lines is None:
+        json_lines = os.environ.get(ENV_LOG_JSON, "") not in ("", "0")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLinesFormatter() if json_lines else _TextFormatter())
+    setattr(handler, _MANAGED, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+def capture_logging(level: int = logging.INFO, json_lines: bool = True) -> io.StringIO:
+    """Route ``repro.*`` records into a returned buffer (test helper)."""
+    buffer = io.StringIO()
+    configure_logging(level=level, stream=buffer, json_lines=json_lines)
+    return buffer

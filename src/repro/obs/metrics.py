@@ -1,0 +1,301 @@
+"""Process-local metrics: counters, gauges, log-bucket histograms.
+
+One :data:`REGISTRY` per process is the source of truth for the counters
+that used to live scattered across engine attributes (``last_run_*``
+fields, fault ``fired`` counters) — those attributes survive as thin views
+over registry instruments.  Unlike tracing, metrics are *always on*: an
+increment is one lock and one integer add, cheap enough for every
+control-plane event (retries, fault injections, backoff sleeps), while hot
+data-plane loops record aggregates once per run.
+
+Instruments are keyed by ``(name, labels)``, so per-worker or per-site
+series coexist under one metric name::
+
+    counter("repro.cluster.worker_tasks", worker="host0").inc()
+    histogram("repro.query.seconds").observe(elapsed)
+
+Histograms use **fixed log-scale bucket bounds**
+(:data:`DEFAULT_BUCKET_BOUNDS`, quarter-decades from 1 µs to 10 ks):
+because every histogram of a metric shares the same bounds, merging two of
+them is an element-wise add of bucket counts — deterministic regardless of
+merge order or which process observed what.  That is what lets per-worker
+latency histograms fold into one cluster-wide distribution without a
+re-bucketing step.
+
+Snapshots (:func:`snapshot`) are plain JSON-able dicts, embedded into
+benchmark records and trace exports so perf numbers carry their context.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "reset",
+    "snapshot",
+]
+
+#: Quarter-decade log-scale bucket upper bounds: 10**(k/4) for k in
+#: [-24, -23, ..., 16], i.e. 1e-6 .. 1e4 seconds.  Fixed for every
+#: histogram so merges are a deterministic element-wise count add.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    round(10.0 ** (k / 4.0), 12) for k in range(-24, 17)
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-written value (e.g. retries of the most recent run)."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bound log-bucket histogram of observations.
+
+    ``counts[i]`` counts observations ``<= bounds[i]`` (and greater than
+    ``bounds[i-1]``); the final slot counts overflow past the last bound.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "_lock",
+        "counts",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self._lock = threading.Lock()
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (deterministic: bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bucket bounds "
+                f"({len(other.bounds)} vs {len(self.bounds)} bounds)"
+            )
+        with self._lock:
+            for index, n in enumerate(other.counts):
+                self.counts[index] += n
+            self.count += other.count
+            self.total += other.total
+            if other.count:
+                self.min = min(self.min, other.min)
+                self.max = max(self.max, other.max)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-bound estimate of the ``q`` quantile (0 when empty)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """The per-process instrument table (thread-safe, JSON-snapshottable)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._gauges: dict[tuple[str, Labels], Gauge] = {}
+        self._histograms: dict[tuple[str, Labels], Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(name, key[1])
+            return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(name, key[1])
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(name, key[1], bounds)
+            return instrument
+
+    def counters(self, name: str) -> Iterable[Counter]:
+        """Every series of one counter name (across label sets)."""
+        with self._lock:
+            return [c for (n, _), c in self._counters.items() if n == name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able view: ``{"counters": {...}, "gauges": {...}, ...}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                _series_name(name, labels): instrument.value
+                for (name, labels), instrument in sorted(counters.items())
+            },
+            "gauges": {
+                _series_name(name, labels): instrument.value
+                for (name, labels), instrument in sorted(gauges.items())
+            },
+            "histograms": {
+                _series_name(name, labels): instrument.to_dict()
+                for (name, labels), instrument in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests isolate themselves with this)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry — the source of truth behind the thin
+#: ``last_run_*`` attribute views on engines and coordinators.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(
+    name: str, bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS, **labels: Any
+) -> Histogram:
+    return REGISTRY.histogram(name, bounds, **labels)
+
+
+def snapshot() -> dict[str, Any]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

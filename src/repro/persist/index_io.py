@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..core.corpus import CorpusIndex, IndexStats
 from ..core.features import FeatureExtractor
 from ..core.operator import DatasetIndex, IndexedFunction
@@ -163,38 +164,39 @@ def save_index(
             seq += 1
 
     run_engine = engine if engine is not None else default_engine()
-    outputs, _ = run_engine.run(PartitionSaveJob(staging), inputs)
-    records = outputs[0][1] if outputs else []
+    with obs.span("persist.save", index=directory.name, n_partitions=len(inputs)):
+        outputs, _ = run_engine.run(PartitionSaveJob(staging), inputs)
+        records = outputs[0][1] if outputs else []
 
-    # v2 enrichment: per-partition content fingerprints and IndexStats
-    # contributions, when the index carries them (freshly built or loaded
-    # from a v2 directory).  A v1-loaded index has neither — its records
-    # stay bare, and a later `repro update` schedules full rebuilds.
-    for record in records:
-        key = (
-            record["dataset"],
-            SpatialResolution(record["spatial"]),
-            TemporalResolution(record["temporal"]),
+        # v2 enrichment: per-partition content fingerprints and IndexStats
+        # contributions, when the index carries them (freshly built or loaded
+        # from a v2 directory).  A v1-loaded index has neither — its records
+        # stay bare, and a later `repro update` schedules full rebuilds.
+        for record in records:
+            key = (
+                record["dataset"],
+                SpatialResolution(record["spatial"]),
+                TemporalResolution(record["temporal"]),
+            )
+            stats = index.partition_stats.get(key)
+            if stats is not None:
+                record["stats"] = asdict(stats)
+            fingerprint = index.partition_fingerprints.get(key)
+            if fingerprint is not None:
+                record["fingerprint"] = fingerprint
+
+        manifest = build_manifest(
+            city=index.city,
+            extractor=index.extractor,
+            fill=index.fill,
+            datasets=list(index.datasets),
+            stats=index.stats,
+            records=records,
+            scope=index.scope,
         )
-        stats = index.partition_stats.get(key)
-        if stats is not None:
-            record["stats"] = asdict(stats)
-        fingerprint = index.partition_fingerprints.get(key)
-        if fingerprint is not None:
-            record["fingerprint"] = fingerprint
+        write_manifest(staging / INDEX_MANIFEST, manifest)
 
-    manifest = build_manifest(
-        city=index.city,
-        extractor=index.extractor,
-        fill=index.fill,
-        datasets=list(index.datasets),
-        stats=index.stats,
-        records=records,
-        scope=index.scope,
-    )
-    write_manifest(staging / INDEX_MANIFEST, manifest)
-
-    replace_directory(staging, directory, retired)
+        replace_directory(staging, directory, retired)
     return directory / INDEX_MANIFEST
 
 
@@ -293,7 +295,8 @@ def load_index(path: str | Path, engine: Engine | None = None) -> CorpusIndex:
         for record in manifest["partitions"]
     ]
     run_engine = engine if engine is not None else default_engine()
-    outputs, job_stats = run_engine.run(PartitionLoadJob(directory), inputs)
+    with obs.span("persist.load", index=directory.name, n_partitions=len(inputs)):
+        outputs, job_stats = run_engine.run(PartitionLoadJob(directory), inputs)
     loaded = dict(outputs)
 
     datasets: dict[str, DatasetIndex] = {}

@@ -1,0 +1,48 @@
+"""JobStats accounting: wall clock, busy time, and derived overhead."""
+
+import pytest
+
+from repro.mapreduce.job import JobStats
+
+
+def test_defaults_are_empty():
+    stats = JobStats()
+    assert stats.map_task_seconds == [] and stats.reduce_task_seconds == []
+    assert stats.wall_seconds == 0.0
+    assert stats.total_task_seconds == 0.0
+    assert stats.busy_seconds == 0.0
+    assert stats.overhead_seconds == 0.0
+
+
+def test_busy_seconds_includes_shuffle_but_total_does_not():
+    stats = JobStats(
+        map_task_seconds=[0.2, 0.3],
+        reduce_task_seconds=[0.1],
+        shuffle_seconds=0.05,
+    )
+    assert stats.total_task_seconds == pytest.approx(0.6)
+    assert stats.busy_seconds == pytest.approx(0.65)
+
+
+def test_overhead_is_wall_minus_busy():
+    stats = JobStats(
+        map_task_seconds=[0.2, 0.3],
+        reduce_task_seconds=[0.1],
+        shuffle_seconds=0.05,
+        wall_seconds=0.9,
+    )
+    assert stats.overhead_seconds == pytest.approx(0.25)
+
+
+def test_overhead_is_zero_when_wall_unmeasured():
+    stats = JobStats(map_task_seconds=[1.0])
+    assert stats.wall_seconds == 0.0
+    assert stats.overhead_seconds == 0.0
+
+
+def test_overhead_clamps_on_parallel_runs():
+    # Fully parallel run: wall < busy because tasks overlapped.  Overhead
+    # must clamp at zero, not go negative.
+    stats = JobStats(map_task_seconds=[1.0, 1.0, 1.0, 1.0], wall_seconds=1.1)
+    assert stats.busy_seconds == pytest.approx(4.0)
+    assert stats.overhead_seconds == 0.0

@@ -1,0 +1,97 @@
+"""CLI trace lifecycle: --trace / $REPRO_TRACE wrap any command in a trace."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_trace():
+    obs.end_trace()
+    yield
+    obs.end_trace()
+
+
+def simulate(tmp_path, **kwargs):
+    out = tmp_path / "cat"
+    argv = ["simulate", "--out", str(out), "--days", "10", "--scale", "0.15"]
+    argv += ["--datasets", "taxi,weather", "--seed", "5"]
+    assert main(argv) == 0
+    return out
+
+
+def test_trace_flag_writes_chrome_json(tmp_path, capsys):
+    cat = simulate(tmp_path)
+    trace_out = tmp_path / "trace.json"
+    argv = ["--trace", str(trace_out), "index", "--data", str(cat)]
+    argv += ["--out", str(tmp_path / "idx"), "--temporal", "day"]
+    assert main(argv) == 0
+    printed = capsys.readouterr().out
+    assert "trace written to" in printed
+
+    document = json.loads(trace_out.read_text())
+    names = {e["name"] for e in document["traceEvents"] if e.get("ph") == "X"}
+    assert "cli.index" in names
+    assert "index.build" in names
+    assert "persist.save" in names
+    extra = document["repro"]
+    assert extra["name"] == "index"
+    assert 0.0 < extra["coverage"] <= 1.0
+    # The CLI embeds a metrics snapshot alongside the spans.
+    assert "counters" in extra["metrics"]
+    # No trace leaks into the process after the command returns.
+    assert not obs.enabled()
+
+
+def test_trace_env_var_and_jsonl_sidecar(tmp_path, monkeypatch, capsys):
+    cat = simulate(tmp_path)
+    trace_out = tmp_path / "trace.jsonl"
+    monkeypatch.setenv(obs.ENV_TRACE, str(trace_out))
+    argv = ["query", "--data", str(cat), "--permutations", "20"]
+    argv += ["--temporal", "day", "--seed", "0"]
+    assert main(argv) == 0
+    lines = trace_out.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["name"] == "query"
+    assert header["n_spans"] == len(lines) - 1
+    span_names = {json.loads(line)["name"] for line in lines[1:]}
+    assert "cli.query" in span_names and "index.query" in span_names
+    # JSONL traces get a metrics sidecar (Chrome embeds them instead).
+    metrics = json.loads(trace_out.with_suffix(".metrics.json").read_text())
+    assert any(k.startswith("repro.query.seconds") for k in metrics["histograms"])
+
+
+def test_stats_verb_on_trace_and_index(tmp_path, capsys):
+    cat = simulate(tmp_path)
+    idx = tmp_path / "idx"
+    trace_out = tmp_path / "trace.json"
+    argv = ["--trace", str(trace_out), "index", "--data", str(cat)]
+    argv += ["--out", str(idx), "--temporal", "day"]
+    assert main(argv) == 0
+    capsys.readouterr()
+
+    assert main(["stats", str(trace_out)]) == 0
+    printed = capsys.readouterr().out
+    assert "index.build" in printed
+
+    assert main(["stats", str(idx)]) == 0
+    printed = capsys.readouterr().out
+    assert "taxi" in printed and "weather" in printed
+
+    assert main(["stats", str(tmp_path / "missing")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_worker_verb_never_claims_the_trace_file(tmp_path, monkeypatch):
+    # Workers ship spans over the protocol; writing the driver's trace
+    # file from a worker process would race it.  The CLI must not trace
+    # the worker verb even when $REPRO_TRACE is set.
+    trace_out = tmp_path / "worker.json"
+    monkeypatch.setenv(obs.ENV_TRACE, str(trace_out))
+    argv = ["worker", "--connect", "127.0.0.1:1", "--retry", "0", "--quiet"]
+    assert main(argv) == 1
+    assert not trace_out.exists()
+    assert not obs.enabled()

@@ -1,0 +1,110 @@
+"""Cluster tracing: worker spans ship back and re-parent in the driver.
+
+The acceptance bar for the observability subsystem: a traced 2-worker
+cluster run produces one driver-side trace whose spans cover (nearly all
+of) the measured wall time, include worker-side task spans from *both*
+workers re-based onto the driver's clock, and whose embedded run report
+renders a per-worker breakdown through ``repro stats``.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main as repro_main
+from repro.mapreduce.job import MapReduceJob
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_trace():
+    obs.end_trace()
+    yield
+    obs.end_trace()
+
+
+# Module scope: cluster workers unpickle the job by reference.
+class ClusterGroupSum(MapReduceJob):
+    def map(self, key, value):
+        yield key % 4, value
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+INPUTS = [(i, float(i)) for i in range(16)]
+
+
+def test_cluster_trace_end_to_end(cluster_engine, tmp_path):
+    trace = obs.start_trace("cluster-run")
+    outputs, stats = cluster_engine.run(ClusterGroupSum(), INPUTS)
+    obs.end_trace()
+    assert cluster_engine.last_run_fallback is None
+    expected = [(k, sum(v for i, v in INPUTS if i % 4 == k)) for k in range(4)]
+    assert sorted(outputs) == expected
+
+    run_spans = [s for s in trace.spans if s.name == "cluster.run_job"]
+    assert len(run_spans) == 1
+    run_span = run_spans[0]
+
+    # Worker-side task spans from BOTH workers, re-parented under the run.
+    worker_tracks = {s.track for s in trace.spans if s.track.startswith("worker:")}
+    assert len(worker_tracks) == 2
+    task_spans = [
+        s
+        for s in trace.spans
+        if s.name in ("map.task", "reduce.task") and s.track.startswith("worker:")
+    ]
+    assert task_spans
+    assert all(s.parent_id == run_span.span_id for s in task_spans)
+    task_ids = {s.span_id for s in task_spans}
+    compute_spans = [s for s in trace.spans if s.name == "task.compute"]
+    assert compute_spans
+    assert all(s.parent_id in task_ids for s in compute_spans)
+    # Re-based onto the driver clock: inside the run span's interval.
+    for span in task_spans:
+        assert span.start >= run_span.start - 1e-6
+        assert span.start + span.duration <= run_span.start + run_span.duration + 1e-6
+
+    # Spans cover >= 95% of measured wall time.
+    assert trace.coverage() >= 0.95
+
+    # The embedded report names both workers; `repro stats` renders it.
+    assert trace.reports
+    report = cluster_engine.last_run_report
+    assert report is not None and report.executor == "cluster"
+    assert sum(report.worker_tasks.values()) == len(task_spans)
+    assert len(report.worker_tasks) == 2
+
+    out = tmp_path / "trace.json"
+    trace.to_chrome(out, metrics=obs.metrics_snapshot())
+    document = json.loads(out.read_text())
+    assert document["repro"]["reports"] == trace.reports
+
+
+def test_stats_verb_renders_worker_breakdown(cluster_engine, tmp_path, capsys):
+    trace = obs.start_trace("cluster-run")
+    cluster_engine.run(ClusterGroupSum(), INPUTS)
+    obs.end_trace()
+    out = tmp_path / "trace.json"
+    trace.to_chrome(out, metrics=obs.metrics_snapshot())
+
+    assert repro_main(["stats", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "run report" in text
+    assert "cluster" in text
+    # Per-worker, per-phase breakdown: both worker tracks with task rows.
+    tracks = {s.track for s in trace.spans if s.track.startswith("worker:")}
+    for track in sorted(tracks):
+        assert track in text
+    assert "map.task" in text
+
+
+def test_untraced_cluster_run_ships_no_spans(cluster_engine):
+    assert not obs.enabled()
+    outputs, _stats = cluster_engine.run(ClusterGroupSum(), INPUTS)
+    assert len(outputs) == 4
+    # No trace was active: nothing leaked into a fresh one afterwards.
+    trace = obs.start_trace("after")
+    obs.end_trace()
+    assert trace.spans == []

@@ -1,0 +1,81 @@
+"""Logger hierarchy, JSON-lines formatting, and idempotent configuration."""
+
+import json
+import logging
+
+from repro.obs import (
+    ROOT_LOGGER_NAME,
+    capture_logging,
+    configure_logging,
+    get_logger,
+)
+
+
+def teardown_function(_fn):
+    # Drop the managed handler so later tests start from library silence.
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+
+
+def test_get_logger_anchors_names_under_repro():
+    assert get_logger().name == "repro"
+    assert get_logger("repro").name == "repro"
+    assert get_logger("repro.persist.index_io").name == "repro.persist.index_io"
+    assert get_logger("scripts.ci_obs").name == "repro.scripts.ci_obs"
+
+
+def test_root_carries_a_null_handler():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+    # Library silence: an unconfigured app sees no "no handlers" warning.
+
+
+def test_json_lines_output_is_parseable():
+    buffer = capture_logging(level=logging.INFO)
+    logger = get_logger("repro.test.logging")
+    logger.info("hello %s", "world", extra={"data": {"n_tasks": 3}})
+    logger.warning("retrying")
+
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert len(lines) == 2
+    first, second = lines
+    assert first["level"] == "INFO"
+    assert first["logger"] == "repro.test.logging"
+    assert first["message"] == "hello world"
+    assert first["n_tasks"] == 3
+    assert isinstance(first["ts"], float)
+    assert second["level"] == "WARNING"
+
+
+def test_exceptions_are_embedded_in_the_record():
+    buffer = capture_logging()
+    logger = get_logger("repro.test.logging")
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        logger.exception("task failed")
+    entry = json.loads(buffer.getvalue().splitlines()[-1])
+    assert entry["level"] == "ERROR"
+    assert "RuntimeError: boom" in entry["exc"]
+
+
+def test_configure_logging_is_idempotent():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    before = len(root.handlers)
+    configure_logging(json_lines=True)
+    configure_logging(json_lines=False)
+    configure_logging(json_lines=True)
+    managed = [h for h in root.handlers if getattr(h, "_repro_obs_handler", False)]
+    assert len(managed) == 1
+    assert len(root.handlers) == before + 1
+
+
+def test_text_mode_formats_human_lines():
+    buffer = capture_logging(json_lines=False)
+    get_logger("repro.test.logging").info("plain text here")
+    line = buffer.getvalue()
+    assert "plain text here" in line
+    assert "repro.test.logging" in line
+    assert not line.lstrip().startswith("{")

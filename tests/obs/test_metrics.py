@@ -1,0 +1,101 @@
+"""Metrics plane unit tests — including histogram merge determinism."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_and_gauge_series():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.counter("hits").inc(2)
+    registry.counter("hits", worker="w1").inc(5)
+    registry.gauge("depth").set(3.5)
+
+    assert registry.counter("hits").value == 3
+    assert registry.counter("hits", worker="w1").value == 5
+    assert registry.gauge("depth").value == 3.5
+    # Same name, different labels -> distinct series, both enumerable.
+    values = sorted(c.value for c in registry.counters("hits"))
+    assert values == [3, 5]
+
+
+def test_snapshot_layout():
+    registry = MetricsRegistry()
+    registry.counter("a.count", site="x").inc()
+    registry.gauge("a.depth").set(2)
+    registry.histogram("a.seconds").observe(0.01)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"a.count{site=x}": 1}
+    assert snap["gauges"] == {"a.depth": 2}
+    hist = snap["histograms"]["a.seconds"]
+    assert hist["count"] == 1
+    assert hist["mean"] == pytest.approx(0.01)
+    # The snapshot is plain JSON: every leaf is a scalar or list.
+    import json
+
+    json.dumps(snap)
+
+
+def test_histogram_statistics():
+    hist = Histogram("h", ())
+    for value in (0.001, 0.01, 0.1, 1.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean == pytest.approx(0.27775)
+    assert hist.min == pytest.approx(0.001)
+    assert hist.max == pytest.approx(1.0)
+    assert hist.quantile(0.5) >= 0.001
+    assert hist.quantile(1.0) <= hist.max * 10
+
+
+def test_histogram_merge_is_order_independent():
+    rng = random.Random(7)
+    values = [10 ** rng.uniform(-6, 3) for _ in range(500)]
+
+    reference = Histogram("h", ())
+    for value in values:
+        reference.observe(value)
+
+    # Split across three shards in shuffled order, then merge: bit-equal
+    # bucket counts because the bounds are fixed, never data-derived.
+    shuffled = list(values)
+    random.Random(11).shuffle(shuffled)
+    shards = [Histogram("h", ()) for _ in range(3)]
+    for index, value in enumerate(shuffled):
+        shards[index % 3].observe(value)
+    merged = Histogram("h", ())
+    for shard in shards:
+        merged.merge(shard)
+
+    assert merged.counts == reference.counts
+    assert merged.count == reference.count
+    assert merged.total == pytest.approx(reference.total)
+    assert merged.min == reference.min and merged.max == reference.max
+
+
+def test_histogram_merge_rejects_different_bounds():
+    ours = Histogram("h", ())
+    theirs = Histogram("h", (), bounds=(1.0, 2.0, 3.0))
+    with pytest.raises(ValueError):
+        ours.merge(theirs)
+
+
+def test_default_bounds_are_fixed_and_sorted():
+    assert list(DEFAULT_BUCKET_BOUNDS) == sorted(DEFAULT_BUCKET_BOUNDS)
+    assert DEFAULT_BUCKET_BOUNDS[0] <= 1e-6
+    assert DEFAULT_BUCKET_BOUNDS[-1] >= 1e4
+
+
+def test_reset_drops_instruments():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert registry.counter("x").value == 0

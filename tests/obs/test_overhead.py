@@ -1,0 +1,56 @@
+"""The disabled path must stay negligible: tracing off is the default.
+
+Every hook the subsystem wires into the engines, scheduler and query path
+runs unconditionally in production code; what keeps them free is that
+``obs.span`` with no active trace returns one shared no-op handle after a
+single module-global read.  These tests pin that structure (identity, no
+allocation) and add a deliberately loose wall-clock ceiling so a future
+"just a small dict lookup per call" regression still fails loudly.
+"""
+
+import time
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN
+
+
+def setup_function(_fn):
+    obs.end_trace()
+
+
+def test_disabled_span_is_the_shared_singleton():
+    # No allocation, no branching on attrs: the same object every call.
+    first = obs.span("engine.run", executor="serial", n_workers=1)
+    second = obs.span("map.task")
+    assert first is second is _NOOP_SPAN
+    with first as handle:
+        handle.set(anything=1)
+    assert handle is _NOOP_SPAN
+
+
+def test_disabled_record_span_returns_immediately():
+    assert obs.record_span("x", 1.0, attr="y") is None
+    assert obs.add_span("x", 0.0, 1.0) is None
+
+
+def test_disabled_path_wall_clock_bound():
+    iterations = 100_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("map.task", n_inputs=8):
+            pass
+    elapsed = time.perf_counter() - start
+    # Generous for slow CI boxes: ~2 µs/call budget.  The real cost is
+    # ~100 ns; an accidental always-on trace or per-call dict machinery
+    # blows well past this.
+    assert elapsed < 0.2, f"{iterations} disabled spans took {elapsed:.3f}s"
+
+
+def test_enabled_then_disabled_restores_inertness():
+    obs.start_trace("t")
+    with obs.span("a"):
+        pass
+    trace = obs.end_trace()
+    assert len(trace.spans) == 1
+    assert obs.span("b") is _NOOP_SPAN
+    assert obs.current_trace() is None

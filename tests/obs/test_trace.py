@@ -1,0 +1,161 @@
+"""Trace plane unit tests: spans, nesting, export formats, inertness."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_trace():
+    """Every test starts and ends with the hooks inert."""
+    obs.end_trace()
+    yield
+    obs.end_trace()
+
+
+def test_disabled_hooks_are_noops():
+    assert obs.current_trace() is None
+    assert not obs.enabled()
+    handle = obs.span("anything", attr=1)
+    assert handle is _NOOP_SPAN  # the shared singleton: zero allocation
+    with handle as inner:
+        inner.set(more=2)
+    assert inner.span_id is None
+    assert obs.record_span("x", 0.5) is None
+    assert obs.add_span("x", 0.0, 0.5) is None
+
+
+def test_span_nesting_and_attrs():
+    trace = obs.start_trace("t")
+    with obs.span("outer", phase="a") as outer:
+        with obs.span("inner") as inner:
+            inner.set(n=3)
+    assert [s.name for s in trace.spans] == ["inner", "outer"]
+    by_name = {s.name: s for s in trace.spans}
+    assert by_name["inner"].parent_id == outer.span_id
+    assert by_name["outer"].parent_id is None
+    assert by_name["outer"].attrs["phase"] == "a"
+    assert by_name["inner"].attrs["n"] == 3
+    assert by_name["outer"].duration >= by_name["inner"].duration
+
+
+def test_span_records_error_attr():
+    trace = obs.start_trace("t")
+    with pytest.raises(ValueError):
+        with obs.span("boom"):
+            raise ValueError("nope")
+    (span,) = trace.spans
+    assert span.attrs["error"] == "ValueError"
+
+
+def test_explicit_parent_overrides_stack():
+    trace = obs.start_trace("t")
+    with obs.span("root") as root:
+        pass
+    with obs.span("adopted", parent=root.span_id):
+        pass
+    by_name = {s.name: s for s in trace.spans}
+    assert by_name["adopted"].parent_id == root.span_id
+
+
+def test_track_defaults_to_thread_name():
+    trace = obs.start_trace("t")
+    with obs.span("main-side"):
+        pass
+    result = {}
+
+    def body():
+        with obs.span("thread-side"):
+            pass
+
+    worker = threading.Thread(target=body, name="obs-test-thread")
+    worker.start()
+    worker.join()
+    by_name = {s.name: s for s in trace.spans}
+    assert by_name["thread-side"].track == "obs-test-thread"
+    assert by_name["main-side"].track == threading.current_thread().name
+    assert result == {}
+
+
+def test_record_span_and_add_span():
+    trace = obs.start_trace("t")
+    span_id = obs.record_span("measured", 0.25, kind="io")
+    child = trace.add_span("sub", 0.1, 0.05, parent_id=span_id, track="w")
+    assert span_id is not None and child is not None
+    by_name = {s.name: s for s in trace.spans}
+    assert by_name["measured"].duration == pytest.approx(0.25)
+    assert by_name["sub"].parent_id == span_id
+    assert by_name["sub"].track == "w"
+
+
+def test_coverage_union_of_intervals():
+    trace = obs.start_trace("t")
+    # Two overlapping spans covering [0, 2] of a 4-unit trace: 50%.
+    trace.add_span("a", 0.0, 1.5)
+    trace.add_span("b", 1.0, 1.0)
+    trace.add_span("end-marker", 4.0, 0.0)
+    assert trace.coverage() == pytest.approx(0.5)
+
+
+def test_shape_is_schema_stable():
+    def run_once():
+        trace = obs.start_trace("t")
+        with obs.span("engine.run"):
+            with obs.span("map.task"):
+                pass
+            with obs.span("map.task"):
+                pass
+            with obs.span("engine.shuffle"):
+                pass
+        obs.end_trace()
+        return trace.shape()
+
+    first, second = run_once(), run_once()
+    assert first == second  # timings differ, the schema must not
+    assert ("map.task", "engine.run") in first
+
+
+def test_to_jsonl_roundtrip(tmp_path):
+    trace = obs.start_trace("t")
+    with obs.span("a"):
+        with obs.span("b"):
+            pass
+    obs.end_trace()
+    path = trace.to_jsonl(tmp_path / "trace.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    header, spans = lines[0], lines[1:]
+    assert header["name"] == "t" and header["n_spans"] == 2
+    assert sorted(s["name"] for s in spans) == ["a", "b"]
+    assert all({"start", "duration", "span_id"} <= set(s) for s in spans)
+
+
+def test_to_chrome_format(tmp_path):
+    trace = obs.start_trace("t")
+    with obs.span("a", answer=42):
+        pass
+    trace.add_report({"job": "J"})
+    obs.end_trace()
+    path = trace.to_chrome(tmp_path / "trace.json", metrics={"counters": {}})
+    document = json.loads(path.read_text())
+    events = document["traceEvents"]
+    kinds = {e["ph"] for e in events}
+    assert kinds == {"M", "X"}
+    (x_event,) = [e for e in events if e["ph"] == "X"]
+    assert x_event["name"] == "a" and x_event["args"]["answer"] == 42
+    assert x_event["dur"] >= 0
+    extra = document["repro"]
+    assert extra["reports"] == [{"job": "J"}]
+    assert extra["metrics"] == {"counters": {}}
+    assert 0.0 <= extra["coverage"] <= 1.0
+
+
+def test_start_trace_replaces_and_end_trace_uninstalls():
+    first = obs.start_trace("one")
+    second = obs.start_trace("two")
+    assert obs.current_trace() is second is not first
+    assert obs.end_trace() is second
+    assert obs.current_trace() is None
