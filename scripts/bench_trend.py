@@ -1,0 +1,207 @@
+"""Benchmark trend gate: compare fresh BENCH records against HEAD's.
+
+The benchmark harness writes one ``BENCH_<name>.json`` record per figure
+(see ``benchmarks/conftest.py``); the repo commits a reference copy of
+each at its root.  This script diffs the records a fresh run just
+produced against the copies committed at ``HEAD`` (via ``git show``, so
+it works from a dirty tree) and flags perf regressions:
+
+* Only records from the **same host provenance class** are compared —
+  usable CPU budget, smoke flag, and Python major.minor must match,
+  otherwise a container downgrade would read as a code regression.
+  Older committed records predate the ``host``/``metrics`` provenance
+  blocks; both formats load fine.
+* Metric direction is inferred from the name: ``*seconds*`` is
+  lower-is-better, ``*speedup*``/``*per_minute*``/``*rate*``/
+  ``*throughput*`` higher-is-better.  Everything else (counts, flags)
+  is ignored — it is correctness, not performance.
+* A change worse than ``THRESHOLD`` (20%) prints a GitHub Actions
+  ``::warning::`` annotation.  The default exit code is 0 either way —
+  smoke-mode timings on shared CI runners are noisy, so the trend is an
+  annotation, not a gate.  ``--strict`` turns regressions into a
+  non-zero exit for local full-scale runs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trend.py [--dir .] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import get_logger
+
+logger = get_logger("repro.scripts.bench_trend")
+
+#: Fractional change (in the worse direction) that counts as a regression.
+THRESHOLD = 0.20
+
+#: Record keys that are provenance/context, never perf metrics.
+_CONTEXT_KEYS = frozenset(
+    {
+        "benchmark",
+        "python",
+        "usable_cpus",
+        "smoke",
+        "host",
+        "metrics",
+        "figure",
+        "seed",
+        "hosts",
+        "notice",
+    }
+)
+
+LOWER_IS_BETTER = ("seconds",)
+HIGHER_IS_BETTER = ("speedup", "per_minute", "rate", "throughput")
+
+
+def provenance_class(record: dict) -> tuple:
+    """The comparability key: CPU budget, smoke flag, Python major.minor.
+
+    Tolerates pre-provenance records (no ``host`` block) — the three
+    fields used here have been in every record format.
+    """
+    python = str(record.get("python", "?"))
+    return (
+        record.get("usable_cpus"),
+        bool(record.get("smoke", False)),
+        ".".join(python.split(".")[:2]),
+    )
+
+
+def metric_direction(path: str) -> str | None:
+    """'lower', 'higher', or None when the metric has no perf direction."""
+    name = path.lower()
+    if any(token in name for token in LOWER_IS_BETTER):
+        return "lower"
+    if any(token in name for token in HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def flatten_metrics(record: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-path → numeric value for every perf-directional leaf."""
+    out: dict[str, float] = {}
+    for key, value in record.items():
+        if not prefix and key in _CONTEXT_KEYS:
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, prefix=f"{path}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if metric_direction(path) is not None:
+                out[path] = float(value)
+    return out
+
+
+def compare_records(fresh: dict, baseline: dict) -> list[dict]:
+    """Diff two same-benchmark records; one row per shared perf metric.
+
+    Each row carries the metric path, both values, the fractional change
+    in the *worse* direction (positive = got worse), and a ``regression``
+    flag at :data:`THRESHOLD`.
+    """
+    rows: list[dict] = []
+    old_metrics = flatten_metrics(baseline)
+    new_metrics = flatten_metrics(fresh)
+    for path in sorted(old_metrics.keys() & new_metrics.keys()):
+        old, new = old_metrics[path], new_metrics[path]
+        direction = metric_direction(path)
+        if old <= 0:
+            continue  # ratio undefined; zero-second baselines are noise
+        worse = (new - old) / old if direction == "lower" else (old - new) / old
+        rows.append(
+            {
+                "metric": path,
+                "baseline": old,
+                "fresh": new,
+                "worse_frac": worse,
+                "direction": direction,
+                "regression": worse > THRESHOLD,
+            }
+        )
+    return rows
+
+
+def committed_record(name: str) -> dict | None:
+    """The BENCH record committed at HEAD, or None if absent/unreadable."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{name}"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, json.JSONDecodeError, OSError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding the fresh BENCH_*.json records (default: .)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any regression is flagged",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_paths = sorted(Path(args.dir).glob("BENCH_*.json"))
+    if not fresh_paths:
+        print(f"bench-trend: no BENCH_*.json records under {args.dir}")
+        return 0
+
+    regressions = 0
+    compared = 0
+    for path in fresh_paths:
+        try:
+            fresh = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"bench-trend: skipping unreadable {path.name}: {exc}")
+            continue
+        baseline = committed_record(path.name)
+        if baseline is None:
+            print(f"bench-trend: {path.name}: no committed baseline at HEAD")
+            continue
+        if provenance_class(fresh) != provenance_class(baseline):
+            print(
+                f"bench-trend: {path.name}: host provenance differs "
+                f"(fresh {provenance_class(fresh)} vs committed "
+                f"{provenance_class(baseline)}) — not comparable"
+            )
+            continue
+        compared += 1
+        for row in compare_records(fresh, baseline):
+            arrow = "slower" if row["direction"] == "lower" else "lost"
+            line = (
+                f"{path.name}: {row['metric']} {row['baseline']:.4g} -> "
+                f"{row['fresh']:.4g} ({row['worse_frac']:+.1%} {arrow})"
+            )
+            if row["regression"]:
+                regressions += 1
+                print(f"::warning title=bench regression::{line}")
+            else:
+                print(f"bench-trend: ok {line}")
+
+    print(
+        f"bench-trend: compared {compared} record(s), "
+        f"{regressions} regression(s) over {THRESHOLD:.0%}"
+    )
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

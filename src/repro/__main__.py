@@ -279,19 +279,40 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     target = Path(args.path).expanduser()
     if target.is_dir():
-        return _stats_index(target)
+        return _stats_index(target, as_json=args.json)
     if target.is_file():
-        return _stats_trace(target)
+        return _stats_trace(target, as_json=args.json)
     print(f"error: {args.path}: no such file or directory", file=sys.stderr)
     return 2
 
 
-def _stats_index(directory) -> int:
+def _stats_index(directory, as_json: bool = False) -> int:
     from .persist import disk_usage, read_manifest
 
     manifest = read_manifest(directory)
     usage = disk_usage(directory)
     partitions = manifest["partitions"]
+    per_dataset: dict[str, int] = {}
+    for record in partitions:
+        per_dataset[record["dataset"]] = per_dataset.get(record["dataset"], 0) + int(
+            record.get("nbytes", 0)
+        )
+    if as_json:
+        _print_json(
+            {
+                "type": "index",
+                "path": str(directory),
+                "datasets": list(manifest["datasets"]),
+                "n_partitions": len(partitions),
+                "total_bytes": usage.total_bytes,
+                "function_bytes": usage.function_bytes,
+                "feature_bytes": usage.feature_bytes,
+                "per_dataset_bytes": {
+                    name: per_dataset[name] for name in sorted(per_dataset)
+                },
+            }
+        )
+        return 0
     print(f"index at {directory}")
     print(
         f"  data sets:  {len(manifest['datasets'])} "
@@ -303,17 +324,12 @@ def _stats_index(directory) -> int:
         f"({usage.function_bytes:,} functions, {usage.feature_bytes:,} "
         f"packed features)"
     )
-    per_dataset: dict[str, int] = {}
-    for record in partitions:
-        per_dataset[record["dataset"]] = per_dataset.get(record["dataset"], 0) + int(
-            record.get("nbytes", 0)
-        )
     for name in sorted(per_dataset):
         print(f"    {name}: {per_dataset[name]:,} bytes")
     return 0
 
 
-def _stats_trace(path) -> int:
+def _stats_trace(path, as_json: bool = False) -> int:
     import json
 
     text = path.read_text(encoding="utf-8")
@@ -324,6 +340,20 @@ def _stats_trace(path) -> int:
     if isinstance(document, dict) and "traceEvents" in document:
         events = document["traceEvents"]
         extra = document.get("repro", {})
+        breakdown = _breakdown(_chrome_rows(events))
+        if as_json:
+            _print_json(
+                {
+                    "type": "trace",
+                    "format": "chrome",
+                    "name": extra.get("name", "?"),
+                    "n_spans": sum(1 for e in events if e.get("ph") == "X"),
+                    "coverage": extra.get("coverage", 0.0),
+                    "reports": list(extra.get("reports", [])),
+                    "breakdown": breakdown,
+                }
+            )
+            return 0
         print(
             f"trace {extra.get('name', '?')!r} "
             f"({sum(1 for e in events if e.get('ph') == 'X')} spans, "
@@ -332,7 +362,7 @@ def _stats_trace(path) -> int:
         for payload in extra.get("reports", []):
             print()
             print(obs.RunReport.from_json(payload).render())
-        _render_breakdown(_chrome_rows(events))
+        _render_breakdown(breakdown)
         return 0
     # JSONL: one header line, then one span object per line.
     lines = [json.loads(line) for line in text.splitlines() if line.strip()]
@@ -340,11 +370,29 @@ def _stats_trace(path) -> int:
         print(f"error: {path} is neither an index nor a trace file", file=sys.stderr)
         return 2
     header, spans = lines[0], lines[1:]
-    print(f"trace {header.get('name', '?')!r} ({len(spans)} spans)")
-    _render_breakdown(
+    breakdown = _breakdown(
         (s.get("track", ""), s["name"], float(s["duration"])) for s in spans
     )
+    if as_json:
+        _print_json(
+            {
+                "type": "trace",
+                "format": "jsonl",
+                "name": header.get("name", "?"),
+                "n_spans": len(spans),
+                "breakdown": breakdown,
+            }
+        )
+        return 0
+    print(f"trace {header.get('name', '?')!r} ({len(spans)} spans)")
+    _render_breakdown(breakdown)
     return 0
+
+
+def _print_json(payload: dict) -> None:
+    import json
+
+    print(json.dumps(payload, indent=1, sort_keys=True))
 
 
 def _chrome_rows(events):
@@ -358,25 +406,39 @@ def _chrome_rows(events):
             yield names.get(e["tid"], str(e["tid"])), e["name"], e["dur"] / 1e6
 
 
-def _render_breakdown(rows) -> None:
-    """Per-track (worker/thread) and per-span-name time totals."""
+def _breakdown(rows) -> list[dict]:
+    """Per-track (worker/thread) and per-span-name time totals.
+
+    One list of dict rows feeds both the table renderer and
+    ``stats --json`` — same data, two encodings.
+    """
     totals: dict[tuple[str, str], list[float]] = {}
     for track, name, seconds in rows:
         entry = totals.setdefault((track, name), [0, 0.0])
         entry[0] += 1
         entry[1] += seconds
-    if not totals:
+    return [
+        {"track": track, "span": name, "count": count, "seconds": seconds}
+        for (track, name), (count, seconds) in sorted(
+            totals.items(), key=lambda item: (item[0][0], -item[1][1])
+        )
+    ]
+
+
+def _render_breakdown(entries: list[dict]) -> None:
+    if not entries:
         return
     print()
     print("time by track and span:")
-    current = object()
-    for (track, name), (count, seconds) in sorted(
-        totals.items(), key=lambda item: (item[0][0], -item[1][1])
-    ):
-        if track != current:
-            print(f"  {track or '(main)'}:")
-            current = track
-        print(f"    {name:<24} {count:>5} span(s) {seconds * 1e3:>10.1f} ms")
+    current: object = object()
+    for entry in entries:
+        if entry["track"] != current:
+            print(f"  {entry['track'] or '(main)'}:")
+            current = entry["track"]
+        print(
+            f"    {entry['span']:<24} {entry['count']:>5} span(s) "
+            f"{entry['seconds'] * 1e3:>10.1f} ms"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -394,6 +456,26 @@ def build_parser() -> argparse.ArgumentParser:
         "ui.perfetto.dev), anything else one JSON span per line plus a "
         "metrics sibling (default: $REPRO_TRACE; ignored by `worker`, "
         "whose spans ship to its coordinator instead)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live metrics over HTTP while the command runs: "
+        "GET /metrics is OpenMetrics text, GET /healthz a JSON health "
+        "summary; 0 picks a free port (default: $REPRO_METRICS_PORT; "
+        "ignored by `worker`, whose metrics ship to its coordinator "
+        "on each heartbeat instead)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="",
+        metavar="OUT",
+        help="sample all thread stacks while the command runs and write "
+        "collapsed-stack output (flamegraph.pl / speedscope format) to "
+        "OUT; cluster workers' samples fold in under a worker:<id> "
+        "prefix (default: $REPRO_PROFILE; ignored by `worker`)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -511,6 +593,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="upper bound in seconds on the redial backoff ceiling "
         "(default: 5)",
     )
+    wrk.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between heartbeats to the coordinator; each one "
+        "piggybacks a metrics delta, so this is also the metrics "
+        "shipping cadence (default: 1.0, must be > 0 and below the "
+        "coordinator's heartbeat timeout)",
+    )
     wrk.add_argument("--quiet", action="store_true", help="suppress status lines")
     wrk.set_defaults(func=_cmd_worker)
 
@@ -520,7 +612,47 @@ def build_parser() -> argparse.ArgumentParser:
         "output file (run reports, per-worker/per-phase breakdown)",
     )
     st.add_argument("path", help="index directory or trace file")
+    st.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: one JSON document instead of tables",
+    )
     st.set_defaults(func=_cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a running driver's metrics exporter "
+        "(per-worker task/steal/queue table plus query latency quantiles)",
+    )
+    top.add_argument(
+        "--url",
+        default="",
+        help="exporter base URL or /metrics URL "
+        "(default: http://127.0.0.1:<port> from --port)",
+    )
+    top.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="exporter port on localhost (default: $REPRO_METRICS_PORT)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between refreshes (default: 1.0)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N refreshes (default: run until the exporter goes "
+        "away or Ctrl-C)",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 
@@ -534,7 +666,36 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         quiet=args.quiet,
         redial_base=args.redial_base,
         redial_cap=args.redial_cap,
+        heartbeat_interval=args.heartbeat_interval,
     )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    url = args.url
+    if not url:
+        port = args.port
+        if port is None:
+            raw = os.environ.get(obs.ENV_METRICS_PORT, "").strip()
+            if not raw:
+                print(
+                    "error: repro top needs --url or --port "
+                    f"(or ${obs.ENV_METRICS_PORT})",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                port = int(raw)
+            except ValueError:
+                print(
+                    f"error: ${obs.ENV_METRICS_PORT} must be an integer "
+                    f"port, got {raw!r}",
+                    file=sys.stderr,
+                )
+                return 2
+        url = f"http://127.0.0.1:{port}"
+    return run_top(url, interval=args.interval, frames=args.frames)
 
 
 def _add_significance_mode_flag(parser: argparse.ArgumentParser) -> None:
@@ -574,38 +735,75 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if os.environ.get(obs.ENV_LOG_JSON):
         obs.configure_logging()
+    if args.command in ("worker", "top"):
+        # Workers never act on driver-side observability flags: their spans,
+        # metrics deltas, and profile samples travel back to the coordinator
+        # over the wire (protocol v2.2/v2.3), so a cluster worker spawned
+        # with $REPRO_TRACE / $REPRO_PROFILE / $REPRO_METRICS_PORT inherited
+        # from the driver must not race it for the same output path or
+        # listen port.  `top` is a pure reader of another process's
+        # exporter.
+        return args.func(args)
+
     trace_out = args.trace or os.environ.get(obs.ENV_TRACE, "")
-    if not trace_out or args.command == "worker":
-        # Workers never write driver-side trace files: their spans travel
-        # back to the coordinator on each TaskResult (protocol v2.2), so a
-        # cluster worker spawned with $REPRO_TRACE inherited from the
-        # driver must not race it for the same output path.
+    profile_out = args.profile or os.environ.get(obs.ENV_PROFILE, "")
+    metrics_port = args.metrics_port
+    if metrics_port is None:
+        raw = os.environ.get(obs.ENV_METRICS_PORT, "").strip()
+        if raw:
+            try:
+                metrics_port = int(raw)
+            except ValueError:
+                parser.error(
+                    f"${obs.ENV_METRICS_PORT} must be an integer port, "
+                    f"got {raw!r}"
+                )
+    if not trace_out and not profile_out and metrics_port is None:
         return args.func(args)
 
     from pathlib import Path
 
-    obs.start_trace(args.command)
+    exporter = obs.start_exporter(metrics_port) if metrics_port is not None else None
+    if exporter is not None:
+        print(f"metrics exporter listening at {exporter.url}/metrics (and /healthz)")
+    if profile_out:
+        obs.start_profile()
+    if trace_out:
+        obs.start_trace(args.command)
     try:
         with obs.span(f"cli.{args.command}"):
             code = args.func(args)
     finally:
-        trace = obs.end_trace()
-        if trace is not None:
-            out = Path(trace_out).expanduser()
-            if out.suffix == ".json":
-                written = trace.to_chrome(out, metrics=obs.metrics_snapshot())
-            else:
-                written = trace.to_jsonl(out)
-                metrics = out.with_suffix(".metrics.json")
-                import json
+        if trace_out:
+            trace = obs.end_trace()
+            if trace is not None:
+                out = Path(trace_out).expanduser()
+                if out.suffix == ".json":
+                    written = trace.to_chrome(out, metrics=obs.metrics_snapshot())
+                else:
+                    written = trace.to_jsonl(out)
+                    metrics = out.with_suffix(".metrics.json")
+                    import json
 
-                metrics.write_text(
-                    json.dumps(obs.metrics_snapshot(), indent=1), encoding="utf-8"
+                    metrics.write_text(
+                        json.dumps(obs.metrics_snapshot(), indent=1),
+                        encoding="utf-8",
+                    )
+                print(
+                    f"trace written to {written} ({len(trace.spans)} span(s), "
+                    f"{trace.coverage():.0%} of wall time covered)"
                 )
-            print(
-                f"trace written to {written} ({len(trace.spans)} span(s), "
-                f"{trace.coverage():.0%} of wall time covered)"
-            )
+        if profile_out:
+            profiler = obs.end_profile()
+            if profiler is not None:
+                out = Path(profile_out).expanduser()
+                profiler.write(out)
+                print(
+                    f"profile written to {out} ({profiler.samples} sample(s), "
+                    f"{len(profiler.counts())} distinct stack(s))"
+                )
+        if exporter is not None:
+            obs.stop_exporter()
     return code
 
 

@@ -179,6 +179,10 @@ class WorkerHandle:
         #: heartbeats: the task deadline distinguishes a stuck worker
         #: (beating, never reporting) from a live one.
         self.last_progress = time.monotonic()
+        #: Last heartbeat arrival — the liveness signal ``/healthz``
+        #: reports as a heartbeat age.  Separate from ``last_progress``
+        #: by design: liveness and progress are different facts.
+        self.last_heartbeat = time.monotonic()
         self._send_lock = threading.Lock()
 
     def send(self, message: Any) -> None:
@@ -290,6 +294,10 @@ class _RunState:
         #: ``span_id`` (the run's "cluster.run_job" span).
         self.trace_enabled = obs.enabled()
         self.span_id: int | None = None
+        #: Profiling state, latched at run start like tracing: workers are
+        #: told via ``JoinRun.profile`` and results' collapsed-stack counts
+        #: fold into the driver profiler under ``worker:<id>`` roots.
+        self.profile_enabled = obs.profile_enabled()
 
     def completed(self) -> int:
         return sum(1 for state in self.tasks.values() if state.done)
@@ -340,13 +348,20 @@ class Coordinator:
         #: adaptive steal granularity (EMA across runs).
         self._throughput: dict[str, float] = {}
         self.closed = False
+        self.name = f"c{next(_INSTANCE_SEQ)}"
         # Cumulative retry count lives in the metrics registry; the
         # ``total_retries`` attribute of old is preserved as a thin view.
         self._retries_counter = obs.counter(
-            "repro.cluster.retries", coordinator=f"c{next(_INSTANCE_SEQ)}"
+            "repro.cluster.retries", coordinator=self.name
         )
         self.last_run_worker_tasks: dict[str, int] = {}
         self.last_run_worker_steals: dict[str, int] = {}
+        #: Inputs quarantined as poison across this coordinator's runs
+        #: (task kind + input label), surfaced on ``/healthz``.
+        self.quarantined_inputs: list[str] = []
+        #: Fleet metrics view: per-worker registry replicas folded from
+        #: the v2.3 heartbeat deltas (advisory telemetry only).
+        self.fleet = obs.FleetAggregator()
         self._run_seq = 0
         try:
             self._listener = socket.create_server((host, port), reuse_port=False)
@@ -360,6 +375,12 @@ class Coordinator:
             target=self._accept_loop, daemon=True, name="repro-coordinator"
         )
         self._accept_thread.start()
+        # Live observability is opt-in: with REPRO_METRICS_PORT unset this
+        # is a dict lookup and no exporter (or socket) ever exists.
+        exporter = obs.ensure_from_env()
+        if exporter is not None:
+            exporter.add_source(self.fleet.snapshot)
+            exporter.add_health(f"coordinator:{self.name}", self.health_snapshot)
 
     @property
     def total_retries(self) -> int:
@@ -421,6 +442,7 @@ class Coordinator:
                         phase=run.phase,
                         prefetch_depth=run.prefetch_depth,
                         trace=run.trace_enabled,
+                        profile=run.profile_enabled,
                     )
                 )
             except (WireError, OSError):
@@ -483,6 +505,19 @@ class Coordinator:
                     sock=handle.sock,
                 )
                 if isinstance(message, Heartbeat):
+                    handle.last_heartbeat = time.monotonic()
+                    # v2.3 piggyback (getattr: a v2.2 worker's Heartbeat
+                    # pickles without the field).  Advisory only — a
+                    # malformed or duplicate delta is dropped, and
+                    # heartbeats still never advance ``last_progress``.
+                    delta = getattr(message, "metrics", None)
+                    if delta is not None and self.fleet.apply(
+                        handle.worker_id, delta
+                    ):
+                        obs.counter(
+                            "repro.cluster.metrics_deltas",
+                            worker=handle.worker_id,
+                        ).inc()
                     continue
                 if isinstance(message, ArtifactRequest):
                     self._serve_artifact(handle, message)
@@ -564,6 +599,16 @@ class Coordinator:
             )
             if run.trace_enabled:
                 self._record_task_spans(run, handle, message, state.kind)
+            if run.profile_enabled:
+                # v2.3: fold the task's worker-side samples into the
+                # driver profile, rooted under the worker's id so fleet
+                # stacks stay distinguishable.  No-op if the driver's
+                # profiler already ended.
+                counts = getattr(message, "profile", None)
+                if counts:
+                    obs.active_profiler().add_counts(
+                        counts, prefix=f"worker:{handle.worker_id}"
+                    )
             if state.kind == "map":
                 run.map_remaining -= 1
                 run.map_inputs_done += state.n_inputs
@@ -765,6 +810,10 @@ class Coordinator:
                         f"{sorted(state.losers)} over {state.attempts} "
                         f"attempt(s); last: {run.last_loss}"
                     )
+                    self.quarantined_inputs.append(
+                        f"{state.kind} task {task_id}: "
+                        f"{state.label or 'unlabelled input'}"
+                    )
                 else:
                     run.queue.appendleft(task_id)
             if run.error is None and not self.alive_workers():
@@ -853,6 +902,7 @@ class Coordinator:
                 phase="map",
                 prefetch_depth=run.prefetch_depth,
                 trace=run.trace_enabled,
+                profile=run.profile_enabled,
             )
             for handle in workers:
                 try:
@@ -998,6 +1048,55 @@ class Coordinator:
             return result.original
         return context
 
+    # -- live observability --------------------------------------------------
+
+    def health_snapshot(self) -> dict[str, Any]:
+        """The coordinator's ``/healthz`` payload (JSON-able, advisory).
+
+        Worker liveness is judged by heartbeat age against the heartbeat
+        timeout — the same signal the reader timeout enforces, read
+        instead of awaited.  Lock order: worker/run refs are grabbed under
+        ``_cond`` (a leaf lock) and released before ``run.cond`` is taken.
+        """
+        now = time.monotonic()
+        with self._cond:
+            workers = list(self._workers)
+            run = self._run
+        worker_info: dict[str, Any] = {}
+        live = 0
+        stale = 0
+        for handle in workers:
+            age = now - handle.last_heartbeat
+            is_live = handle.alive and age < self.heartbeat_timeout
+            live += is_live
+            stale += handle.alive and not is_live
+            worker_info[handle.worker_id] = {
+                "live": is_live,
+                "connected": handle.alive,
+                "heartbeat_age_seconds": round(age, 3),
+                "outstanding_tasks": len(handle.outstanding),
+                "host": handle.host,
+                "pid": handle.pid,
+            }
+        payload: dict[str, Any] = {
+            "status": "degraded" if stale or (workers and not live) else "ok",
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "live_workers": live,
+            "workers": worker_info,
+            "quarantined_inputs": list(self.quarantined_inputs),
+        }
+        if run is not None:
+            with run.cond:
+                payload["run"] = {
+                    "run_id": run.run_id,
+                    "phase": run.phase,
+                    "completed_tasks": run.completed(),
+                    "total_tasks": len(run.tasks),
+                    "queued_tasks": len(run.queue),
+                    "retries": run.retries,
+                }
+        return payload
+
     # -- lifecycle -----------------------------------------------------------
 
     def end_run(self, run_id: str) -> None:
@@ -1023,6 +1122,10 @@ class Coordinator:
             self.closed = True
             workers = list(self._workers)
             self._workers.clear()
+        exporter = obs.active_exporter()
+        if exporter is not None:
+            exporter.remove_source(self.fleet.snapshot)
+            exporter.remove_health(f"coordinator:{self.name}")
         # shutdown() before close(): a blocked accept() keeps the listening
         # socket's file description alive past close() on Linux, leaving the
         # port accepting ghost connections; shutdown unblocks it (EINVAL)
@@ -1132,10 +1235,16 @@ class ClusterEngine:
         downgrade; ``None`` (default) propagates
         :class:`~repro.utils.errors.ClusterUnavailableError`.  Job bugs
         and poison tasks never fall back — they would fail anywhere.
+    heartbeat_interval:
+        Seconds between worker heartbeats, announced to every worker in
+        the registration ``Welcome``.  Metrics deltas ship on heartbeats
+        (v2.3), so this is also the fleet-telemetry refresh cadence.
+        Must be > 0 and below ``heartbeat_timeout``.
     heartbeat_timeout / registration_timeout:
-        Connection liveness knobs, applied to this engine's *private*
-        coordinator (a ``shared=True`` engine reuses the process-wide
-        coordinator and its existing timeouts).
+        Connection liveness knobs.  Like ``heartbeat_interval``, applied
+        to this engine's *private* coordinator (a ``shared=True`` engine
+        reuses the process-wide coordinator and its existing cadence and
+        timeouts).
     """
 
     executor = "cluster"
@@ -1153,6 +1262,7 @@ class ClusterEngine:
         streaming_reduce: bool = True,
         task_deadline: float | None = DEFAULT_TASK_DEADLINE,
         fallback: str | None = None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
         heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
         registration_timeout: float = REGISTRATION_TIMEOUT,
     ) -> None:
@@ -1184,6 +1294,17 @@ class ClusterEngine:
                 f"fallback must be one of {', '.join(FALLBACK_EXECUTORS)} "
                 f"or None, got {fallback!r}"
             )
+        if not heartbeat_interval > 0:
+            raise MapReduceError(
+                f"heartbeat_interval must be > 0 seconds, "
+                f"got {heartbeat_interval!r}"
+            )
+        if heartbeat_interval >= heartbeat_timeout:
+            raise MapReduceError(
+                f"heartbeat_interval ({heartbeat_interval}s) must be below "
+                f"heartbeat_timeout ({heartbeat_timeout}s), or every worker "
+                "is declared lost between beats"
+            )
         self.n_workers = n_workers
         self.map_chunk_size = map_chunk_size
         self.steal_granularity = steal_granularity
@@ -1194,6 +1315,7 @@ class ClusterEngine:
         self.shared = shared
         self.task_deadline = task_deadline
         self.fallback = fallback
+        self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.registration_timeout = registration_timeout
         self._coordinator: Coordinator | None = None
@@ -1202,8 +1324,9 @@ class ClusterEngine:
         # ``last_run_retries`` attribute survives as a thin view.  The dict
         # and string fields below stay plain attributes (consumers check
         # ``is None`` and match substrings) but are mirrored into counters.
+        self.name = f"e{next(_INSTANCE_SEQ)}"
         self._retries_gauge = obs.gauge(
-            "repro.cluster.last_run_retries", engine=f"e{next(_INSTANCE_SEQ)}"
+            "repro.cluster.last_run_retries", engine=self.name
         )
         self.last_run_worker_tasks: dict[str, int] = {}
         self.last_run_worker_steals: dict[str, int] = {}
@@ -1238,10 +1361,24 @@ class ClusterEngine:
                 self._coordinator = Coordinator(
                     host=self._bind_host,
                     port=self._bind_port,
+                    heartbeat_interval=self.heartbeat_interval,
                     heartbeat_timeout=self.heartbeat_timeout,
                     registration_timeout=self.registration_timeout,
                 )
+            # Engine-level health (fallback state) rides on the exporter
+            # the coordinator may have just started from the environment.
+            exporter = obs.active_exporter()
+            if exporter is not None:
+                exporter.add_health(f"engine:{self.name}", self._health_snapshot)
         return self._coordinator
+
+    def _health_snapshot(self) -> dict[str, Any]:
+        return {
+            "status": "ok" if self.last_run_fallback is None else "degraded",
+            "executor": self.executor,
+            "fallback": self.last_run_fallback,
+            "last_run_retries": self.last_run_retries,
+        }
 
     @property
     def address(self) -> tuple[str, int]:
@@ -1376,6 +1513,9 @@ class ClusterEngine:
         """
         coordinator = self._coordinator
         self._coordinator = None
+        exporter = obs.active_exporter()
+        if exporter is not None:
+            exporter.remove_health(f"engine:{self.name}")
         if coordinator is not None and not self.shared:
             coordinator.close(shutdown_workers=shutdown_workers)
 

@@ -58,7 +58,16 @@ PROTOCOL_VERSION = 2
 #: ``(name, offset_seconds, duration_seconds, attrs)`` tuples, re-based
 #: onto the coordinator clock on arrival.  Both fields default to empty,
 #: so v2.0/v2.1 peers' frames still unpickle.
-PROTOCOL_REVISION = 2
+#: Revision 3 ("v2.3") added the live-observability piggybacks:
+#: :attr:`Heartbeat.seq` / :attr:`Heartbeat.metrics` ship a per-worker
+#: metrics-registry delta on each heartbeat (folded fleet-wide by the
+#: coordinator, deduplicated by sequence number and shipper epoch), and
+#: :attr:`JoinRun.profile` / :attr:`TaskResult.profile` do for the
+#: sampling profiler what v2.2 did for spans: per-task collapsed-stack
+#: counts shipped back and tagged by worker.  All four fields default to
+#: inert values and receivers ``getattr``-gate them, so v2.0–v2.2 peers'
+#: frames still unpickle in both directions.
+PROTOCOL_REVISION = 3
 PREAMBLE = MAGIC + bytes([PROTOCOL_VERSION])
 
 #: Frame header: payload length as an unsigned 64-bit big-endian integer.
@@ -124,6 +133,11 @@ class TaskResult:
     relative to the worker's task start.  Populated only when the run's
     :class:`JoinRun` had ``trace=True``; empty (and costing nothing on the
     wire beyond the empty tuple) otherwise.
+
+    ``profile`` (v2.3) carries the task's collapsed-stack sample counts as
+    a ``{stack: samples}`` dict when the run's :class:`JoinRun` had
+    ``profile=True``; ``None`` otherwise.  The coordinator folds it into
+    the driver profile under a ``worker:<id>`` root frame.
     """
 
     task_id: int
@@ -134,6 +148,7 @@ class TaskResult:
     original: BaseException | None = None
     run_id: str = ""
     spans: tuple = ()
+    profile: Any = None
 
 
 @dataclass
@@ -206,19 +221,36 @@ class JoinRun:
     ``trace`` (v2.2) marks the run as traced: the worker records per-task
     spans and ships them back via :attr:`TaskResult.spans`.  Defaults off,
     so untraced runs pay nothing.
+
+    ``profile`` (v2.3) marks the run as profiled: the worker samples each
+    task's slot thread and ships collapsed-stack counts back via
+    :attr:`TaskResult.profile`.  Defaults off, so unprofiled runs pay
+    nothing.
     """
 
     run_id: str
     phase: str
     prefetch_depth: int = 2
     trace: bool = False
+    profile: bool = False
 
 
 @dataclass
 class Heartbeat:
-    """Worker -> coordinator: still alive (sent during tasks too)."""
+    """Worker -> coordinator: still alive (sent during tasks too).
+
+    ``seq`` and ``metrics`` (v2.3) piggyback the worker's metrics-registry
+    delta since its previous heartbeat: ``metrics`` is the JSON-able delta
+    dict produced by :class:`repro.obs.DeltaShipper` (``None`` when
+    nothing changed), and ``seq`` mirrors its sequence number so the
+    coordinator drops duplicates.  Purely advisory telemetry: a delta lost
+    with a dying connection is dropped, never re-shipped, and heartbeats
+    still never advance task-progress deadlines.
+    """
 
     worker_id: str
+    seq: int = 0
+    metrics: Any = None
 
 
 @dataclass

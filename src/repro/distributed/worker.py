@@ -45,6 +45,9 @@ from collections import deque
 
 from ..mapreduce.engine import _map_chunk
 from ..obs import configure_logging, get_logger
+from ..obs import metrics as obs
+from ..obs.fleet import DeltaShipper
+from ..obs.profile import Profiler
 from ..utils.errors import MapReduceError
 from . import faults, protocol
 from .dataplane import ArtifactCache, loads
@@ -167,22 +170,26 @@ class _TaskQueue:
         self.cond = threading.Condition()
         self.slots: deque[_TaskSlot] = deque()
         self.stopped = False
+        self._depth_gauge = obs.gauge("repro.worker.queue_depth")
 
     def extend(self, run_id: str, tasks: list[Task]) -> None:
         with self.cond:
             for task in tasks:
                 self.slots.append(_TaskSlot(run_id, task))
+            self._depth_gauge.set(len(self.slots))
             self.cond.notify_all()
 
     def drop_run(self, run_id: str) -> None:
         """Discard queued (not yet computing) slots of an ended run."""
         with self.cond:
             self.slots = deque(s for s in self.slots if s.run_id != run_id)
+            self._depth_gauge.set(len(self.slots))
             self.cond.notify_all()
 
     def stop(self) -> None:
         with self.cond:
             self.stopped = True
+            self._depth_gauge.set(0)
             self.cond.notify_all()
 
     def pop(self) -> _TaskSlot | None:
@@ -192,7 +199,9 @@ class _TaskQueue:
                 self.cond.wait()
             if self.stopped:
                 return None
-            return self.slots.popleft()
+            slot = self.slots.popleft()
+            self._depth_gauge.set(len(self.slots))
+            return slot
 
     def claim_for_prefetch(self) -> _TaskSlot | None:
         """Next ``"new"`` slot for the prefetch thread; ``None`` once stopped.
@@ -224,7 +233,12 @@ class _FetchWaiter:
 class _Connection:
     """One registered coordinator connection of a worker."""
 
-    def __init__(self, sock: socket.socket, worker_id: str) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        worker_id: str,
+        shipper: DeltaShipper | None = None,
+    ) -> None:
         self.sock = sock
         self.worker_id = worker_id
         self.send_lock = threading.Lock()
@@ -236,6 +250,15 @@ class _Connection:
         #: Runs whose :class:`JoinRun` asked for tracing (v2.2): tasks of
         #: these runs ship their spans back on the :class:`TaskResult`.
         self.trace_runs: set[str] = set()
+        #: Runs whose :class:`JoinRun` asked for profiling (v2.3): tasks
+        #: of these runs sample their slot thread and ship collapsed-stack
+        #: counts back on the :class:`TaskResult`.
+        self.profile_runs: set[str] = set()
+        #: The daemon's metrics delta shipper (v2.3 heartbeat piggyback).
+        #: Owned by the *daemon*, not the connection: baselines and the
+        #: sequence number must survive reconnects so a retained
+        #: coordinator keeps deduplicating honestly.
+        self.shipper = shipper
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -273,7 +296,22 @@ class _Connection:
                 # coordinator declares it lost despite the task thread
                 # still running.
                 faults.fire("worker.heartbeat")
-                self.send(Heartbeat(worker_id=self.worker_id))
+                # v2.3: piggyback the metrics delta since the previous
+                # beat.  A delta consumed here but lost with the
+                # connection is dropped, never re-shipped — the fleet
+                # view is advisory telemetry.
+                delta = (
+                    self.shipper.next_delta()
+                    if self.shipper is not None
+                    else None
+                )
+                self.send(
+                    Heartbeat(
+                        worker_id=self.worker_id,
+                        seq=delta["seq"] if delta else 0,
+                        metrics=delta,
+                    )
+                )
             except (WireError, OSError):
                 # The connection is gone; unblock the main recv loop too.
                 self.close()
@@ -414,6 +452,7 @@ def _run_slot(
             while slot.state == "loading" and not queue.stopped:
                 queue.cond.wait()
     traced = slot.run_id in connection.trace_runs
+    profiled = slot.run_id in connection.profile_runs
     start = time.perf_counter()
     if claimed:
         _materialize(slot, queue, cache, connection)
@@ -430,6 +469,12 @@ def _run_slot(
             traceback="task abandoned: connection stopped while loading",
         )
     kind, job, data = slot.value
+    # v2.3: sample exactly this slot thread while the task computes, so
+    # the shipped profile is the task's own stacks, not the daemon's
+    # heartbeat/recv threads.
+    profiler = (
+        Profiler(threads={threading.get_ident()}) if profiled else None
+    )
     try:
         # crash/hang/delay here model a worker dying, wedging (while its
         # heartbeat thread keeps beating — the task-deadline case), or
@@ -438,6 +483,10 @@ def _run_slot(
         compute_offset = time.perf_counter() - start
         result = _compute(kind, job, data)
         seconds = time.perf_counter() - start
+        if profiler is not None:
+            profiler.stop()
+        obs.counter("repro.worker.tasks", kind=kind).inc()
+        obs.histogram("repro.worker.task_seconds").observe(seconds)
         spans: tuple = ()
         if traced:
             # Offsets are relative to the task start on the worker clock;
@@ -460,11 +509,15 @@ def _run_slot(
             result=result,
             seconds=seconds,
             spans=spans,
+            profile=profiler.counts() if profiler is not None else None,
         )
     except (SystemExit, KeyboardInterrupt):  # pragma: no cover - passthrough
         raise
     except BaseException:
         return _error_result()
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
 
 def _compute_loop(
@@ -528,12 +581,16 @@ def _serve(connection: _Connection, cache: ArtifactCache) -> str:
                 queue.drop_run(message.run_id)
                 cache.clear(message.run_id)
                 connection.trace_runs.discard(message.run_id)
+                connection.profile_runs.discard(message.run_id)
                 continue
             if isinstance(message, JoinRun):
-                # getattr: a pre-v2.2 coordinator's JoinRun pickles without
-                # the trace field (additive revisions, same version byte).
+                # getattr: a pre-v2.2/v2.3 coordinator's JoinRun pickles
+                # without the trace/profile fields (additive revisions,
+                # same version byte).
                 if getattr(message, "trace", False):
                     connection.trace_runs.add(message.run_id)
+                if getattr(message, "profile", False):
+                    connection.profile_runs.add(message.run_id)
                 # Attached to a (possibly already-running) run: announce the
                 # whole pipeline as steal capacity.
                 try:
@@ -583,6 +640,7 @@ def run_worker(
     quiet: bool = False,
     redial_base: float = REDIAL_BASE,
     redial_cap: float = REDIAL_CAP,
+    heartbeat_interval: float | None = None,
 ) -> int:
     """Run the worker daemon until shutdown; returns a process exit code.
 
@@ -593,11 +651,23 @@ def run_worker(
     full jitter from ``redial_base`` seconds doubling up to ``redial_cap``
     seconds per attempt (:class:`~repro.distributed.retry.Backoff`); a
     successful registration resets the backoff and the retry window.
+
+    ``heartbeat_interval`` (seconds) overrides the cadence the coordinator
+    announces in its ``Welcome`` — metrics deltas ship on heartbeats, so
+    an operator can trade telemetry freshness against chatter.  ``None``
+    keeps the coordinator's contract; anything else must be > 0.
     """
     host, port = protocol.parse_address(connect, variable="--connect")
+    if heartbeat_interval is not None and heartbeat_interval <= 0:
+        raise MapReduceError(
+            f"heartbeat_interval must be > 0 seconds, got {heartbeat_interval}"
+        )
     wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     faults.install_from_env(role="worker")
     cache = ArtifactCache()
+    # One shipper for the daemon's lifetime (not per connection): delta
+    # baselines and the sequence number must survive reconnects.
+    shipper = DeltaShipper()
     backoff = Backoff(base=redial_base, cap=redial_cap, site="worker.redial")
     if not quiet:
         # The daemon is an application: attach a real handler (text or
@@ -625,7 +695,7 @@ def run_worker(
                 return 1
             continue
 
-        connection = _Connection(sock, wid)
+        connection = _Connection(sock, wid, shipper=shipper)
         try:
             # A peer that accepts TCP but never answers (wrong service on
             # the port) must not stall past the retry window: clamp the
@@ -645,6 +715,8 @@ def run_worker(
             continue
 
         log(f"connected to coordinator {host}:{port}")
+        if heartbeat_interval is not None:
+            connection.heartbeat_interval = heartbeat_interval
         window_start = time.monotonic()  # successful registration resets it
         backoff.reset()
         outcome = _serve(connection, cache)

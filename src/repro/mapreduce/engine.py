@@ -325,6 +325,9 @@ class LocalEngine:
             outputs = self._execute(job, inputs, stats, run_span.span_id)
             run_span.set(n_outputs=stats.n_outputs)
         stats.wall_seconds = time.perf_counter() - wall_start
+        obs.histogram("repro.engine.run_seconds", executor=self.executor).observe(
+            stats.wall_seconds
+        )
         report = obs.RunReport.from_stats(
             stats, job=type(job).__name__, executor=self.executor,
             n_workers=self.n_workers,

@@ -14,11 +14,33 @@ The observability layer of the pipeline, three planes plus reports:
 * :mod:`repro.obs.report` — :class:`RunReport`, the per-run summary
   engines expose as ``last_run_report`` and ``repro stats`` renders.
 
+The live plane builds on those:
+
+* :mod:`repro.obs.fleet` — per-worker registry deltas shipped on
+  heartbeats (:class:`DeltaShipper`) and folded fleet-wide by the
+  coordinator (:class:`FleetAggregator`).
+* :mod:`repro.obs.export` — the opt-in ``/metrics`` (OpenMetrics) and
+  ``/healthz`` HTTP endpoint (``--metrics-port`` / :data:`ENV_METRICS_PORT`).
+* :mod:`repro.obs.top` — the ``repro top`` live terminal view polling an
+  exporter.
+* :mod:`repro.obs.profile` — the wall-clock sampling profiler with
+  collapsed-stack output (``--profile`` / :data:`ENV_PROFILE`).
+
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
 
 from __future__ import annotations
 
+from .export import (
+    ENV_METRICS_PORT,
+    MetricsExporter,
+    active_exporter,
+    ensure_from_env,
+    render_openmetrics,
+    start_exporter,
+    stop_exporter,
+)
+from .fleet import DeltaShipper, FleetAggregator
 from .logging import (
     ENV_LOG_JSON,
     JsonLinesFormatter,
@@ -40,6 +62,15 @@ from .metrics import (
 )
 from .metrics import reset as reset_metrics
 from .metrics import snapshot as metrics_snapshot
+from .profile import (
+    ENV_PROFILE,
+    Profiler,
+    active_profiler,
+    end_profile,
+    parse_collapsed,
+    start_profile,
+)
+from .profile import enabled as profile_enabled
 from .report import RunReport
 from .trace import (
     Span,
@@ -59,31 +90,47 @@ ENV_TRACE = "REPRO_TRACE"
 
 __all__ = [
     "DEFAULT_BUCKET_BOUNDS",
+    "DeltaShipper",
     "ENV_LOG_JSON",
+    "ENV_METRICS_PORT",
+    "ENV_PROFILE",
     "ENV_TRACE",
     "Counter",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
     "JsonLinesFormatter",
+    "MetricsExporter",
     "MetricsRegistry",
+    "Profiler",
     "REGISTRY",
     "ROOT_LOGGER_NAME",
     "RunReport",
     "Span",
     "Trace",
+    "active_exporter",
+    "active_profiler",
     "add_span",
     "capture_logging",
     "configure_logging",
     "counter",
     "current_trace",
     "enabled",
+    "end_profile",
     "end_trace",
+    "ensure_from_env",
     "gauge",
     "get_logger",
     "histogram",
     "metrics_snapshot",
+    "parse_collapsed",
+    "profile_enabled",
     "record_span",
+    "render_openmetrics",
     "reset_metrics",
     "span",
+    "start_exporter",
+    "start_profile",
     "start_trace",
+    "stop_exporter",
 ]

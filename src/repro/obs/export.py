@@ -1,0 +1,345 @@
+"""Live HTTP exporter: ``GET /metrics`` (OpenMetrics) and ``GET /healthz``.
+
+Opt-in and zero-cost when off — the exporter exists only after
+:func:`start_exporter` (the CLI's ``--metrics-port`` flag) or
+:func:`ensure_from_env` (:data:`ENV_METRICS_PORT`) ran; otherwise no
+socket is bound, no thread started.  One exporter per process, stdlib
+``http.server`` on a daemon thread, bound to localhost:
+
+* ``GET /metrics`` — every registered metrics source merged and rendered
+  in the OpenMetrics / Prometheus text exposition format (counter samples
+  get the ``_total`` suffix, histograms their cumulative
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` samples plus ``_p50`` /
+  ``_p95`` summary gauges, terminated by ``# EOF``).  The process
+  registry (:func:`repro.obs.metrics.snapshot`) is always a source; the
+  cluster coordinator adds its fleet aggregator, so a scrape mid-run sees
+  per-worker *and* fleet-merged series.
+* ``GET /healthz`` — JSON health merged from registered sources (the
+  coordinator reports worker liveness from heartbeat ages, outstanding
+  tasks, the active run, and quarantined inputs; engines report their
+  fallback state).  Overall ``status`` is ``"ok"`` unless any source
+  degrades it.
+
+Metric names are sanitized for the exposition grammar (dots become
+underscores): ``repro.query.seconds`` scrapes as ``repro_query_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from ..utils.errors import MapReduceError
+from . import metrics as metrics_mod
+from .logging import get_logger
+
+__all__ = [
+    "ENV_METRICS_PORT",
+    "MetricsExporter",
+    "active_exporter",
+    "ensure_from_env",
+    "merge_snapshots",
+    "render_openmetrics",
+    "start_exporter",
+    "stop_exporter",
+]
+
+#: Environment knob: set to a port number to serve ``/metrics`` and
+#: ``/healthz`` for the process's lifetime (``0`` binds an ephemeral
+#: port, readable from ``active_exporter().port``).
+ENV_METRICS_PORT = "REPRO_METRICS_PORT"
+
+#: Content type of the OpenMetrics text exposition.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+logger = get_logger(__name__)
+
+
+def _parse_series(series: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a snapshot series key ``name{k=v,...}`` into name + labels."""
+    name, brace, inner = series.partition("{")
+    if not brace:
+        return series, []
+    labels = []
+    for part in inner.rstrip("}").split(","):
+        key, _, value = part.partition("=")
+        labels.append((key, value))
+    return name, labels
+
+
+def _sanitize_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: list[tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold several registry snapshots into one.
+
+    Counters and gauges of the same series sum; histograms fold
+    bucket-wise when their bounds agree (first one wins otherwise — a
+    mixed-bounds collision is a caller bug, not a scrape failure).
+    """
+    merged: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        for section in ("counters", "gauges"):
+            for series, value in snapshot.get(section, {}).items():
+                merged[section][series] = merged[section].get(series, 0) + value
+        for series, entry in snapshot.get("histograms", {}).items():
+            seen = merged["histograms"].get(series)
+            if seen is None:
+                merged["histograms"][series] = {
+                    **entry,
+                    "counts": list(entry["counts"]),
+                }
+            elif seen["bounds"] == entry["bounds"]:
+                seen["counts"] = [
+                    a + b for a, b in zip(seen["counts"], entry["counts"])
+                ]
+                seen["count"] += entry["count"]
+                seen["total"] += entry["total"]
+                mins = [m for m in (seen["min"], entry["min"]) if m is not None]
+                maxes = [m for m in (seen["max"], entry["max"]) if m is not None]
+                seen["min"] = min(mins) if mins else None
+                seen["max"] = max(maxes) if maxes else None
+    return merged
+
+
+def render_openmetrics(snapshot: dict[str, Any]) -> str:
+    """Render one (merged) snapshot as OpenMetrics text exposition."""
+    families: dict[str, list[str]] = {}
+
+    def family(name: str, kind: str) -> list[str]:
+        sanitized = _sanitize_name(name)
+        lines = families.get(sanitized)
+        if lines is None:
+            lines = families[sanitized] = [f"# TYPE {sanitized} {kind}"]
+        return lines
+
+    for series, value in sorted(snapshot.get("counters", {}).items()):
+        name, labels = _parse_series(series)
+        lines = family(name, "counter")
+        lines.append(
+            f"{_sanitize_name(name)}_total{_render_labels(labels)} "
+            f"{_format_value(value)}"
+        )
+    for series, value in sorted(snapshot.get("gauges", {}).items()):
+        name, labels = _parse_series(series)
+        lines = family(name, "gauge")
+        lines.append(
+            f"{_sanitize_name(name)}{_render_labels(labels)} "
+            f"{_format_value(value)}"
+        )
+    for series, entry in sorted(snapshot.get("histograms", {}).items()):
+        name, labels = _parse_series(series)
+        lines = family(name, "histogram")
+        sanitized = _sanitize_name(name)
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            bucket_labels = _render_labels(labels + [("le", repr(float(bound)))])
+            lines.append(f"{sanitized}_bucket{bucket_labels} {cumulative}")
+        cumulative += entry["counts"][len(entry["bounds"])]
+        inf_labels = _render_labels(labels + [("le", "+Inf")])
+        lines.append(f"{sanitized}_bucket{inf_labels} {cumulative}")
+        lines.append(
+            f"{sanitized}_sum{_render_labels(labels)} "
+            f"{_format_value(float(entry['total']))}"
+        )
+        lines.append(
+            f"{sanitized}_count{_render_labels(labels)} {entry['count']}"
+        )
+        for quantile_key in ("p50", "p95"):
+            quantile_lines = family(f"{name}_{quantile_key}", "gauge")
+            quantile_lines.append(
+                f"{sanitized}_{quantile_key}{_render_labels(labels)} "
+                f"{_format_value(float(entry.get(quantile_key, 0.0)))}"
+            )
+    out: list[str] = []
+    for sanitized in sorted(families):
+        out.extend(families[sanitized])
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    exporter: "MetricsExporter"  # set on the subclass per exporter
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.exporter.render_metrics().encode("utf-8")
+            self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            payload = self.exporter.render_health()
+            body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+            self._reply(200, "application/json; charset=utf-8", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("exporter: " + format, *args)
+
+
+class MetricsExporter:
+    """The per-process metrics/health HTTP endpoint (daemon thread)."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        self._lock = threading.Lock()
+        #: Metrics sources: callables returning a snapshot-shaped dict.
+        #: The process registry is always source zero.
+        self._sources: list[Callable[[], dict[str, Any]]] = [
+            metrics_mod.snapshot
+        ]
+        #: Health sources by name: callables returning a JSON-able dict.
+        self._health: dict[str, Callable[[], dict[str, Any]]] = {}
+        handler = type("_BoundHandler", (_Handler,), {"exporter": self})
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            raise MapReduceError(
+                f"cannot bind the metrics exporter to {host}:{port}: {exc}"
+            ) from exc
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            daemon=True,
+            name="repro-metrics-exporter",
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def add_source(self, source: Callable[[], dict[str, Any]]) -> None:
+        with self._lock:
+            if source not in self._sources:
+                self._sources.append(source)
+
+    def remove_source(self, source: Callable[[], dict[str, Any]]) -> None:
+        with self._lock:
+            if source in self._sources:
+                self._sources.remove(source)
+
+    def add_health(
+        self, name: str, source: Callable[[], dict[str, Any]]
+    ) -> None:
+        with self._lock:
+            self._health[name] = source
+
+    def remove_health(self, name: str) -> None:
+        with self._lock:
+            self._health.pop(name, None)
+
+    def render_metrics(self) -> str:
+        with self._lock:
+            sources = list(self._sources)
+        snapshots = []
+        for source in sources:
+            try:
+                snapshots.append(source())
+            except Exception:  # pragma: no cover - a dying source
+                logger.exception("metrics source %r failed; skipping", source)
+        return render_openmetrics(merge_snapshots(snapshots))
+
+    def render_health(self) -> dict[str, Any]:
+        with self._lock:
+            health = dict(self._health)
+        sources: dict[str, Any] = {}
+        status = "ok"
+        for name, source in sorted(health.items()):
+            try:
+                payload = source()
+            except Exception as exc:  # pragma: no cover - a dying source
+                payload = {"status": "error", "error": str(exc)}
+            sources[name] = payload
+            if payload.get("status", "ok") != "ok":
+                status = "degraded"
+        return {"status": status, "sources": sources}
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+_ACTIVE: MetricsExporter | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def start_exporter(port: int = 0, host: str = "127.0.0.1") -> MetricsExporter:
+    """Start (or return) the process's exporter.
+
+    Idempotent: a second call returns the running exporter — one endpoint
+    per process, however many engines and coordinators attach to it.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if _ACTIVE is None:
+            _ACTIVE = MetricsExporter(port=port, host=host)
+            logger.info(
+                "metrics exporter serving on %s/metrics", _ACTIVE.url
+            )
+        return _ACTIVE
+
+
+def active_exporter() -> MetricsExporter | None:
+    """The running exporter, or ``None`` (the default: no socket at all)."""
+    return _ACTIVE
+
+
+def stop_exporter() -> None:
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        exporter, _ACTIVE = _ACTIVE, None
+    if exporter is not None:
+        exporter.close()
+
+
+def ensure_from_env() -> MetricsExporter | None:
+    """Start the exporter iff :data:`ENV_METRICS_PORT` is set.
+
+    Called by the coordinator (and the CLI) so any driver process exports
+    live metrics when the operator asks; with the variable unset this is
+    a dictionary lookup and nothing else — zero sockets by default.
+    """
+    import os
+
+    raw = os.environ.get(ENV_METRICS_PORT, "").strip()
+    if not raw:
+        return active_exporter()
+    try:
+        port = int(raw)
+    except ValueError:
+        raise MapReduceError(
+            f"${ENV_METRICS_PORT} must be an integer port, got {raw!r}"
+        ) from None
+    return start_exporter(port)

@@ -245,23 +245,52 @@ class MetricsRegistry:
         with self._lock:
             return [c for (n, _), c in self._counters.items() if n == name]
 
-    def snapshot(self) -> dict[str, Any]:
-        """A JSON-able view: ``{"counters": {...}, "gauges": {...}, ...}``."""
+    def instruments(self) -> list[tuple[str, str, Labels, Any]]:
+        """Every live series as ``(kind, name, labels, instrument)`` rows.
+
+        The raw-iteration face of the registry: the fleet delta shipper and
+        the fleet-wide merge walk this instead of reaching into the keyed
+        dicts.  The rows alias the live instruments (no copy).
+        """
+        with self._lock:
+            return (
+                [("counter", n, la, i) for (n, la), i in self._counters.items()]
+                + [("gauge", n, la, i) for (n, la), i in self._gauges.items()]
+                + [
+                    ("histogram", n, la, i)
+                    for (n, la), i in self._histograms.items()
+                ]
+            )
+
+    def snapshot(self, **extra_labels: Any) -> dict[str, Any]:
+        """A JSON-able view: ``{"counters": {...}, "gauges": {...}, ...}``.
+
+        ``extra_labels`` are merged into every series key — how the fleet
+        aggregator renders one worker's registry as ``worker=<id>`` series.
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+
+        def key(name: str, labels: Labels) -> str:
+            if extra_labels:
+                merged = dict(labels)
+                merged.update(extra_labels)
+                labels = _label_key(merged)
+            return _series_name(name, labels)
+
         return {
             "counters": {
-                _series_name(name, labels): instrument.value
+                key(name, labels): instrument.value
                 for (name, labels), instrument in sorted(counters.items())
             },
             "gauges": {
-                _series_name(name, labels): instrument.value
+                key(name, labels): instrument.value
                 for (name, labels), instrument in sorted(gauges.items())
             },
             "histograms": {
-                _series_name(name, labels): instrument.to_dict()
+                key(name, labels): instrument.to_dict()
                 for (name, labels), instrument in sorted(histograms.items())
             },
         }

@@ -1,0 +1,234 @@
+"""``repro top`` — a dependency-free live view over the metrics exporter.
+
+Polls ``GET /metrics`` on a running exporter (any driver or coordinator
+started with ``--metrics-port`` / ``REPRO_METRICS_PORT``), parses the
+OpenMetrics text back into series, and redraws a per-worker table of task
+throughput, steal grants, retries, queue depth, and latency quantiles
+until the exporter goes away (the run ended) or the frame budget runs
+out.  Everything here is stdlib: ``urllib`` to poll, ANSI clears to
+redraw, and the same bucket math the histograms use server-side.
+
+The rendering is pure (:func:`render_frame` takes parsed series, returns
+a string) so tests drive it without sockets or timing.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from typing import Any, TextIO
+
+__all__ = [
+    "parse_prometheus",
+    "quantile_from_buckets",
+    "render_frame",
+    "run_top",
+]
+
+#: Series keyed ``(family_name, ((label, value), ...))`` → sample value.
+Series = dict[tuple[str, tuple[tuple[str, str], ...]], float]
+
+
+def parse_prometheus(text: str) -> Series:
+    """Parse OpenMetrics/Prometheus text exposition into a series table.
+
+    Only what ``repro top`` needs: sample lines (comments and ``# EOF``
+    skipped), labels split on unescaped quotes not required because repro
+    label values never contain commas or quotes.
+    """
+    series: Series = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        sample, _, raw_value = line.rpartition(" ")
+        name, brace, inner = sample.partition("{")
+        labels: tuple[tuple[str, str], ...] = ()
+        if brace:
+            pairs = []
+            for part in inner.rstrip("}").split(","):
+                key, _, value = part.partition("=")
+                pairs.append((key, value.strip('"')))
+            labels = tuple(sorted(pairs))
+        series[(name, labels)] = float(raw_value)
+    return series
+
+
+def quantile_from_buckets(
+    buckets: list[tuple[float, float]], q: float
+) -> float:
+    """Estimate the ``q`` quantile from cumulative ``(le, count)`` buckets.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.quantile`: returns the
+    upper bound of the first bucket whose cumulative count reaches the
+    rank (the same bounded-relative-error estimate the server computes).
+    """
+    if not buckets:
+        return 0.0
+    buckets = sorted(buckets)
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = max(1.0, q * total)
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            return bound
+    return buckets[-1][0]  # pragma: no cover - last cumulative == total
+
+
+def _label(labels: tuple[tuple[str, str], ...], key: str) -> str | None:
+    for k, v in labels:
+        if k == key:
+            return v
+    return None
+
+
+def _strip(labels: tuple[tuple[str, str], ...], *keys: str) -> tuple:
+    return tuple((k, v) for k, v in labels if k not in keys)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value <= 0:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def render_frame(series: Series, *, elapsed: float = 0.0) -> str:
+    """Render one ``repro top`` frame from a parsed series table."""
+    workers: dict[str, dict[str, float]] = {}
+
+    def worker_row(worker: str) -> dict[str, float]:
+        return workers.setdefault(
+            worker,
+            {"tasks": 0.0, "steals": 0.0, "queue": 0.0, "losses": 0.0},
+        )
+
+    hist_buckets: dict[str, list[tuple[float, float]]] = {}
+    totals = {"retries": 0.0, "fallbacks": 0.0, "deltas": 0.0}
+    for (name, labels), value in series.items():
+        worker = _label(labels, "worker")
+        if name in ("repro_worker_tasks_total", "repro_cluster_worker_tasks_total"):
+            if worker:
+                worker_row(worker)["tasks"] += value
+        elif name == "repro_cluster_steal_grants_total":
+            if worker:
+                worker_row(worker)["steals"] += value
+        elif name == "repro_worker_queue_depth":
+            if worker:
+                worker_row(worker)["queue"] += value
+        elif name == "repro_cluster_worker_losses_total":
+            if worker:
+                worker_row(worker)["losses"] += value
+        elif name == "repro_cluster_retries_total":
+            totals["retries"] += value
+        elif name == "repro_cluster_fallbacks_total":
+            totals["fallbacks"] += value
+        elif name == "repro_cluster_metrics_deltas_total":
+            totals["deltas"] += value
+        elif name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            if family not in (
+                "repro_query_seconds",
+                "repro_worker_task_seconds",
+            ):
+                continue
+            le = _label(labels, "le")
+            if le is None or worker is not None:
+                continue  # fleet-merged series only; skip per-worker shards
+            bound = float("inf") if le == "+Inf" else float(le)
+            hist_buckets.setdefault(family, []).append((bound, value))
+
+    lines = [
+        f"repro top — {len(workers)} worker(s)"
+        + (f" — {elapsed:.0f}s elapsed" if elapsed else "")
+    ]
+    lines.append(
+        f"  retries={totals['retries']:.0f}"
+        f"  fallbacks={totals['fallbacks']:.0f}"
+        f"  metric-deltas={totals['deltas']:.0f}"
+    )
+    for family in sorted(hist_buckets):
+        buckets = [(b, c) for b, c in hist_buckets[family] if b != float("inf")]
+        count = max((c for _, c in hist_buckets[family]), default=0.0)
+        p50 = quantile_from_buckets(buckets, 0.50)
+        p95 = quantile_from_buckets(buckets, 0.95)
+        p99 = quantile_from_buckets(buckets, 0.99)
+        label = family.removeprefix("repro_").replace("_", ".")
+        lines.append(
+            f"  {label}: n={count:.0f}"
+            f"  p50={_fmt_seconds(p50)}"
+            f"  p95={_fmt_seconds(p95)}"
+            f"  p99={_fmt_seconds(p99)}"
+        )
+    header = f"  {'WORKER':<18} {'TASKS':>8} {'STEALS':>8} {'QUEUE':>7} {'LOSSES':>7}"
+    lines.append(header)
+    for worker in sorted(workers):
+        row = workers[worker]
+        lines.append(
+            f"  {worker:<18} {row['tasks']:>8.0f} {row['steals']:>8.0f}"
+            f" {row['queue']:>7.0f} {row['losses']:>7.0f}"
+        )
+    if not workers:
+        lines.append("  (no worker series yet — fleet warming up)")
+    return "\n".join(lines) + "\n"
+
+
+def _fetch(url: str, timeout: float = 2.0) -> str | None:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+#: Consecutive failed scrapes (with no frame ever drawn) before giving up.
+_MISS_LIMIT = 5
+
+
+def run_top(
+    url: str,
+    interval: float = 1.0,
+    frames: int | None = None,
+    stream: TextIO | None = None,
+) -> int:
+    """Poll ``url``/metrics and redraw until the exporter goes away.
+
+    Returns 0 after at least one successful frame (the exporter
+    disappearing afterwards means the run ended — normal exit), and 2 if
+    the exporter was never reachable at all.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    metrics_url = base if base.endswith("/metrics") else base + "/metrics"
+    clear = "\x1b[2J\x1b[H" if getattr(out, "isatty", lambda: False)() else ""
+    start = time.monotonic()
+    drawn = 0
+    misses = 0
+    while frames is None or drawn < frames:
+        text = _fetch(metrics_url)
+        if text is None:
+            if drawn:
+                out.write("repro top: exporter gone — run ended.\n")
+                return 0
+            misses += 1
+            if misses >= _MISS_LIMIT:
+                out.write(f"repro top: no exporter at {metrics_url}\n")
+                return 2
+        else:
+            frame = render_frame(
+                parse_prometheus(text), elapsed=time.monotonic() - start
+            )
+            out.write(clear + frame)
+            out.flush()
+            drawn += 1
+            if frames is not None and drawn >= frames:
+                break
+        time.sleep(interval)
+    return 0

@@ -1,0 +1,116 @@
+"""Live observability on a real cluster: heartbeat metrics shipping,
+/healthz liveness, the heartbeat-interval knob, and v2.2 interop.
+
+The heavier end-to-end exporter scrape lives in scripts/ci_obs.py; these
+tests pin the library-level contracts on small real clusters.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.distributed import ClusterEngine, local_cluster
+from repro.distributed.protocol import Heartbeat
+from repro.distributed.worker import run_worker
+from repro.mapreduce.job import MapReduceJob
+from repro.utils.errors import MapReduceError
+
+
+class WordCount(MapReduceJob):
+    def map(self, key, value):
+        for word in value.split():
+            yield word.lower(), 1
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+DOCS = [(1, "the quick brown fox"), (2, "the lazy dog"), (3, "the quick dog")]
+
+
+class TestHeartbeatShipping:
+    def test_worker_metrics_arrive_in_the_fleet_registry(self):
+        with local_cluster(2) as engine:
+            engine.run(WordCount(), DOCS)
+            coordinator = engine.coordinator
+            # Deltas ride the 1 s heartbeat cadence; wait for both
+            # workers' task counters to land in the fleet aggregator.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                merged = coordinator.fleet.fleet_registry()
+                done = sum(
+                    c.value for c in merged.counters("repro.worker.tasks")
+                )
+                if done >= len(DOCS) and len(coordinator.fleet.worker_ids()) == 2:
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail("worker metrics never converged in the fleet")
+            assert sorted(coordinator.fleet.worker_ids()) == ["host0", "host1"]
+            # Per-worker replicas carry the same counters the workers saw.
+            total = 0
+            for worker_id in coordinator.fleet.worker_ids():
+                replica = coordinator.fleet.worker_registry(worker_id)
+                total += sum(
+                    c.value for c in replica.counters("repro.worker.tasks")
+                )
+            assert total >= len(DOCS)
+
+    def test_healthz_reports_every_worker_live(self):
+        with local_cluster(2) as engine:
+            engine.run(WordCount(), DOCS)
+            health = engine.coordinator.health_snapshot()
+            assert health["status"] == "ok"
+            assert health["live_workers"] == 2
+            assert sorted(health["workers"]) == ["host0", "host1"]
+            for info in health["workers"].values():
+                assert info["live"] is True
+                assert info["connected"] is True
+                assert info["heartbeat_age_seconds"] >= 0.0
+            assert health["quarantined_inputs"] == []
+
+
+class TestHeartbeatIntervalKnob:
+    def test_engine_rejects_nonpositive_interval(self):
+        with pytest.raises(MapReduceError, match="heartbeat_interval"):
+            ClusterEngine(bind="127.0.0.1:0", heartbeat_interval=0)
+        with pytest.raises(MapReduceError, match="heartbeat_interval"):
+            ClusterEngine(bind="127.0.0.1:0", heartbeat_interval=-1.0)
+
+    def test_engine_rejects_interval_at_or_above_timeout(self):
+        with pytest.raises(MapReduceError, match="below"):
+            ClusterEngine(
+                bind="127.0.0.1:0", heartbeat_interval=5.0, heartbeat_timeout=5.0
+            )
+
+    def test_worker_rejects_nonpositive_interval(self):
+        with pytest.raises(MapReduceError, match="heartbeat_interval"):
+            run_worker("127.0.0.1:1", heartbeat_interval=0.0)
+
+    def test_fast_heartbeats_still_run_jobs(self):
+        # A 50 ms cadence is 20x the default: the job must still complete
+        # and deltas must not corrupt the fleet (dedup by seq).
+        with local_cluster(1, heartbeat_interval=0.05) as engine:
+            clustered, _ = engine.run(WordCount(), DOCS)
+            assert dict(clustered)["the"] == 3
+
+
+class TestProtocolInterop:
+    def test_v22_heartbeat_without_new_fields_is_tolerated(self):
+        # A v2.2 peer's Heartbeat lacks seq/metrics entirely; the
+        # coordinator reads them with getattr gating, so the legacy shape
+        # must keep meaning "no delta attached".
+        legacy = Heartbeat(worker_id="old")
+        del legacy.seq
+        del legacy.metrics
+        assert getattr(legacy, "metrics", None) is None
+        fleet = obs.FleetAggregator()
+        assert fleet.apply("old", getattr(legacy, "metrics", None)) is False
+        assert fleet.worker_ids() == []
+
+    def test_new_fields_default_to_inert(self):
+        # v2.3 fields are additive: default construction ships nothing.
+        heartbeat = Heartbeat(worker_id="w")
+        assert heartbeat.seq == 0
+        assert heartbeat.metrics is None

@@ -1,0 +1,64 @@
+"""docs/OBSERVABILITY.md's metric-name table is held in lockstep with src.
+
+Every metric name instrumented anywhere in the package must appear in the
+docs table, and every documented ``repro.*`` name must still exist in the
+source — an undocumented counter and a stale doc row both fail here.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs" / "OBSERVABILITY.md"
+SRC = REPO / "src" / "repro"
+
+#: Instrument registrations: obs.counter("name", ...) / gauge / histogram,
+#: including aliased imports like ``obs_counter(...)``.
+_CALL_RE = re.compile(r'(?:counter|gauge|histogram)\(\s*"(repro\.[a-z0-9_.]+)"')
+
+#: Documented names: the backticked first column of the metric table.
+_DOC_RE = re.compile(r"^\| `(repro\.[a-z0-9_.]+)`", re.MULTILINE)
+
+
+def instrumented_names() -> set[str]:
+    names: set[str] = set()
+    for path in SRC.rglob("*.py"):
+        names.update(_CALL_RE.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def documented_names() -> set[str]:
+    text = DOCS.read_text(encoding="utf-8")
+    names: set[str] = set()
+    for match in _DOC_RE.finditer(text):
+        # A row like `repro.dataplane.fetched` / `.fetched_bytes` documents
+        # two series; expand the suffix shorthand.
+        names.add(match.group(1))
+    for prefix, suffix in re.findall(
+        r"\| `(repro\.[a-z0-9_.]+)` / `(\.[a-z0-9_]+)`", text
+    ):
+        names.add(prefix.rsplit(".", 1)[0] + suffix)
+    return names
+
+
+def test_every_instrumented_metric_is_documented():
+    missing = instrumented_names() - documented_names()
+    assert not missing, (
+        f"metrics instrumented in src/ but absent from {DOCS.name}'s "
+        f"table: {sorted(missing)}"
+    )
+
+
+def test_every_documented_metric_exists_in_source():
+    stale = documented_names() - instrumented_names()
+    assert not stale, (
+        f"metrics documented in {DOCS.name} but no longer instrumented "
+        f"in src/: {sorted(stale)}"
+    )
+
+
+def test_the_table_is_nonempty_and_parsed():
+    # Guard the regexes themselves: a docs reformat that silently parses
+    # to zero rows would make both lockstep assertions vacuous.
+    assert len(documented_names()) >= 15
+    assert len(instrumented_names()) >= 15

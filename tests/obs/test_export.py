@@ -1,0 +1,151 @@
+"""HTTP exporter: OpenMetrics rendering and the live /metrics + /healthz.
+
+The exporter is strictly opt-in — the default-off tests at the bottom pin
+that no socket exists and no singleton is installed until someone asks.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    MetricsExporter,
+    merge_snapshots,
+    render_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.errors import MapReduceError
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestRenderOpenmetrics:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.query.count").inc(7)
+        text = render_openmetrics(registry.snapshot())
+        assert "# TYPE repro_query_count counter\n" in text
+        assert "repro_query_count_total 7\n" in text
+        assert text.endswith("# EOF\n")
+
+    def test_labels_render_prometheus_style(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", worker="w0", kind="map").inc()
+        text = render_openmetrics(registry.snapshot())
+        # Labels come out sorted (kind < worker), values quoted.
+        assert 'hits_total{kind="map",worker="w0"} 1\n' in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro.query.seconds")
+        for value in (0.0001, 0.001, 0.01):
+            hist.observe(value)
+        text = render_openmetrics(registry.snapshot())
+        assert "# TYPE repro_query_seconds histogram\n" in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "repro_query_seconds_count 3\n" in text
+        assert "repro_query_seconds_sum " in text
+        # Derived quantile gauges ride along as their own families.
+        assert "# TYPE repro_query_seconds_p50 gauge\n" in text
+        assert "# TYPE repro_query_seconds_p95 gauge\n" in text
+        # Buckets are cumulative: the +Inf count equals the total count.
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('repro_query_seconds_bucket{le="')
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_merge_snapshots_sums_counters_and_folds_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(2)
+        b.counter("hits").inc(3)
+        a.histogram("seconds").observe(0.01)
+        b.histogram("seconds").observe(0.1)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["hits"] == 5
+        assert merged["histograms"]["seconds"]["count"] == 2
+
+
+class TestLiveExporter:
+    @pytest.fixture()
+    def exporter(self):
+        exporter = MetricsExporter(port=0)
+        yield exporter
+        exporter.close()
+
+    def test_metrics_endpoint_serves_openmetrics(self, exporter):
+        registry = MetricsRegistry()
+        registry.counter("test.hits", site="a").inc(7)
+        exporter.add_source(registry.snapshot)
+        status, content_type, body = fetch(f"{exporter.url}/metrics")
+        assert status == 200
+        assert content_type.startswith("application/openmetrics-text")
+        text = body.decode()
+        assert 'test_hits_total{site="a"} 7\n' in text
+        assert text.endswith("# EOF\n")
+
+    def test_healthz_aggregates_sources(self, exporter):
+        exporter.add_health("engine:e1", lambda: {"status": "ok", "executor": "x"})
+        status, content_type, body = fetch(f"{exporter.url}/healthz")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["sources"]["engine:e1"]["executor"] == "x"
+        # One degraded source degrades the whole answer.
+        exporter.add_health("engine:e2", lambda: {"status": "degraded"})
+        _, _, body = fetch(f"{exporter.url}/healthz")
+        assert json.loads(body)["status"] == "degraded"
+
+    def test_failing_health_source_is_reported_not_fatal(self, exporter):
+        def dying():
+            raise RuntimeError("boom")
+
+        exporter.add_health("bad", dying)
+        _, _, body = fetch(f"{exporter.url}/healthz")
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["sources"]["bad"]["status"] == "error"
+
+    def test_unknown_path_is_404(self, exporter):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{exporter.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_remove_source_detaches_bound_method(self, exporter):
+        registry = MetricsRegistry()
+        registry.counter("test.gone").inc()
+        exporter.add_source(registry.snapshot)
+        exporter.remove_source(registry.snapshot)
+        _, _, body = fetch(f"{exporter.url}/metrics")
+        assert "test_gone" not in body.decode()
+
+
+class TestDefaultOff:
+    def test_no_exporter_until_asked(self):
+        assert obs.active_exporter() is None
+
+    def test_ensure_from_env_is_inert_without_the_variable(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_METRICS_PORT, raising=False)
+        assert obs.ensure_from_env() is None
+
+    def test_ensure_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(obs.ENV_METRICS_PORT, "not-a-port")
+        with pytest.raises(MapReduceError):
+            obs.ensure_from_env()
+
+    def test_start_stop_lifecycle_is_idempotent(self):
+        try:
+            first = obs.start_exporter(0)
+            assert obs.start_exporter(0) is first
+            assert obs.active_exporter() is first
+        finally:
+            obs.stop_exporter()
+        assert obs.active_exporter() is None
+        obs.stop_exporter()  # second stop is a no-op

@@ -1,0 +1,185 @@
+"""Heartbeat metrics shipping: DeltaShipper -> FleetAggregator.
+
+The wire contract (protocol v2.3) is at-most-once delta delivery with
+``(epoch, seq)`` identity: duplicates fold to nothing, a changed epoch
+resets the worker's replica, and the fleet merge is independent of the
+order deltas arrive in — the property test at the bottom holds that for
+arbitrary interleavings with duplication.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.fleet import DeltaShipper, FleetAggregator
+from repro.obs.metrics import DEFAULT_BUCKET_BOUNDS, MetricsRegistry
+
+
+def make_shipper():
+    registry = MetricsRegistry()
+    return registry, DeltaShipper(registry)
+
+
+class TestDeltaShipper:
+    def test_quiet_registry_ships_nothing(self):
+        _, shipper = make_shipper()
+        assert shipper.next_delta() is None
+
+    def test_first_delta_carries_absolute_values(self):
+        registry, shipper = make_shipper()
+        registry.counter("tasks", kind="map").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("seconds").observe(0.01)
+        delta = shipper.next_delta()
+        assert delta["seq"] == 1
+        assert delta["counters"] == [["tasks", [["kind", "map"]], 3]]
+        assert delta["gauges"] == [["depth", [], 2.0]]
+        (name, labels, shard) = delta["histograms"][0]
+        assert (name, labels) == ("seconds", [])
+        assert shard["count"] == 1
+        assert shard["total"] == pytest.approx(0.01)
+        # Default bounds are implied, not re-shipped on every beat.
+        assert "bounds" not in shard
+
+    def test_deltas_are_increments_not_totals(self):
+        registry, shipper = make_shipper()
+        registry.counter("tasks").inc(3)
+        assert shipper.next_delta()["counters"] == [["tasks", [], 3]]
+        registry.counter("tasks").inc(2)
+        delta = shipper.next_delta()
+        assert delta["counters"] == [["tasks", [], 2]]
+        assert delta["seq"] == 2
+        assert shipper.next_delta() is None
+
+    def test_epoch_is_stable_within_one_shipper(self):
+        registry, shipper = make_shipper()
+        registry.counter("a").inc()
+        first = shipper.next_delta()
+        registry.counter("a").inc()
+        second = shipper.next_delta()
+        assert first["epoch"] == second["epoch"]
+        # ...but a restarted daemon (new shipper) gets a fresh epoch.
+        assert DeltaShipper(registry).epoch != shipper.epoch
+
+
+class TestFleetAggregator:
+    def test_apply_folds_into_fleet_registry(self):
+        registry, shipper = make_shipper()
+        registry.counter("tasks", kind="map").inc(4)
+        fleet = FleetAggregator()
+        assert fleet.apply("w0", shipper.next_delta()) is True
+        assert fleet.worker_registry("w0").counter("tasks", kind="map").value == 4
+        assert fleet.fleet_registry().counter("tasks", kind="map").value == 4
+
+    def test_duplicate_delta_is_dropped(self):
+        registry, shipper = make_shipper()
+        registry.counter("tasks").inc()
+        delta = shipper.next_delta()
+        fleet = FleetAggregator()
+        assert fleet.apply("w0", delta) is True
+        assert fleet.apply("w0", delta) is False
+        assert fleet.worker_registry("w0").counter("tasks").value == 1
+
+    def test_epoch_change_resets_the_replica(self):
+        registry, shipper = make_shipper()
+        registry.counter("tasks").inc(5)
+        fleet = FleetAggregator()
+        fleet.apply("w0", shipper.next_delta())
+        # Worker restarts: same id, fresh registry and shipper.
+        registry2 = MetricsRegistry()
+        shipper2 = DeltaShipper(registry2)
+        registry2.counter("tasks").inc(2)
+        fleet.apply("w0", shipper2.next_delta())
+        assert fleet.worker_registry("w0").counter("tasks").value == 2
+
+    def test_gauges_newest_seq_wins(self):
+        registry, shipper = make_shipper()
+        registry.gauge("depth").set(5.0)
+        first = shipper.next_delta()
+        registry.gauge("depth").set(1.0)
+        second = shipper.next_delta()
+        fleet = FleetAggregator()
+        fleet.apply("w0", second)
+        fleet.apply("w0", first)  # late arrival must not regress the gauge
+        assert fleet.worker_registry("w0").gauge("depth").value == 1.0
+
+    def test_malformed_delta_rejected(self):
+        fleet = FleetAggregator()
+        assert fleet.apply("w0", "garbage") is False
+        assert fleet.apply("w0", {"no": "seq"}) is False
+        assert fleet.worker_ids() == []
+
+    def test_snapshot_has_fleet_and_per_worker_series(self):
+        fleet = FleetAggregator()
+        for worker in ("w0", "w1"):
+            registry, shipper = make_shipper()
+            registry.counter("tasks").inc(3)
+            fleet.apply(worker, shipper.next_delta())
+        snap = fleet.snapshot()
+        assert snap["counters"]["tasks"] == 6
+        assert snap["counters"]["tasks{worker=w0}"] == 3
+        assert snap["counters"]["tasks{worker=w1}"] == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    increments=st.lists(
+        st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=5),
+        min_size=1,
+        max_size=4,
+    ),
+    observations=st.lists(
+        st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+        min_size=0,
+        max_size=20,
+    ),
+    order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    duplicate_every=st.integers(min_value=1, max_value=3),
+)
+def test_arrival_order_and_duplicates_never_change_the_fleet(
+    increments, observations, order_seed, duplicate_every
+):
+    """Satellite invariant: shuffled + duplicated delivery is idempotent.
+
+    One worker per increments-row emits one delta per increment (plus
+    histogram observations spread round-robin).  Applying the deltas in
+    emission order vs. a seeded shuffle with every ``duplicate_every``-th
+    delta sent twice must produce identical fleet counters and identical
+    fleet histogram buckets.
+    """
+    emitted: list[tuple[str, dict]] = []
+    for w, row in enumerate(increments):
+        registry = MetricsRegistry()
+        shipper = DeltaShipper(registry)
+        for i, inc in enumerate(row):
+            registry.counter("tasks", kind="map").inc(inc)
+            for value in observations[w::len(increments)]:
+                if hash((w, i)) % 2:  # vary which beat carries observations
+                    registry.histogram("seconds").observe(value)
+            delta = shipper.next_delta()
+            if delta is not None:
+                emitted.append((f"w{w}", delta))
+
+    def fleet_state(deliveries):
+        fleet = FleetAggregator()
+        for worker_id, delta in deliveries:
+            fleet.apply(worker_id, delta)
+        merged = fleet.fleet_registry()
+        hist = merged.histogram("seconds")
+        return (
+            merged.counter("tasks", kind="map").value,
+            tuple(hist.counts),
+            hist.count,
+        )
+
+    in_order = fleet_state(emitted)
+    shuffled = list(emitted)
+    random.Random(order_seed).shuffle(shuffled)
+    with_duplicates = []
+    for i, item in enumerate(shuffled):
+        with_duplicates.append(item)
+        if i % duplicate_every == 0:
+            with_duplicates.append(item)
+    assert fleet_state(with_duplicates) == in_order

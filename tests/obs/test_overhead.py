@@ -54,3 +54,37 @@ def test_enabled_then_disabled_restores_inertness():
     assert len(trace.spans) == 1
     assert obs.span("b") is _NOOP_SPAN
     assert obs.current_trace() is None
+
+
+def test_disabled_profiler_is_the_shared_singleton():
+    from repro.obs.profile import _NOOP_PROFILER
+
+    first = obs.active_profiler()
+    second = obs.active_profiler()
+    assert first is second is _NOOP_PROFILER
+
+
+def test_disabled_profiler_wall_clock_bound():
+    iterations = 100_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        profiler = obs.active_profiler()
+        profiler.add_counts(None)
+    elapsed = time.perf_counter() - start
+    # Same budget as disabled spans: the lookup is one module-global read
+    # and the no-op methods do nothing.
+    assert elapsed < 0.2, f"{iterations} disabled lookups took {elapsed:.3f}s"
+
+
+def test_no_exporter_and_no_sockets_by_default(monkeypatch):
+    # Default-off means default-off: no singleton, and ensure_from_env
+    # without the variable is a dict lookup, not a bind.
+    monkeypatch.delenv(obs.ENV_METRICS_PORT, raising=False)
+    assert obs.active_exporter() is None
+    assert obs.ensure_from_env() is None
+    iterations = 50_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        obs.ensure_from_env()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 0.5, f"{iterations} env checks took {elapsed:.3f}s"

@@ -1,0 +1,108 @@
+"""Sampling profiler: collapsed-stack output, round-trip, no-op default."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    _NOOP_PROFILER,
+    Profiler,
+    parse_collapsed,
+)
+
+
+def busy_wait(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(200))
+
+
+class TestProfiler:
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        thread = threading.Thread(target=busy_wait, args=(stop,), daemon=True)
+        thread.start()
+        profiler = Profiler(interval=0.001)
+        time.sleep(0.15)
+        profiler.stop()
+        stop.set()
+        thread.join()
+        assert profiler.samples > 0
+        counts = profiler.counts()
+        assert counts
+        # Root-first frames: the thread bootstrap is the first frame of
+        # the busy thread's stacks, and our function shows up in one.
+        assert any("busy_wait" in stack for stack in counts)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Profiler(interval=0.0)
+
+    def test_stop_is_idempotent(self):
+        profiler = Profiler(interval=0.001)
+        profiler.stop()
+        profiler.stop()
+
+    def test_collapsed_round_trips_through_parser(self, tmp_path):
+        profiler = Profiler(interval=0.001)
+        time.sleep(0.05)
+        profiler.stop()
+        path = tmp_path / "out.collapsed"
+        profiler.write(path)
+        assert parse_collapsed(path.read_text()) == profiler.counts()
+
+    def test_add_counts_applies_worker_prefix(self):
+        profiler = Profiler(interval=0.001)
+        profiler.stop()
+        profiler.add_counts({"a.py:f:1;b.py:g:2": 4}, prefix="worker:h0")
+        assert profiler.counts()["worker:h0;a.py:f:1;b.py:g:2"] == 4
+        # Folding the same stacks again accumulates, not overwrites.
+        profiler.add_counts({"a.py:f:1;b.py:g:2": 1}, prefix="worker:h0")
+        assert profiler.counts()["worker:h0;a.py:f:1;b.py:g:2"] == 5
+
+    def test_add_counts_ignores_garbage_silently(self):
+        # Worker-shipped payloads are wire data: a malformed one must be
+        # dropped, never crash the coordinator's reader thread.
+        profiler = Profiler(interval=0.001)
+        profiler.stop()
+        profiler.add_counts([("not", "a", "dict")])
+        profiler.add_counts({42: 1, "ok": "not-an-int", "good": 2})
+        counts = profiler.counts()
+        assert counts.get("good") == 2
+        assert 42 not in counts and "ok" not in counts
+
+
+class TestParseCollapsed:
+    def test_parses_and_folds_duplicates(self):
+        text = "a;b 3\na;b 2\nc 1\n"
+        assert parse_collapsed(text) == {"a;b": 5, "c": 1}
+
+    def test_rejects_lines_without_a_count(self):
+        with pytest.raises(ValueError):
+            parse_collapsed("just-a-stack-no-count\n")
+
+
+class TestLifecycle:
+    def test_disabled_profiler_is_the_shared_noop_singleton(self):
+        assert obs.active_profiler() is _NOOP_PROFILER
+        assert obs.active_profiler() is obs.active_profiler()
+        # The no-op accepts the full surface without effect.
+        noop = obs.active_profiler()
+        noop.add_counts({"a 1": 1})
+        noop.stop()
+        assert noop.counts() == {}
+        assert noop.samples == 0
+
+    def test_start_end_profile(self):
+        profiler = obs.start_profile(interval=0.001)
+        try:
+            assert obs.active_profiler() is profiler
+            assert obs.start_profile() is profiler  # idempotent
+            time.sleep(0.03)
+        finally:
+            ended = obs.end_profile()
+        assert ended is profiler
+        assert obs.active_profiler() is _NOOP_PROFILER
+        assert obs.end_profile() is None  # second end is a no-op
+        assert ended.samples > 0

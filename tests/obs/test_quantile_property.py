@@ -1,0 +1,74 @@
+"""Histogram.quantile accuracy: property-tested against exact percentiles.
+
+The bucket bounds are quarter-decade log-spaced, so a quantile estimate
+can overshoot the exact order statistic by at most one bucket's width —
+a factor of 10^0.25.  Values are drawn from the instrumented range
+(1 µs .. 10 ks is the bucket span; we stay a decade inside the top so
+the overflow bucket's ``max`` fallback is also exercised separately).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_BUCKET_BOUNDS, Histogram
+
+#: One quarter-decade: the histogram's worst-case relative overshoot.
+BUCKET_RATIO = 10.0**0.25
+
+
+def exact_percentile(values: list[float], q: float) -> float:
+    """The order statistic quantile() estimates: ceil(q*n)-th smallest."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered) - 1e-9))
+    return ordered[rank - 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-6, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    q=st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+)
+def test_quantile_within_one_bucket_of_exact(values, q):
+    hist = Histogram("h", ())
+    for value in values:
+        hist.observe(value)
+    estimate = hist.quantile(q)
+    exact = exact_percentile(values, q)
+    # The reported bound is the upper edge of the bucket holding the
+    # exact order statistic: never below it, never more than one
+    # quarter-decade above.
+    assert estimate >= exact * (1 - 1e-9)
+    assert estimate <= exact * BUCKET_RATIO * (1 + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-6, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_quantiles_are_monotone_in_q(values):
+    hist = Histogram("h", ())
+    for value in values:
+        hist.observe(value)
+    estimates = [hist.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+    assert estimates == sorted(estimates)
+
+
+def test_overflow_bucket_reports_the_observed_max():
+    hist = Histogram("h", ())
+    top = DEFAULT_BUCKET_BOUNDS[-1]
+    hist.observe(top * 100)
+    assert hist.quantile(0.99) == top * 100
+
+
+def test_empty_histogram_quantile_is_zero():
+    assert Histogram("h", ()).quantile(0.5) == 0.0

@@ -1,0 +1,82 @@
+"""`repro top` internals: scrape parsing, bucket quantiles, frame render.
+
+Everything here is pure — the network loop is a thin shell around these
+functions, and the exporter round-trip is covered by test_export.py and
+the CI live-cluster gate.
+"""
+
+from repro.obs.export import render_openmetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import (
+    parse_prometheus,
+    quantile_from_buckets,
+    render_frame,
+)
+
+
+SAMPLE = """\
+# TYPE repro_cluster_worker_tasks counter
+repro_cluster_worker_tasks_total{worker="host0"} 29
+repro_cluster_worker_tasks_total{worker="host1"} 23
+# TYPE repro_worker_queue_depth gauge
+repro_worker_queue_depth{worker="host0"} 4
+# TYPE repro_query_seconds histogram
+repro_query_seconds_bucket{le="0.1"} 2
+repro_query_seconds_bucket{le="1.0"} 5
+repro_query_seconds_bucket{le="+Inf"} 6
+repro_query_seconds_count 6
+repro_query_seconds_sum 3.5
+# EOF
+"""
+
+
+class TestParsePrometheus:
+    def test_parses_names_labels_and_values(self):
+        series = parse_prometheus(SAMPLE)
+        assert (
+            series[("repro_cluster_worker_tasks_total", (("worker", "host0"),))]
+            == 29.0
+        )
+        assert series[("repro_worker_queue_depth", (("worker", "host0"),))] == 4.0
+        assert series[("repro_query_seconds_count", ())] == 6.0
+
+    def test_skips_comments_and_blank_lines(self):
+        series = parse_prometheus("# TYPE x counter\n\n# EOF\n")
+        assert series == {}
+
+    def test_round_trips_exporter_output(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.worker.tasks", kind="map").inc(3)
+        series = parse_prometheus(render_openmetrics(registry.snapshot()))
+        assert series[("repro_worker_tasks_total", (("kind", "map"),))] == 3.0
+
+
+class TestQuantileFromBuckets:
+    def test_picks_the_bucket_reaching_the_rank(self):
+        buckets = {("0.1",): 2, ("1.0",): 5, ("+Inf",): 6}
+        buckets = [(0.1, 2.0), (1.0, 5.0), (float("inf"), 6.0)]
+        # p50 rank = 3 of 6 -> first bound with cumulative >= 3 is 1.0.
+        assert quantile_from_buckets(buckets, 0.5) == 1.0
+        assert quantile_from_buckets(buckets, 0.1) == 0.1
+
+    def test_empty_buckets_yield_zero(self):
+        # Mirrors Histogram.quantile on an empty histogram.
+        assert quantile_from_buckets([], 0.5) == 0.0
+        assert quantile_from_buckets([(0.1, 0.0)], 0.5) == 0.0
+
+
+class TestRenderFrame:
+    def test_renders_worker_table_and_quantiles(self):
+        frame = render_frame(parse_prometheus(SAMPLE), elapsed=12.0)
+        assert "host0" in frame and "host1" in frame
+        assert "29" in frame and "23" in frame  # per-worker task counts
+        assert "4" in frame  # queue depth
+        assert "repro_query_seconds" in frame or "query" in frame
+
+    def test_pure_function_no_side_effects(self, capsys):
+        render_frame(parse_prometheus(SAMPLE), elapsed=1.0)
+        assert capsys.readouterr().out == ""
+
+    def test_empty_series_still_renders_a_header(self):
+        frame = render_frame({}, elapsed=0.0)
+        assert frame  # never crashes on a scrape with no repro families

@@ -1,0 +1,95 @@
+"""scripts/bench_trend.py core: direction inference, provenance gating."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_trend", REPO / "scripts" / "bench_trend.py"
+)
+bench_trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_trend)
+
+
+def record(**metrics):
+    return {
+        "benchmark": "b",
+        "python": "3.11.7",
+        "usable_cpus": 2,
+        "smoke": True,
+        **metrics,
+    }
+
+
+class TestDirections:
+    def test_seconds_lower_is_better(self):
+        assert bench_trend.metric_direction("index_seconds") == "lower"
+
+    def test_throughputs_higher_is_better(self):
+        for name in ("speedup", "evaluations_per_minute.exact", "rate"):
+            assert bench_trend.metric_direction(name) == "higher"
+
+    def test_counts_have_no_direction(self):
+        assert bench_trend.metric_direction("n_significant") is None
+
+
+class TestCompareRecords:
+    def test_identical_records_have_no_regressions(self):
+        rows = bench_trend.compare_records(
+            record(build_seconds=1.0), record(build_seconds=1.0)
+        )
+        assert [r["regression"] for r in rows] == [False]
+
+    def test_slower_seconds_flag_past_threshold(self):
+        rows = bench_trend.compare_records(
+            record(build_seconds=1.3), record(build_seconds=1.0)
+        )
+        assert rows[0]["regression"] is True
+        assert rows[0]["worse_frac"] > bench_trend.THRESHOLD
+
+    def test_lost_speedup_flags_and_gained_does_not(self):
+        rows = bench_trend.compare_records(
+            record(speedup=1.0), record(speedup=2.0)
+        )
+        assert rows[0]["regression"] is True
+        rows = bench_trend.compare_records(
+            record(speedup=3.0), record(speedup=2.0)
+        )
+        assert rows[0]["regression"] is False
+
+    def test_nested_metric_paths_compare(self):
+        rows = bench_trend.compare_records(
+            record(measured_seconds={"2": 2.0}),
+            record(measured_seconds={"2": 1.0}),
+        )
+        assert rows[0]["metric"] == "measured_seconds.2"
+        assert rows[0]["regression"] is True
+
+    def test_context_and_zero_baselines_skipped(self):
+        rows = bench_trend.compare_records(
+            record(build_seconds=0.5, n_significant=99),
+            record(build_seconds=0.0, n_significant=5),
+        )
+        assert rows == []
+
+
+class TestProvenance:
+    def test_same_class_for_patch_python_bumps(self):
+        old = record()
+        new = dict(record(), python="3.11.9")
+        assert bench_trend.provenance_class(old) == (
+            bench_trend.provenance_class(new)
+        )
+
+    def test_different_cpu_budget_is_a_different_class(self):
+        other = dict(record(), usable_cpus=8)
+        assert bench_trend.provenance_class(record()) != (
+            bench_trend.provenance_class(other)
+        )
+
+    def test_pre_provenance_records_still_classify(self):
+        # Old committed records lack host/metrics blocks entirely.
+        legacy = {"benchmark": "b", "python": "3.11.7", "usable_cpus": 2,
+                  "smoke": True, "speedup": 2.0}
+        assert bench_trend.provenance_class(legacy) == (2, True, "3.11")

@@ -131,8 +131,113 @@ class TestParser:
                 ["query", "--data", "/tmp/cat", "--index", "/tmp/idx"]
             )
 
+    def test_live_observability_flags(self):
+        args = build_parser().parse_args(
+            ["--metrics-port", "9100", "--profile", "/tmp/p.collapsed",
+             "demo"]
+        )
+        assert args.metrics_port == 9100
+        assert args.profile == "/tmp/p.collapsed"
+        # Unset flags stay falsy so $REPRO_METRICS_PORT / $REPRO_PROFILE
+        # can supply them at lifecycle time.
+        args = build_parser().parse_args(["demo"])
+        assert args.metrics_port is None
+        assert args.profile == ""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--metrics-port", "not-a-port", "demo"])
+
+    def test_worker_heartbeat_interval_flag(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "c:7077", "--heartbeat-interval", "0.25"]
+        )
+        assert args.heartbeat_interval == 0.25
+        # Default None: the coordinator's welcome sets the cadence.
+        args = build_parser().parse_args(["worker", "--connect", "c:7077"])
+        assert args.heartbeat_interval is None
+
+    def test_worker_rejects_nonpositive_heartbeat_interval(self):
+        from repro.utils.errors import MapReduceError
+
+        with pytest.raises(MapReduceError, match="heartbeat_interval"):
+            main(["worker", "--connect", "127.0.0.1:1",
+                  "--heartbeat-interval", "0"])
+
+    def test_stats_json_flag(self):
+        args = build_parser().parse_args(["stats", "--json", "/tmp/idx"])
+        assert args.json is True
+        args = build_parser().parse_args(["stats", "/tmp/idx"])
+        assert args.json is False
+
+    def test_top_verb(self):
+        args = build_parser().parse_args(["top", "--port", "9100",
+                                          "--interval", "0.5", "--frames", "3"])
+        assert args.port == 9100
+        assert args.interval == 0.5
+        assert args.frames == 3
+        args = build_parser().parse_args(["top", "--url", "http://h:9100"])
+        assert args.url == "http://h:9100"
+        assert args.port is None and args.frames is None
+
+    def test_top_needs_a_target(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_METRICS_PORT", raising=False)
+        assert main(["top"]) == 2
+        assert "REPRO_METRICS_PORT" in capsys.readouterr().err
+
+    def test_top_exits_2_when_exporter_never_answers(self, monkeypatch):
+        # An unused port: misses with zero frames drawn exhaust, exit 2.
+        monkeypatch.setattr("repro.obs.top._MISS_LIMIT", 2)
+        assert main(["top", "--port", "1", "--interval", "0.01"]) == 2
+
 
 class TestEndToEnd:
+    def test_metrics_port_and_profile_lifecycle(self, tmp_path, capsys):
+        import json
+        import re
+        import urllib.request
+
+        from repro.obs.profile import parse_collapsed
+
+        profile_out = tmp_path / "p.collapsed"
+        code = main([
+            "--metrics-port", "0", "--profile", str(profile_out),
+            "simulate", "--out", str(tmp_path / "cat"), "--days", "7",
+            "--scale", "0.2", "--datasets", "taxi", "--seed", "3",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        # The exporter announced its chosen port and was reachable during
+        # the run (it is down by now; the announcement is the contract).
+        match = re.search(r"http://127\.0\.0\.1:(\d+)/metrics", printed)
+        assert match, printed
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(match.group(0), timeout=1.0)
+        assert f"profile written to {profile_out}" in printed
+        parsed = parse_collapsed(profile_out.read_text())
+        assert parsed and all(
+            isinstance(n, int) and n > 0 for n in parsed.values()
+        )
+
+        # stats --json on the produced catalog's index is covered by
+        # ci_obs; here the trace-free default path must not have written
+        # any trace file next to the profile.
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_top_renders_one_frame_from_a_live_exporter(self, capsys):
+        from repro import obs
+
+        exporter = obs.start_exporter(0)
+        try:
+            obs.counter("repro.worker.tasks", kind="map").inc(4)
+            code = main([
+                "top", "--url", exporter.url, "--interval", "0.01",
+                "--frames", "1",
+            ])
+        finally:
+            obs.stop_exporter()
+        assert code == 0
+        frame = capsys.readouterr().out
+        assert "WORKER" in frame or "fleet" in frame or frame
+
     def test_simulate_then_query(self, tmp_path, capsys):
         out = tmp_path / "cat"
         argv = [
